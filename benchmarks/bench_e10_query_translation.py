@@ -1,0 +1,165 @@
+"""E10 — Guiding keyword queries into structured queries.
+
+Paper anchor: Section 3.2 (exploitation) — "an ordinary user ... would
+just want to start with a keyword query ... One way [to guide them] is to
+'guess' and show the user several structured queries ... then ask the user
+to select the appropriate one"; Section 3.3 predicts this exploitation
+problem is where extraction-only work will get stuck.
+
+Reported series: top-1 / top-3 / top-5 accuracy of the translator's
+ranked structured-query guesses over a generated workload of keyword
+queries with known intents (aggregate + attribute + entity combinations,
+with phrasing variation), plus translation latency.
+"""
+
+import random
+
+from _tables import write_table
+
+from repro.core.system import FACTS_TABLE, StructureManagementSystem
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.extraction.infobox import InfoboxExtractor
+from repro.extraction.normalize import MONTHS
+from repro.storage.rdbms.sql import execute_sql
+
+AGG_PHRASES = {
+    "AVG": ["average", "mean"],
+    "MAX": ["highest", "maximum", "warmest"],
+    "MIN": ["lowest", "coldest"],
+}
+
+
+def _system():
+    corpus, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=20, seed=141, styles=("infobox",))
+    )
+    system = StructureManagementSystem()
+    system.registry.register_extractor("infobox", InfoboxExtractor())
+    system.ingest(corpus)
+    system.generate('p = docs()\nf = extract(p, "infobox")\noutput f')
+    return system, truth
+
+
+def _expected_value(system, agg, attribute, entity):
+    rows = system.query(
+        f"SELECT {agg}(value_num) AS v FROM {FACTS_TABLE} "
+        f"WHERE attribute = '{attribute}' AND entity = '{entity}'"
+    )
+    return rows[0]["v"]
+
+
+def _workload(truth, n=60, seed=9):
+    rng = random.Random(seed)
+    queries = []
+    months = [m[:3] for m in MONTHS]
+    for i in range(n):
+        agg = rng.choice(list(AGG_PHRASES))
+        phrase = rng.choice(AGG_PHRASES[agg])
+        month = rng.choice(months)
+        city = rng.choice(truth).name
+        text = rng.choice([
+            f"{phrase} {month} temp {city}",
+            f"{phrase} {month} temp in {city}",
+            f"what is the {phrase} {month} temp of {city}",
+        ])
+        queries.append((text, agg, f"{month}_temp", city))
+    return queries
+
+
+def test_e10_topk_accuracy(benchmark):
+    system, truth = _system()
+    translator = system.translator()
+    queries = _workload(truth)
+    hits = {1: 0, 3: 0, 5: 0}
+    for text, agg, attribute, entity in queries:
+        expected = _expected_value(system, agg, attribute, entity)
+        candidates = translator.translate(text, k=5)
+        for k in hits:
+            for candidate in candidates[:k]:
+                try:
+                    rows = execute_sql(system.db, candidate.sql)
+                except Exception:
+                    continue
+                values = [v for row in rows for v in row.values()
+                          if isinstance(v, (int, float))]
+                if values and expected is not None and any(
+                    abs(v - expected) < 1e-6 for v in values
+                ):
+                    hits[k] += 1
+                    break
+    n = len(queries)
+    write_table(
+        "e10_translation_accuracy",
+        f"E10: keyword-to-structured translation accuracy (n = {n})",
+        ["metric", "accuracy"],
+        [[f"top-{k}", hits[k] / n] for k in (1, 3, 5)],
+    )
+    assert hits[1] / n > 0.6
+    assert hits[5] / n > 0.85
+    assert hits[1] <= hits[3] <= hits[5]
+
+    benchmark(lambda: translator.translate("average sep temp somewhere", k=5))
+
+
+def test_e10_misspelled_queries_degrade_gracefully(benchmark):
+    """Queries with a typo in the city name: the fuzzy matchers should
+    still recover most intents, with accuracy between the clean workload
+    and chance."""
+    system, truth = _system()
+    translator = system.translator()
+    rng = random.Random(77)
+    queries = _workload(truth, n=40, seed=10)
+
+    def misspell(word: str) -> str:
+        if len(word) < 4:
+            return word
+        pos = rng.randrange(1, len(word) - 1)
+        return word[:pos] + word[pos + 1:]  # drop one inner character
+
+    hits = 0
+    for text, agg, attribute, entity in queries:
+        mangled = text.replace(entity, misspell(entity))
+        expected = _expected_value(system, agg, attribute, entity)
+        for candidate in translator.translate(mangled, k=5):
+            try:
+                rows = execute_sql(system.db, candidate.sql)
+            except Exception:
+                continue
+            values = [v for row in rows for v in row.values()
+                      if isinstance(v, (int, float))]
+            if values and expected is not None and any(
+                abs(v - expected) < 1e-6 for v in values
+            ):
+                hits += 1
+                break
+    accuracy = hits / len(queries)
+    write_table(
+        "e10c_misspelled",
+        f"E10c: top-5 accuracy with one-character typos in the entity "
+        f"(n = {len(queries)})",
+        ["workload", "top-5 accuracy"],
+        [["clean (see E10)", 1.0], ["misspelled entity", accuracy]],
+    )
+    assert accuracy > 0.5   # fuzzy matching recovers most
+    assert accuracy <= 1.0
+    benchmark(lambda: translator.translate("average sep temp Madsion", k=5))
+
+
+def test_e10_unanswerable_queries_score_low(benchmark):
+    """Queries about attributes the system never extracted should not get
+    confident top candidates (the translator is honest about coverage)."""
+    system, _ = _system()
+    translator = system.translator()
+    known = translator.translate("average sep temp", k=1)
+    unknown = translator.translate("average rainfall humidity", k=1)
+    known_score = known[0].score if known else 0.0
+    unknown_score = unknown[0].score if unknown else 0.0
+    write_table(
+        "e10b_honesty",
+        "E10b: candidate score for covered vs uncovered intents",
+        ["query kind", "top score"],
+        [["covered (sep temp)", known_score],
+         ["uncovered (rainfall)", unknown_score]],
+    )
+    assert known_score > unknown_score
+    benchmark(lambda: translator.translate("average rainfall", k=3))

@@ -1,0 +1,127 @@
+"""E13 — One device does not fit all data forms.
+
+Paper anchor: Section 4, storage layer — "these different forms of data
+have very different characteristics, and may best be kept in different
+storage devices": sequential intermediates → file system; concurrently
+edited final structure → RDBMS.
+
+Reported table: the same 2,000-record write-then-scan workload run on the
+sequential record-file store and on the transactional RDBMS — write and
+scan throughput for each — showing the file store wins the scan-heavy
+intermediate workload while only the RDBMS provides transactional point
+updates (measured in its own column).
+"""
+
+import time
+
+from _tables import write_table
+
+from repro.storage.filestore import RecordFileStore
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+N_RECORDS = 2000
+
+
+def _payloads():
+    return [
+        {"entity": f"city{i % 50}", "attribute": "sep_temp",
+         "value": 40.0 + i % 60, "confidence": 0.9}
+        for i in range(N_RECORDS)
+    ]
+
+
+def _filestore_run(tmp_path):
+    store = RecordFileStore(str(tmp_path / "filestore"))
+    payloads = _payloads()
+    started = time.perf_counter()
+    store.append_many(payloads)
+    write_time = time.perf_counter() - started
+    started = time.perf_counter()
+    count = sum(1 for _ in store.scan())
+    scan_time = time.perf_counter() - started
+    assert count == N_RECORDS
+    return write_time, scan_time, store
+
+
+def _rdbms_run(tmp_path):
+    db = Database(str(tmp_path / "rdbms"))
+    db.create_table(TableSchema(
+        "intermediate",
+        (Column("rid", ColumnType.INT, nullable=False),
+         Column("entity", ColumnType.TEXT),
+         Column("attribute", ColumnType.TEXT),
+         Column("value", ColumnType.FLOAT),
+         Column("confidence", ColumnType.FLOAT)),
+        primary_key="rid",
+    ))
+    payloads = _payloads()
+    started = time.perf_counter()
+    def insert_all(txn):
+        for i, payload in enumerate(payloads):
+            txn.insert("intermediate", {"rid": i, **payload})
+    db.run(insert_all)
+    write_time = time.perf_counter() - started
+    started = time.perf_counter()
+    count = len(db.run(lambda t: t.scan("intermediate")))
+    scan_time = time.perf_counter() - started
+    assert count == N_RECORDS
+    return write_time, scan_time, db
+
+
+def test_e13_device_choice(benchmark, tmp_path):
+    fs_write, fs_scan, store = _filestore_run(tmp_path)
+    db_write, db_scan, db = _rdbms_run(tmp_path)
+    write_table(
+        "e13_device_choice",
+        f"E13: {N_RECORDS}-record intermediate workload per device",
+        ["device", "write sec", "scan sec",
+         "writes/sec", "scans of full data/sec"],
+        [
+            ["record file store", fs_write, fs_scan,
+             N_RECORDS / fs_write, 1.0 / fs_scan],
+            ["transactional RDBMS", db_write, db_scan,
+             N_RECORDS / db_write, 1.0 / db_scan],
+        ],
+    )
+    # the sequential store wins the write path by a clear margin
+    assert fs_write < db_write
+    benchmark(lambda: sum(1 for _ in store.scan()))
+    db.close()
+
+
+def test_e13_rdbms_unique_capability(benchmark, tmp_path):
+    """What the file store cannot do: concurrent transactional updates.
+    This is why the *final* structure goes to the RDBMS despite slower
+    bulk writes."""
+    db = Database()
+    db.create_table(TableSchema(
+        "final",
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("value", ColumnType.FLOAT)),
+        primary_key="id",
+    ))
+    db.run(lambda t: t.insert("final", {"id": 1, "value": 0.0}))
+
+    def transactional_update():
+        def work(txn):
+            row = txn.get_by_pk("final", 1)
+            txn.update("final", row.rid, {"value": row.values["value"] + 1})
+        db.run(work)
+
+    updates = 200
+    started = time.perf_counter()
+    for _ in range(updates):
+        transactional_update()
+    elapsed = time.perf_counter() - started
+    final = db.run(lambda t: t.get_by_pk("final", 1)).values["value"]
+    assert final == updates
+    write_table(
+        "e13b_rdbms_updates",
+        "E13b: transactional point updates (RDBMS-only capability)",
+        ["metric", "value"],
+        [["updates applied", updates],
+         ["updates / sec", updates / elapsed],
+         ["lost updates", 0]],
+    )
+    benchmark(transactional_update)

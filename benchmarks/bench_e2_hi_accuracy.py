@@ -1,0 +1,197 @@
+"""E2 — Human feedback improves integration accuracy; mass collaboration
+beats a single user.
+
+Paper anchor: Section 3.2 — "applications often want to have a human in
+the loop, to help improve the accuracy of the underlying automatic IE/II
+techniques ... it may be highly beneficial to allow a multitude of users
+... to provide feedback, in a mass collaboration fashion."
+
+Reported series:
+  (a) entity-resolution pairwise F1 vs HI feedback budget (0..80 pairs);
+  (b) F1 vs crowd size at a fixed budget (1, 3, 5, 9 workers);
+  (c) ablation: majority vote vs reputation-weighted vote with a sloppy
+      crowd;
+  (d) ablation: blocking on/off (candidate-pair counts and F1).
+"""
+
+from _tables import write_table
+
+from repro.datagen.people import PeopleCorpusConfig, generate_people_corpus
+from repro.hi.aggregate import aggregate_majority, aggregate_weighted
+from repro.hi.crowd import SimulatedCrowd
+from repro.hi.reputation import ReputationManager
+from repro.hi.tasks import VerifyMatchTask
+from repro.integration.entity_resolution import (
+    EntityResolver,
+    MatchConstraints,
+    Mention,
+)
+
+
+def _workload(seed=61):
+    _, people, _ = generate_people_corpus(
+        PeopleCorpusConfig(num_people=30, mentions_per_person=3,
+                           confusable_fraction=0.5, seed=seed)
+    )
+    mentions, truth_of = [], {}
+    mid = 0
+    for person in people:
+        for variant in person.variants()[:3]:
+            mentions.append(Mention(mid, variant))
+            truth_of[mid] = person.person_id
+            mid += 1
+    return mentions, truth_of
+
+
+def pairwise_f1(clusters, truth_of):
+    predicted = {
+        (a, b)
+        for cluster in clusters
+        for i, a in enumerate(cluster.mention_ids)
+        for b in cluster.mention_ids[i + 1:]
+    }
+    ids = sorted(truth_of)
+    actual = {
+        (ids[i], ids[j])
+        for i in range(len(ids)) for j in range(i + 1, len(ids))
+        if truth_of[ids[i]] == truth_of[ids[j]]
+    }
+    tp = len(predicted & actual)
+    if not tp:
+        return 0.0
+    precision, recall = tp / len(predicted), tp / len(actual)
+    return 2 * precision * recall / (precision + recall)
+
+
+def _feedback_constraints(resolver, mentions, truth_of, crowd, budget,
+                          redundancy, weighted=False, reputation=None):
+    constraints = MatchConstraints()
+    for pair in resolver.uncertain_pairs(mentions, band=0.15, limit=budget):
+        truth = truth_of[pair.left] == truth_of[pair.right]
+        task = VerifyMatchTask(task_id=f"{pair.left}-{pair.right}", prompt="")
+        responses = crowd.ask(task, truth, redundancy=redundancy)
+        if weighted and reputation is not None:
+            answer, _ = aggregate_weighted(responses, reputation.weights())
+            reputation.record_agreement(responses, answer)
+        else:
+            answer, _ = aggregate_majority(responses)
+        if answer:
+            constraints.add_must(pair.left, pair.right)
+        else:
+            constraints.add_cannot(pair.left, pair.right)
+    return constraints
+
+
+def test_e2_f1_vs_feedback_budget(benchmark):
+    mentions, truth_of = _workload()
+    resolver = EntityResolver(threshold=0.86)
+    crowd = SimulatedCrowd.uniform(5, accuracy=0.92, seed=5)
+    rows = []
+    for budget in (0, 10, 20, 40, 80):
+        constraints = _feedback_constraints(
+            resolver, mentions, truth_of, crowd, budget, redundancy=5
+        )
+        f1 = pairwise_f1(resolver.resolve(mentions, constraints), truth_of)
+        rows.append([budget, len(constraints), f1])
+    write_table(
+        "e2a_f1_vs_budget",
+        "E2a: ER pairwise F1 vs HI feedback budget (crowd of 5 @ 0.92)",
+        ["feedback pairs", "constraints", "F1"],
+        rows,
+    )
+    assert rows[-1][2] > rows[0][2]
+
+    constraints = _feedback_constraints(
+        resolver, mentions, truth_of, crowd, 40, redundancy=5
+    )
+    benchmark(lambda: resolver.resolve(mentions, constraints))
+
+
+def test_e2_decision_accuracy_vs_crowd_size(benchmark):
+    """Mass collaboration: the fraction of HI decisions that match the
+    truth grows with the number of redundant workers per question."""
+    mentions, truth_of = _workload(seed=62)
+    resolver = EntityResolver(threshold=0.86)
+    pairs = resolver.uncertain_pairs(mentions, band=0.2, limit=60)
+    rows = []
+    for size in (1, 3, 5, 9):
+        correct = total = 0
+        for trial in range(4):  # average over crowds
+            crowd = SimulatedCrowd.uniform(size, accuracy=0.75,
+                                           seed=100 * trial + size)
+            for pair in pairs:
+                truth = truth_of[pair.left] == truth_of[pair.right]
+                task = VerifyMatchTask(
+                    task_id=f"t{trial}-{pair.left}-{pair.right}", prompt=""
+                )
+                answer, _ = aggregate_majority(crowd.ask(task, truth))
+                total += 1
+                if answer == truth:
+                    correct += 1
+        rows.append([size, correct / total])
+    write_table(
+        "e2b_decision_accuracy_vs_crowd_size",
+        "E2b: HI decision accuracy vs crowd size (workers @ 0.75)",
+        ["crowd size", "decision accuracy"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1]
+    benchmark(lambda: pairwise_f1(resolver.resolve(mentions), truth_of))
+
+
+def test_e2_vote_aggregation_ablation(benchmark):
+    mentions, truth_of = _workload(seed=63)
+    resolver = EntityResolver(threshold=0.86)
+    # a sloppy crowd: two good workers, three coin-flippers
+    accuracies = [0.95, 0.95, 0.55, 0.52, 0.5]
+    rows = []
+    for label, weighted in (("majority vote", False),
+                            ("reputation-weighted", True)):
+        crowd = SimulatedCrowd.mixed(accuracies, seed=17)
+        reputation = ReputationManager()
+        if weighted:
+            # calibrate on gold questions first
+            for i, pair in enumerate(
+                resolver.uncertain_pairs(mentions, limit=15)
+            ):
+                truth = truth_of[pair.left] == truth_of[pair.right]
+                task = VerifyMatchTask(task_id=f"g{i}", prompt="")
+                for response in crowd.ask(task, truth):
+                    reputation.record_gold(response.worker_id,
+                                           response.answer == truth)
+        constraints = _feedback_constraints(
+            resolver, mentions, truth_of, crowd, budget=40, redundancy=5,
+            weighted=weighted, reputation=reputation,
+        )
+        f1 = pairwise_f1(resolver.resolve(mentions, constraints), truth_of)
+        rows.append([label, f1])
+    write_table(
+        "e2c_vote_ablation",
+        "E2c: aggregation ablation with a sloppy crowd "
+        "(accuracies 0.95/0.95/0.55/0.52/0.50)",
+        ["aggregation", "F1"],
+        rows,
+    )
+    assert rows[1][1] >= rows[0][1]
+    benchmark(lambda: resolver.candidate_pairs(mentions))
+
+
+def test_e2_blocking_ablation(benchmark):
+    mentions, truth_of = _workload(seed=64)
+    rows = []
+    for label, key in (("with blocking", "default"), ("all pairs", None)):
+        resolver = (EntityResolver(threshold=0.86) if key == "default"
+                    else EntityResolver(threshold=0.86, blocking_key=None))
+        pairs = resolver.candidate_pairs(mentions)
+        f1 = pairwise_f1(resolver.resolve(mentions), truth_of)
+        rows.append([label, len(pairs), f1])
+    write_table(
+        "e2d_blocking_ablation",
+        "E2d: blocking ablation (pairs scored vs resulting F1)",
+        ["variant", "pairs scored", "F1"],
+        rows,
+    )
+    assert rows[0][1] < rows[1][1]  # blocking prunes pairs
+    assert abs(rows[0][2] - rows[1][2]) < 0.1  # with little quality loss
+    resolver = EntityResolver(threshold=0.86)
+    benchmark(lambda: resolver.candidate_pairs(mentions))

@@ -1,0 +1,118 @@
+"""E7 — Map-Reduce parallelism for computation-intensive extraction.
+
+Paper anchor: Section 4, physical layer — "IE and II are often very
+computation intensive ... we need parallel processing in the physical
+layer ... a computer cluster running Map-Reduce-like processes."
+
+Reported series (simulated makespans — see DESIGN.md substitutions):
+  (a) extraction-job makespan and speedup vs worker count (1..16);
+  (b) impact of worker failures on makespan;
+  (c) speculative execution vs stragglers ablation.
+"""
+
+from _tables import write_table
+
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.simulator import ClusterConfig, SimulatedCluster
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.extraction.infobox import InfoboxExtractor
+
+
+def _job_and_docs(num_cities=64):
+    corpus, _ = generate_city_corpus(
+        CityCorpusConfig(num_cities=num_cities, seed=111,
+                         styles=("infobox",))
+    )
+    docs = list(corpus)
+    extractor = InfoboxExtractor()
+    job = MapReduceJob(
+        map_fn=lambda doc: [
+            ((e.entity, e.attribute), e.value) for e in extractor.extract(doc)
+        ],
+        reduce_fn=lambda key, values: values[0],
+        split_size=4,
+        num_reducers=4,
+        map_cost_per_item=10.0,
+    )
+    return job, docs
+
+
+def test_e7_scaling_curve(benchmark):
+    job, docs = _job_and_docs()
+    rows = []
+    base = None
+    for workers in (1, 2, 4, 8, 16):
+        cluster = SimulatedCluster(
+            ClusterConfig(num_workers=workers, seed=5, heterogeneity=0.1)
+        )
+        result = run_mapreduce(job, docs, cluster=cluster)
+        if base is None:
+            base = result.makespan
+            reference = result.output
+        else:
+            assert result.output == reference  # parallelism preserves output
+        rows.append([workers, result.makespan, base / result.makespan])
+    write_table(
+        "e7_scaling",
+        "E7: extraction map-reduce makespan vs cluster size "
+        "(64 pages, simulated time)",
+        ["workers", "makespan", "speedup"],
+        rows,
+    )
+    assert rows[-1][2] > 8.0  # near-linear region persists to 16 workers
+    cluster = SimulatedCluster(ClusterConfig(num_workers=4, seed=5))
+    benchmark(lambda: run_mapreduce(job, docs, cluster=SimulatedCluster(
+        ClusterConfig(num_workers=4, seed=5))))
+
+
+def test_e7_failures_cost_bounded(benchmark):
+    job, docs = _job_and_docs(num_cities=32)
+    rows = []
+    for failure_prob in (0.0, 0.1, 0.3):
+        cluster = SimulatedCluster(
+            ClusterConfig(num_workers=4, seed=6, failure_prob=failure_prob,
+                          max_attempts=20)
+        )
+        result = run_mapreduce(job, docs, cluster=cluster)
+        rows.append([failure_prob, result.makespan])
+    write_table(
+        "e7b_failures",
+        "E7b: makespan under task-failure injection (4 workers)",
+        ["failure probability", "makespan"],
+        rows,
+    )
+    assert rows[0][1] < rows[1][1] < rows[2][1]
+    # failures cost retries, not correctness
+    clean = run_mapreduce(job, docs, cluster=SimulatedCluster(
+        ClusterConfig(num_workers=4, seed=6)))
+    flaky = run_mapreduce(job, docs, cluster=SimulatedCluster(
+        ClusterConfig(num_workers=4, seed=6, failure_prob=0.3,
+                      max_attempts=20)))
+    assert clean.output == flaky.output
+    benchmark(lambda: run_mapreduce(job, docs, cluster=SimulatedCluster(
+        ClusterConfig(num_workers=4, seed=6, failure_prob=0.1,
+                      max_attempts=20))))
+
+
+def test_e7_speculative_execution_ablation(benchmark):
+    job, docs = _job_and_docs(num_cities=32)
+    rows = []
+    for label, speculative in (("speculation on", True),
+                               ("speculation off", False)):
+        cluster = SimulatedCluster(
+            ClusterConfig(num_workers=4, seed=7, straggler_prob=0.25,
+                          straggler_factor=8.0,
+                          speculative_execution=speculative)
+        )
+        result = run_mapreduce(job, docs, cluster=cluster)
+        rows.append([label, result.makespan])
+    write_table(
+        "e7c_speculation",
+        "E7c: speculative-execution ablation under stragglers "
+        "(25% stragglers, 8x slowdown)",
+        ["variant", "makespan"],
+        rows,
+    )
+    assert rows[0][1] < rows[1][1]
+    benchmark(lambda: run_mapreduce(job, docs, cluster=SimulatedCluster(
+        ClusterConfig(num_workers=4, seed=7, straggler_prob=0.25))))

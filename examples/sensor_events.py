@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Beyond unstructured text: inferring events from sensor data.
+
+Section 6 of the paper argues the structured approach generalizes —
+"sensor data from which we want to infer real-world events (e.g., someone
+has entered the room)".  This example runs the *unmodified* Figure 1
+pipeline on sensor logs: the event detector is just another registered
+extractor; storage, SQL, confidence, and provenance are reused verbatim.
+
+Run:  python examples/sensor_events.py
+"""
+
+from repro import StructureManagementSystem
+from repro.core.system import FACTS_TABLE
+from repro.datagen.sensors import (
+    EVENT_TYPES,
+    SensorCorpusConfig,
+    generate_sensor_corpus,
+)
+from repro.extraction.events import SensorEventExtractor
+
+
+def main() -> None:
+    corpus, truth = generate_sensor_corpus(
+        SensorCorpusConfig(num_sensors=2, minutes=300, noise=0.08, seed=13)
+    )
+    print(f"Sensor logs: {len(corpus)} streams, "
+          f"{len(truth)} real-world events injected\n")
+
+    system = StructureManagementSystem()
+    system.registry.register_extractor(
+        "events",
+        SensorEventExtractor(
+            classify=lambda sensor, mag: EVENT_TYPES[
+                sensor.rstrip("0123456789")
+            ]
+        ),
+    )
+    system.ingest(corpus)
+    report = system.generate(
+        'logs = docs()\nev = extract(logs, "events")\noutput ev'
+    )
+    print(f"Inferred {report.facts_stored} events "
+          f"from {report.chars_scanned} characters of raw readings\n")
+
+    print("== Events per sensor (SQL over inferred structure) ==")
+    for row in system.query(
+        f"SELECT entity, COUNT(*) AS n FROM {FACTS_TABLE} "
+        "WHERE attribute = 'event' GROUP BY entity ORDER BY entity"
+    ):
+        print(f"  {row['entity']}: {row['n']} events")
+
+    print("\n== Room entries (the paper's example event) ==")
+    for row in system.query(
+        f"SELECT entity, value_text, confidence FROM {FACTS_TABLE} "
+        "WHERE attribute = 'event' AND value_text LIKE 'entry%' "
+        "ORDER BY value_text LIMIT 5"
+    ):
+        minute = row["value_text"].split("@")[1]
+        print(f"  someone entered via {row['entity']} around minute "
+              f"{minute} (confidence {row['confidence']:.2f})")
+
+    some = system.query(
+        f"SELECT entity FROM {FACTS_TABLE} WHERE attribute = 'event' LIMIT 1"
+    )
+    if some:
+        print("\n== Provenance: which raw readings support an event ==")
+        explanation = system.explain(some[0]["entity"], "event")
+        print(explanation.splitlines()[0])
+        print("  ... down to the raw log lines:")
+        for line in explanation.splitlines():
+            if "[span]" in line:
+                print(" ", line.strip()[:90])
+                break
+
+
+if __name__ == "__main__":
+    main()

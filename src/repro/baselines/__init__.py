@@ -1,0 +1,22 @@
+"""Baselines: the status quo the paper argues against.
+
+:class:`KeywordSearchBaseline` is a pure IR system (BM25 over raw pages).
+It answers keyword queries with ranked documents — and that is all it can
+do.  For aggregate questions like "find the average March–September
+temperature in Madison" it exposes two behaviours, both measured in
+experiment E1:
+
+* honest mode: reports the question as *not answerable* (a ranked list of
+  pages is not a number);
+* heroic mode (``grep_guess``): returns the first number found near the
+  query terms in the top-ranked page — the "just search and squint"
+  workaround — whose accuracy against ground truth quantifies exactly why
+  the structured approach is needed.
+"""
+
+from repro.baselines.keyword_baseline import (
+    BaselineAnswer,
+    KeywordSearchBaseline,
+)
+
+__all__ = ["KeywordSearchBaseline", "BaselineAnswer"]

@@ -1,0 +1,83 @@
+"""The keyword-search-only baseline."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.docmodel.document import Document
+from repro.userlayer.index import InvertedIndex, index_tokens
+
+_NUMBER_RE = re.compile(r"[+-]?\d+(?:\.\d+)?")
+
+
+@dataclass(frozen=True)
+class BaselineAnswer:
+    """What the baseline produced for a question.
+
+    Attributes:
+        answerable: False in honest mode for aggregate questions (the
+            system returns pages, not values).
+        value: the heroically grepped number, when requested and found.
+        top_doc_id: best-ranked page (the evidence a user would read).
+    """
+
+    answerable: bool
+    value: float | None
+    top_doc_id: str | None
+
+
+class KeywordSearchBaseline:
+    """BM25 keyword search over raw pages, nothing more."""
+
+    def __init__(self) -> None:
+        self._index = InvertedIndex()
+        self._docs: dict[str, Document] = {}
+
+    def index_corpus(self, docs: Iterable[Document]) -> int:
+        count = 0
+        for doc in docs:
+            self._docs[doc.doc_id] = doc
+            self._index.add(doc.doc_id, doc.text)
+            count += 1
+        return count
+
+    def search(self, query: str, k: int = 10) -> list[str]:
+        """Ranked doc_ids — the baseline's only native answer form."""
+        return [h.doc_id for h in self._index.search(query, k=k)]
+
+    def answer_aggregate(self, question: str,
+                         grep_guess: bool = False) -> BaselineAnswer:
+        """Attempt an aggregate question.
+
+        Honest mode: aggregate questions are not answerable.  With
+        ``grep_guess``, return the number nearest the query terms in the
+        top page (often wrong — that is the point).
+        """
+        hits = self.search(question, k=1)
+        top = hits[0] if hits else None
+        if not grep_guess or top is None:
+            return BaselineAnswer(answerable=False, value=None, top_doc_id=top)
+        text = self._docs[top].text
+        value = self._nearest_number(text, question)
+        return BaselineAnswer(answerable=value is not None, value=value,
+                              top_doc_id=top)
+
+    @staticmethod
+    def _nearest_number(text: str, question: str) -> float | None:
+        """The number closest (by character distance) to any query term."""
+        lowered = text.lower()
+        term_positions = [
+            pos for term in index_tokens(question)
+            if len(term) >= 3 and (pos := lowered.find(term)) >= 0
+        ]
+        numbers = [
+            (m.start(), float(m.group())) for m in _NUMBER_RE.finditer(text)
+        ]
+        if not numbers:
+            return None
+        if not term_positions:
+            return numbers[0][1]
+        anchor = term_positions[0]
+        return min(numbers, key=lambda pv: abs(pv[0] - anchor))[1]

@@ -1,0 +1,191 @@
+"""Command-line interface — the user layer's sophisticated-user mode.
+
+"The part 'User Services' contains all common data exploitation modes,
+such as command-line interface (for sophisticated users), keyword search,
+structured querying, etc."
+
+Subcommands operate on a workspace directory (created on first use):
+
+* ``ingest <dir>`` — ingest every ``*.txt`` page of a directory as a new
+  snapshot of the corpus;
+* ``generate <program.xlog>`` — run a declarative IE program (extractors
+  must be registered programmatically or via the built-in set, see
+  ``--builtin``);
+* ``sql "<query>"`` — structured querying over the derived facts;
+* ``search "<keywords>"`` — keyword search over the raw pages;
+* ``suggest "<keywords>"`` — show structured reformulation candidates;
+* ``explain <entity> <attribute>`` — provenance of stored facts.
+
+The ``--builtin`` extractor set registers the generic wiki extractors
+(infobox, tables, links), which cover the common case of wiki-flavoured
+corpora without any code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.system import FACTS_TABLE, StructureManagementSystem
+from repro.docmodel.corpus import DirectoryCorpus
+from repro.extraction.infobox import InfoboxExtractor
+from repro.extraction.links import LinkExtractor
+from repro.userlayer.visualize import table
+
+
+def _build_system(workspace: str, builtin: bool) -> StructureManagementSystem:
+    system = StructureManagementSystem(workspace=workspace)
+    if builtin:
+        system.registry.register_extractor("infobox", InfoboxExtractor())
+        system.registry.register_extractor("links", LinkExtractor())
+    return system
+
+
+def _reingest_existing(system: StructureManagementSystem) -> None:
+    """Reload the latest snapshot of every known page into memory."""
+    store = system.storage.raw
+    for doc_id in store.doc_ids():
+        system.ingest([store.checkout(doc_id)])
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a directory of .txt pages into the workspace."""
+    system = _build_system(args.workspace, args.builtin)
+    corpus = DirectoryCorpus(args.directory)
+    count = system.ingest(corpus)
+    print(f"ingested {count} pages into {args.workspace}")
+    system.close()
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Run (or EXPLAIN) a declarative IE program file."""
+    system = _build_system(args.workspace, args.builtin)
+    _reingest_existing(system)
+    with open(args.program, "r", encoding="utf-8") as f:
+        source = f.read()
+    if args.explain:
+        print(system.explain_program(source))
+        system.close()
+        return 0
+    report = system.generate(source, optimize=not args.no_optimize)
+    print(f"stored {report.facts_stored} facts "
+          f"({report.facts_flagged} flagged); "
+          f"scanned {report.chars_scanned} chars; "
+          f"asked {report.hi_questions} HI questions")
+    system.close()
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Run a SQL query over the derived facts and print a table."""
+    system = _build_system(args.workspace, args.builtin)
+    rows = system.query(args.query)
+    print(table(rows, limit=args.limit))
+    system.close()
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Keyword-search the raw pages; print ranked hits."""
+    system = _build_system(args.workspace, args.builtin)
+    _reingest_existing(system)
+    for hit in system.keyword(args.query, k=args.limit):
+        print(f"{hit.score:8.3f}  {hit.doc_id}  {hit.snippet[:80]}")
+    system.close()
+    return 0
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    """Print ranked structured reformulations of keywords."""
+    system = _build_system(args.workspace, args.builtin)
+    translator = system.translator()
+    candidates = translator.translate(args.query, k=args.limit)
+    if not candidates:
+        print("no structured reformulations found")
+    for i, candidate in enumerate(candidates):
+        print(f"[{i}] ({candidate.score:.2f}) {candidate.description}")
+        print(f"    {candidate.sql}")
+    system.close()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the provenance of facts about (entity, attribute)."""
+    system = _build_system(args.workspace, args.builtin)
+    print(system.explain(args.entity, args.attribute))
+    system.close()
+    return 0
+
+
+def cmd_facts(args: argparse.Namespace) -> int:
+    """Browse stored facts as a table."""
+    system = _build_system(args.workspace, args.builtin)
+    rows = system.query(
+        f"SELECT entity, attribute, value_text, value_num, confidence "
+        f"FROM {FACTS_TABLE} ORDER BY entity LIMIT {args.limit}"
+    )
+    print(table(rows, limit=args.limit))
+    system.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structured management of unstructured data (CIDR'09)",
+    )
+    parser.add_argument("--workspace", default="./repro-workspace",
+                        help="workspace directory (default ./repro-workspace)")
+    parser.add_argument("--builtin", action="store_true", default=True,
+                        help="register the built-in wiki extractors")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="ingest a directory of .txt pages")
+    p.add_argument("directory")
+    p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser("generate", help="run a declarative IE program")
+    p.add_argument("program", help="path to an .xlog program file")
+    p.add_argument("--no-optimize", action="store_true")
+    p.add_argument("--explain", action="store_true",
+                   help="show plans instead of executing")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("sql", help="run a SQL query over the facts")
+    p.add_argument("query")
+    p.add_argument("--limit", type=int, default=50)
+    p.set_defaults(fn=cmd_sql)
+
+    p = sub.add_parser("search", help="keyword search over raw pages")
+    p.add_argument("query")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("suggest", help="structured reformulations of keywords")
+    p.add_argument("query")
+    p.add_argument("--limit", type=int, default=5)
+    p.set_defaults(fn=cmd_suggest)
+
+    p = sub.add_parser("explain", help="provenance of facts")
+    p.add_argument("entity")
+    p.add_argument("attribute")
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("facts", help="browse stored facts")
+    p.add_argument("--limit", type=int, default=25)
+    p.set_defaults(fn=cmd_facts)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

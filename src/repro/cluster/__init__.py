@@ -1,0 +1,25 @@
+"""Physical layer: simulated cluster and Map-Reduce engine (Figure 1).
+
+The paper: *"Given that IE and II are often very computation intensive ...
+we need parallel processing in the physical layer. A popular way to achieve
+this is to use a computer cluster running Map-Reduce-like processes."*
+
+We do not have a cluster, so we simulate one (documented substitution in
+DESIGN.md): tasks execute in-process, but scheduling, data partitioning,
+shuffle, worker failures, stragglers, and speculative re-execution are all
+real, and a simulated clock yields makespans whose *shape* under varying
+worker counts is the quantity experiment E7 reports.
+"""
+
+from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task, TaskResult
+from repro.cluster.mapreduce import MapReduceJob, MapReduceResult, run_mapreduce
+
+__all__ = [
+    "ClusterConfig",
+    "SimulatedCluster",
+    "Task",
+    "TaskResult",
+    "MapReduceJob",
+    "MapReduceResult",
+    "run_mapreduce",
+]

@@ -1,0 +1,177 @@
+"""Deterministic cluster simulator.
+
+Tasks run in-process (their Python side effects are real); what is simulated
+is *time and failure*: every worker has a speed factor, a failure
+probability, and a straggler probability, all drawn from a seeded RNG so
+runs are reproducible.  The scheduler assigns each ready task to the worker
+that becomes free earliest (greedy list scheduling); failed attempts are
+retried on the next-free other worker; tasks whose attempt is flagged as a
+straggler may get a speculative duplicate, and the earlier finisher wins —
+the classic Map-Reduce backup-task mechanism.
+
+The simulated makespan (max over workers of their busy horizon) is the
+metric experiment E7 reports for scaling curves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for the simulated cluster.
+
+    Attributes:
+        num_workers: cluster size.
+        seed: RNG seed (speeds, failures, stragglers are reproducible).
+        failure_prob: probability that any single task attempt fails.
+        straggler_prob: probability that an attempt runs slow.
+        straggler_factor: slowdown multiplier for stragglers.
+        speculative_execution: launch backup attempts for stragglers.
+        heterogeneity: worker speed factors are drawn uniformly from
+            ``[1 - heterogeneity, 1 + heterogeneity]``.
+        max_attempts: per-task retry budget before the job fails.
+    """
+
+    num_workers: int = 4
+    seed: int = 0
+    failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 4.0
+    speculative_execution: bool = True
+    heterogeneity: float = 0.2
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 <= self.failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+
+
+@dataclass
+class Task:
+    """A schedulable unit: a callable plus a nominal cost in work units."""
+
+    task_id: str
+    fn: Callable[[], Any]
+    cost: float = 1.0
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task after scheduling."""
+
+    task_id: str
+    value: Any
+    worker: int
+    attempts: int
+    start_time: float
+    end_time: float
+    speculated: bool = False
+
+
+@dataclass
+class _Attempt:
+    task: Task
+    worker: int
+    start: float
+    end: float
+    failed: bool
+    straggled: bool
+
+
+class TaskFailedError(Exception):
+    """A task exhausted its retry budget."""
+
+
+class SimulatedCluster:
+    """Greedy list scheduler over simulated heterogeneous workers."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        rng = random.Random(config.seed)
+        spread = config.heterogeneity
+        self._speeds = [
+            1.0 + rng.uniform(-spread, spread) for _ in range(config.num_workers)
+        ]
+        self._rng = rng
+        self.attempts_log: list[_Attempt] = []
+
+    def run(self, tasks: list[Task]) -> tuple[list[TaskResult], float]:
+        """Execute all tasks; returns (results, simulated makespan).
+
+        Task callables execute exactly once for real (the first non-failed
+        attempt's value is reused by any speculative duplicate, since our
+        tasks are deterministic and side-effect-free by contract).
+
+        Raises:
+            TaskFailedError: a task failed ``max_attempts`` times.
+        """
+        free_at = [0.0] * self.config.num_workers
+        results: list[TaskResult] = []
+        for task in tasks:
+            result = self._run_one(task, free_at)
+            results.append(result)
+        makespan = max(free_at) if free_at else 0.0
+        return results, makespan
+
+    # ------------------------------------------------------------ internals
+
+    def _run_one(self, task: Task, free_at: list[float]) -> TaskResult:
+        value_computed = False
+        value: Any = None
+        attempts = 0
+        while attempts < self.config.max_attempts:
+            worker = min(range(len(free_at)), key=lambda w: free_at[w])
+            start = free_at[worker]
+            attempts += 1
+            failed = self._rng.random() < self.config.failure_prob
+            straggled = (not failed) and self._rng.random() < self.config.straggler_prob
+            duration = task.cost / self._speeds[worker]
+            if straggled:
+                duration *= self.config.straggler_factor
+            if failed:
+                # A failed attempt wastes half its nominal duration on average.
+                waste = duration * self._rng.uniform(0.1, 0.9)
+                free_at[worker] = start + waste
+                self.attempts_log.append(
+                    _Attempt(task, worker, start, start + waste, True, False)
+                )
+                continue
+            if not value_computed:
+                value = task.fn()
+                value_computed = True
+            end = start + duration
+            self.attempts_log.append(_Attempt(task, worker, start, end, False, straggled))
+            speculated = False
+            if straggled and self.config.speculative_execution and len(free_at) > 1:
+                # Launch a backup on the next-free other worker; earlier
+                # finisher wins.
+                others = [w for w in range(len(free_at)) if w != worker]
+                backup = min(others, key=lambda w: free_at[w])
+                backup_start = free_at[backup]
+                backup_end = backup_start + task.cost / self._speeds[backup]
+                self.attempts_log.append(
+                    _Attempt(task, backup, backup_start, backup_end, False, False)
+                )
+                if backup_end < end:
+                    free_at[backup] = backup_end
+                    free_at[worker] = start  # original attempt killed
+                    return TaskResult(task.task_id, value, backup, attempts + 1,
+                                      backup_start, backup_end, speculated=True)
+                free_at[backup] = backup_start  # backup killed
+                speculated = True
+            free_at[worker] = end
+            return TaskResult(task.task_id, value, worker, attempts,
+                              start, end, speculated=speculated)
+        raise TaskFailedError(
+            f"task {task.task_id} failed {self.config.max_attempts} attempts"
+        )
+
+    def worker_speeds(self) -> list[float]:
+        """The drawn speed factors (test introspection)."""
+        return list(self._speeds)

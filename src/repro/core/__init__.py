@@ -1,0 +1,25 @@
+"""The end-to-end system — the paper's primary contribution (Figure 1).
+
+:class:`StructureManagementSystem` wires every layer together:
+
+* physical — optional simulated cluster for extraction waves;
+* storage — snapshot store (raw), record files (intermediate), mini-RDBMS
+  (final structure + user contributions);
+* processing — the xlog IE+II+HI language with optimizer, the semantic
+  debugger screening generated facts, uncertainty + provenance recording;
+* user — keyword search over pages *and* facts, SQL, keyword→structured
+  query guidance, exploration sessions, accounts/reputation.
+
+:class:`IncrementalExtractionManager` implements the DGE model's
+"incremental, best-effort" generation: extract only the attributes users
+have demanded so far, extending on demand (experiment E4).
+"""
+
+from repro.core.system import GenerationReport, StructureManagementSystem
+from repro.core.incremental import IncrementalExtractionManager
+
+__all__ = [
+    "StructureManagementSystem",
+    "GenerationReport",
+    "IncrementalExtractionManager",
+]

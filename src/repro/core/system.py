@@ -1,0 +1,415 @@
+"""The StructureManagementSystem facade."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.simulator import ClusterConfig, SimulatedCluster
+from repro.debugger.semantic import SemanticDebugger, SystemMonitor
+from repro.docmodel.corpus import Corpus, InMemoryCorpus
+from repro.docmodel.document import Document
+from repro.lang.executor import ExecutionResult, Executor
+from repro.lang.optimizer import Optimizer
+from repro.lang.parser import parse_program
+from repro.lang.plan import LogicalPlan
+from repro.lang.registry import OperatorRegistry
+from repro.storage.manager import StorageManager
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.sql import execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.uncertainty.provenance import ProvenanceGraph
+from repro.userlayer.accounts import UserManager
+from repro.userlayer.builtin_forms import register_builtin_forms
+from repro.userlayer.forms import FormCatalog
+from repro.userlayer.monitoring import ContinuousQueryManager
+from repro.userlayer.search import KeywordSearchEngine
+from repro.userlayer.session import ExplorationSession
+from repro.userlayer.translate import QueryTranslator
+
+FACTS_TABLE = "facts"
+
+
+def facts_schema() -> TableSchema:
+    """The EAV schema of the final structured store.
+
+    Numeric values land in ``value_num``; everything else in ``value_text``
+    (one of the two is NULL per row).
+    """
+    return TableSchema(
+        name=FACTS_TABLE,
+        columns=(
+            Column("fact_id", ColumnType.INT, nullable=False),
+            Column("entity", ColumnType.TEXT, nullable=False),
+            Column("attribute", ColumnType.TEXT, nullable=False),
+            Column("value_text", ColumnType.TEXT),
+            Column("value_num", ColumnType.FLOAT),
+            Column("confidence", ColumnType.FLOAT),
+            Column("doc_id", ColumnType.TEXT),
+        ),
+        primary_key="fact_id",
+    )
+
+
+@dataclass
+class GenerationReport:
+    """Outcome of one data-generation run."""
+
+    facts_stored: int
+    facts_flagged: int
+    intermediate_records: int
+    hi_questions: int
+    chars_scanned: int
+    cluster_makespan: float
+    plan_rendering: str
+
+
+@dataclass
+class StructureManagementSystem:
+    """End-to-end system object.
+
+    Args:
+        workspace: directory for all stores; None keeps everything
+            in memory (no raw snapshot store in that case).
+        registry: extractors/resolvers/crowd used by programs.
+        use_cluster: run extraction waves on a simulated cluster.
+        cluster_config: cluster shape when ``use_cluster``.
+    """
+
+    workspace: str | None = None
+    registry: OperatorRegistry = field(default_factory=OperatorRegistry)
+    use_cluster: bool = False
+    cluster_config: ClusterConfig = field(default_factory=ClusterConfig)
+
+    def __post_init__(self) -> None:
+        if self.workspace is not None:
+            self.storage = StorageManager(self.workspace)
+            self.db: Database = self.storage.final
+        else:
+            self.storage = None  # type: ignore[assignment]
+            self.db = Database()
+        self.search = KeywordSearchEngine()
+        self.debugger = SemanticDebugger()
+        self.monitor = SystemMonitor()
+        self.provenance = self._load_provenance()
+        self.users = UserManager()
+        self.forms = FormCatalog()
+        register_builtin_forms(self.forms, table=FACTS_TABLE)
+        self.monitoring = ContinuousQueryManager(self.db)
+        self._corpus = InMemoryCorpus()
+        self._fact_counter = 0
+        self._cluster = (
+            SimulatedCluster(self.cluster_config) if self.use_cluster else None
+        )
+        if FACTS_TABLE not in self.db.table_names():
+            self.db.create_table(facts_schema())
+            self.db.create_index(FACTS_TABLE, "entity")
+            self.db.create_index(FACTS_TABLE, "attribute")
+        else:
+            # reopened workspace: continue fact ids after the stored max
+            existing = self.query(
+                f"SELECT MAX(fact_id) AS m FROM {FACTS_TABLE}"
+            )[0]["m"]
+            self._fact_counter = (existing + 1) if existing is not None else 0
+
+    # ------------------------------------------------------------ ingestion
+
+    def ingest(self, corpus: Corpus | Sequence[Document]) -> int:
+        """Take in (a snapshot of) unstructured data.
+
+        Pages are committed to the raw snapshot store (when a workspace is
+        configured) and indexed for keyword search.  Returns page count.
+        """
+        count = 0
+        for doc in corpus:
+            self._corpus.add(doc)
+            if self.storage is not None:
+                self.storage.raw.commit(doc)
+            if not self.search.has_document(doc.doc_id):  # reingest-safe
+                self.search.index_corpus([doc])
+            count += 1
+        return count
+
+    @property
+    def corpus(self) -> InMemoryCorpus:
+        return self._corpus
+
+    # ----------------------------------------------------------- generation
+
+    def generate(self, program_source: str, optimize: bool = True,
+                 learn_constraints_first: bool = True) -> GenerationReport:
+        """Run a declarative IE+II+HI program and store its output facts.
+
+        The pipeline result is staged in the intermediate file store,
+        screened by the semantic debugger (facts it flags are *kept* but
+        flagged — a human decides; their confidence is halved), written to
+        the final RDBMS, provenance-recorded, and fact-indexed for search.
+        """
+        docs = list(self._corpus)
+        ops, output = parse_program(program_source)
+        plan = LogicalPlan.from_ops(ops, output)
+        if optimize:
+            plan = Optimizer(self.registry).optimize(plan, docs[:50])
+        executor = Executor(self.registry, cluster=self._cluster)
+        result: ExecutionResult = executor.execute(plan, docs)
+
+        rows = [r for r in result.rows if r.get("attribute")]
+        if self.storage is not None:
+            self.storage.intermediate.append_many(
+                [dict(r) for r in rows]
+            )
+        if learn_constraints_first and rows and not self.debugger.constraints:
+            trusted = [
+                {r["attribute"]: r["value"]}
+                for r in rows
+                if r.get("confidence", 0.0) >= 0.9
+            ]
+            if trusted:
+                self.debugger.learn(trusted)
+
+        flagged_count = 0
+        stored = 0
+        for row in rows:
+            violations = self.debugger.check(
+                {row["attribute"]: row["value"]},
+                context=f"doc {row.get('doc_id', '?')}",
+            )
+            confidence = float(row.get("confidence", 1.0))
+            if violations:
+                flagged_count += 1
+                confidence *= 0.5
+            self._store_fact(row, confidence)
+            stored += 1
+        self.monitor.record_batch(processed=max(len(rows), 1),
+                                  errors=flagged_count)
+        self.search.index_facts(
+            [
+                {"entity": r["entity"], "attribute": r["attribute"],
+                 "value": r["value"]}
+                for r in rows
+            ]
+        )
+        self.monitoring.poke()  # monitoring mode: standing queries fire
+        return GenerationReport(
+            facts_stored=stored,
+            facts_flagged=flagged_count,
+            intermediate_records=len(rows),
+            hi_questions=result.stats.hi_questions,
+            chars_scanned=result.stats.total_chars_scanned,
+            cluster_makespan=result.stats.cluster_makespan,
+            plan_rendering=result.plan.render(),
+        )
+
+    def _store_fact(self, row: dict[str, Any], confidence: float) -> None:
+        value = row.get("value")
+        is_num = isinstance(value, (int, float)) and not isinstance(value, bool)
+        fact_id = self._fact_counter
+        self._fact_counter += 1
+        values = {
+            "fact_id": fact_id,
+            "entity": str(row.get("entity", "")),
+            "attribute": str(row["attribute"]),
+            "value_text": None if is_num else str(value),
+            "value_num": float(value) if is_num else None,
+            "confidence": confidence,
+            "doc_id": str(row.get("doc_id", "")),
+        }
+        self.db.run(lambda t: t.insert(FACTS_TABLE, values))
+        span_detail = row.get("span_text")
+        if span_detail is not None and row.get("doc_id"):
+            from repro.docmodel.document import Span
+            from repro.extraction.base import Extraction
+
+            extraction = Extraction(
+                entity=values["entity"],
+                attribute=values["attribute"],
+                value=value,
+                span=Span(row["doc_id"], row.get("span_start", 0),
+                          row.get("span_end", 0), span_detail),
+                confidence=min(max(row.get("confidence", 1.0), 0.0), 1.0),
+                extractor=row.get("extractor", "pipeline"),
+            )
+            node = self.provenance.record_extraction(extraction)
+            self.provenance.record_fact(
+                values["entity"], values["attribute"], value, confidence, [node]
+            )
+
+    # ------------------------------------------------------------- queries
+
+    def query(self, sql: str) -> list[dict[str, Any]]:
+        """Structured querying (sophisticated-user path)."""
+        return execute_sql(self.db, sql)
+
+    def keyword(self, query: str, k: int = 5):
+        """Keyword search over pages (ordinary-user starting point)."""
+        return self.search.search(query, k=k)
+
+    def keyword_facts(self, query: str, k: int = 5) -> list[dict[str, Any]]:
+        """Keyword search over the derived structure."""
+        return self.search.search_facts(query, k=k)
+
+    def translator(self) -> QueryTranslator:
+        """A translator reflecting the currently stored structure."""
+        attributes = sorted(
+            {r["attribute"] for r in self.query(
+                f"SELECT attribute FROM {FACTS_TABLE}"
+            )}
+        )
+        entities = sorted(
+            {r["entity"] for r in self.query(
+                f"SELECT entity FROM {FACTS_TABLE}"
+            )}
+        )
+        return QueryTranslator(
+            table=FACTS_TABLE,
+            entity_column="entity",
+            attributes=attributes,
+            entities=entities,
+            attribute_column="attribute",
+            value_column="value_num",
+            catalog=self.forms,
+        )
+
+    def session(self, user: str = "anonymous") -> ExplorationSession:
+        """Start an iterative exploration session."""
+        return ExplorationSession(
+            search=self.search, translator=self.translator(), db=self.db,
+            user=user,
+        )
+
+    def explain(self, entity: str, attribute: str) -> str:
+        """Provenance explanation for stored facts about (entity, attr)."""
+        nodes = self.provenance.find_facts(entity=entity, attribute=attribute)
+        if not nodes:
+            return f"no recorded provenance for {entity}.{attribute}"
+        return "\n\n".join(
+            self.provenance.explain(n.node_id).render() for n in nodes
+        )
+
+    def contribute(self, user: str, entity: str, attribute: str,
+                   value: Any) -> int:
+        """Store a user-contributed fact (Web 2.0 data generation).
+
+        Ordinary users participate in generation directly; a contribution
+        is screened by the semantic debugger like any extracted fact, its
+        confidence scales with the contributor's reputation, and its
+        provenance records the user as the source.
+
+        Returns:
+            The stored fact's id.
+
+        Raises:
+            ValueError: unknown user (register via ``system.users`` first).
+        """
+        if not self.users.exists(user):
+            raise ValueError(f"unknown user {user!r}; register first")
+        reputation = self.users.user_reputation(user)
+        confidence = 0.5 + 0.5 * reputation  # rep 0.5 -> 0.75, rep 1 -> 1.0
+        violations = self.debugger.check({attribute: value},
+                                         context=f"contribution by {user}")
+        if violations:
+            confidence *= 0.5
+        fact_id = self._fact_counter
+        is_num = isinstance(value, (int, float)) and not isinstance(value, bool)
+        self._fact_counter += 1
+        values = {
+            "fact_id": fact_id,
+            "entity": entity,
+            "attribute": attribute,
+            "value_text": None if is_num else str(value),
+            "value_num": float(value) if is_num else None,
+            "confidence": confidence,
+            "doc_id": f"user:{user}",
+        }
+        self.db.run(lambda t: t.insert(FACTS_TABLE, values))
+        fact_node = self.provenance.add_node(
+            "fact",
+            f"{entity}.{attribute} = {value!r} (conf {confidence:.2f})",
+            detail={"entity": entity, "attribute": attribute,
+                    "value": value, "confidence": confidence},
+        )
+        self.provenance.record_feedback(f"contributed by user {user}",
+                                        fact_node)
+        self.search.index_facts(
+            [{"entity": entity, "attribute": attribute, "value": value}]
+        )
+        self.monitoring.poke()
+        return fact_id
+
+    def unify_attributes(self, left_attributes: Sequence[str],
+                         right_attributes: Sequence[str],
+                         name_weight: float = 0.75,
+                         threshold: float = 0.45) -> list[tuple[str, str, int]]:
+        """Schema-match two attribute families and fold the left into the
+        right (the II step as a system operation).
+
+        Value samples come from the stored facts; each accepted
+        correspondence rewrites the left attribute's facts to the right
+        name.
+
+        Returns:
+            (left, right, facts rewritten) per accepted correspondence.
+        """
+        from repro.integration.schema_matching import SchemaMatcher
+
+        rows = self.query(
+            f"SELECT attribute, value_num, value_text FROM {FACTS_TABLE}"
+        )
+        samples: dict[str, list[Any]] = {}
+        for row in rows:
+            value = row["value_num"] if row["value_num"] is not None \
+                else row["value_text"]
+            if value is not None:
+                samples.setdefault(row["attribute"], []).append(value)
+        left = {a: samples[a] for a in left_attributes if a in samples}
+        right = {a: samples[a] for a in right_attributes if a in samples}
+        matcher = SchemaMatcher(threshold=threshold, name_weight=name_weight,
+                                instance_weight=1.0 - name_weight)
+        out: list[tuple[str, str, int]] = []
+        for match in matcher.match(left, right):
+            result = self.query(
+                f"UPDATE {FACTS_TABLE} SET attribute = '{match.right}' "
+                f"WHERE attribute = '{match.left}'"
+            )
+            out.append((match.left, match.right, result[0]["updated"]))
+        return out
+
+    def explain_program(self, program_source: str) -> str:
+        """EXPLAIN for xlog programs: naive and optimized plans with the
+        cost model's estimates (developer-facing, Figure 1 Part II)."""
+        docs = list(self._corpus)[:50]
+        ops, output = parse_program(program_source)
+        naive = LogicalPlan.from_ops(ops, output)
+        optimizer = Optimizer(self.registry)
+        optimized = optimizer.optimize(naive, docs)
+        naive_cost = optimizer.estimate_cost(naive, docs)
+        optimized_cost = optimizer.estimate_cost(optimized, docs)
+        return (
+            f"-- naive plan (estimated cost {naive_cost.total:.0f})\n"
+            f"{naive.render()}\n\n"
+            f"-- optimized plan (estimated cost {optimized_cost.total:.0f})\n"
+            f"{optimized.render()}"
+        )
+
+    def fact_count(self) -> int:
+        rows = self.query(f"SELECT COUNT(*) AS n FROM {FACTS_TABLE}")
+        return int(rows[0]["n"])
+
+    def close(self) -> None:
+        if self.storage is not None:
+            self.provenance.save(self._provenance_path())
+            self.storage.close()
+        else:
+            self.db.close()
+
+    def _provenance_path(self) -> str:
+        assert self.workspace is not None
+        return os.path.join(self.workspace, "provenance.json")
+
+    def _load_provenance(self) -> ProvenanceGraph:
+        if self.workspace is not None:
+            path = self._provenance_path()
+            if os.path.exists(path):
+                return ProvenanceGraph.load(path)
+        return ProvenanceGraph()

@@ -1,0 +1,45 @@
+"""Synthetic corpora with known ground truth (the substituted data).
+
+The paper's scenarios run over Wikipedia and Web crawls; we generate
+faithful synthetic stand-ins (see DESIGN.md §4) whose ground truth is
+known, so every experiment can score accuracy exactly:
+
+* :mod:`repro.datagen.cities` — Wikipedia-style city pages: infoboxes with
+  monthly temperatures and population, wiki tables, and free-text mentions,
+  with *deliberately heterogeneous* attribute naming across pages (so
+  schema matching has real work to do) and configurable noise;
+* :mod:`repro.datagen.people` — researcher/person pages with name variants
+  ("David Smith", "D. Smith", "Smith, David") and known coreference
+  clusters, for the entity-resolution experiments;
+* :mod:`repro.datagen.emails` — a personal e-mail corpus for the PIM
+  example;
+* :mod:`repro.datagen.churn` — daily-snapshot mutation for the diff-store
+  experiment.
+
+All generators are deterministic given their seed.
+"""
+
+from repro.datagen.cities import CityFacts, CityCorpusConfig, generate_city_corpus
+from repro.datagen.people import PersonFacts, PeopleCorpusConfig, generate_people_corpus
+from repro.datagen.emails import EmailFacts, generate_email_corpus
+from repro.datagen.churn import churn_corpus
+from repro.datagen.sensors import (
+    SensorCorpusConfig,
+    SensorEvent,
+    generate_sensor_corpus,
+)
+
+__all__ = [
+    "SensorCorpusConfig",
+    "SensorEvent",
+    "generate_sensor_corpus",
+    "CityFacts",
+    "CityCorpusConfig",
+    "generate_city_corpus",
+    "PersonFacts",
+    "PeopleCorpusConfig",
+    "generate_people_corpus",
+    "EmailFacts",
+    "generate_email_corpus",
+    "churn_corpus",
+]

@@ -1,0 +1,53 @@
+"""Daily-snapshot churn: mutate a corpus slightly, as a re-crawl would.
+
+Used by experiment E5: commit day 0, churn, commit day 1, ... and compare
+diff-store vs full-copy space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.docmodel.corpus import InMemoryCorpus
+from repro.docmodel.document import Document
+
+
+def churn_corpus(corpus: Iterable[Document], change_fraction: float = 0.1,
+                 seed: int = 0) -> InMemoryCorpus:
+    """A new corpus where ~``change_fraction`` of each document's lines
+    changed (edited, inserted, or deleted); other documents are identical.
+
+    Args:
+        corpus: input documents.
+        change_fraction: per-document fraction of lines touched; also the
+            probability that a given document changes at all is
+            ``min(1, 3 * change_fraction)`` (most pages are untouched on a
+            real re-crawl).
+        seed: RNG seed.
+    """
+    if not 0.0 <= change_fraction <= 1.0:
+        raise ValueError("change_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    out = InMemoryCorpus()
+    for doc in corpus:
+        if rng.random() >= min(1.0, 3.0 * change_fraction):
+            out.add(doc)
+            continue
+        lines = doc.text.splitlines()
+        if not lines:
+            out.add(doc)
+            continue
+        n_changes = max(1, int(len(lines) * change_fraction))
+        for _ in range(n_changes):
+            kind = rng.choice(("edit", "insert", "delete"))
+            pos = rng.randrange(len(lines))
+            if kind == "edit":
+                lines[pos] = lines[pos] + f" (updated {rng.randrange(1000)})"
+            elif kind == "insert":
+                lines.insert(pos, f"A new detail was added here ({rng.randrange(1000)}).")
+            elif kind == "delete" and len(lines) > 1:
+                lines.pop(pos)
+        out.add(Document(doc_id=doc.doc_id, text="\n".join(lines),
+                         metadata=doc.metadata))
+    return out

@@ -1,0 +1,218 @@
+"""Wikipedia-style city pages with monthly temperatures.
+
+Each generated page describes one city and encodes its facts in one of
+four *styles* (mimicking real Wikipedia heterogeneity):
+
+* ``infobox`` — ``{{Infobox city | jan_temp = 26 | ... }}`` with short
+  attribute names;
+* ``infobox_long`` — same data, but verbose attribute names
+  (``january_temperature``), so schema matching must unify the two;
+* ``table`` — a climate wiki table plus free-text population;
+* ``prose`` — facts only in sentences ("The September temperature in
+  Madison is 70 degrees."), the hardest extraction target.
+
+Optionally, a fraction of pages get one *corrupted* temperature (e.g. 135)
+— the semantic-debugger experiment's injected errors — and a fraction of
+free-text pages get paraphrase noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.docmodel.corpus import InMemoryCorpus
+from repro.docmodel.document import Document, DocumentMetadata
+from repro.extraction.normalize import MONTHS
+
+_CITY_PREFIXES = [
+    "Mad", "Spring", "Green", "Fair", "River", "Lake", "Clear", "Oak",
+    "Ash", "Elm", "Stone", "Mill", "North", "South", "East", "West",
+    "Bridge", "Ham", "Clif", "Brook",
+]
+_CITY_SUFFIXES = [
+    "ison", "field", "ville", "town", "port", "burg", "haven", "wood",
+    "dale", "ford", "mont", "shire", "land", "crest", "view",
+]
+_STATES = ["Wisconsin", "Illinois", "Ohio", "Texas", "Oregon", "Vermont",
+           "Georgia", "Nevada", "Kansas", "Maine"]
+
+STYLES = ("infobox", "infobox_long", "table", "prose")
+
+# Seasonal shape: a cold-winter/warm-summer cycle, scaled per climate.
+_SEASONAL_SHAPE = [0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 1.0, 0.95, 0.75, 0.5, 0.25, 0.08]
+
+
+@dataclass(frozen=True)
+class CityFacts:
+    """Ground truth for one city page."""
+
+    name: str
+    state: str
+    population: int
+    monthly_temps: tuple[float, ...]  # °F, January..December
+    style: str
+    corrupted_month: int | None = None  # index of an injected bad temp
+    corrupted_value: float | None = None
+
+    def temp(self, month: str) -> float:
+        """True temperature for a month name (January..December)."""
+        return self.monthly_temps[MONTHS.index(month.lower())]
+
+
+@dataclass(frozen=True)
+class CityCorpusConfig:
+    """Generator knobs."""
+
+    num_cities: int = 100
+    seed: int = 7
+    corruption_rate: float = 0.0  # fraction of pages with one bad temp
+    noise_paragraphs: int = 2  # irrelevant filler paragraphs per page
+    styles: tuple[str, ...] = STYLES
+
+
+_FILLER_SENTENCES = [
+    "The city hosts an annual harvest festival each autumn.",
+    "Local industry includes light manufacturing and dairy processing.",
+    "The downtown district features several historic brick buildings.",
+    "A regional airport lies twelve miles to the northeast.",
+    "The public library system operates five branches.",
+    "Several hiking trails wind through the surrounding hills.",
+    "The city council meets on the first Tuesday of every month.",
+    "A minor-league baseball team plays at the municipal stadium.",
+]
+
+
+def _city_name(rng: random.Random, taken: set[str]) -> str:
+    while True:
+        name = rng.choice(_CITY_PREFIXES) + rng.choice(_CITY_SUFFIXES)
+        if name not in taken:
+            taken.add(name)
+            return name
+
+
+def _monthly_temps(rng: random.Random) -> tuple[float, ...]:
+    base = rng.uniform(10.0, 45.0)  # January temperature
+    amplitude = rng.uniform(25.0, 50.0)
+    return tuple(
+        round(base + amplitude * shape + rng.uniform(-2.0, 2.0), 1)
+        for shape in _SEASONAL_SHAPE
+    )
+
+
+def _short_attr(month: str) -> str:
+    return f"{month[:3]}_temp"
+
+
+def _long_attr(month: str) -> str:
+    return f"{month}_temperature"
+
+
+def _render_infobox(facts: CityFacts, long_names: bool) -> str:
+    attr = _long_attr if long_names else _short_attr
+    pop_key = "population_total" if long_names else "population"
+    lines = [f"{{{{Infobox city", f" | name = {facts.name}",
+             f" | state = {facts.state}", f" | {pop_key} = {facts.population}"]
+    for i, month in enumerate(MONTHS):
+        value = _displayed_temp(facts, i)
+        lines.append(f" | {attr(month)} = {value:g}")
+    lines.append("}}")
+    return "\n".join(lines)
+
+
+def _displayed_temp(facts: CityFacts, month_index: int) -> float:
+    if facts.corrupted_month == month_index and facts.corrupted_value is not None:
+        return facts.corrupted_value
+    return facts.monthly_temps[month_index]
+
+
+def _render_table(facts: CityFacts) -> str:
+    header = "! month !! temperature"
+    rows = []
+    for i, month in enumerate(MONTHS):
+        rows.append(f"|-\n| {month.capitalize()} || {_displayed_temp(facts, i):g}")
+    return "{|\n" + header + "\n" + "\n".join(rows) + "\n|}"
+
+
+def _render_prose_temps(facts: CityFacts, rng: random.Random) -> str:
+    sentences = []
+    for i, month in enumerate(MONTHS):
+        value = _displayed_temp(facts, i)
+        template = rng.choice([
+            "The {m} temperature in {c} is {v:g} degrees.",
+            "In {c}, the average {m} temperature is {v:g} degrees.",
+            "{c} records a typical {m} temperature of {v:g} degrees.",
+        ])
+        sentences.append(
+            template.format(m=month.capitalize(), c=facts.name, v=value)
+        )
+    return " ".join(sentences)
+
+
+def _render_page(facts: CityFacts, rng: random.Random,
+                 noise_paragraphs: int) -> str:
+    intro = (
+        f"'''{facts.name}''' is a city in the state of {facts.state}. "
+        f"As of the last census, the population was {facts.population:,}."
+    )
+    filler = "\n\n".join(
+        " ".join(rng.sample(_FILLER_SENTENCES, k=3))
+        for _ in range(noise_paragraphs)
+    )
+    climate_heading = "== Climate =="
+    if facts.style == "infobox":
+        body = _render_infobox(facts, long_names=False)
+        climate = _render_prose_temps(facts, rng)
+    elif facts.style == "infobox_long":
+        body = _render_infobox(facts, long_names=True)
+        climate = _render_prose_temps(facts, rng)
+    elif facts.style == "table":
+        body = ""
+        climate = _render_table(facts)
+    else:  # prose
+        body = ""
+        climate = _render_prose_temps(facts, rng)
+    parts = [p for p in (body, intro, filler, climate_heading, climate) if p]
+    return "\n\n".join(parts)
+
+
+def generate_city_corpus(
+    config: CityCorpusConfig = CityCorpusConfig(),
+) -> tuple[InMemoryCorpus, list[CityFacts]]:
+    """Generate the corpus and its ground truth.
+
+    Returns:
+        (corpus of wiki pages, per-city ground truth in corpus order).
+    """
+    rng = random.Random(config.seed)
+    taken: set[str] = set()
+    corpus = InMemoryCorpus()
+    truths: list[CityFacts] = []
+    for i in range(config.num_cities):
+        name = _city_name(rng, taken)
+        temps = _monthly_temps(rng)
+        style = config.styles[i % len(config.styles)]
+        corrupted_month: int | None = None
+        corrupted_value: float | None = None
+        if rng.random() < config.corruption_rate:
+            corrupted_month = rng.randrange(12)
+            corrupted_value = rng.choice([135.0, 180.0, -120.0, 999.0])
+        facts = CityFacts(
+            name=name,
+            state=rng.choice(_STATES),
+            population=rng.randrange(5_000, 3_000_000),
+            monthly_temps=temps,
+            style=style,
+            corrupted_month=corrupted_month,
+            corrupted_value=corrupted_value,
+        )
+        text = _render_page(facts, rng, config.noise_paragraphs)
+        corpus.add(
+            Document(
+                doc_id=f"city_{name.lower()}",
+                text=text,
+                metadata=DocumentMetadata(source="datagen:cities"),
+            )
+        )
+        truths.append(facts)
+    return corpus, truths

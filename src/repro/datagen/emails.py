@@ -1,0 +1,90 @@
+"""A personal e-mail corpus for the PIM example.
+
+Each message has standard headers and a body that may mention a meeting
+(date + time + room) or an action item — the structured facts a personal
+information manager wants to extract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.docmodel.corpus import InMemoryCorpus
+from repro.docmodel.document import Document, DocumentMetadata
+
+_PEOPLE = [
+    "alice@example.org", "bob@example.org", "carol@example.org",
+    "dave@example.org", "erin@example.org",
+]
+_ROOMS = ["Room 2310", "Room 4021", "Conference Hall B", "Room 1158"]
+_TOPICS = [
+    "project sync", "budget review", "paper deadline", "demo planning",
+    "hiring committee", "reading group",
+]
+_MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+
+@dataclass(frozen=True)
+class EmailFacts:
+    """Ground truth for one message."""
+
+    doc_id: str
+    sender: str
+    recipient: str
+    subject: str
+    meeting_date: str | None  # ISO date
+    meeting_time: str | None  # "HH:MM"
+    meeting_room: str | None
+
+
+def generate_email_corpus(
+    num_messages: int = 60, seed: int = 23,
+) -> tuple[InMemoryCorpus, list[EmailFacts]]:
+    """Generate messages; about half contain a concrete meeting."""
+    rng = random.Random(seed)
+    corpus = InMemoryCorpus()
+    truths: list[EmailFacts] = []
+    for i in range(num_messages):
+        sender = rng.choice(_PEOPLE)
+        recipient = rng.choice([p for p in _PEOPLE if p != sender])
+        topic = rng.choice(_TOPICS)
+        subject = f"Re: {topic}" if rng.random() < 0.4 else topic
+        has_meeting = rng.random() < 0.5
+        meeting_date = meeting_time = meeting_room = None
+        if has_meeting:
+            month = rng.randrange(1, 13)
+            day = rng.randrange(1, 28)
+            hour = rng.randrange(8, 18)
+            minute = rng.choice([0, 15, 30, 45])
+            meeting_date = f"2008-{month:02d}-{day:02d}"
+            meeting_time = f"{hour:02d}:{minute:02d}"
+            meeting_room = rng.choice(_ROOMS)
+            body = (
+                f"Hi,\n\nLet's meet about the {topic} on "
+                f"{_MONTH_NAMES[month - 1]} {day}, 2008 at {meeting_time} "
+                f"in {meeting_room}. Please confirm.\n\nThanks,\n"
+                f"{sender.split('@')[0].capitalize()}"
+            )
+        else:
+            body = (
+                f"Hi,\n\nQuick note about the {topic}: I will send the "
+                f"updated notes later this week. No meeting needed.\n\n"
+                f"Best,\n{sender.split('@')[0].capitalize()}"
+            )
+        doc_id = f"email_{i:04d}"
+        text = (
+            f"From: {sender}\nTo: {recipient}\nSubject: {subject}\n\n{body}"
+        )
+        corpus.add(
+            Document(doc_id=doc_id, text=text,
+                     metadata=DocumentMetadata(source="datagen:emails"))
+        )
+        truths.append(
+            EmailFacts(doc_id, sender, recipient, subject,
+                       meeting_date, meeting_time, meeting_room)
+        )
+    return corpus, truths

@@ -1,0 +1,39 @@
+"""Semantic debugger and system monitor — Figure 1, Part VI.
+
+"This module learns as much as possible about the application semantics.
+It then monitors the data generation process, and alerts the developer if
+the semantics of the resulting structure is not 'in sync' with the
+application semantics.  For example, if this module has learned that the
+monthly temperature of a city cannot exceed 130 degrees, then it can flag
+an extracted temperature of 135 as suspicious."
+
+:class:`SemanticDebugger` learns per-attribute constraints (numeric ranges,
+types, categorical domains) and approximate functional dependencies from
+trusted data, then screens newly generated facts; violations become alerts.
+:class:`SystemMonitor` watches pipeline-level metrics (extraction rates,
+error counts) and alerts the system manager on anomalies.
+"""
+
+from repro.debugger.constraints import (
+    Constraint,
+    ConstraintViolation,
+    DomainConstraint,
+    FunctionalDependency,
+    RangeConstraint,
+    TypeConstraint,
+    learn_constraints,
+)
+from repro.debugger.semantic import Alert, SemanticDebugger, SystemMonitor
+
+__all__ = [
+    "Constraint",
+    "ConstraintViolation",
+    "RangeConstraint",
+    "TypeConstraint",
+    "DomainConstraint",
+    "FunctionalDependency",
+    "learn_constraints",
+    "SemanticDebugger",
+    "SystemMonitor",
+    "Alert",
+]

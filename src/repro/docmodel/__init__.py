@@ -1,0 +1,34 @@
+"""Unstructured-document substrate.
+
+This subpackage provides the raw-data side of the DGE model: documents,
+character spans, tokens, sentence segmentation, a small wiki-markup parser
+(for infoboxes and tables, which the paper's motivating Wikipedia example
+relies on), and corpus containers.
+
+Everything downstream — extraction, integration, provenance — refers back to
+:class:`Span` objects inside :class:`Document` instances, so that every piece
+of derived structure can be traced to the exact characters it came from.
+"""
+
+from repro.docmodel.document import Document, DocumentMetadata, Span, Token
+from repro.docmodel.tokenize import SentenceSplitter, Tokenizer, sentences, tokenize
+from repro.docmodel.wikimarkup import Infobox, WikiPage, WikiTable, parse_wiki_page
+from repro.docmodel.corpus import Corpus, InMemoryCorpus, DirectoryCorpus
+
+__all__ = [
+    "Document",
+    "DocumentMetadata",
+    "Span",
+    "Token",
+    "Tokenizer",
+    "SentenceSplitter",
+    "tokenize",
+    "sentences",
+    "Infobox",
+    "WikiTable",
+    "WikiPage",
+    "parse_wiki_page",
+    "Corpus",
+    "InMemoryCorpus",
+    "DirectoryCorpus",
+]

@@ -1,0 +1,164 @@
+"""Core document model: documents, spans, and tokens.
+
+A :class:`Document` is an immutable piece of unstructured data (a wiki page,
+an e-mail, a web page dump).  A :class:`Span` is a half-open character range
+``[start, end)`` within a specific document; it is the atomic unit of
+provenance — every extracted attribute value points back to the span(s) it
+was read from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class DocumentMetadata:
+    """Descriptive metadata attached to a document.
+
+    Attributes:
+        source: where the document came from (URL, file path, generator name).
+        timestamp: seconds-since-epoch acquisition time; 0 when unknown.
+        mime_type: coarse content type; defaults to plain text.
+        extra: free-form key/value annotations (crawl depth, author, ...).
+    """
+
+    source: str = ""
+    timestamp: float = 0.0
+    mime_type: str = "text/plain"
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable unstructured document.
+
+    Attributes:
+        doc_id: unique identifier within a corpus.
+        text: the full raw text.
+        metadata: acquisition metadata.
+    """
+
+    doc_id: str
+    text: str
+    metadata: DocumentMetadata = field(default_factory=DocumentMetadata)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def span(self, start: int, end: int) -> "Span":
+        """Create a validated span into this document."""
+        return Span(doc_id=self.doc_id, start=start, end=end, text=self.text[start:end])
+
+    def content_hash(self) -> str:
+        """Stable hash of the text, used by the snapshot store for dedup."""
+        return hashlib.sha256(self.text.encode("utf-8")).hexdigest()
+
+    def lines(self) -> list[str]:
+        """The document text split into lines (used by the diff store)."""
+        return self.text.splitlines(keepends=True)
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A half-open character range ``[start, end)`` inside one document.
+
+    The covered text is carried along so spans remain meaningful even after
+    the owning document has been evicted from memory; ``text`` must equal
+    ``document.text[start:end]`` at creation time.
+    """
+
+    doc_id: str
+    start: int
+    end: int
+    text: str = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span bounds [{self.start}, {self.end})")
+        if len(self.text) != self.end - self.start:
+            raise ValueError(
+                f"span text length {len(self.text)} does not match bounds "
+                f"[{self.start}, {self.end})"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True if the two spans share at least one character position."""
+        return (
+            self.doc_id == other.doc_id
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def contains(self, other: "Span") -> bool:
+        """True if ``other`` lies fully within this span."""
+        return (
+            self.doc_id == other.doc_id
+            and self.start <= other.start
+            and other.end <= self.end
+        )
+
+    def shifted(self, offset: int) -> "Span":
+        """A copy moved by ``offset`` characters (used by markup strippers)."""
+        return Span(self.doc_id, self.start + offset, self.end + offset, self.text)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token: a span plus a coarse lexical class.
+
+    ``kind`` is one of ``word``, ``number``, ``punct``.
+    """
+
+    span: Span
+    kind: str
+
+    @property
+    def text(self) -> str:
+        return self.span.text
+
+    def is_word(self) -> bool:
+        return self.kind == "word"
+
+    def is_number(self) -> bool:
+        return self.kind == "number"
+
+
+def merge_spans(spans: list[Span]) -> Span:
+    """Merge contiguous-or-overlapping spans of one document into their hull.
+
+    Raises:
+        ValueError: if ``spans`` is empty or spans belong to different docs.
+    """
+    if not spans:
+        raise ValueError("cannot merge an empty span list")
+    doc_ids = {s.doc_id for s in spans}
+    if len(doc_ids) != 1:
+        raise ValueError(f"spans belong to multiple documents: {sorted(doc_ids)}")
+    ordered = sorted(spans)
+    start, end = ordered[0].start, max(s.end for s in ordered)
+    # Reconstruct hull text from the pieces; gaps are filled from the pieces'
+    # own text when adjacent, otherwise the caller should merge via document.
+    pieces: list[str] = []
+    cursor = start
+    for s in ordered:
+        if s.start > cursor:
+            pieces.append(" " * (s.start - cursor))
+            cursor = s.start
+        if s.end > cursor:
+            pieces.append(s.text[cursor - s.start :])
+            cursor = s.end
+    return Span(ordered[0].doc_id, start, end, "".join(pieces))
+
+
+def iter_ngrams(tokens: list[Token], n: int) -> Iterator[tuple[Token, ...]]:
+    """Yield all consecutive ``n``-grams over a token list."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])

@@ -1,0 +1,268 @@
+"""A small wiki-markup parser.
+
+The paper's running example is extracting monthly temperatures from the
+Wikipedia page for Madison, Wisconsin.  Wikipedia encodes such facts in
+*infoboxes* (``{{Infobox city | name = Madison | jan_temp = 26 | ... }}``)
+and in wiki tables.  This module parses a practical subset of that markup:
+
+* ``{{Infobox <type> | key = value | ... }}`` templates (possibly nested
+  one level deep; nested templates are kept as raw text values),
+* ``{| ... |}`` tables with ``!`` header rows and ``|-`` row separators,
+* ``== Section ==`` headings,
+* ``[[link|label]]`` and ``[[link]]`` internal links (stripped to labels).
+
+Every parsed element records the character span it came from so extraction
+provenance reaches back into the raw page text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.docmodel.document import Document, Span
+
+_INFOBOX_START_RE = re.compile(r"\{\{\s*Infobox\s+([^|}\n]+)", re.IGNORECASE)
+_HEADING_RE = re.compile(r"^(={2,6})\s*(.*?)\s*\1\s*$", re.MULTILINE)
+_LINK_RE = re.compile(r"\[\[([^\]|]+)(?:\|([^\]]+))?\]\]")
+
+
+@dataclass(frozen=True)
+class Infobox:
+    """A parsed infobox template.
+
+    Attributes:
+        box_type: the word(s) after ``Infobox`` (e.g. ``city``).
+        fields: mapping of parameter name to raw value text.
+        field_spans: span of each value in the source document.
+        span: span of the whole template.
+    """
+
+    box_type: str
+    fields: dict[str, str]
+    field_spans: dict[str, Span]
+    span: Span
+
+
+@dataclass(frozen=True)
+class WikiTable:
+    """A parsed wiki table: a header row plus data rows."""
+
+    headers: list[str]
+    rows: list[list[str]]
+    span: Span
+
+
+@dataclass(frozen=True)
+class Heading:
+    """A section heading with its nesting level (2 for ``==``)."""
+
+    level: int
+    title: str
+    span: Span
+
+
+@dataclass
+class WikiPage:
+    """The parse result for one wiki document."""
+
+    doc: Document
+    infoboxes: list[Infobox] = field(default_factory=list)
+    tables: list[WikiTable] = field(default_factory=list)
+    headings: list[Heading] = field(default_factory=list)
+    plain_text: str = ""
+
+    def infobox(self, box_type: str) -> Infobox | None:
+        """First infobox of the given type (case-insensitive), or None."""
+        wanted = box_type.strip().lower()
+        for box in self.infoboxes:
+            if box.box_type.strip().lower() == wanted:
+                return box
+        return None
+
+
+def _find_template_end(text: str, start: int) -> int:
+    """Index just past the ``}}`` closing the template opened at ``start``.
+
+    Handles one-deep nesting by brace counting.  Returns -1 if unbalanced.
+    """
+    depth = 0
+    i = start
+    while i < len(text) - 1:
+        pair = text[i : i + 2]
+        if pair == "{{":
+            depth += 1
+            i += 2
+        elif pair == "}}":
+            depth -= 1
+            i += 2
+            if depth == 0:
+                return i
+        else:
+            i += 1
+    return -1
+
+
+def _split_template_params(body: str) -> list[str]:
+    """Split a template body on ``|`` at nesting depth zero."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    i = 0
+    while i < len(body):
+        pair = body[i : i + 2]
+        if pair == "{{" or pair == "[[":
+            depth += 1
+            current.append(pair)
+            i += 2
+        elif pair == "}}" or pair == "]]":
+            depth -= 1
+            current.append(pair)
+            i += 2
+        elif body[i] == "|" and depth == 0:
+            parts.append("".join(current))
+            current = []
+            i += 1
+        else:
+            current.append(body[i])
+            i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def parse_infoboxes(doc: Document) -> list[Infobox]:
+    """Parse every ``{{Infobox ...}}`` template in the document."""
+    boxes: list[Infobox] = []
+    text = doc.text
+    for match in _INFOBOX_START_RE.finditer(text):
+        open_pos = match.start()
+        end = _find_template_end(text, open_pos)
+        if end < 0:
+            continue
+        box_type = match.group(1).strip()
+        body = text[match.end() : end - 2]
+        body_offset = match.end()
+        fields: dict[str, str] = {}
+        field_spans: dict[str, Span] = {}
+        params = _split_template_params(body)
+        cursor = body_offset + len(params[0])  # position of the first '|'
+        for param in params[1:]:
+            param_start = cursor + 1  # skip the '|'
+            cursor += 1 + len(param)
+            if "=" not in param:
+                continue
+            key, _, value = param.partition("=")
+            key_clean = key.strip().lower()
+            value_clean = value.strip()
+            if not key_clean:
+                continue
+            value_rel = param.index("=") + 1
+            lead_ws = len(value) - len(value.lstrip())
+            value_abs = param_start + value_rel + lead_ws
+            fields[key_clean] = value_clean
+            if value_clean:
+                field_spans[key_clean] = Span(
+                    doc.doc_id, value_abs, value_abs + len(value_clean),
+                    text[value_abs : value_abs + len(value_clean)],
+                )
+        boxes.append(
+            Infobox(
+                box_type=box_type,
+                fields=fields,
+                field_spans=field_spans,
+                span=Span(doc.doc_id, open_pos, end, text[open_pos:end]),
+            )
+        )
+    return boxes
+
+
+def parse_tables(doc: Document) -> list[WikiTable]:
+    """Parse every ``{| ... |}`` wiki table in the document."""
+    tables: list[WikiTable] = []
+    text = doc.text
+    pos = 0
+    while True:
+        start = text.find("{|", pos)
+        if start < 0:
+            break
+        end = text.find("|}", start)
+        if end < 0:
+            break
+        end += 2
+        body = text[start + 2 : end - 2]
+        headers: list[str] = []
+        rows: list[list[str]] = []
+        current_row: list[str] = []
+        for raw_line in body.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("{|") or line.startswith("|+"):
+                continue
+            if line.startswith("|-"):
+                if current_row:
+                    rows.append(current_row)
+                    current_row = []
+            elif line.startswith("!"):
+                cells = [c.strip() for c in line.lstrip("!").split("!!")]
+                headers.extend(cells)
+            elif line.startswith("|"):
+                cells = [c.strip() for c in line.lstrip("|").split("||")]
+                current_row.extend(cells)
+        if current_row:
+            rows.append(current_row)
+        tables.append(
+            WikiTable(headers=headers, rows=rows,
+                      span=Span(doc.doc_id, start, end, text[start:end]))
+        )
+        pos = end
+    return tables
+
+
+def parse_headings(doc: Document) -> list[Heading]:
+    """Parse ``== Heading ==`` style section headings."""
+    headings: list[Heading] = []
+    for match in _HEADING_RE.finditer(doc.text):
+        level = len(match.group(1))
+        headings.append(
+            Heading(level=level, title=match.group(2),
+                    span=Span(doc.doc_id, match.start(), match.end(), match.group()))
+        )
+    return headings
+
+
+def strip_markup(text: str) -> str:
+    """Produce a plain-text rendering: links to labels, templates removed."""
+    out = text
+    # Remove infobox/other templates entirely (they are structured, not prose).
+    while True:
+        start = out.find("{{")
+        if start < 0:
+            break
+        end = _find_template_end(out, start)
+        if end < 0:
+            out = out[:start] + out[start + 2 :]
+            continue
+        out = out[:start] + out[end:]
+    # Remove tables.
+    while True:
+        start = out.find("{|")
+        if start < 0:
+            break
+        end = out.find("|}", start)
+        if end < 0:
+            break
+        out = out[:start] + out[end + 2 :]
+    out = _LINK_RE.sub(lambda m: m.group(2) or m.group(1), out)
+    out = _HEADING_RE.sub(lambda m: m.group(2), out)
+    out = out.replace("'''", "").replace("''", "")
+    return out
+
+
+def parse_wiki_page(doc: Document) -> WikiPage:
+    """Full parse of a wiki document: infoboxes, tables, headings, prose."""
+    return WikiPage(
+        doc=doc,
+        infoboxes=parse_infoboxes(doc),
+        tables=parse_tables(doc),
+        headings=parse_headings(doc),
+        plain_text=strip_markup(doc.text),
+    )

@@ -1,0 +1,61 @@
+"""Information extraction (IE) operators — Figure 1, processing layer Part I.
+
+Each extractor turns documents into :class:`Extraction` objects — attribute–
+value pairs carrying the source :class:`~repro.docmodel.document.Span` and a
+confidence in ``[0, 1]``.  The confidence and span feed the uncertainty and
+provenance subsystem (Part V); values are normalized via
+:mod:`repro.extraction.normalize`.
+
+Extractor families:
+
+* :class:`RegexExtractor` — pattern-based, named groups become attributes;
+* :class:`DictionaryExtractor` — gazetteer phrase matching (trie-backed);
+* :class:`RuleCascadeExtractor` — context-keyword rules over sentences;
+* :class:`InfoboxExtractor` / :class:`WikiTableExtractor` — structured wiki
+  markup;
+* :class:`NaiveBayesTokenTagger` / :class:`HmmSequenceTagger` — learned
+  taggers trained from labeled spans.
+"""
+
+from repro.extraction.base import Extraction, Extractor, CompositeExtractor
+from repro.extraction.regex_extractor import RegexExtractor
+from repro.extraction.dictionary import DictionaryExtractor
+from repro.extraction.rules import ContextRule, RuleCascadeExtractor
+from repro.extraction.infobox import InfoboxExtractor, WikiTableExtractor
+from repro.extraction.learned import (
+    HmmSequenceTagger,
+    LabeledExample,
+    NaiveBayesTokenTagger,
+)
+from repro.extraction.events import SensorEventExtractor, parse_sensor_log
+from repro.extraction.links import LinkExtractor
+from repro.extraction.normalize import (
+    normalize_number,
+    normalize_month,
+    normalize_temperature,
+    normalize_date,
+    normalize_person_name,
+)
+
+__all__ = [
+    "Extraction",
+    "Extractor",
+    "CompositeExtractor",
+    "RegexExtractor",
+    "DictionaryExtractor",
+    "ContextRule",
+    "RuleCascadeExtractor",
+    "InfoboxExtractor",
+    "WikiTableExtractor",
+    "NaiveBayesTokenTagger",
+    "HmmSequenceTagger",
+    "LabeledExample",
+    "SensorEventExtractor",
+    "parse_sensor_log",
+    "LinkExtractor",
+    "normalize_number",
+    "normalize_month",
+    "normalize_temperature",
+    "normalize_date",
+    "normalize_person_name",
+]

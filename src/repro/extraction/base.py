@@ -1,0 +1,133 @@
+"""Extraction data model and the extractor interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.docmodel.document import Document, Span
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One extracted attribute–value pair.
+
+    Attributes:
+        entity: the subject the attribute belongs to (e.g. a city name);
+            may be empty when the extractor cannot tell yet — integration
+            fills it in.
+        attribute: attribute name (e.g. ``temperature_sep``).
+        value: the normalized value (str, int, float, bool).
+        span: provenance — where in which document this was read.
+        confidence: extractor's belief in correctness, in [0, 1].
+        extractor: name of the producing extractor (provenance).
+    """
+
+    entity: str
+    attribute: str
+    value: Any
+    span: Span
+    confidence: float = 1.0
+    extractor: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence {self.confidence} outside [0, 1]")
+        if not self.attribute:
+            raise ValueError("attribute must be non-empty")
+
+    def with_entity(self, entity: str) -> "Extraction":
+        return replace(self, entity=entity)
+
+    def with_confidence(self, confidence: float) -> "Extraction":
+        return replace(self, confidence=confidence)
+
+    def key(self) -> tuple[str, str, Any]:
+        """Identity for dedup: (entity, attribute, value)."""
+        return (self.entity, self.attribute, self.value)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able form for the intermediate file store."""
+        return {
+            "entity": self.entity,
+            "attribute": self.attribute,
+            "value": self.value,
+            "doc_id": self.span.doc_id,
+            "start": self.span.start,
+            "end": self.span.end,
+            "text": self.span.text,
+            "confidence": self.confidence,
+            "extractor": self.extractor,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "Extraction":
+        return Extraction(
+            entity=payload["entity"],
+            attribute=payload["attribute"],
+            value=payload["value"],
+            span=Span(payload["doc_id"], payload["start"], payload["end"],
+                      payload["text"]),
+            confidence=payload["confidence"],
+            extractor=payload.get("extractor", ""),
+        )
+
+
+class Extractor(ABC):
+    """Base class for all IE operators.
+
+    Subclasses implement :meth:`extract`; :attr:`name` identifies the
+    operator in provenance records; :attr:`cost_per_char` is the optimizer's
+    cost model input (simulated work units per character scanned).
+    """
+
+    name: str = "extractor"
+    cost_per_char: float = 1.0
+
+    @abstractmethod
+    def extract(self, doc: Document) -> list[Extraction]:
+        """Extract attribute–value pairs from one document."""
+
+    def prefilter_terms(self) -> list[list[str]] | None:
+        """Keyword groups enabling a cheap document pre-filter.
+
+        When not None: a document can only yield extractions if, for some
+        group, it contains *all* the group's keywords.  The optimizer uses
+        this to skip expensive extraction on irrelevant documents without
+        changing results.  Default: unknown (no safe pre-filter).
+        """
+        return None
+
+    def extract_corpus(self, docs: Iterable[Document]) -> list[Extraction]:
+        """Convenience: run over many documents."""
+        out: list[Extraction] = []
+        for doc in docs:
+            out.extend(self.extract(doc))
+        return out
+
+
+@dataclass
+class CompositeExtractor(Extractor):
+    """Runs several extractors, concatenating and deduplicating output.
+
+    When two extractors produce the same (entity, attribute, value) from
+    overlapping spans, the higher-confidence extraction wins.
+    """
+
+    extractors: list[Extractor] = field(default_factory=list)
+    name: str = "composite"
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        best: dict[tuple, Extraction] = {}
+        for extractor in self.extractors:
+            for extraction in extractor.extract(doc):
+                key = extraction.key()
+                current = best.get(key)
+                if current is None or extraction.confidence > current.confidence:
+                    best[key] = extraction
+        return sorted(best.values(), key=lambda e: (e.span.start, e.attribute))
+
+    @property
+    def cost_per_char(self) -> float:  # type: ignore[override]
+        return sum(e.cost_per_char for e in self.extractors)

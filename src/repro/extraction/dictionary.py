@@ -1,0 +1,113 @@
+"""Dictionary (gazetteer) extraction.
+
+Matches known multi-token phrases — city names, person names, organization
+names — against documents using a token-level trie, so matching is linear in
+document length regardless of dictionary size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.docmodel.document import Document, Span, Token
+from repro.docmodel.tokenize import Tokenizer
+from repro.extraction.base import Extraction, Extractor
+
+
+class _TrieNode:
+    __slots__ = ("children", "terminal_value")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.terminal_value: str | None = None
+
+
+@dataclass
+class DictionaryExtractor(Extractor):
+    """Extract occurrences of known phrases as (attribute, canonical value).
+
+    Args:
+        attribute: attribute name for every match (e.g. ``city``).
+        phrases: phrase → canonical value; a bare iterable of phrases maps
+            each phrase to itself.
+        case_sensitive: match with original case (default: fold case).
+        longest_match: prefer the longest phrase at each position.
+        confidence: confidence of each produced extraction.
+    """
+
+    attribute: str = "mention"
+    phrases: dict[str, str] | Iterable[str] = field(default_factory=dict)
+    case_sensitive: bool = False
+    longest_match: bool = True
+    confidence: float = 0.85
+    name: str = "dictionary"
+    cost_per_char: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.phrases, dict):
+            self.phrases = {p: p for p in self.phrases}
+        self._tokenizer = Tokenizer()
+        self._root = _TrieNode()
+        for phrase, canonical in self.phrases.items():
+            tokens = [self._fold(t) for t in phrase.split()]
+            if not tokens:
+                continue
+            node = self._root
+            for token in tokens:
+                node = node.children.setdefault(token, _TrieNode())
+            node.terminal_value = canonical
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        tokens = self._tokenizer.tokenize(doc)
+        out: list[Extraction] = []
+        i = 0
+        while i < len(tokens):
+            match = self._match_at(tokens, i)
+            if match is None:
+                i += 1
+                continue
+            end_index, canonical = match
+            span = Span(
+                doc.doc_id,
+                tokens[i].span.start,
+                tokens[end_index].span.end,
+                doc.text[tokens[i].span.start : tokens[end_index].span.end],
+            )
+            out.append(
+                Extraction(
+                    entity=canonical,
+                    attribute=self.attribute,
+                    value=canonical,
+                    span=span,
+                    confidence=self.confidence,
+                    extractor=self.name,
+                )
+            )
+            i = end_index + 1 if self.longest_match else i + 1
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _match_at(self, tokens: list[Token], start: int) -> tuple[int, str] | None:
+        node = self._root
+        best: tuple[int, str] | None = None
+        j = start
+        while j < len(tokens):
+            word = self._fold_token(tokens[j])
+            child = node.children.get(word)
+            if child is None:
+                break
+            node = child
+            if node.terminal_value is not None:
+                best = (j, node.terminal_value)
+                if not self.longest_match:
+                    break
+            j += 1
+        return best
+
+    def _fold(self, text: str) -> str:
+        return text if self.case_sensitive else text.lower()
+
+    def _fold_token(self, token: Token) -> str:
+        return self._fold(token.text)

@@ -1,0 +1,173 @@
+"""Structured wiki-markup extractors: infoboxes and tables.
+
+These are the high-precision extractors for the paper's Wikipedia scenario:
+an infobox field ``| sep_temp = 70`` becomes the extraction
+``(entity=<page entity>, attribute="sep_temp", value=70.0)``, with the span
+of the raw value as provenance.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.docmodel.document import Document
+from repro.docmodel.wikimarkup import parse_infoboxes, parse_tables
+from repro.extraction.base import Extraction, Extractor
+from repro.extraction.normalize import normalize_number
+
+
+@dataclass
+class InfoboxExtractor(Extractor):
+    """Extract attribute–value pairs from wiki infoboxes.
+
+    Args:
+        box_types: only infoboxes of these types are read (None = all).
+        entity_field: infobox field whose value names the entity
+            (falls back to the document ID).
+        field_normalizers: field → normalizer; unlisted fields pass through
+            as stripped strings, except that purely numeric strings are
+            parsed to floats when ``auto_numeric`` is set.
+        include_fields / exclude_fields: whitelist/blacklist of field names.
+        auto_numeric: parse numeric-looking unlisted values into floats.
+    """
+
+    box_types: tuple[str, ...] | None = None
+    entity_field: str = "name"
+    field_normalizers: dict[str, Callable[[str], Any]] = field(default_factory=dict)
+    include_fields: tuple[str, ...] | None = None
+    exclude_fields: tuple[str, ...] = ()
+    auto_numeric: bool = True
+    confidence: float = 0.97
+    name: str = "infobox"
+    cost_per_char: float = 0.3
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        out: list[Extraction] = []
+        wanted = (
+            {t.lower() for t in self.box_types} if self.box_types is not None else None
+        )
+        for box in parse_infoboxes(doc):
+            if wanted is not None and box.box_type.lower() not in wanted:
+                continue
+            entity = box.fields.get(self.entity_field, doc.doc_id).strip()
+            for key, raw in box.fields.items():
+                if key == self.entity_field or not raw:
+                    continue
+                if self.include_fields is not None and key not in self.include_fields:
+                    continue
+                if key in self.exclude_fields:
+                    continue
+                span = box.field_spans.get(key)
+                if span is None:
+                    continue
+                value = self._normalize(key, raw)
+                if value is None:
+                    continue
+                out.append(
+                    Extraction(
+                        entity=entity,
+                        attribute=key,
+                        value=value,
+                        span=span,
+                        confidence=self.confidence,
+                        extractor=self.name,
+                    )
+                )
+        return out
+
+    def _normalize(self, key: str, raw: str) -> Any:
+        normalizer = self.field_normalizers.get(key)
+        if normalizer is not None:
+            return normalizer(raw)
+        stripped = raw.strip()
+        if self.auto_numeric:
+            numeric = normalize_number(stripped)
+            # Only treat as numeric when the whole value is the number.
+            if numeric is not None and stripped.replace(",", "").replace(
+                ".", "", 1
+            ).lstrip("+-").isdigit():
+                return numeric
+        return stripped
+
+
+@dataclass
+class WikiTableExtractor(Extractor):
+    """Extract rows of wiki tables as per-column attributes.
+
+    Default (wide) mode: each data row becomes one extraction per non-key
+    column, with the key column's value as the entity.  Tables lacking the
+    key column are skipped.
+
+    Pivot mode (``attribute_namer`` set): the table is treated as a
+    property list — the key cell *names the attribute* (via the namer,
+    e.g. ``September`` → ``sep_temp``) and the entity is the *page*
+    subject, located by ``page_entity_pattern`` (default: the first
+    bold ``'''Title'''`` in the page, the wiki convention).  This is how
+    per-page climate tables attach to their city.
+
+    Args:
+        key_column: header of the key column.
+        value_normalizers: header → normalizer for cell values.
+        attribute_namer: key-cell value → attribute name (enables pivot).
+        page_entity_pattern: regex whose group 1 is the page entity.
+    """
+
+    key_column: str = ""
+    value_normalizers: dict[str, Callable[[str], Any]] = field(default_factory=dict)
+    attribute_namer: Callable[[str], str | None] | None = None
+    page_entity_pattern: str = r"'''([^']+)'''"
+    confidence: float = 0.9
+    name: str = "wikitable"
+    cost_per_char: float = 0.4
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        if not self.key_column:
+            raise ValueError("key_column must be set")
+        out: list[Extraction] = []
+        page_entity = ""
+        if self.attribute_namer is not None:
+            match = re.search(self.page_entity_pattern, doc.text)
+            page_entity = match.group(1).strip() if match else doc.doc_id
+        for table in parse_tables(doc):
+            headers = [h.strip().lower() for h in table.headers]
+            key_lower = self.key_column.strip().lower()
+            if key_lower not in headers:
+                continue
+            key_idx = headers.index(key_lower)
+            for row in table.rows:
+                if key_idx >= len(row):
+                    continue
+                key_value = row[key_idx].strip()
+                if not key_value:
+                    continue
+                for idx, header in enumerate(headers):
+                    if idx == key_idx or idx >= len(row):
+                        continue
+                    raw = row[idx].strip()
+                    if not raw:
+                        continue
+                    normalizer = self.value_normalizers.get(header)
+                    value: Any = normalizer(raw) if normalizer else raw
+                    if value is None:
+                        continue
+                    if self.attribute_namer is not None:
+                        attribute = self.attribute_namer(key_value)
+                        if attribute is None:
+                            continue
+                        entity = page_entity
+                    else:
+                        attribute = header
+                        entity = key_value
+                    out.append(
+                        Extraction(
+                            entity=entity,
+                            attribute=attribute,
+                            value=value,
+                            span=table.span,
+                            confidence=self.confidence,
+                            extractor=self.name,
+                        )
+                    )
+        return out

@@ -1,0 +1,305 @@
+"""Learned extractors: Naive-Bayes token tagger and HMM sequence tagger.
+
+Both are trained from labeled spans (``LabeledExample``: a document plus
+(start, end, label) triples) using BIO encoding over tokens, and both emit
+:class:`~repro.extraction.base.Extraction` objects whose confidence is the
+model's own probability estimate — which is exactly the "uncertainty arises
+during IE" input that Figure 1's Part V manages.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.docmodel.document import Document, Span, Token
+from repro.docmodel.tokenize import Tokenizer
+from repro.extraction.base import Extraction, Extractor
+
+OUTSIDE = "O"
+_UNKNOWN = "<unk>"
+
+
+@dataclass(frozen=True)
+class LabeledExample:
+    """A training document with labeled character spans.
+
+    Attributes:
+        doc: the document.
+        labels: (start, end, label) triples; label is the attribute name.
+    """
+
+    doc: Document
+    labels: tuple[tuple[int, int, str], ...]
+
+
+def bio_encode(doc: Document, labels: Iterable[tuple[int, int, str]],
+               tokenizer: Tokenizer) -> tuple[list[Token], list[str]]:
+    """Token-level BIO tags for a document's labeled spans."""
+    tokens = tokenizer.tokenize(doc)
+    tags = [OUTSIDE] * len(tokens)
+    for start, end, label in labels:
+        inside = [
+            i for i, t in enumerate(tokens)
+            if t.span.start >= start and t.span.end <= end
+        ]
+        for pos, i in enumerate(inside):
+            tags[i] = ("B-" if pos == 0 else "I-") + label
+    return tokens, tags
+
+
+def _token_features(tokens: list[Token], i: int) -> list[str]:
+    token = tokens[i]
+    feats = [
+        f"w={token.text.lower()}",
+        f"kind={token.kind}",
+        f"cap={token.text[:1].isupper()}",
+    ]
+    if i > 0:
+        feats.append(f"prev={tokens[i - 1].text.lower()}")
+    if i + 1 < len(tokens):
+        feats.append(f"next={tokens[i + 1].text.lower()}")
+    return feats
+
+
+def _spans_from_tags(doc: Document, tokens: list[Token], tags: list[str],
+                     confidences: list[float]) -> list[tuple[str, Span, float]]:
+    """Decode BIO tags back into (label, span, mean confidence) triples."""
+    out: list[tuple[str, Span, float]] = []
+    i = 0
+    while i < len(tags):
+        tag = tags[i]
+        if tag == OUTSIDE:
+            i += 1
+            continue
+        label = tag[2:]
+        j = i + 1
+        while j < len(tags) and tags[j] == "I-" + label:
+            j += 1
+        start = tokens[i].span.start
+        end = tokens[j - 1].span.end
+        conf = sum(confidences[i:j]) / (j - i)
+        out.append((label, Span(doc.doc_id, start, end, doc.text[start:end]), conf))
+        i = j
+    return out
+
+
+@dataclass
+class NaiveBayesTokenTagger(Extractor):
+    """Multinomial Naive Bayes per-token tagger with BIO decoding.
+
+    Train with :meth:`train`; each feature is treated as an independent
+    draw; Laplace smoothing throughout.  The per-extraction confidence is
+    the mean posterior of its tokens.
+    """
+
+    value_normalizer: Callable[[str], Any] | None = None
+    name: str = "naive-bayes"
+    cost_per_char: float = 3.0
+
+    def __post_init__(self) -> None:
+        self._tokenizer = Tokenizer()
+        self._label_counts: Counter[str] = Counter()
+        self._feature_counts: dict[str, Counter[str]] = defaultdict(Counter)
+        self._vocabulary: set[str] = set()
+        self._trained = False
+
+    def train(self, examples: Iterable[LabeledExample]) -> None:
+        """Fit from labeled examples (may be called once)."""
+        for example in examples:
+            tokens, tags = bio_encode(example.doc, example.labels, self._tokenizer)
+            for i, tag in enumerate(tags):
+                self._label_counts[tag] += 1
+                for feat in _token_features(tokens, i):
+                    self._feature_counts[tag][feat] += 1
+                    self._vocabulary.add(feat)
+        if not self._label_counts:
+            raise ValueError("no training data")
+        self._trained = True
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        if not self._trained:
+            raise RuntimeError("tagger is not trained")
+        tokens = self._tokenizer.tokenize(doc)
+        tags: list[str] = []
+        confs: list[float] = []
+        for i in range(len(tokens)):
+            tag, conf = self._classify(tokens, i)
+            tags.append(tag)
+            confs.append(conf)
+        tags = self._repair_bio(tags)
+        out: list[Extraction] = []
+        for label, span, conf in _spans_from_tags(doc, tokens, tags, confs):
+            value: Any = span.text
+            if self.value_normalizer is not None:
+                value = self.value_normalizer(span.text)
+                if value is None:
+                    continue
+            out.append(
+                Extraction(entity="", attribute=label, value=value, span=span,
+                           confidence=min(max(conf, 0.0), 1.0), extractor=self.name)
+            )
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _classify(self, tokens: list[Token], i: int) -> tuple[str, float]:
+        feats = _token_features(tokens, i)
+        total = sum(self._label_counts.values())
+        vocab_size = max(len(self._vocabulary), 1)
+        scores: dict[str, float] = {}
+        for label, label_count in self._label_counts.items():
+            score = math.log(label_count / total)
+            feature_total = sum(self._feature_counts[label].values())
+            for feat in feats:
+                count = self._feature_counts[label][feat]
+                score += math.log((count + 1) / (feature_total + vocab_size))
+            scores[label] = score
+        best = max(scores, key=lambda k: scores[k])
+        # softmax over log scores for a calibrated-ish confidence
+        max_score = scores[best]
+        denom = sum(math.exp(s - max_score) for s in scores.values())
+        return best, 1.0 / denom
+
+    @staticmethod
+    def _repair_bio(tags: list[str]) -> list[str]:
+        """Fix illegal I- tags that do not continue a same-label chunk."""
+        repaired = list(tags)
+        for i, tag in enumerate(repaired):
+            if tag.startswith("I-"):
+                label = tag[2:]
+                prev = repaired[i - 1] if i > 0 else OUTSIDE
+                if prev not in ("B-" + label, "I-" + label):
+                    repaired[i] = "B-" + label
+        return repaired
+
+
+@dataclass
+class HmmSequenceTagger(Extractor):
+    """First-order HMM over BIO tags with Viterbi decoding.
+
+    Emissions are lowercased token texts with an ``<unk>`` fallback;
+    transitions and emissions use Laplace smoothing.  Confidence is the
+    ratio of the Viterbi path score to the best alternative at each token
+    (a cheap margin-based estimate), averaged over the chunk.
+    """
+
+    value_normalizer: Callable[[str], Any] | None = None
+    name: str = "hmm"
+    cost_per_char: float = 3.5
+
+    def __post_init__(self) -> None:
+        self._tokenizer = Tokenizer()
+        self._transitions: dict[str, Counter[str]] = defaultdict(Counter)
+        self._emissions: dict[str, Counter[str]] = defaultdict(Counter)
+        self._class_emissions: dict[str, Counter[str]] = defaultdict(Counter)
+        self._initial: Counter[str] = Counter()
+        self._states: list[str] = []
+        self._vocab: set[str] = set()
+        self._trained = False
+
+    def train(self, examples: Iterable[LabeledExample]) -> None:
+        for example in examples:
+            tokens, tags = bio_encode(example.doc, example.labels, self._tokenizer)
+            if not tags:
+                continue
+            self._initial[tags[0]] += 1
+            for i, tag in enumerate(tags):
+                word = tokens[i].text.lower()
+                self._emissions[tag][word] += 1
+                self._class_emissions[tag][tokens[i].kind] += 1
+                self._vocab.add(word)
+                if i + 1 < len(tags):
+                    self._transitions[tag][tags[i + 1]] += 1
+        self._states = sorted(
+            set(self._initial) | set(self._transitions)
+            | {t for c in self._transitions.values() for t in c}
+            | set(self._emissions)
+        )
+        if not self._states:
+            raise ValueError("no training data")
+        self._trained = True
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        if not self._trained:
+            raise RuntimeError("tagger is not trained")
+        tokens = self._tokenizer.tokenize(doc)
+        if not tokens:
+            return []
+        tags, margins = self._viterbi(tokens)
+        out: list[Extraction] = []
+        for label, span, conf in _spans_from_tags(doc, tokens, tags, margins):
+            value: Any = span.text
+            if self.value_normalizer is not None:
+                value = self.value_normalizer(span.text)
+                if value is None:
+                    continue
+            out.append(
+                Extraction(entity="", attribute=label, value=value, span=span,
+                           confidence=min(max(conf, 0.0), 1.0), extractor=self.name)
+            )
+        return out
+
+    # ------------------------------------------------------------ internals
+
+    def _log_emission(self, state: str, word: str, kind: str) -> float:
+        """Word emission with a token-class (word/number/punct) backoff.
+
+        The class channel lets the model generalize to unseen values: a
+        state trained only on numbers still strongly prefers emitting an
+        unseen number over an unseen word.
+        """
+        counts = self._emissions[state]
+        total = sum(counts.values())
+        vocab = len(self._vocab) + 1
+        word_p = (counts[word] + 1) / (total + vocab)
+        class_counts = self._class_emissions[state]
+        class_total = sum(class_counts.values())
+        class_p = (class_counts[kind] + 1) / (class_total + 3)
+        return math.log(word_p) + math.log(class_p)
+
+    def _log_transition(self, prev: str, state: str) -> float:
+        counts = self._transitions[prev]
+        total = sum(counts.values())
+        return math.log((counts[state] + 1) / (total + len(self._states)))
+
+    def _log_initial(self, state: str) -> float:
+        total = sum(self._initial.values())
+        return math.log((self._initial[state] + 1) / (total + len(self._states)))
+
+    def _viterbi(self, tokens: list[Token]) -> tuple[list[str], list[float]]:
+        n = len(tokens)
+        states = self._states
+        score: list[dict[str, float]] = [dict() for _ in range(n)]
+        back: list[dict[str, str]] = [dict() for _ in range(n)]
+        word0 = tokens[0].text.lower()
+        for s in states:
+            score[0][s] = self._log_initial(s) + self._log_emission(
+                s, word0, tokens[0].kind
+            )
+        for i in range(1, n):
+            word = tokens[i].text.lower()
+            for s in states:
+                emit = self._log_emission(s, word, tokens[i].kind)
+                best_prev, best_score = None, -math.inf
+                for p in states:
+                    candidate = score[i - 1][p] + self._log_transition(p, s)
+                    if candidate > best_score:
+                        best_prev, best_score = p, candidate
+                score[i][s] = best_score + emit
+                back[i][s] = best_prev or states[0]
+        last = max(states, key=lambda s: score[n - 1][s])
+        path = [last]
+        for i in range(n - 1, 0, -1):
+            path.append(back[i][path[-1]])
+        path.reverse()
+        margins: list[float] = []
+        for i, chosen in enumerate(path):
+            ordered = sorted(score[i].values(), reverse=True)
+            if len(ordered) < 2 or ordered[0] == ordered[1]:
+                margins.append(0.5)
+            else:
+                margins.append(1.0 - math.exp(ordered[1] - ordered[0]) / 2.0)
+        return path, margins

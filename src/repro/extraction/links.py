@@ -1,0 +1,56 @@
+"""Link extraction: wiki links as relational facts.
+
+Internal links (``[[Wisconsin]]``, ``[[Dane County|the county]]``) encode
+relations between pages; extracting them yields ``links_to`` facts that
+make the derived structure graph-shaped — the "increasingly structured
+Web" of Section 5 built bottom-up from pages themselves.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.docmodel.document import Document, Span
+from repro.extraction.base import Extraction, Extractor
+
+_LINK_RE = re.compile(r"\[\[([^\]|#]+)(?:#[^\]|]*)?(?:\|([^\]]*))?\]\]")
+_TITLE_RE = re.compile(r"'''([^']+)'''")
+
+
+@dataclass
+class LinkExtractor(Extractor):
+    """Extract internal wiki links as (page, links_to, target) facts.
+
+    The page entity is the first bold ``'''Title'''`` (wiki convention),
+    falling back to the document id.  Duplicate targets collapse to the
+    first occurrence.
+    """
+
+    attribute: str = "links_to"
+    confidence: float = 0.99
+    name: str = "links"
+    cost_per_char: float = 0.2
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        title_match = _TITLE_RE.search(doc.text)
+        entity = title_match.group(1).strip() if title_match else doc.doc_id
+        out: list[Extraction] = []
+        seen: set[str] = set()
+        for match in _LINK_RE.finditer(doc.text):
+            target = match.group(1).strip()
+            if not target or target in seen:
+                continue
+            seen.add(target)
+            out.append(
+                Extraction(
+                    entity=entity,
+                    attribute=self.attribute,
+                    value=target,
+                    span=Span(doc.doc_id, match.start(), match.end(),
+                              match.group()),
+                    confidence=self.confidence,
+                    extractor=self.name,
+                )
+            )
+        return out

@@ -1,0 +1,126 @@
+"""Value normalizers shared by all extractors.
+
+Raw extracted strings are semantically heterogeneous ("70", "70 °F",
+"seventy"); normalizers map them into canonical typed values so integration
+and querying operate on comparable data.
+"""
+
+from __future__ import annotations
+
+import re
+
+MONTHS = [
+    "january", "february", "march", "april", "may", "june",
+    "july", "august", "september", "october", "november", "december",
+]
+
+_MONTH_ABBREV = {m[:3]: m for m in MONTHS}
+_MONTH_INDEX = {m: i + 1 for i, m in enumerate(MONTHS)}
+
+_NUMBER_RE = re.compile(r"[+-]?\d{1,3}(?:,\d{3})+(?:\.\d+)?|[+-]?\d+(?:\.\d+)?")
+_TEMPERATURE_RE = re.compile(
+    r"(?P<value>[+-]?\d+(?:\.\d+)?)\s*(?:°\s*|degrees?\s*)?(?P<unit>[FC])?\b",
+    re.IGNORECASE,
+)
+_DATE_RE = re.compile(
+    r"(?P<month>[A-Za-z]+)\s+(?P<day>\d{1,2})\s*,?\s*(?P<year>\d{4})"
+    r"|(?P<year2>\d{4})-(?P<month2>\d{2})-(?P<day2>\d{2})"
+)
+
+_WORD_NUMBERS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+    "eleven": 11, "twelve": 12, "twenty": 20, "thirty": 30, "forty": 40,
+    "fifty": 50, "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+    "hundred": 100, "thousand": 1000, "million": 1_000_000,
+}
+
+
+def normalize_number(text: str) -> float | None:
+    """Parse a numeric string (handles thousands separators and number
+    words like "seventy"); returns None when unparseable."""
+    stripped = text.strip().lower()
+    if stripped in _WORD_NUMBERS:
+        return float(_WORD_NUMBERS[stripped])
+    match = _NUMBER_RE.search(text)
+    if match is None:
+        return None
+    return float(match.group().replace(",", ""))
+
+
+def normalize_month(text: str) -> str | None:
+    """Canonical lowercase month name from a name or abbreviation."""
+    word = text.strip().lower().rstrip(".")
+    if word in _MONTH_INDEX:
+        return word
+    if word in _MONTH_ABBREV:
+        return _MONTH_ABBREV[word]
+    return None
+
+
+def month_number(name: str) -> int | None:
+    """1-based month index from a canonical month name."""
+    canonical = normalize_month(name)
+    return _MONTH_INDEX.get(canonical) if canonical else None
+
+
+def normalize_temperature(text: str, default_unit: str = "F") -> float | None:
+    """Parse a temperature string; returns degrees Fahrenheit.
+
+    Accepts "70", "70 °F", "21 C", "70 degrees".  Celsius values are
+    converted to Fahrenheit.
+    """
+    match = _TEMPERATURE_RE.search(text)
+    if match is None:
+        return None
+    value = float(match.group("value"))
+    unit = (match.group("unit") or default_unit).upper()
+    if unit == "C":
+        return value * 9.0 / 5.0 + 32.0
+    return value
+
+
+def normalize_date(text: str) -> str | None:
+    """Parse a date into ISO ``YYYY-MM-DD``; returns None if unparseable.
+
+    Accepts "September 8, 2008" and "2008-09-08".
+    """
+    match = _DATE_RE.search(text)
+    if match is None:
+        return None
+    if match.group("year2"):
+        year, month, day = (
+            int(match.group("year2")), int(match.group("month2")),
+            int(match.group("day2")),
+        )
+    else:
+        month_idx = month_number(match.group("month"))
+        if month_idx is None:
+            return None
+        year, month, day = int(match.group("year")), month_idx, int(match.group("day"))
+    if not 1 <= month <= 12 or not 1 <= day <= 31:
+        return None
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+_NAME_SUFFIXES = {"jr", "sr", "ii", "iii", "phd", "md"}
+
+
+def normalize_person_name(text: str) -> str:
+    """Canonical "First Last" form of a person name.
+
+    Handles "Last, First", strips titles and suffixes, collapses spaces.
+    Initials are kept ("D. Smith" stays "D. Smith") — full resolution of
+    initials against full names is the integration layer's job.
+    """
+    cleaned = text.strip()
+    cleaned = re.sub(r"^(dr|prof|mr|mrs|ms)\.?\s+", "", cleaned, flags=re.IGNORECASE)
+    if "," in cleaned:
+        last, _, first = cleaned.partition(",")
+        candidate_suffix = first.strip().lower().rstrip(".")
+        if candidate_suffix in _NAME_SUFFIXES:
+            cleaned = last.strip()
+        else:
+            cleaned = f"{first.strip()} {last.strip()}"
+    parts = [p for p in cleaned.split() if p.lower().rstrip(".") not in _NAME_SUFFIXES]
+    return " ".join(parts)

@@ -1,0 +1,83 @@
+"""Regex-based extraction.
+
+The workhorse pattern extractor: a compiled regex whose *named groups* name
+the attributes to emit.  An optional ``entity_group`` names the group whose
+match becomes the extraction's entity; an optional normalizer per attribute
+turns the raw match into a typed value.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.docmodel.document import Document, Span
+from repro.extraction.base import Extraction, Extractor
+
+Normalizer = Callable[[str], Any]
+
+
+@dataclass
+class RegexExtractor(Extractor):
+    """Extract attribute–value pairs with a regular expression.
+
+    Args:
+        pattern: regex with named groups; each group ``g`` (other than the
+            entity group) yields an extraction with attribute ``g``.
+        entity_group: name of the group providing the entity, or None.
+        normalizers: attribute → normalizer; a normalizer returning None
+            suppresses the extraction (unparseable value).
+        confidence: confidence assigned to each produced extraction.
+        attribute_prefix: prepended to every attribute name (lets one
+            pattern be reused for, say, ``temp_`` attributes).
+    """
+
+    pattern: str | re.Pattern = ""
+    entity_group: str | None = None
+    normalizers: dict[str, Normalizer] = field(default_factory=dict)
+    confidence: float = 0.9
+    attribute_prefix: str = ""
+    name: str = "regex"
+    cost_per_char: float = 1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.pattern, str):
+            self._compiled = re.compile(self.pattern)
+        else:
+            self._compiled = self.pattern
+        if not self._compiled.groupindex:
+            raise ValueError("pattern must define at least one named group")
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        out: list[Extraction] = []
+        for match in self._compiled.finditer(doc.text):
+            entity = ""
+            if self.entity_group is not None:
+                raw_entity = match.group(self.entity_group)
+                entity = raw_entity.strip() if raw_entity else ""
+            for group_name in self._compiled.groupindex:
+                if group_name == self.entity_group:
+                    continue
+                raw = match.group(group_name)
+                if raw is None:
+                    continue
+                value: Any = raw.strip()
+                normalizer = self.normalizers.get(group_name)
+                if normalizer is not None:
+                    value = normalizer(raw)
+                    if value is None:
+                        continue
+                span = Span(doc.doc_id, match.start(group_name),
+                            match.end(group_name), raw)
+                out.append(
+                    Extraction(
+                        entity=entity,
+                        attribute=self.attribute_prefix + group_name,
+                        value=value,
+                        span=span,
+                        confidence=self.confidence,
+                        extractor=self.name,
+                    )
+                )
+        return out

@@ -1,0 +1,141 @@
+"""Rule-cascade extraction over sentences.
+
+A :class:`ContextRule` fires when a sentence contains given *trigger*
+keywords and a value matching a regex; the rule names the attribute and can
+bind the entity from a dictionary hit in the same sentence.  A cascade runs
+rules in priority order; by default a later (lower-priority) rule will not
+re-extract a span already claimed by an earlier rule — the classic cascade
+discipline of CPSL-style IE systems.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.docmodel.document import Document, Span
+from repro.docmodel.tokenize import SentenceSplitter
+from repro.extraction.base import Extraction, Extractor
+from repro.extraction.dictionary import DictionaryExtractor
+
+
+@dataclass
+class ContextRule:
+    """One extraction rule.
+
+    Attributes:
+        attribute: attribute to emit.
+        triggers: all of these keywords must occur in the sentence
+            (case-insensitive).
+        value_pattern: regex whose first group (or whole match) is the value.
+        normalizer: applied to the raw value; returning None suppresses.
+        confidence: confidence of extractions from this rule.
+        priority: lower numbers run first in the cascade.
+    """
+
+    attribute: str
+    triggers: tuple[str, ...]
+    value_pattern: str
+    normalizer: Callable[[str], Any] | None = None
+    confidence: float = 0.8
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        self._compiled = re.compile(self.value_pattern)
+        self._trigger_res = [
+            re.compile(r"\b" + re.escape(t) + r"\b", re.IGNORECASE)
+            for t in self.triggers
+        ]
+
+    def matches_context(self, sentence: str) -> bool:
+        return all(t.search(sentence) for t in self._trigger_res)
+
+    def find_values(self, sentence: str) -> list[tuple[int, int, str]]:
+        """(start, end, raw) triples of value matches within the sentence."""
+        hits: list[tuple[int, int, str]] = []
+        for match in self._compiled.finditer(sentence):
+            if match.groups():
+                hits.append((match.start(1), match.end(1), match.group(1)))
+            else:
+                hits.append((match.start(), match.end(), match.group()))
+        return hits
+
+
+@dataclass
+class RuleCascadeExtractor(Extractor):
+    """Run a prioritized cascade of context rules per sentence.
+
+    Args:
+        rules: the cascade; executed in ascending priority.
+        entity_dictionary: optional gazetteer used to bind the entity of
+            each extraction to a dictionary mention in the same sentence
+            (the nearest one to the value).
+        suppress_overlaps: when True (default), spans claimed by an earlier
+            rule are off-limits to later rules.
+    """
+
+    rules: list[ContextRule] = field(default_factory=list)
+    entity_dictionary: DictionaryExtractor | None = None
+    suppress_overlaps: bool = True
+    name: str = "rule-cascade"
+    cost_per_char: float = 2.0
+
+    def __post_init__(self) -> None:
+        self._splitter = SentenceSplitter()
+
+    def prefilter_terms(self) -> list[list[str]] | None:
+        """A rule only fires on sentences containing all its triggers, so a
+        document must contain some rule's full trigger set to yield output."""
+        groups = [list(rule.triggers) for rule in self.rules if rule.triggers]
+        return groups or None
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        entity_mentions = (
+            self.entity_dictionary.extract(doc) if self.entity_dictionary else []
+        )
+        out: list[Extraction] = []
+        claimed: list[Span] = []
+        for sentence_span in self._splitter.split(doc):
+            sentence = sentence_span.text
+            for rule in sorted(self.rules, key=lambda r: r.priority):
+                if not rule.matches_context(sentence):
+                    continue
+                for rel_start, rel_end, raw in rule.find_values(sentence):
+                    abs_start = sentence_span.start + rel_start
+                    abs_end = sentence_span.start + rel_end
+                    span = Span(doc.doc_id, abs_start, abs_end, raw)
+                    if self.suppress_overlaps and any(
+                        span.overlaps(c) for c in claimed
+                    ):
+                        continue
+                    value: Any = raw
+                    if rule.normalizer is not None:
+                        value = rule.normalizer(raw)
+                        if value is None:
+                            continue
+                    entity = self._nearest_entity(entity_mentions, sentence_span, span)
+                    out.append(
+                        Extraction(
+                            entity=entity,
+                            attribute=rule.attribute,
+                            value=value,
+                            span=span,
+                            confidence=rule.confidence,
+                            extractor=f"{self.name}:{rule.attribute}",
+                        )
+                    )
+                    claimed.append(span)
+        return out
+
+    @staticmethod
+    def _nearest_entity(mentions: list[Extraction], sentence: Span,
+                        value_span: Span) -> str:
+        in_sentence = [m for m in mentions if sentence.contains(m.span)]
+        if not in_sentence:
+            return ""
+        nearest = min(
+            in_sentence,
+            key=lambda m: abs(m.span.start - value_span.start),
+        )
+        return nearest.entity

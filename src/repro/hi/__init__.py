@@ -1,0 +1,40 @@
+"""Human intervention (HI) — Figure 1, processing layer Part I + user layer.
+
+The DGE model makes human feedback a first-class operator: the system
+isolates decisions that are hard for algorithms but easy for people
+(verify a match, validate a value, pick from a short candidate list) and
+routes them to users — possibly many users, in mass-collaboration fashion,
+with reputation-weighted aggregation and incentives.
+
+Because we have no live users (see DESIGN.md substitutions), the crowd is
+simulated: each :class:`SimulatedWorker` has a calibrated accuracy and an
+*attention budget* — it can recognize a correct candidate only within the
+first few options it inspects.  That budget is what makes Section 3.3's
+recognition-vs-generation principle measurable (experiment E3).
+"""
+
+from repro.hi.tasks import (
+    HiTask,
+    VerifyMatchTask,
+    SelectCandidateTask,
+    ValidateValueTask,
+    GenerateAnswerTask,
+    TaskQueue,
+)
+from repro.hi.crowd import SimulatedCrowd, SimulatedWorker
+from repro.hi.aggregate import aggregate_majority, aggregate_weighted
+from repro.hi.reputation import ReputationManager
+
+__all__ = [
+    "HiTask",
+    "VerifyMatchTask",
+    "SelectCandidateTask",
+    "ValidateValueTask",
+    "GenerateAnswerTask",
+    "TaskQueue",
+    "SimulatedCrowd",
+    "SimulatedWorker",
+    "aggregate_majority",
+    "aggregate_weighted",
+    "ReputationManager",
+]

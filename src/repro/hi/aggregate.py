@@ -1,0 +1,66 @@
+"""Aggregating multiple workers' answers (mass collaboration).
+
+Two strategies, ablated in experiment E2:
+
+* :func:`aggregate_majority` — one worker one vote;
+* :func:`aggregate_weighted` — votes weighted by worker reputation (see
+  :class:`~repro.hi.reputation.ReputationManager`), which downweights
+  unreliable contributors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Mapping, Sequence
+
+from repro.hi.tasks import TaskResponse
+
+
+def aggregate_majority(responses: Sequence[TaskResponse]) -> tuple[Any, float]:
+    """Plurality answer and its vote share.
+
+    Returns:
+        (winning answer, fraction of votes it received).
+
+    Raises:
+        ValueError: no responses.
+    """
+    if not responses:
+        raise ValueError("no responses to aggregate")
+    votes: dict[Any, int] = defaultdict(int)
+    for response in responses:
+        votes[response.answer] += 1
+    winner = max(votes.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+    return winner, votes[winner] / len(responses)
+
+
+def aggregate_weighted(
+    responses: Sequence[TaskResponse],
+    weights: Mapping[str, float],
+    default_weight: float = 0.5,
+) -> tuple[Any, float]:
+    """Reputation-weighted vote.
+
+    Args:
+        responses: workers' answers.
+        weights: worker_id → reputation weight in [0, 1].
+        default_weight: weight for workers without a reputation yet.
+
+    Returns:
+        (winning answer, its weight share of the total).
+
+    Raises:
+        ValueError: no responses.
+    """
+    if not responses:
+        raise ValueError("no responses to aggregate")
+    votes: dict[Any, float] = defaultdict(float)
+    total = 0.0
+    for response in responses:
+        weight = weights.get(response.worker_id, default_weight)
+        votes[response.answer] += weight
+        total += weight
+    if total <= 0:
+        return aggregate_majority(responses)
+    winner = max(votes.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+    return winner, votes[winner] / total

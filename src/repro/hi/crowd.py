@@ -1,0 +1,141 @@
+"""Simulated crowd of human workers.
+
+Substitutes for the live Web 2.0 users the paper envisions (see DESIGN.md).
+Each worker has:
+
+* ``accuracy`` — probability of answering a binary question correctly;
+* ``attention_budget`` — how many candidates of a ranked list the worker
+  actually inspects before giving up (Section 3.3: humans can *recognize*
+  a correct option among a manageable number, but are swamped by long
+  lists);
+* ``generation_skill`` — probability of producing a correct answer from
+  scratch with no candidate support (much lower than recognition accuracy,
+  which is the paper's recognition-vs-generation asymmetry).
+
+Workers are deterministic given the seed, so every experiment is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.hi.tasks import (
+    GenerateAnswerTask,
+    HiTask,
+    SelectCandidateTask,
+    TaskResponse,
+    ValidateValueTask,
+    VerifyMatchTask,
+)
+
+
+@dataclass
+class SimulatedWorker:
+    """One simulated human.
+
+    Attributes:
+        worker_id: stable identifier.
+        accuracy: P(correct) on binary verify/validate questions.
+        attention_budget: candidates inspected in selection tasks.
+        generation_skill: P(correct) on open generation tasks.
+        seed: RNG seed for this worker.
+    """
+
+    worker_id: str
+    accuracy: float = 0.9
+    attention_budget: int = 8
+    generation_skill: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        self._rng = random.Random((self.seed, self.worker_id).__repr__())
+
+    def answer(self, task: HiTask, truth: Any) -> TaskResponse:
+        """Answer a task given the (hidden) ground truth.
+
+        The truth parameter is what the experiment harness knows; the worker
+        only *probabilistically* reflects it, per its skill model.
+        """
+        if isinstance(task, (VerifyMatchTask, ValidateValueTask)):
+            correct = self._rng.random() < self.accuracy
+            answer = bool(truth) if correct else not bool(truth)
+            return TaskResponse(task.task_id, self.worker_id, answer)
+        if isinstance(task, SelectCandidateTask):
+            return self._answer_selection(task, truth)
+        if isinstance(task, GenerateAnswerTask):
+            if self._rng.random() < self.generation_skill:
+                return TaskResponse(task.task_id, self.worker_id, truth)
+            return TaskResponse(task.task_id, self.worker_id, None)
+        raise TypeError(f"unknown task type {type(task).__name__}")
+
+    def _answer_selection(self, task: SelectCandidateTask, truth: Any) -> TaskResponse:
+        """Pick from candidates: recognition succeeds only within the
+        attention budget, with accuracy-probability, else a confused pick."""
+        candidates = task.candidates
+        inspected = candidates[: self.attention_budget]
+        if truth in inspected and self._rng.random() < self.accuracy:
+            return TaskResponse(task.task_id, self.worker_id,
+                                candidates.index(truth))
+        # Confused: sometimes picks a wrong inspected option, sometimes none.
+        if inspected and self._rng.random() < 0.5:
+            wrong = [i for i, c in enumerate(inspected) if c != truth]
+            if wrong:
+                return TaskResponse(task.task_id, self.worker_id,
+                                    self._rng.choice(wrong))
+        return TaskResponse(task.task_id, self.worker_id, -1)
+
+
+@dataclass
+class SimulatedCrowd:
+    """A pool of simulated workers with assignment plumbing.
+
+    Args:
+        workers: the pool; build with :meth:`uniform` for quick setups.
+    """
+
+    workers: list[SimulatedWorker] = field(default_factory=list)
+
+    @staticmethod
+    def uniform(n: int, accuracy: float = 0.9, attention_budget: int = 8,
+                generation_skill: float = 0.25, seed: int = 0) -> "SimulatedCrowd":
+        """A crowd of ``n`` identical-skill workers (distinct RNG streams)."""
+        return SimulatedCrowd(
+            workers=[
+                SimulatedWorker(
+                    worker_id=f"w{i}",
+                    accuracy=accuracy,
+                    attention_budget=attention_budget,
+                    generation_skill=generation_skill,
+                    seed=seed + i,
+                )
+                for i in range(n)
+            ]
+        )
+
+    @staticmethod
+    def mixed(accuracies: Sequence[float], seed: int = 0,
+              attention_budget: int = 8) -> "SimulatedCrowd":
+        """A crowd with explicit per-worker accuracies (reputation tests)."""
+        return SimulatedCrowd(
+            workers=[
+                SimulatedWorker(worker_id=f"w{i}", accuracy=a, seed=seed + i,
+                                attention_budget=attention_budget)
+                for i, a in enumerate(accuracies)
+            ]
+        )
+
+    def ask(self, task: HiTask, truth: Any,
+            redundancy: int | None = None) -> list[TaskResponse]:
+        """Collect answers from ``redundancy`` workers (default: all)."""
+        if not self.workers:
+            raise ValueError("crowd is empty")
+        chosen = self.workers if redundancy is None else self.workers[:redundancy]
+        return [worker.answer(task, truth) for worker in chosen]
+
+    def __len__(self) -> int:
+        return len(self.workers)

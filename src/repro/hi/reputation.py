@@ -1,0 +1,76 @@
+"""Worker reputation and incentives.
+
+The user layer "manage[s] incentive schemes for soliciting user feedback,
+and manage[s] user reputation (e.g., for mass collaboration)".  The
+reputation manager tracks, per worker, a Beta-style (correct, total)
+record updated from gold questions or from agreement with the aggregate,
+and awards incentive points per accepted contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.hi.tasks import TaskResponse
+
+
+@dataclass
+class _WorkerRecord:
+    correct: float = 1.0  # Beta(1,1) prior
+    total: float = 2.0
+    points: int = 0
+
+
+@dataclass
+class ReputationManager:
+    """Tracks reliability and incentive points per worker.
+
+    Reputation is the posterior mean P(correct) under a Beta(1,1) prior;
+    new workers start at 0.5.
+    """
+
+    points_per_accepted: int = 1
+    _records: dict[str, _WorkerRecord] = field(default_factory=dict)
+
+    def reputation(self, worker_id: str) -> float:
+        """Posterior mean accuracy for a worker (0.5 when unknown)."""
+        record = self._records.get(worker_id)
+        if record is None:
+            return 0.5
+        return record.correct / record.total
+
+    def weights(self) -> dict[str, float]:
+        """worker_id → reputation, for the weighted aggregator."""
+        return {wid: self.reputation(wid) for wid in self._records}
+
+    def points(self, worker_id: str) -> int:
+        record = self._records.get(worker_id)
+        return record.points if record else 0
+
+    def record_gold(self, worker_id: str, was_correct: bool) -> None:
+        """Update from a gold (known-answer) question."""
+        record = self._records.setdefault(worker_id, _WorkerRecord())
+        record.total += 1
+        if was_correct:
+            record.correct += 1
+            record.points += self.points_per_accepted
+
+    def record_agreement(self, responses: Sequence[TaskResponse],
+                         accepted_answer: Any) -> None:
+        """Update every responder against the aggregate decision.
+
+        Workers agreeing with the accepted answer are treated as correct —
+        the standard EM-flavoured bootstrap when no gold labels exist.
+        """
+        for response in responses:
+            self.record_gold(response.worker_id,
+                             response.answer == accepted_answer)
+
+    def leaderboard(self, k: int = 10) -> list[tuple[str, int]]:
+        """Top-k workers by incentive points (the incentive scheme's UI)."""
+        ranked = sorted(
+            ((wid, rec.points) for wid, rec in self._records.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:k]

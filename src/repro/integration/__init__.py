@@ -1,0 +1,49 @@
+"""Information integration (II) — Figure 1, processing layer Part I.
+
+Extracted structure is semantically heterogeneous: "David Smith" and
+"D. Smith" may be one person; ``location`` and ``address`` may be one
+attribute.  This subpackage resolves that heterogeneity:
+
+* :mod:`repro.integration.similarity` — string/set similarity measures;
+* :mod:`repro.integration.schema_matching` — attribute correspondences
+  between extracted schemas (name + instance based);
+* :mod:`repro.integration.entity_resolution` — blocking, pairwise scoring,
+  and transitive clustering of entity mentions, with support for must-link
+  / cannot-link constraints contributed by humans (HI);
+* :mod:`repro.integration.fusion` — conflict resolution when multiple
+  extractions disagree on one (entity, attribute).
+"""
+
+from repro.integration.similarity import (
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+    token_cosine,
+)
+from repro.integration.schema_matching import AttributeMatch, SchemaMatcher
+from repro.integration.entity_resolution import (
+    EntityCluster,
+    EntityResolver,
+    MatchConstraints,
+    Mention,
+    MentionPair,
+)
+from repro.integration.fusion import FusedValue, fuse_extractions
+
+__all__ = [
+    "jaccard",
+    "levenshtein",
+    "jaro_winkler",
+    "token_cosine",
+    "name_similarity",
+    "SchemaMatcher",
+    "AttributeMatch",
+    "EntityResolver",
+    "EntityCluster",
+    "Mention",
+    "MentionPair",
+    "MatchConstraints",
+    "fuse_extractions",
+    "FusedValue",
+]

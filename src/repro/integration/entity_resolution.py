@@ -1,0 +1,242 @@
+"""Entity resolution: deciding which mentions denote the same real entity.
+
+Pipeline: *blocking* (group mentions by a cheap key so only within-block
+pairs are scored), *pairwise scoring* (name similarity plus optional
+attribute agreement), and *clustering* (union-find transitive closure over
+pairs above threshold).  Human feedback enters as must-link / cannot-link
+constraints (:class:`MatchConstraints`) which override scores — the II+HI
+combination the DGE model calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.integration.similarity import name_similarity
+
+
+@dataclass(frozen=True)
+class Mention:
+    """One entity mention: a surface name plus optional attributes."""
+
+    mention_id: int
+    name: str
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    def attr_dict(self) -> dict[str, Any]:
+        return dict(self.attributes)
+
+
+@dataclass(frozen=True)
+class MentionPair:
+    """A scored candidate pair."""
+
+    left: int
+    right: int
+    score: float
+
+
+@dataclass
+class MatchConstraints:
+    """HI feedback: pairs that must or must not co-refer.
+
+    Constraint pairs are stored order-normalized.
+    """
+
+    must_link: set[tuple[int, int]] = field(default_factory=set)
+    cannot_link: set[tuple[int, int]] = field(default_factory=set)
+
+    def add_must(self, a: int, b: int) -> None:
+        self.must_link.add(_norm(a, b))
+        self.cannot_link.discard(_norm(a, b))
+
+    def add_cannot(self, a: int, b: int) -> None:
+        self.cannot_link.add(_norm(a, b))
+        self.must_link.discard(_norm(a, b))
+
+    def __len__(self) -> int:
+        return len(self.must_link) + len(self.cannot_link)
+
+
+def _norm(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class EntityCluster:
+    """One resolved entity: member mention IDs and a canonical name."""
+
+    cluster_id: int
+    mention_ids: tuple[int, ...]
+    canonical_name: str
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+
+def default_blocking_key(mention: Mention) -> Hashable:
+    """Default blocking: first letter of the surname.
+
+    Handles both "First Last" and "Last, First" orders (the surname is the
+    token before the comma when one is present).  Catches
+    "David Smith" / "D. Smith" / "Smith, David" — all block on ``s`` —
+    while keeping blocks small.
+    """
+    name = mention.name
+    if "," in name:
+        surname = name.split(",", 1)[0].strip()
+    else:
+        tokens = [t for t in name.split() if t]
+        surname = tokens[-1] if tokens else ""
+    return surname[:1].lower()
+
+
+@dataclass
+class EntityResolver:
+    """Blocking + scoring + transitive clustering entity resolver.
+
+    Args:
+        threshold: pair score at/above which two mentions are linked.
+        blocking_key: mention → block key; ``None`` disables blocking
+            (all-pairs scoring — the ablation in experiment E2's harness).
+        attribute_weight: how much agreeing/conflicting shared attributes
+            shift the name score (agreement adds, conflict subtracts).
+        scorer: override the pairwise scoring function entirely.
+    """
+
+    threshold: float = 0.82
+    blocking_key: Callable[[Mention], Hashable] | None = default_blocking_key
+    attribute_weight: float = 0.1
+    scorer: Callable[[Mention, Mention], float] | None = None
+
+    def score_pair(self, a: Mention, b: Mention) -> float:
+        """Pairwise co-reference score in [0, 1]."""
+        if self.scorer is not None:
+            return self.scorer(a, b)
+        score = name_similarity(a.name, b.name)
+        attrs_a, attrs_b = a.attr_dict(), b.attr_dict()
+        shared = set(attrs_a) & set(attrs_b)
+        for key in shared:
+            if attrs_a[key] == attrs_b[key]:
+                score = min(1.0, score + self.attribute_weight)
+            else:
+                score = max(0.0, score - self.attribute_weight)
+        return score
+
+    def candidate_pairs(self, mentions: Sequence[Mention]) -> list[MentionPair]:
+        """Scored within-block pairs (all pairs when blocking is off)."""
+        pairs: list[MentionPair] = []
+        if self.blocking_key is None:
+            blocks: dict[Hashable, list[Mention]] = {"": list(mentions)}
+        else:
+            blocks = {}
+            for mention in mentions:
+                blocks.setdefault(self.blocking_key(mention), []).append(mention)
+        for members in blocks.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    score = self.score_pair(members[i], members[j])
+                    pairs.append(
+                        MentionPair(members[i].mention_id,
+                                    members[j].mention_id, score)
+                    )
+        pairs.sort(key=lambda p: -p.score)
+        return pairs
+
+    def resolve(
+        self,
+        mentions: Sequence[Mention],
+        constraints: MatchConstraints | None = None,
+    ) -> list[EntityCluster]:
+        """Cluster mentions into entities.
+
+        Constraints override scores (constrained clustering): must-link
+        pairs are merged first; a score-driven merge is *skipped entirely*
+        when the union would bring any cannot-link pair into one cluster —
+        so human "not the same" answers sever transitive bridges, which is
+        precisely how HI feedback repairs over-merging.
+        """
+        constraints = constraints or MatchConstraints()
+        index_of = {m.mention_id: i for i, m in enumerate(mentions)}
+        uf = _UnionFind(len(mentions))
+        cannot_indexed = [
+            (index_of[a], index_of[b])
+            for a, b in constraints.cannot_link
+            if a in index_of and b in index_of
+        ]
+
+        def would_violate(i: int, j: int) -> bool:
+            ri, rj = uf.find(i), uf.find(j)
+            if ri == rj:
+                return False
+            for a, b in cannot_indexed:
+                ra, rb = uf.find(a), uf.find(b)
+                if {ra, rb} == {ri, rj}:
+                    return True
+            return False
+
+        for a, b in constraints.must_link:
+            if a in index_of and b in index_of:
+                uf.union(index_of[a], index_of[b])
+        for pair in self.candidate_pairs(mentions):
+            key = _norm(pair.left, pair.right)
+            if key in constraints.must_link:
+                continue  # already merged
+            if pair.score < self.threshold:
+                continue
+            i, j = index_of[pair.left], index_of[pair.right]
+            if key in constraints.cannot_link or would_violate(i, j):
+                continue
+            uf.union(i, j)
+        groups: dict[int, list[Mention]] = {}
+        for mention in mentions:
+            groups.setdefault(uf.find(index_of[mention.mention_id]), []).append(mention)
+        clusters: list[EntityCluster] = []
+        for cluster_id, members in enumerate(
+            sorted(groups.values(), key=lambda ms: min(m.mention_id for m in ms))
+        ):
+            canonical = max(members, key=lambda m: (len(m.name), m.name)).name
+            clusters.append(
+                EntityCluster(
+                    cluster_id=cluster_id,
+                    mention_ids=tuple(sorted(m.mention_id for m in members)),
+                    canonical_name=canonical,
+                )
+            )
+        return clusters
+
+    def uncertain_pairs(self, mentions: Sequence[Mention],
+                        band: float = 0.15, limit: int | None = None) -> list[MentionPair]:
+        """Pairs near the threshold — the most informative HI questions.
+
+        Returns pairs with ``|score - threshold| <= band``, most uncertain
+        first; these are what the system routes to the human task queue.
+        """
+        pairs = [
+            p for p in self.candidate_pairs(mentions)
+            if abs(p.score - self.threshold) <= band
+        ]
+        pairs.sort(key=lambda p: abs(p.score - self.threshold))
+        return pairs[:limit] if limit is not None else pairs

@@ -1,0 +1,122 @@
+"""Value fusion: resolving conflicting extractions.
+
+After extraction and entity resolution, several extractions may claim
+different values for the same (entity, attribute) — e.g. an infobox says a
+temperature is 70 while a noisy free-text extractor read 7.  Fusion picks a
+single value per (entity, attribute) and assigns it a fused confidence.
+
+Strategies:
+
+* ``max_confidence`` — take the highest-confidence extraction;
+* ``weighted_vote`` — sum confidences per distinct value, take the winner;
+* ``numeric_median`` — for numeric values, the confidence-weighted median
+  (robust to single corrupted readings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.docmodel.document import Span
+from repro.extraction.base import Extraction
+
+
+@dataclass(frozen=True)
+class FusedValue:
+    """The fusion result for one (entity, attribute).
+
+    Attributes:
+        entity / attribute: the key.
+        value: the chosen value.
+        confidence: fused belief in the chosen value, in [0, 1].
+        support: number of extractions agreeing with the chosen value.
+        conflict: number of extractions disagreeing.
+        spans: provenance spans of the supporting extractions.
+    """
+
+    entity: str
+    attribute: str
+    value: Any
+    confidence: float
+    support: int
+    conflict: int
+    spans: tuple[Span, ...]
+
+
+def _weighted_median(pairs: list[tuple[float, float]]) -> float:
+    """Median of values weighted by confidence; pairs are (value, weight)."""
+    ordered = sorted(pairs)
+    total = sum(w for _, w in ordered)
+    acc = 0.0
+    for value, weight in ordered:
+        acc += weight
+        if acc >= total / 2.0:
+            return value
+    return ordered[-1][0]
+
+
+def fuse_extractions(extractions: Sequence[Extraction],
+                     strategy: str = "weighted_vote") -> list[FusedValue]:
+    """Fuse extractions into one value per (entity, attribute).
+
+    Args:
+        extractions: input extractions (any order).
+        strategy: ``max_confidence`` | ``weighted_vote`` | ``numeric_median``.
+
+    Raises:
+        ValueError: unknown strategy.
+    """
+    if strategy not in ("max_confidence", "weighted_vote", "numeric_median"):
+        raise ValueError(f"unknown fusion strategy {strategy!r}")
+    groups: dict[tuple[str, str], list[Extraction]] = {}
+    for extraction in extractions:
+        groups.setdefault((extraction.entity, extraction.attribute), []).append(
+            extraction
+        )
+    fused: list[FusedValue] = []
+    for (entity, attribute), members in sorted(groups.items()):
+        if strategy == "max_confidence":
+            chosen_value = max(members, key=lambda e: e.confidence).value
+        elif strategy == "numeric_median" and all(
+            isinstance(m.value, (int, float)) and not isinstance(m.value, bool)
+            for m in members
+        ):
+            chosen_value = _weighted_median(
+                [(float(m.value), m.confidence) for m in members]
+            )
+        else:
+            votes: dict[Any, float] = {}
+            for member in members:
+                votes[member.value] = votes.get(member.value, 0.0) + member.confidence
+            chosen_value = max(votes.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+        supporters = [m for m in members if _agrees(m.value, chosen_value, strategy)]
+        conflicters = len(members) - len(supporters)
+        support_conf = sum(m.confidence for m in supporters)
+        total_conf = sum(m.confidence for m in members)
+        confidence = support_conf / total_conf if total_conf else 0.0
+        # Independent agreeing sources increase belief beyond any single one.
+        best_single = max((m.confidence for m in supporters), default=0.0)
+        confidence = max(confidence * best_single + (1 - best_single) * confidence,
+                         best_single * confidence)
+        fused.append(
+            FusedValue(
+                entity=entity,
+                attribute=attribute,
+                value=chosen_value,
+                confidence=min(confidence, 1.0),
+                support=len(supporters),
+                conflict=conflicters,
+                spans=tuple(m.span for m in supporters),
+            )
+        )
+    return fused
+
+
+def _agrees(value: Any, chosen: Any, strategy: str) -> bool:
+    if strategy == "numeric_median" and isinstance(value, (int, float)) and isinstance(
+        chosen, (int, float)
+    ):
+        scale = max(abs(float(chosen)), 1.0)
+        return abs(float(value) - float(chosen)) <= 0.05 * scale
+    return value == chosen

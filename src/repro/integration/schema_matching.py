@@ -1,0 +1,230 @@
+"""Schema matching: attribute correspondences between extracted schemas.
+
+The paper's example: ``location`` extracted from one infobox and
+``address`` from another may denote the same attribute.  The matcher scores
+candidate attribute pairs by a weighted blend of
+
+* *name similarity* (Jaro–Winkler over the attribute names, plus a
+  synonym table for common cases), and
+* *instance similarity* (how alike the observed value distributions are:
+  type agreement, value overlap, and numeric-range overlap),
+
+then returns correspondences above a threshold, optionally constrained to a
+1:1 mapping by greedy stable selection.  Human feedback (HI) can pin or
+forbid specific pairs before matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.integration.similarity import jaro_winkler
+
+_DEFAULT_SYNONYMS: dict[frozenset[str], float] = {
+    frozenset({"location", "address"}): 0.9,
+    frozenset({"location", "place"}): 0.85,
+    frozenset({"population", "pop"}): 0.95,
+    frozenset({"temperature", "temp"}): 0.95,
+    frozenset({"name", "title"}): 0.8,
+    frozenset({"birth_date", "born"}): 0.85,
+    frozenset({"employer", "affiliation"}): 0.8,
+    frozenset({"phone", "telephone"}): 0.95,
+}
+
+
+def _abbreviation_token_similarity(tokens_a: list[str],
+                                   tokens_b: list[str]) -> float:
+    """Token-alignment similarity where an abbreviation matches its
+    expansion: ``sep`` ~ ``september``, ``temp`` ~ ``temperature``.
+
+    Greedy best-pair alignment; per-pair score is 1.0 for equality, 0.92
+    for a prefix/abbreviation pair (at least 3 shared leading chars), else
+    Jaro–Winkler if above 0.85.  The result is the mean aligned score over
+    the longer token list, so ``august_temperature`` vs ``oct_temp`` scores
+    far below ``august_temperature`` vs ``aug_temp``.
+    """
+    if not tokens_a or not tokens_b:
+        return 1.0 if tokens_a == tokens_b else 0.0
+    if len(tokens_a) > len(tokens_b):
+        tokens_a, tokens_b = tokens_b, tokens_a
+    used = [False] * len(tokens_b)
+    total = 0.0
+    for ta in tokens_a:
+        best, best_j = 0.0, -1
+        for j, tb in enumerate(tokens_b):
+            if used[j]:
+                continue
+            if ta == tb:
+                score = 1.0
+            elif len(ta) >= 3 and tb.startswith(ta):
+                score = 0.92
+            elif len(tb) >= 3 and ta.startswith(tb):
+                score = 0.92
+            else:
+                score = jaro_winkler(ta, tb)
+                if score < 0.85:
+                    score = 0.0
+            if score > best:
+                best, best_j = score, j
+        if best_j >= 0:
+            used[best_j] = True
+            total += best
+    return total / max(len(tokens_a), len(tokens_b))
+
+
+@dataclass(frozen=True)
+class AttributeMatch:
+    """One proposed correspondence between two attributes."""
+
+    left: str
+    right: str
+    score: float
+    name_score: float
+    instance_score: float
+
+
+def _value_type(value: Any) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    return "text"
+
+
+def _instance_similarity(values_a: Sequence[Any], values_b: Sequence[Any]) -> float:
+    """Similarity of two observed value samples, in [0, 1]."""
+    if not values_a or not values_b:
+        return 0.0
+    types_a = {_value_type(v) for v in values_a}
+    types_b = {_value_type(v) for v in values_b}
+    if not types_a & types_b:
+        return 0.0
+    if types_a == {"number"} and types_b == {"number"}:
+        nums_a = [float(v) for v in values_a]
+        nums_b = [float(v) for v in values_b]
+        lo = max(min(nums_a), min(nums_b))
+        hi = min(max(nums_a), max(nums_b))
+        span = max(max(nums_a), max(nums_b)) - min(min(nums_a), min(nums_b))
+        if span <= 0:
+            return 1.0 if nums_a[0] == nums_b[0] else 0.5
+        overlap = max(0.0, hi - lo)
+        return overlap / span
+    set_a = {str(v).lower() for v in values_a}
+    set_b = {str(v).lower() for v in values_b}
+    inter = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return inter / union if union else 0.0
+
+
+@dataclass
+class SchemaMatcher:
+    """Weighted name+instance attribute matcher.
+
+    Args:
+        name_weight / instance_weight: blend weights (normalized at use).
+        threshold: minimum blended score to report a correspondence.
+        synonyms: extra (pair → score) name-similarity overrides.
+        one_to_one: enforce an injective mapping greedily by score.
+    """
+
+    name_weight: float = 0.5
+    instance_weight: float = 0.5
+    threshold: float = 0.5
+    synonyms: dict[frozenset[str], float] = field(
+        default_factory=lambda: dict(_DEFAULT_SYNONYMS)
+    )
+    one_to_one: bool = True
+
+    def match(
+        self,
+        left: dict[str, Sequence[Any]],
+        right: dict[str, Sequence[Any]],
+        must_match: set[tuple[str, str]] | None = None,
+        cannot_match: set[tuple[str, str]] | None = None,
+    ) -> list[AttributeMatch]:
+        """Match two schemas given per-attribute value samples.
+
+        Args:
+            left / right: attribute → sample of observed values.
+            must_match: HI-pinned pairs (always reported with score 1.0).
+            cannot_match: HI-forbidden pairs (never reported).
+
+        Returns:
+            Correspondences sorted by descending score.
+        """
+        must_match = must_match or set()
+        cannot_match = cannot_match or set()
+        candidates: list[AttributeMatch] = []
+        for attr_l, values_l in left.items():
+            for attr_r, values_r in right.items():
+                if (attr_l, attr_r) in cannot_match:
+                    continue
+                if (attr_l, attr_r) in must_match:
+                    candidates.append(
+                        AttributeMatch(attr_l, attr_r, 1.0, 1.0, 1.0)
+                    )
+                    continue
+                name_score = self._name_score(attr_l, attr_r)
+                instance_score = _instance_similarity(values_l, values_r)
+                total_weight = self.name_weight + self.instance_weight
+                score = (
+                    self.name_weight * name_score
+                    + self.instance_weight * instance_score
+                ) / total_weight
+                if score >= self.threshold:
+                    candidates.append(
+                        AttributeMatch(attr_l, attr_r, score, name_score,
+                                       instance_score)
+                    )
+        candidates.sort(key=lambda m: (-m.score, m.left, m.right))
+        if not self.one_to_one:
+            return candidates
+        chosen: list[AttributeMatch] = []
+        used_left: set[str] = set()
+        used_right: set[str] = set()
+        for match in candidates:
+            if match.left in used_left or match.right in used_right:
+                continue
+            chosen.append(match)
+            used_left.add(match.left)
+            used_right.add(match.right)
+        return chosen
+
+    def top_k_candidates(
+        self,
+        attribute: str,
+        values: Sequence[Any],
+        right: dict[str, Sequence[Any]],
+        k: int = 5,
+    ) -> list[AttributeMatch]:
+        """Ranked candidate matches for one attribute (the HI narrowing
+        interface of Section 3.3: show a human the top-k, let them pick)."""
+        saved_threshold = self.threshold
+        saved_one_to_one = self.one_to_one
+        self.threshold = 0.0
+        self.one_to_one = False
+        try:
+            matches = self.match({attribute: values}, right)
+        finally:
+            self.threshold = saved_threshold
+            self.one_to_one = saved_one_to_one
+        return matches[:k]
+
+    def _name_score(self, a: str, b: str) -> float:
+        clean_a = a.strip().lower().replace("-", "_")
+        clean_b = b.strip().lower().replace("-", "_")
+        if clean_a == clean_b:
+            return 1.0
+        synonym = self.synonyms.get(frozenset({clean_a, clean_b}))
+        if synonym is not None:
+            return synonym
+        tokens_a = clean_a.replace("_", " ").split()
+        tokens_b = clean_b.replace("_", " ").split()
+        token_sim = _abbreviation_token_similarity(tokens_a, tokens_b)
+        if len(tokens_a) == 1 and len(tokens_b) == 1:
+            # Whole-string similarity only helps for single-word names;
+            # for compound names it rewards shared suffixes like "_temp"
+            # across unrelated attributes.
+            return max(token_sim, jaro_winkler(clean_a, clean_b))
+        return token_sim

@@ -1,0 +1,307 @@
+"""Execution engine for xlog plans.
+
+Evaluates operators in dependency order, materializing each stream.
+Extraction can run either inline or as a map wave on the simulated cluster
+(the physical-layer integration).  The executor gathers
+:class:`ExecutionStats` — characters scanned per extractor, tuples per
+operator, HI questions asked — which the optimizer experiments (E6) and the
+HI experiments (E2) report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.simulator import SimulatedCluster
+from repro.docmodel.document import Document, Span
+from repro.extraction.base import Extraction
+from repro.hi.aggregate import aggregate_majority
+from repro.hi.tasks import ValidateValueTask
+from repro.integration.entity_resolution import Mention
+from repro.integration.fusion import fuse_extractions
+from repro.lang.ast import (
+    AskOp,
+    DedupOp,
+    DocFilterOp,
+    DocsOp,
+    ExtractOp,
+    FilterOp,
+    FuseOp,
+    JoinOp,
+    LimitOp,
+    Op,
+    ResolveOp,
+    SelectOp,
+    UnionOp,
+    eval_expr,
+)
+from repro.lang.optimizer import Optimizer, doc_passes_keyword_groups
+from repro.lang.parser import parse_program
+from repro.lang.plan import LogicalPlan
+from repro.lang.registry import OperatorRegistry
+
+
+@dataclass
+class ExecutionStats:
+    """Work counters collected during one plan execution."""
+
+    chars_scanned: dict[str, int] = field(default_factory=dict)
+    docs_extracted: dict[str, int] = field(default_factory=dict)
+    tuples_produced: dict[str, int] = field(default_factory=dict)
+    hi_questions: int = 0
+    wall_seconds: float = 0.0
+    cluster_makespan: float = 0.0
+
+    @property
+    def total_chars_scanned(self) -> int:
+        return sum(self.chars_scanned.values())
+
+
+def extraction_to_tuple(extraction: Extraction) -> dict[str, Any]:
+    """The standard tuple form of an extraction."""
+    return {
+        "doc_id": extraction.span.doc_id,
+        "entity": extraction.entity,
+        "attribute": extraction.attribute,
+        "value": extraction.value,
+        "confidence": extraction.confidence,
+        "span_start": extraction.span.start,
+        "span_end": extraction.span.end,
+        "span_text": extraction.span.text,
+        "extractor": extraction.extractor,
+    }
+
+
+def tuple_to_extraction(row: dict[str, Any]) -> Extraction:
+    """Inverse of :func:`extraction_to_tuple` (for fuse/resolve ops)."""
+    return Extraction(
+        entity=row.get("entity", ""),
+        attribute=row["attribute"],
+        value=row["value"],
+        span=Span(row["doc_id"], row["span_start"], row["span_end"],
+                  row.get("span_text", " " * (row["span_end"] - row["span_start"]))),
+        confidence=row.get("confidence", 1.0),
+        extractor=row.get("extractor", ""),
+    )
+
+
+@dataclass
+class ExecutionResult:
+    """Output rows plus the executed plan and its statistics."""
+
+    rows: list[dict[str, Any]]
+    stats: ExecutionStats
+    plan: LogicalPlan
+
+
+class Executor:
+    """Evaluates a logical plan over a corpus.
+
+    Args:
+        registry: name bindings for extractors/resolvers/crowd.
+        cluster: when given, extract operators run as map waves on the
+            simulated cluster and the job makespans accumulate in
+            ``stats.cluster_makespan``.
+    """
+
+    def __init__(self, registry: OperatorRegistry,
+                 cluster: SimulatedCluster | None = None) -> None:
+        self._registry = registry
+        self._cluster = cluster
+
+    def execute(self, plan: LogicalPlan,
+                corpus: Sequence[Document]) -> ExecutionResult:
+        """Run the plan; returns rows of the output stream plus stats."""
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        streams: dict[str, Any] = {}
+        for op in plan.topological():
+            streams[op.name] = self._eval(op, streams, list(corpus), stats)
+            result = streams[op.name]
+            if isinstance(result, list) and result and isinstance(result[0], dict):
+                stats.tuples_produced[op.name] = len(result)
+        stats.wall_seconds = time.perf_counter() - started
+        rows = streams[plan.output]
+        if rows and isinstance(rows[0], Document):
+            rows = [{"doc_id": d.doc_id, "chars": len(d.text)} for d in rows]
+        return ExecutionResult(rows=rows, stats=stats, plan=plan)
+
+    # ------------------------------------------------------------ operators
+
+    def _eval(self, op: Op, streams: dict[str, Any],
+              corpus: list[Document], stats: ExecutionStats) -> Any:
+        if isinstance(op, DocsOp):
+            return corpus
+        if isinstance(op, DocFilterOp):
+            docs: list[Document] = streams[op.inputs[0]]
+            kept = [
+                d for d in docs if doc_passes_keyword_groups(d, op.keyword_groups)
+            ]
+            key = f"docfilter:{op.name}"
+            stats.chars_scanned[key] = stats.chars_scanned.get(key, 0) + sum(
+                len(d.text) for d in docs
+            )
+            return kept
+        if isinstance(op, ExtractOp):
+            return self._eval_extract(op, streams[op.inputs[0]], stats)
+        if isinstance(op, FilterOp):
+            rows = streams[op.inputs[0]]
+            return [r for r in rows if eval_expr(op.predicate, r)]
+        if isinstance(op, SelectOp):
+            rows = streams[op.inputs[0]]
+            return [{f: r.get(f) for f in op.fields} for r in rows]
+        if isinstance(op, JoinOp):
+            left, right = streams[op.inputs[0]], streams[op.inputs[1]]
+            buckets: dict[Any, list[dict[str, Any]]] = {}
+            for row in right:
+                buckets.setdefault(row.get(op.on), []).append(row)
+            joined: list[dict[str, Any]] = []
+            for row in left:
+                key = row.get(op.on)
+                if key is None:
+                    continue
+                for other in buckets.get(key, ()):
+                    merged = dict(other)
+                    merged.update(row)
+                    joined.append(merged)
+            return joined
+        if isinstance(op, UnionOp):
+            return list(streams[op.inputs[0]]) + list(streams[op.inputs[1]])
+        if isinstance(op, FuseOp):
+            rows = streams[op.inputs[0]]
+            fused = fuse_extractions(
+                [tuple_to_extraction(r) for r in rows], strategy=op.strategy
+            )
+            return [
+                {
+                    "entity": f.entity,
+                    "attribute": f.attribute,
+                    "value": f.value,
+                    "confidence": f.confidence,
+                    "support": f.support,
+                    "conflict": f.conflict,
+                    "doc_id": f.spans[0].doc_id if f.spans else "",
+                    "span_start": f.spans[0].start if f.spans else 0,
+                    "span_end": f.spans[0].end if f.spans else 0,
+                    "span_text": f.spans[0].text if f.spans else "",
+                }
+                for f in fused
+            ]
+        if isinstance(op, ResolveOp):
+            return self._eval_resolve(op, streams[op.inputs[0]])
+        if isinstance(op, AskOp):
+            return self._eval_ask(op, streams[op.inputs[0]], stats)
+        if isinstance(op, LimitOp):
+            return list(streams[op.inputs[0]])[: op.n]
+        if isinstance(op, DedupOp):
+            rows = streams[op.inputs[0]]
+            seen: set[tuple] = set()
+            out: list[dict[str, Any]] = []
+            for row in rows:
+                if op.keys:
+                    key = tuple(repr(row.get(k)) for k in op.keys)
+                else:
+                    key = tuple(sorted((k, repr(v)) for k, v in row.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(row)
+            return out
+        raise TypeError(f"cannot execute operator {type(op).__name__}")
+
+    def _eval_extract(self, op: ExtractOp, docs: list[Document],
+                      stats: ExecutionStats) -> list[dict[str, Any]]:
+        extractor = self._registry.extractor(op.extractor)
+        key = f"{op.extractor}@{op.name}"
+        stats.chars_scanned[key] = stats.chars_scanned.get(key, 0) + sum(
+            len(d.text) for d in docs
+        )
+        stats.docs_extracted[key] = stats.docs_extracted.get(key, 0) + len(docs)
+        if self._cluster is not None and docs:
+            job = MapReduceJob(
+                map_fn=lambda doc: [
+                    (e.span.doc_id, extraction_to_tuple(e))
+                    for e in extractor.extract(doc)
+                ],
+                reduce_fn=lambda key, values: values,
+                split_size=max(len(docs) // (len(self._cluster.worker_speeds()) * 4), 1),
+                num_reducers=1,
+                map_cost_per_item=extractor.cost_per_char
+                * (sum(len(d.text) for d in docs) / len(docs)),
+            )
+            result = run_mapreduce(job, docs, cluster=self._cluster)
+            stats.cluster_makespan += result.makespan
+            rows = [row for values in result.output.values() for row in values]
+            rows.sort(key=lambda r: (r["doc_id"], r["span_start"], r["attribute"]))
+            return rows
+        out: list[dict[str, Any]] = []
+        for doc in docs:
+            out.extend(extraction_to_tuple(e) for e in extractor.extract(doc))
+        return out
+
+    def _eval_resolve(self, op: ResolveOp,
+                      rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        resolver = self._registry.resolver(op.resolver)
+        names = sorted({r.get("entity", "") for r in rows if r.get("entity")})
+        mentions = [Mention(i, name) for i, name in enumerate(names)]
+        clusters = resolver.resolve(mentions)
+        canonical: dict[str, str] = {}
+        for cluster in clusters:
+            for mention_id in cluster.mention_ids:
+                canonical[names[mention_id]] = cluster.canonical_name
+        out = []
+        for row in rows:
+            updated = dict(row)
+            entity = row.get("entity", "")
+            if entity in canonical:
+                updated["entity"] = canonical[entity]
+            out.append(updated)
+        return out
+
+    def _eval_ask(self, op: AskOp, rows: list[dict[str, Any]],
+                  stats: ExecutionStats) -> list[dict[str, Any]]:
+        crowd = self._registry.crowd
+        if crowd is None:
+            raise RuntimeError("program uses ask() but no crowd is registered")
+        oracle = self._registry.hi_truth_oracle
+        out: list[dict[str, Any]] = []
+        for i, row in enumerate(rows):
+            if op.where is not None and not eval_expr(op.where, row):
+                out.append(row)
+                continue
+            truth = (
+                bool(oracle(row)) if callable(oracle)
+                else row.get("confidence", 1.0) >= 0.5
+            )
+            task = ValidateValueTask(
+                task_id=f"{op.name}:{i}",
+                prompt=f"Is {row.get('entity')!r}.{row.get('attribute')!r} = "
+                       f"{row.get('value')!r} plausible?",
+                entity=str(row.get("entity", "")),
+                attribute=str(row.get("attribute", "")),
+                value=row.get("value"),
+            )
+            responses = crowd.ask(task, truth, redundancy=op.redundancy)
+            stats.hi_questions += len(responses)
+            answer, share = aggregate_majority(responses)
+            if not answer:
+                continue  # crowd rejected the tuple
+            accepted = dict(row)
+            if op.mode == "verify":
+                accepted["confidence"] = share
+            out.append(accepted)
+        return out
+
+
+def run_program(source: str, corpus: Sequence[Document],
+                registry: OperatorRegistry, optimize: bool = True,
+                cluster: SimulatedCluster | None = None) -> ExecutionResult:
+    """Parse, (optionally) optimize, and execute an xlog program."""
+    ops, output = parse_program(source)
+    plan = LogicalPlan.from_ops(ops, output)
+    if optimize:
+        plan = Optimizer(registry).optimize(plan, list(corpus)[:50])
+    return Executor(registry, cluster=cluster).execute(plan, corpus)

@@ -1,0 +1,179 @@
+"""Rule-based and cost-based optimization of xlog plans.
+
+The paper's processing layer parses, reformulates, *optimizes*, then
+executes declarative IE+II+HI programs.  Two rewrites are implemented (both
+semantics-preserving), plus a cost model that decides whether each rewrite
+actually pays off:
+
+* **Trigger pre-filtering** — an extractor that can only fire on documents
+  containing certain keywords (see
+  :meth:`~repro.extraction.base.Extractor.prefilter_terms`) gets a cheap
+  :class:`~repro.lang.ast.DocFilterOp` inserted below it, so the expensive
+  operator never scans irrelevant documents.  This is the classic
+  "push cheap predicates below expensive extraction" optimization.
+* **Filter fusion** — adjacent tuple filters merge into one conjunction
+  (one pass instead of two).
+
+The cost model estimates per-extractor work as
+``cost_per_char × expected characters scanned``; document-filter
+selectivity is estimated on a corpus sample.  Experiment E6 measures
+naive vs optimized execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.docmodel.document import Document
+from repro.lang.ast import DocFilterOp, ExtractOp, FilterOp, Logic
+from repro.lang.plan import LogicalPlan
+from repro.lang.registry import OperatorRegistry
+
+
+def doc_passes_keyword_groups(doc: Document, groups: list[list[str]]) -> bool:
+    """True when for some group all keywords occur in the document."""
+    lowered = doc.text.lower()
+    return any(all(kw.lower() in lowered for kw in group) for group in groups)
+
+
+@dataclass
+class CostEstimate:
+    """Estimated work for a plan (abstract char-scan units)."""
+
+    extract_cost: float = 0.0
+    docfilter_cost: float = 0.0
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.extract_cost + self.docfilter_cost
+
+
+@dataclass
+class Optimizer:
+    """Optimizes a logical plan against a registry and corpus sample.
+
+    Args:
+        registry: resolves extractor names for prefilter terms and costs.
+        sample_size: documents sampled to estimate filter selectivity.
+        docfilter_cost_per_char: cost of the keyword pre-scan (cheap).
+    """
+
+    registry: OperatorRegistry
+    sample_size: int = 50
+    docfilter_cost_per_char: float = 0.05
+
+    def optimize(self, plan: LogicalPlan,
+                 corpus_sample: Sequence[Document] = ()) -> LogicalPlan:
+        """Produce an optimized copy of the plan.
+
+        Rewrites are applied only when the cost model predicts a win on the
+        provided sample (always applied when no sample is given, since the
+        pre-filter is at worst a cheap extra scan).
+        """
+        optimized = plan.clone()
+        self._fuse_adjacent_filters(optimized)
+        self._insert_trigger_prefilters(optimized, corpus_sample)
+        return optimized
+
+    def estimate_cost(self, plan: LogicalPlan,
+                      corpus_sample: Sequence[Document]) -> CostEstimate:
+        """Cost estimate for a plan over a corpus like the sample."""
+        estimate = CostEstimate()
+        if not corpus_sample:
+            return estimate
+        avg_chars = sum(len(d.text) for d in corpus_sample) / len(corpus_sample)
+        selectivity = self._stream_selectivities(plan, corpus_sample)
+        for op in plan.topological():
+            if isinstance(op, ExtractOp):
+                extractor = self.registry.extractor(op.extractor)
+                sel = selectivity.get(op.inputs[0], 1.0)
+                cost = extractor.cost_per_char * avg_chars * sel
+                estimate.extract_cost += cost
+                estimate.details[op.name] = cost
+            elif isinstance(op, DocFilterOp):
+                sel = selectivity.get(op.inputs[0], 1.0)
+                cost = self.docfilter_cost_per_char * avg_chars * sel
+                estimate.docfilter_cost += cost
+                estimate.details[op.name] = cost
+        return estimate
+
+    # ------------------------------------------------------------ rewrites
+
+    def _insert_trigger_prefilters(self, plan: LogicalPlan,
+                                   corpus_sample: Sequence[Document]) -> None:
+        counter = 0
+        for op in list(plan.extract_ops()):
+            extractor = self.registry.extractor(op.extractor)
+            groups = extractor.prefilter_terms()
+            if not groups:
+                continue
+            upstream = plan.ops[op.inputs[0]]
+            if isinstance(upstream, DocFilterOp) and (
+                upstream.keyword_groups == groups
+            ):
+                continue  # already filtered identically
+            if corpus_sample:
+                sample = list(corpus_sample)[: self.sample_size]
+                passing = sum(
+                    1 for d in sample if doc_passes_keyword_groups(d, groups)
+                )
+                selectivity = passing / len(sample)
+                avg_chars = sum(len(d.text) for d in sample) / len(sample)
+                saved = extractor.cost_per_char * avg_chars * (1.0 - selectivity)
+                added = self.docfilter_cost_per_char * avg_chars
+                if saved <= added:
+                    continue  # not worth it (filter passes ~everything)
+            counter += 1
+            prefilter = DocFilterOp(
+                name=f"__prefilter_{op.name}_{counter}",
+                inputs=[op.inputs[0]],
+                keyword_groups=groups,
+            )
+            plan.insert_before(op.name, prefilter)
+
+    @staticmethod
+    def _fuse_adjacent_filters(plan: LogicalPlan) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(plan.ops.values()):
+                if not isinstance(op, FilterOp):
+                    continue
+                upstream = plan.ops.get(op.inputs[0])
+                if not isinstance(upstream, FilterOp):
+                    continue
+                consumers = plan.consumers_of(upstream.name)
+                if len(consumers) != 1 or upstream.name == plan.output:
+                    continue  # shared or output stream: leave alone
+                op.predicate = Logic("and", (upstream.predicate, op.predicate))
+                op.inputs = [upstream.inputs[0]]
+                del plan.ops[upstream.name]
+                changed = True
+                break
+
+    # ------------------------------------------------------------ internals
+
+    def _stream_selectivities(self, plan: LogicalPlan,
+                              corpus_sample: Sequence[Document]) -> dict[str, float]:
+        """Fraction of documents flowing through each doc-stream variable."""
+        sample = list(corpus_sample)[: self.sample_size]
+        selectivity: dict[str, float] = {}
+        for op in plan.topological():
+            if not plan.is_doc_stream(op.name):
+                continue
+            if isinstance(op, DocFilterOp):
+                upstream_sel = selectivity.get(op.inputs[0], 1.0)
+                if sample:
+                    passing = sum(
+                        1 for d in sample
+                        if doc_passes_keyword_groups(d, op.keyword_groups)
+                    )
+                    own = passing / len(sample)
+                else:
+                    own = 1.0
+                selectivity[op.name] = upstream_sel * own
+            else:
+                selectivity[op.name] = 1.0
+        return selectivity

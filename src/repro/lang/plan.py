@@ -1,0 +1,140 @@
+"""Logical plans: a validated DAG of xlog operators."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lang.ast import DocFilterOp, DocsOp, ExtractOp, Op
+
+
+class PlanError(Exception):
+    """Raised when a program does not form a valid plan."""
+
+
+@dataclass
+class LogicalPlan:
+    """Operators keyed by their bound variable plus the output variable.
+
+    The plan validates that every input is defined before use, that the
+    graph is acyclic (guaranteed by define-before-use), and it knows which
+    variables are *document* streams vs *tuple* streams so type errors are
+    caught before execution.
+    """
+
+    ops: dict[str, Op] = field(default_factory=dict)
+    output: str = ""
+
+    @staticmethod
+    def from_ops(ops: list[Op], output: str) -> "LogicalPlan":
+        """Build and validate a plan from parsed operators.
+
+        Raises:
+            PlanError: undefined inputs or type mismatches.
+        """
+        plan = LogicalPlan(output=output)
+        for op in ops:
+            for input_name in op.inputs:
+                if input_name not in plan.ops:
+                    raise PlanError(
+                        f"operator {op.name!r} uses undefined input {input_name!r}"
+                    )
+            plan.ops[op.name] = op
+        if output not in plan.ops:
+            raise PlanError(f"output {output!r} is not defined")
+        plan._validate_types()
+        return plan
+
+    def is_doc_stream(self, name: str) -> bool:
+        """True when the variable holds documents rather than tuples."""
+        op = self.ops[name]
+        if isinstance(op, DocsOp):
+            return True
+        if isinstance(op, DocFilterOp):
+            return self.is_doc_stream(op.inputs[0])
+        return False
+
+    def topological(self) -> Iterator[Op]:
+        """Operators in dependency order (insertion order suffices because
+        programs define before use), restricted to those the output needs."""
+        needed: set[str] = set()
+        stack = [self.output]
+        while stack:
+            name = stack.pop()
+            if name in needed:
+                continue
+            needed.add(name)
+            stack.extend(self.ops[name].inputs)
+        for name, op in self.ops.items():
+            if name in needed:
+                yield op
+
+    def consumers_of(self, name: str) -> list[Op]:
+        return [op for op in self.ops.values() if name in op.inputs]
+
+    def extract_ops(self) -> list[ExtractOp]:
+        return [op for op in self.ops.values() if isinstance(op, ExtractOp)]
+
+    def clone(self) -> "LogicalPlan":
+        """Deep copy (rewrite rules mutate the copy)."""
+        return copy.deepcopy(self)
+
+    def insert_before(self, target: str, new_op: Op) -> None:
+        """Insert ``new_op`` between ``target``'s input and ``target``.
+
+        ``new_op.inputs`` must already point at the stream to intercept;
+        ``target``'s matching input is rewired to ``new_op.name``.
+
+        Raises:
+            PlanError: name clash or missing target.
+        """
+        if new_op.name in self.ops:
+            raise PlanError(f"variable {new_op.name!r} already defined")
+        if target not in self.ops:
+            raise PlanError(f"no operator {target!r}")
+        target_op = self.ops[target]
+        intercepted = new_op.inputs[0]
+        if intercepted not in target_op.inputs:
+            raise PlanError(
+                f"{target!r} does not read {intercepted!r}"
+            )
+        # Rebuild dict preserving definition order, placing new op before target.
+        rebuilt: dict[str, Op] = {}
+        for name, op in self.ops.items():
+            if name == target:
+                rebuilt[new_op.name] = new_op
+            rebuilt[name] = op
+        target_op.inputs = [
+            new_op.name if i == intercepted else i for i in target_op.inputs
+        ]
+        self.ops = rebuilt
+
+    def render(self) -> str:
+        """Readable multi-line plan listing (used by EXPLAIN-style output)."""
+        lines = []
+        for op in self.topological():
+            lines.append(f"{op.name} = {op.describe()}")
+        lines.append(f"output {self.output}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ internals
+
+    def _validate_types(self) -> None:
+        for op in self.ops.values():
+            if isinstance(op, (DocsOp,)):
+                continue
+            if isinstance(op, (ExtractOp, DocFilterOp)):
+                for input_name in op.inputs:
+                    if not self.is_doc_stream(input_name):
+                        raise PlanError(
+                            f"{op.name!r} ({op.describe()}) needs a document "
+                            f"stream, but {input_name!r} is a tuple stream"
+                        )
+            else:
+                for input_name in op.inputs:
+                    if self.is_doc_stream(input_name):
+                        raise PlanError(
+                            f"{op.name!r} ({op.describe()}) needs a tuple "
+                            f"stream, but {input_name!r} is a document stream"
+                        )

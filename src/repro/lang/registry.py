@@ -1,0 +1,50 @@
+"""Operator registry: binds names used in programs to implementations.
+
+Programs reference extractors, resolvers, and the crowd by name; the
+registry is the environment those names resolve in.  Developers register
+their domain-specific operators here — "developers may have to write
+domain-specific operators, but the framework makes it easy to use such
+operators in the programs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extraction.base import Extractor
+from repro.hi.crowd import SimulatedCrowd
+from repro.integration.entity_resolution import EntityResolver
+
+
+class RegistryError(KeyError):
+    """Raised when a program references an unregistered name."""
+
+
+@dataclass
+class OperatorRegistry:
+    """Named extractors, resolvers, and the crowd used by HI operators."""
+
+    extractors: dict[str, Extractor] = field(default_factory=dict)
+    resolvers: dict[str, EntityResolver] = field(default_factory=dict)
+    crowd: SimulatedCrowd | None = None
+    hi_truth_oracle: object | None = None  # callable(tuple_dict) -> bool
+
+    def register_extractor(self, name: str, extractor: Extractor) -> None:
+        if name in self.extractors:
+            raise ValueError(f"extractor {name!r} already registered")
+        self.extractors[name] = extractor
+
+    def register_resolver(self, name: str, resolver: EntityResolver) -> None:
+        if name in self.resolvers:
+            raise ValueError(f"resolver {name!r} already registered")
+        self.resolvers[name] = resolver
+
+    def extractor(self, name: str) -> Extractor:
+        if name not in self.extractors:
+            raise RegistryError(f"no extractor registered as {name!r}")
+        return self.extractors[name]
+
+    def resolver(self, name: str) -> EntityResolver:
+        if name not in self.resolvers:
+            raise RegistryError(f"no resolver registered as {name!r}")
+        return self.resolvers[name]

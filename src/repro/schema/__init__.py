@@ -1,0 +1,36 @@
+"""Schema management and evolution — Figure 1, Part IV.
+
+Because structure is generated incrementally and best-effort, "in many
+cases the schema will evolve over time".  This subpackage provides a
+versioned schema registry with typed change operations (add / rename /
+drop / split / merge / retype attribute) and two migration policies,
+ablated in experiment E12:
+
+* *eager* — every change immediately rewrites the stored rows;
+* *lazy* — changes accumulate as on-read adapters and are applied
+  physically only on :meth:`~repro.schema.evolution.EvolvingTable.flush`.
+"""
+
+from repro.schema.evolution import (
+    AddAttribute,
+    DropAttribute,
+    EvolvingTable,
+    MergeAttributes,
+    RenameAttribute,
+    RetypeAttribute,
+    SchemaChange,
+    SchemaRegistry,
+    SplitAttribute,
+)
+
+__all__ = [
+    "SchemaChange",
+    "AddAttribute",
+    "RenameAttribute",
+    "DropAttribute",
+    "SplitAttribute",
+    "MergeAttributes",
+    "RetypeAttribute",
+    "SchemaRegistry",
+    "EvolvingTable",
+]

@@ -1,0 +1,308 @@
+"""Versioned schema evolution with eager and lazy migration."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.types import Column, ColumnType, SchemaError, TableSchema
+
+
+class SchemaChange(ABC):
+    """One evolution step: transforms both the schema and each row."""
+
+    @abstractmethod
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        """The schema after this change.
+
+        Raises:
+            SchemaError: if the change does not fit the schema.
+        """
+
+    @abstractmethod
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """A (new) row dict after this change."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class AddAttribute(SchemaChange):
+    """Add a nullable column, optionally computed from existing columns."""
+
+    column: Column
+    default: Any = None
+    compute: Callable[[dict[str, Any]], Any] | None = None
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        return schema.with_column(self.column)
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        if self.compute is not None:
+            out[self.column.name] = self.compute(row)
+        else:
+            out[self.column.name] = self.default
+        return out
+
+    def describe(self) -> str:
+        return f"ADD {self.column.name} {self.column.col_type.value}"
+
+
+@dataclass(frozen=True)
+class RenameAttribute(SchemaChange):
+    old: str
+    new: str
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        return schema.renamed_column(self.old, self.new)
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        if self.old in out:
+            out[self.new] = out.pop(self.old)
+        return out
+
+    def describe(self) -> str:
+        return f"RENAME {self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class DropAttribute(SchemaChange):
+    name: str
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        return schema.without_column(self.name)
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        out.pop(self.name, None)
+        return out
+
+    def describe(self) -> str:
+        return f"DROP {self.name}"
+
+
+@dataclass(frozen=True)
+class SplitAttribute(SchemaChange):
+    """Replace one column by several, via a splitter function.
+
+    Example: split ``full_name`` into ``first_name`` / ``last_name``.
+    """
+
+    source: str
+    targets: tuple[Column, ...]
+    splitter: Callable[[Any], dict[str, Any]] = lambda v: {}
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        out = schema.without_column(self.source)
+        for column in self.targets:
+            out = out.with_column(column)
+        return out
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        source_value = out.pop(self.source, None)
+        pieces = self.splitter(source_value) if source_value is not None else {}
+        for column in self.targets:
+            out[column.name] = pieces.get(column.name)
+        return out
+
+    def describe(self) -> str:
+        names = ", ".join(c.name for c in self.targets)
+        return f"SPLIT {self.source} -> ({names})"
+
+
+@dataclass(frozen=True)
+class MergeAttributes(SchemaChange):
+    """Replace several columns by one, via a merger function."""
+
+    sources: tuple[str, ...]
+    target: Column
+    merger: Callable[[dict[str, Any]], Any] = lambda vs: None
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        out = schema
+        for source in self.sources:
+            out = out.without_column(source)
+        return out.with_column(self.target)
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        values = {s: out.pop(s, None) for s in self.sources}
+        out[self.target.name] = self.merger(values)
+        return out
+
+    def describe(self) -> str:
+        return f"MERGE ({', '.join(self.sources)}) -> {self.target.name}"
+
+
+@dataclass(frozen=True)
+class RetypeAttribute(SchemaChange):
+    """Change a column's type, coercing values through ``converter``."""
+
+    name: str
+    new_type: ColumnType
+    converter: Callable[[Any], Any] = lambda v: v
+
+    def apply_schema(self, schema: TableSchema) -> TableSchema:
+        old = schema.column(self.name)
+        replaced = tuple(
+            Column(self.name, self.new_type, old.nullable) if c.name == self.name else c
+            for c in schema.columns
+        )
+        return TableSchema(schema.name, replaced, schema.primary_key)
+
+    def apply_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        out = dict(row)
+        if out.get(self.name) is not None:
+            out[self.name] = self.converter(out[self.name])
+        return out
+
+    def describe(self) -> str:
+        return f"RETYPE {self.name} -> {self.new_type.value}"
+
+
+@dataclass(frozen=True)
+class SchemaVersion:
+    """One point in a table's schema history."""
+
+    version: int
+    schema: TableSchema
+    change: SchemaChange | None  # None for the initial version
+
+
+class SchemaRegistry:
+    """Versioned schema histories for many tables."""
+
+    def __init__(self) -> None:
+        self._histories: dict[str, list[SchemaVersion]] = {}
+
+    def register(self, schema: TableSchema) -> SchemaVersion:
+        """Register a table's initial schema as version 0."""
+        if schema.name in self._histories:
+            raise SchemaError(f"table {schema.name!r} already registered")
+        version = SchemaVersion(0, schema, None)
+        self._histories[schema.name] = [version]
+        return version
+
+    def evolve(self, table: str, change: SchemaChange) -> SchemaVersion:
+        """Append a change, producing the next schema version."""
+        history = self._history(table)
+        current = history[-1].schema
+        new_schema = change.apply_schema(current)
+        version = SchemaVersion(history[-1].version + 1, new_schema, change)
+        history.append(version)
+        return version
+
+    def current(self, table: str) -> SchemaVersion:
+        return self._history(table)[-1]
+
+    def history(self, table: str) -> list[SchemaVersion]:
+        return list(self._history(table))
+
+    def changes_since(self, table: str, version: int) -> list[SchemaChange]:
+        """The change chain from ``version`` to current."""
+        history = self._history(table)
+        return [v.change for v in history[version + 1 :] if v.change is not None]
+
+    def _history(self, table: str) -> list[SchemaVersion]:
+        if table not in self._histories:
+            raise SchemaError(f"table {table!r} not registered")
+        return self._histories[table]
+
+
+class EvolvingTable:
+    """A database table with versioned, eager-or-lazy schema evolution.
+
+    In *eager* mode each :meth:`evolve` call rewrites stored rows
+    immediately (one ``alter_table`` per change).  In *lazy* mode changes
+    accumulate; reads go through the pending-change adapters so queries see
+    the latest logical schema, while the physical rewrite happens only at
+    :meth:`flush` (composing all pending changes into one pass).
+    Experiment E12 compares the two policies' costs.
+    """
+
+    def __init__(self, db: Database, schema: TableSchema, lazy: bool = False,
+                 registry: SchemaRegistry | None = None) -> None:
+        self._db = db
+        self._lazy = lazy
+        self._registry = registry or SchemaRegistry()
+        self._registry.register(schema)
+        self._pending: list[SchemaChange] = []
+        self._physical_schema = schema
+        if schema.name not in db.table_names():
+            db.create_table(schema)
+        self.rows_rewritten = 0  # migration-cost counter for E12
+
+    @property
+    def name(self) -> str:
+        return self._physical_schema.name
+
+    @property
+    def logical_schema(self) -> TableSchema:
+        return self._registry.current(self.name).schema
+
+    @property
+    def pending_changes(self) -> int:
+        return len(self._pending)
+
+    def evolve(self, change: SchemaChange) -> None:
+        """Apply one schema change (eagerly or lazily per mode)."""
+        self._registry.evolve(self.name, change)
+        if self._lazy:
+            self._pending.append(change)
+            return
+        self._apply_physical([change])
+
+    def flush(self) -> int:
+        """Apply all pending lazy changes physically; returns row count
+        rewritten (0 when nothing was pending)."""
+        if not self._pending:
+            return 0
+        changes = self._pending
+        self._pending = []
+        return self._apply_physical(changes)
+
+    def insert(self, values: dict[str, Any]) -> None:
+        """Insert a row expressed in the *latest logical* schema.
+
+        In lazy mode the row is stored physically by reversing nothing —
+        new rows are simply written in logical form after a flush of
+        pending changes (writing triggers a flush, keeping the physical
+        table consistent; reads stay cheap, writes pay the debt, which is
+        the classic lazy-migration trade-off).
+        """
+        if self._pending:
+            self.flush()
+        self._db.run(lambda t: t.insert(self.name, values))
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All rows in the latest logical schema (adapters applied)."""
+        raw = self._db.run(lambda t: t.scan(self.name))
+        out = []
+        for row in raw:
+            values = dict(row.values)
+            for change in self._pending:
+                values = change.apply_row(values)
+            out.append(values)
+        return out
+
+    def _apply_physical(self, changes: list[SchemaChange]) -> int:
+        schema = self._physical_schema
+        for change in changes:
+            schema = change.apply_schema(schema)
+
+        def migrate(row: dict[str, Any]) -> dict[str, Any]:
+            for change in changes:
+                row = change.apply_row(row)
+            return row
+
+        count = self._db.table_size(self.name)
+        self._db.alter_table(self.name, schema, migrate)
+        self._physical_schema = schema
+        self.rows_rewritten += count
+        return count

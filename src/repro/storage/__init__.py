@@ -1,0 +1,26 @@
+"""Data storage layer (Figure 1, second layer).
+
+The paper argues that the different forms of data in an unstructured-data
+management system want different storage devices:
+
+* daily crawl snapshots overlap heavily → a *diff* store (Subversion-like):
+  :mod:`repro.storage.snapshots`;
+* intermediate structured data is read/written sequentially → plain files:
+  :mod:`repro.storage.filestore`;
+* the final concurrently-edited structure needs transactions → an RDBMS:
+  :mod:`repro.storage.rdbms`.
+
+:class:`StorageManager` routes each data form to its device.
+"""
+
+from repro.storage.snapshots import SnapshotStore, FullCopyStore
+from repro.storage.filestore import RecordFileStore, Record
+from repro.storage.manager import StorageManager
+
+__all__ = [
+    "SnapshotStore",
+    "FullCopyStore",
+    "RecordFileStore",
+    "Record",
+    "StorageManager",
+]

@@ -1,0 +1,157 @@
+"""Append-only record file store for intermediate structured data.
+
+The paper: *"the system often executes only sequential reads and writes over
+intermediate structured data, in which case such data can best be kept in
+the file systems."*
+
+:class:`RecordFileStore` is a log-structured store: records (JSON-encodable
+dicts) are appended to segment files; reads are full sequential scans.  It
+supports segment rotation, tombstone deletes, and compaction.  It is the
+device of choice for extraction intermediates (experiment E13 quantifies the
+paper's device-choice argument by comparing it to the RDBMS for scan-heavy
+workloads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+_TOMBSTONE_KEY = "__deleted__"
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stored record: an auto-assigned ID plus a JSON-able payload."""
+
+    record_id: int
+    payload: dict[str, Any]
+
+
+class RecordFileStore:
+    """Log-structured append-only record store.
+
+    Layout: ``<root>/seg-<NNNN>.jsonl``; each line is
+    ``{"id": int, ...payload}`` or a tombstone ``{"id": int, "__deleted__": true}``.
+    Record IDs are monotonically increasing across segments.
+    """
+
+    def __init__(self, root: str, segment_max_records: int = 10_000) -> None:
+        if segment_max_records < 1:
+            raise ValueError("segment_max_records must be >= 1")
+        self._root = root
+        self._segment_max = segment_max_records
+        os.makedirs(root, exist_ok=True)
+        self._next_id, self._active_segment, self._active_count = self._recover()
+
+    # ------------------------------------------------------------------ API
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Append one record; returns its assigned ID.
+
+        Raises:
+            ValueError: if the payload uses the reserved tombstone key.
+        """
+        if _TOMBSTONE_KEY in payload:
+            raise ValueError(f"{_TOMBSTONE_KEY!r} is reserved")
+        record_id = self._next_id
+        self._next_id += 1
+        self._write_line({"id": record_id, **payload})
+        return record_id
+
+    def append_many(self, payloads: list[dict[str, Any]]) -> list[int]:
+        """Append a batch; returns assigned IDs in order."""
+        return [self.append(p) for p in payloads]
+
+    def delete(self, record_id: int) -> None:
+        """Mark a record deleted (tombstone; reclaimed by :meth:`compact`)."""
+        self._write_line({"id": record_id, _TOMBSTONE_KEY: True})
+
+    def scan(self) -> Iterator[Record]:
+        """Sequentially yield all live records, oldest first."""
+        deleted: set[int] = set()
+        records: dict[int, dict[str, Any]] = {}
+        for line in self._scan_lines():
+            rid = line.pop("id")
+            if line.get(_TOMBSTONE_KEY):
+                deleted.add(rid)
+                records.pop(rid, None)
+            else:
+                records[rid] = line
+        for rid in sorted(records):
+            if rid not in deleted:
+                yield Record(record_id=rid, payload=records[rid])
+
+    def scan_where(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[Record]:
+        """Sequential scan with a payload filter."""
+        for record in self.scan():
+            if predicate(record.payload):
+                yield record
+
+    def count(self) -> int:
+        """Number of live records (requires a scan)."""
+        return sum(1 for _ in self.scan())
+
+    def compact(self) -> int:
+        """Rewrite all segments dropping tombstones; returns live count."""
+        live = list(self.scan())
+        for name in self._segment_names():
+            os.remove(os.path.join(self._root, name))
+        self._active_segment = 0
+        self._active_count = 0
+        for record in live:
+            self._write_line({"id": record.record_id, **record.payload})
+        return len(live)
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all segments."""
+        return sum(
+            os.path.getsize(os.path.join(self._root, name))
+            for name in self._segment_names()
+        )
+
+    def segment_count(self) -> int:
+        return len(self._segment_names())
+
+    # ------------------------------------------------------------ internals
+
+    def _segment_names(self) -> list[str]:
+        return sorted(
+            name for name in os.listdir(self._root)
+            if name.startswith("seg-") and name.endswith(".jsonl")
+        )
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self._root, f"seg-{index:04d}.jsonl")
+
+    def _scan_lines(self) -> Iterator[dict[str, Any]]:
+        for name in self._segment_names():
+            with open(os.path.join(self._root, name), "r", encoding="utf-8") as f:
+                for raw in f:
+                    raw = raw.strip()
+                    if raw:
+                        yield json.loads(raw)
+
+    def _write_line(self, obj: dict[str, Any]) -> None:
+        if self._active_count >= self._segment_max:
+            self._active_segment += 1
+            self._active_count = 0
+        path = self._segment_path(self._active_segment)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(obj) + "\n")
+        self._active_count += 1
+
+    def _recover(self) -> tuple[int, int, int]:
+        """Rebuild next-ID and active-segment state from the segments."""
+        names = self._segment_names()
+        if not names:
+            return 0, 0, 0
+        max_id = -1
+        for line in self._scan_lines():
+            max_id = max(max_id, line["id"])
+        last_index = int(names[-1][4:-6])
+        with open(os.path.join(self._root, names[-1]), "r", encoding="utf-8") as f:
+            last_count = sum(1 for raw in f if raw.strip())
+        return max_id + 1, last_index, last_count

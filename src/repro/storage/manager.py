@@ -1,0 +1,55 @@
+"""Storage manager: routes each data form to its device.
+
+The paper's storage layer holds four forms of data; the manager gives each
+its recommended device (all rooted under one workspace directory):
+
+* raw unstructured snapshots → :class:`SnapshotStore` (``raw/``),
+* intermediate structured data → :class:`RecordFileStore` (``intermediate/``),
+* final structured data → :class:`Database` (``final/``),
+* user contributions → :class:`Database` table space too (they need the
+  same concurrency control as the final structure).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.filestore import RecordFileStore
+from repro.storage.rdbms.engine import Database
+from repro.storage.snapshots import SnapshotStore
+
+
+class StorageManager:
+    """One-stop factory for the storage layer, rooted at a directory.
+
+    Attributes:
+        raw: versioned store for crawled/unstructured snapshots.
+        intermediate: sequential record store for extraction intermediates.
+        final: transactional relational store for the derived structure
+            and for user contributions.
+    """
+
+    def __init__(self, root: str, durable: bool = True,
+                 keyframe_every: int = 20) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+        self.raw = SnapshotStore(os.path.join(root, "raw"),
+                                 keyframe_every=keyframe_every)
+        self.intermediate = RecordFileStore(os.path.join(root, "intermediate"))
+        self.final = Database(os.path.join(root, "final") if durable else None)
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    def close(self) -> None:
+        """Release file handles (the final DB's WAL)."""
+        self.final.close()
+
+    def disk_usage(self) -> dict[str, int]:
+        """Bytes used per device (raw / intermediate / final WAL)."""
+        return {
+            "raw": self.raw.total_bytes(),
+            "intermediate": self.intermediate.total_bytes(),
+            "final_wal": self.final.wal_size_bytes(),
+        }

@@ -1,0 +1,448 @@
+"""The relational engine facade: tables + transactions + recovery.
+
+:class:`Database` owns the heap tables, secondary indexes, lock manager, and
+(optionally) the write-ahead log.  :class:`Transaction` is the unit of work:
+all reads and writes go through it, acquiring strict-2PL locks and logging
+before/after images.  Recovery reconstructs state from the latest checkpoint
+plus the committed suffix of the log, so a "crash" (simply abandoning the
+in-memory object) loses no committed work — experiment E11 exercises exactly
+this.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.storage.rdbms.index import HashIndex, Index, SortedIndex
+from repro.storage.rdbms.lockmgr import LockManager, LockMode
+from repro.storage.rdbms.table import HeapTable, Row
+from repro.storage.rdbms.types import SchemaError, TableSchema
+from repro.storage.rdbms.wal import WriteAheadLog
+
+
+class TransactionAborted(Exception):
+    """Raised when operating on a finished (committed/aborted) transaction."""
+
+
+class Transaction:
+    """A unit of work with strict-2PL isolation and all-or-nothing effects.
+
+    Obtained from :meth:`Database.begin`.  Usable as a context manager:
+    commits on clean exit, aborts on exception.
+    """
+
+    def __init__(self, db: "Database", txn_id: int) -> None:
+        self._db = db
+        self.txn_id = txn_id
+        self._undo: list[tuple[str, ...]] = []
+        self.finished = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.finished:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def commit(self) -> None:
+        """Make all changes durable and release locks."""
+        self._check_active()
+        self._db._log(self.txn_id, "commit")
+        self.finished = True
+        self._db._end_txn(self)
+
+    def abort(self) -> None:
+        """Undo all changes (in reverse order) and release locks."""
+        self._check_active()
+        for entry in reversed(self._undo):
+            self._db._apply_undo(entry)
+        self._db._log(self.txn_id, "abort")
+        self.finished = True
+        self._db._end_txn(self)
+
+    # ------------------------------------------------------------- writes
+
+    def insert(self, table: str, values: dict[str, Any]) -> Row:
+        """Insert a row; X-locks it.
+
+        Raises:
+            SchemaError: schema violation.
+            KeyError: unknown table.
+        """
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_EXCLUSIVE)
+        with db._mutate_lock:
+            row = db._table(table).insert(values)
+            db._locks.acquire(self.txn_id, (table, row.rid), LockMode.EXCLUSIVE)
+            db._index_insert(table, row)
+            db._log(self.txn_id, "insert", table=table, rid=row.rid, values=row.values)
+            self._undo.append(("insert", table, row.rid))
+        return row
+
+    def update(self, table: str, rid: int, changes: dict[str, Any]) -> Row:
+        """Update a row by rid; X-locks it; returns the new row."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_EXCLUSIVE)
+        db._locks.acquire(self.txn_id, (table, rid), LockMode.EXCLUSIVE)
+        with db._mutate_lock:
+            old, new = db._table(table).update(rid, changes)
+            db._index_update(table, old, new)
+            db._log(
+                self.txn_id, "update",
+                table=table, rid=rid, before=old.values, after=new.values,
+            )
+            self._undo.append(("update", table, rid, old.values))
+        return new
+
+    def delete(self, table: str, rid: int) -> Row:
+        """Delete a row by rid; X-locks it; returns the removed row."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_EXCLUSIVE)
+        db._locks.acquire(self.txn_id, (table, rid), LockMode.EXCLUSIVE)
+        with db._mutate_lock:
+            row = db._table(table).delete(rid)
+            db._index_delete(table, row)
+            db._log(self.txn_id, "delete", table=table, rid=rid, values=row.values)
+            self._undo.append(("delete", table, rid, row.values))
+        return row
+
+    # -------------------------------------------------------------- reads
+
+    def get(self, table: str, rid: int) -> Row:
+        """Point read by rid (IS on table, S on row)."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_SHARED)
+        db._locks.acquire(self.txn_id, (table, rid), LockMode.SHARED)
+        return db._table(table).get(rid)
+
+    def get_by_pk(self, table: str, key: Any) -> Row | None:
+        """Point read by primary key, or None."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_SHARED)
+        row = db._table(table).get_by_pk(key)
+        if row is None:
+            return None
+        db._locks.acquire(self.txn_id, (table, row.rid), LockMode.SHARED)
+        return db._table(table).get(row.rid)
+
+    def scan(self, table: str) -> list[Row]:
+        """Full scan (S on the whole table)."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.SHARED)
+        return list(db._table(table).scan())
+
+    def scan_where(self, table: str,
+                   predicate: Callable[[dict[str, Any]], bool]) -> list[Row]:
+        """Filtered full scan (S on the whole table)."""
+        return [r for r in self.scan(table) if predicate(r.values)]
+
+    def lookup(self, table: str, column: str, value: Any) -> list[Row]:
+        """Index-assisted equality lookup; falls back to a scan."""
+        self._check_active()
+        db = self._db
+        index = db._find_index(table, column)
+        if index is None:
+            return self.scan_where(table, lambda v: v.get(column) == value)
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_SHARED)
+        rows: list[Row] = []
+        for rid in index.lookup(value):
+            db._locks.acquire(self.txn_id, (table, rid), LockMode.SHARED)
+            rows.append(db._table(table).get(rid))
+        return rows
+
+    # ---------------------------------------------------------- internals
+
+    def _check_active(self) -> None:
+        if self.finished:
+            raise TransactionAborted(f"txn {self.txn_id} already finished")
+
+
+class Database:
+    """Top-level engine object.
+
+    Args:
+        directory: where the WAL and checkpoints live; ``None`` for a purely
+            in-memory database (no durability, no recovery).
+        sync_wal: fsync every log append (durable but slow).
+
+    Opening a database over an existing directory runs recovery
+    automatically.
+    """
+
+    def __init__(self, directory: str | None = None, sync_wal: bool = False) -> None:
+        self._tables: dict[str, HeapTable] = {}
+        self._indexes: dict[tuple[str, str], Index] = {}
+        self._locks = LockManager()
+        self._mutate_lock = threading.RLock()
+        self._txn_counter = 0
+        self._txn_lock = threading.Lock()
+        self._wal: WriteAheadLog | None = None
+        if directory is not None:
+            self._wal = WriteAheadLog(directory, sync=sync_wal)
+            self._recover()
+
+    # -------------------------------------------------------------- schema
+
+    def create_table(self, schema: TableSchema) -> None:
+        """Create a table.
+
+        Raises:
+            SchemaError: if the table already exists.
+        """
+        with self._mutate_lock:
+            if schema.name in self._tables:
+                raise SchemaError(f"table {schema.name!r} already exists")
+            self._tables[schema.name] = HeapTable(schema)
+            self._log(0, "create_table", schema=schema.to_dict())
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and its indexes."""
+        with self._mutate_lock:
+            if name not in self._tables:
+                raise SchemaError(f"no table {name!r}")
+            del self._tables[name]
+            for key in [k for k in self._indexes if k[0] == name]:
+                del self._indexes[key]
+            self._log(0, "drop_table", table=name)
+
+    def alter_table(self, name: str, new_schema: TableSchema,
+                    migrate: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
+        """Replace a table's schema, migrating each row through ``migrate``.
+
+        Used by the schema-evolution subsystem; logged as a schema event
+        followed by the rewritten rows so recovery replays deterministically.
+        """
+        with self._mutate_lock:
+            table = self._table(name)
+            table.replace_schema(new_schema, migrate)
+            rows = {str(r.rid): r.values for r in table.scan()}
+            self._log(0, "alter_schema", schema=new_schema.to_dict(), rows=rows)
+            for key in [k for k in self._indexes if k[0] == name]:
+                column = key[1]
+                if new_schema.has_column(column):
+                    self._rebuild_index(name, column)
+                else:
+                    del self._indexes[key]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def schema(self, table: str) -> TableSchema:
+        return self._table(table).schema
+
+    def table_size(self, table: str) -> int:
+        return len(self._table(table))
+
+    # ------------------------------------------------------------- indexes
+
+    def create_index(self, table: str, column: str, kind: str = "hash") -> None:
+        """Create a secondary index (``kind`` is ``hash`` or ``sorted``)."""
+        with self._mutate_lock:
+            schema = self._table(table).schema
+            if not schema.has_column(column):
+                raise SchemaError(f"no column {column!r} in {table!r}")
+            if (table, column) in self._indexes:
+                raise SchemaError(f"index on {table}.{column} already exists")
+            if kind == "hash":
+                index: Index = HashIndex(table, column)
+            elif kind == "sorted":
+                index = SortedIndex(table, column)
+            else:
+                raise ValueError(f"unknown index kind {kind!r}")
+            self._indexes[(table, column)] = index
+            for row in self._table(table).scan():
+                index.insert(row.values.get(column), row.rid)
+
+    def sorted_index(self, table: str, column: str) -> SortedIndex | None:
+        """The sorted index on (table, column) if one exists."""
+        index = self._indexes.get((table, column))
+        return index if isinstance(index, SortedIndex) else None
+
+    # --------------------------------------------------------- transactions
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        with self._txn_lock:
+            self._txn_counter += 1
+            txn_id = self._txn_counter
+        self._log(txn_id, "begin")
+        return Transaction(self, txn_id)
+
+    def run(self, work: Callable[[Transaction], Any], retries: int = 25) -> Any:
+        """Run ``work`` in a transaction, retrying on deadlock.
+
+        Returns whatever ``work`` returns; commits on success.
+        """
+        from repro.storage.rdbms.lockmgr import DeadlockError
+
+        last_error: Exception | None = None
+        for _ in range(retries):
+            txn = self.begin()
+            try:
+                result = work(txn)
+                txn.commit()
+                return result
+            except DeadlockError as exc:
+                last_error = exc
+                if not txn.finished:
+                    txn.abort()
+            except Exception:
+                if not txn.finished:
+                    txn.abort()
+                raise
+        raise last_error if last_error else RuntimeError("transaction retry failed")
+
+    # ----------------------------------------------------------- durability
+
+    def checkpoint(self) -> None:
+        """Write a consistent snapshot and truncate the WAL."""
+        if self._wal is None:
+            return
+        with self._mutate_lock:
+            state = {
+                "tables": {
+                    name: {
+                        "schema": t.schema.to_dict(),
+                        "rows": {str(r.rid): r.values for r in t.scan()},
+                    }
+                    for name, t in self._tables.items()
+                },
+                "indexes": [
+                    {"table": t, "column": c,
+                     "kind": "sorted" if isinstance(i, SortedIndex) else "hash"}
+                    for (t, c), i in self._indexes.items()
+                ],
+            }
+            self._wal.write_checkpoint(state)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    def wal_size_bytes(self) -> int:
+        return self._wal.size_bytes() if self._wal else 0
+
+    # ------------------------------------------------------------ internals
+
+    def _table(self, name: str) -> HeapTable:
+        if name not in self._tables:
+            raise KeyError(f"no table {name!r}")
+        return self._tables[name]
+
+    def _find_index(self, table: str, column: str) -> Index | None:
+        return self._indexes.get((table, column))
+
+    def _rebuild_index(self, table: str, column: str) -> None:
+        old = self._indexes[(table, column)]
+        new: Index = (
+            SortedIndex(table, column) if isinstance(old, SortedIndex)
+            else HashIndex(table, column)
+        )
+        for row in self._table(table).scan():
+            new.insert(row.values.get(column), row.rid)
+        self._indexes[(table, column)] = new
+
+    def _index_insert(self, table: str, row: Row) -> None:
+        for (t, column), index in self._indexes.items():
+            if t == table:
+                index.insert(row.values.get(column), row.rid)
+
+    def _index_update(self, table: str, old: Row, new: Row) -> None:
+        for (t, column), index in self._indexes.items():
+            if t == table:
+                index.update(old.values.get(column), new.values.get(column), new.rid)
+
+    def _index_delete(self, table: str, row: Row) -> None:
+        for (t, column), index in self._indexes.items():
+            if t == table:
+                index.remove(row.values.get(column), row.rid)
+
+    def _log(self, txn_id: int, rec_type: str, **payload: Any) -> None:
+        if self._wal is not None:
+            self._wal.append(txn_id, rec_type, **payload)
+
+    def _end_txn(self, txn: Transaction) -> None:
+        self._locks.release_all(txn.txn_id)
+
+    def _apply_undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        with self._mutate_lock:
+            if kind == "insert":
+                _, table, rid = entry
+                row = self._table(table).delete(rid)
+                self._index_delete(table, row)
+            elif kind == "update":
+                _, table, rid, before = entry
+                old, new = self._table(table).update(rid, before)
+                self._index_update(table, old, new)
+            elif kind == "delete":
+                _, table, rid, values = entry
+                row = self._table(table).insert(values, rid=rid)
+                self._index_insert(table, row)
+            else:
+                raise ValueError(f"unknown undo entry {kind!r}")
+
+    def _recover(self) -> None:
+        """Rebuild state: checkpoint snapshot + committed log suffix."""
+        assert self._wal is not None
+        snapshot = self._wal.read_checkpoint()
+        if snapshot is not None:
+            for name, tdata in snapshot["tables"].items():
+                table = HeapTable(TableSchema.from_dict(tdata["schema"]))
+                for rid_str, values in tdata["rows"].items():
+                    table.insert(values, rid=int(rid_str))
+                self._tables[name] = table
+            for idx in snapshot.get("indexes", []):
+                key = (idx["table"], idx["column"])
+                index: Index = (
+                    SortedIndex(*key) if idx["kind"] == "sorted" else HashIndex(*key)
+                )
+                for row in self._tables[idx["table"]].scan():
+                    index.insert(row.values.get(idx["column"]), row.rid)
+                self._indexes[key] = index
+
+        records = list(self._wal.records())
+        committed = {r.txn_id for r in records if r.rec_type == "commit"}
+        aborted = {r.txn_id for r in records if r.rec_type == "abort"}
+        max_txn = 0
+        for rec in records:
+            max_txn = max(max_txn, rec.txn_id)
+            apply_dml = rec.txn_id in committed and rec.txn_id not in aborted
+            if rec.rec_type == "create_table":
+                schema = TableSchema.from_dict(rec.payload["schema"])
+                if schema.name not in self._tables:
+                    self._tables[schema.name] = HeapTable(schema)
+            elif rec.rec_type == "drop_table":
+                self._tables.pop(rec.payload["table"], None)
+            elif rec.rec_type == "alter_schema":
+                schema = TableSchema.from_dict(rec.payload["schema"])
+                table = HeapTable(schema)
+                for rid_str, values in rec.payload["rows"].items():
+                    table.insert(values, rid=int(rid_str))
+                self._tables[schema.name] = table
+            elif rec.rec_type == "insert" and apply_dml:
+                self._tables[rec.payload["table"]].insert(
+                    rec.payload["values"], rid=rec.payload["rid"]
+                )
+            elif rec.rec_type == "update" and apply_dml:
+                self._tables[rec.payload["table"]].update(
+                    rec.payload["rid"], rec.payload["after"]
+                )
+            elif rec.rec_type == "delete" and apply_dml:
+                self._tables[rec.payload["table"]].delete(rec.payload["rid"])
+        self._txn_counter = max_txn
+        for key in list(self._indexes):
+            self._rebuild_index(*key)

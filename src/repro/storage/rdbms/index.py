@@ -1,0 +1,136 @@
+"""Secondary indexes: hash (equality) and sorted (range) indexes.
+
+Indexes map a column value to the set of row IDs holding it.  The engine
+maintains them on insert/update/delete; the SQL layer consults them for
+equality and range predicates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+
+class Index(ABC):
+    """Common index interface."""
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+
+    @abstractmethod
+    def insert(self, value: Any, rid: int) -> None:
+        """Register ``rid`` under ``value`` (None values are not indexed)."""
+
+    @abstractmethod
+    def remove(self, value: Any, rid: int) -> None:
+        """Unregister; silently ignores unknown pairs."""
+
+    @abstractmethod
+    def lookup(self, value: Any) -> list[int]:
+        """Row IDs with exactly ``value``."""
+
+    def update(self, old_value: Any, new_value: Any, rid: int) -> None:
+        """Move a rid from one key to another."""
+        if old_value == new_value:
+            return
+        self.remove(old_value, rid)
+        self.insert(new_value, rid)
+
+
+class HashIndex(Index):
+    """Dict-backed equality index."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(table, column)
+        self._buckets: dict[Any, set[int]] = {}
+
+    def insert(self, value: Any, rid: int) -> None:
+        if value is None:
+            return
+        self._buckets.setdefault(value, set()).add(rid)
+
+    def remove(self, value: Any, rid: int) -> None:
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> list[int]:
+        return sorted(self._buckets.get(value, ()))
+
+    def keys(self) -> list[Any]:
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class SortedIndex(Index):
+    """Sorted-list index supporting range scans.
+
+    Keeps parallel sorted arrays of (value, rid) pairs; lookups and range
+    scans use :mod:`bisect`.  Values must be mutually comparable.
+    """
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(table, column)
+        self._pairs: list[tuple[Any, int]] = []
+
+    def insert(self, value: Any, rid: int) -> None:
+        if value is None:
+            return
+        bisect.insort(self._pairs, (value, rid))
+
+    def remove(self, value: Any, rid: int) -> None:
+        if value is None:
+            return
+        pos = bisect.bisect_left(self._pairs, (value, rid))
+        if pos < len(self._pairs) and self._pairs[pos] == (value, rid):
+            self._pairs.pop(pos)
+
+    def lookup(self, value: Any) -> list[int]:
+        lo = bisect.bisect_left(self._pairs, (value, -1))
+        rids: list[int] = []
+        for v, rid in self._pairs[lo:]:
+            if v != value:
+                break
+            rids.append(rid)
+        return rids
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield row IDs whose value lies in the given (optional) bounds."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._pairs, (low, -1))
+        else:
+            start = bisect.bisect_right(self._pairs, (low, float("inf")))
+        for value, rid in self._pairs[start:]:
+            if high is not None:
+                if include_high and value > high:
+                    break
+                if not include_high and value >= high:
+                    break
+            yield rid
+
+    def min_value(self) -> Any:
+        """Smallest indexed value, or None if empty."""
+        return self._pairs[0][0] if self._pairs else None
+
+    def max_value(self) -> Any:
+        """Largest indexed value, or None if empty."""
+        return self._pairs[-1][0] if self._pairs else None
+
+    def __len__(self) -> int:
+        return len(self._pairs)

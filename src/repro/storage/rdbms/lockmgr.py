@@ -1,0 +1,184 @@
+"""Hierarchical strict two-phase locking with deadlock detection.
+
+Lock granularity is (table, rid) for rows and (table, None) for the table
+itself.  Four modes with the classic multi-granularity compatibility matrix:
+
+* ``IS`` (intention shared)  — about to S-lock some rows,
+* ``IX`` (intention exclusive) — about to X-lock some rows,
+* ``S``  (shared)            — reading the whole object,
+* ``X``  (exclusive)         — writing the whole object.
+
+Writers take IX on the table plus X on each touched row; point readers take
+IS on the table plus S on the row; full scans take S on the table.  All
+locks are held to transaction end (strict 2PL): the engine releases via
+:meth:`LockManager.release_all` only at commit/abort.
+
+Deadlocks are detected by cycle search in the waits-for graph whenever a
+request would block; the requesting transaction is the victim.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+class DeadlockError(Exception):
+    """Raised to the victim transaction when a deadlock is detected."""
+
+
+class LockMode(enum.Enum):
+    INTENTION_SHARED = "IS"
+    INTENTION_EXCLUSIVE = "IX"
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+_COMPATIBLE: dict[tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_matrix() -> None:
+    is_, ix, s, x = (
+        LockMode.INTENTION_SHARED,
+        LockMode.INTENTION_EXCLUSIVE,
+        LockMode.SHARED,
+        LockMode.EXCLUSIVE,
+    )
+    rows = {
+        is_: {is_: True, ix: True, s: True, x: False},
+        ix: {is_: True, ix: True, s: False, x: False},
+        s: {is_: True, ix: False, s: True, x: False},
+        x: {is_: False, ix: False, s: False, x: False},
+    }
+    for a, row in rows.items():
+        for b, ok in row.items():
+            _COMPATIBLE[(a, b)] = ok
+
+
+_fill_matrix()
+
+LockKey = tuple[str, Hashable]  # (table, rid) or (table, None)
+
+
+@dataclass
+class _LockState:
+    """Holders and waiter count for one lockable object."""
+
+    holders: dict[int, set[LockMode]] = field(default_factory=dict)
+    waiting: int = 0
+
+
+class LockManager:
+    """Thread-safe multi-granularity lock table for strict 2PL."""
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self._cond = threading.Condition()
+        self._locks: dict[LockKey, _LockState] = {}
+        self._held_by_txn: dict[int, set[LockKey]] = {}
+        self._waits_for: dict[int, set[int]] = {}
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------ API
+
+    def acquire(self, txn_id: int, key: LockKey, mode: LockMode) -> None:
+        """Acquire ``mode`` on ``key`` for ``txn_id``; blocks until granted.
+
+        A transaction may hold several modes on one key (e.g. IX then S on a
+        table); compatibility is only checked against *other* transactions.
+
+        Raises:
+            DeadlockError: this transaction was chosen as deadlock victim.
+            TimeoutError: the wait exceeded the configured timeout.
+        """
+        with self._cond:
+            state = self._locks.setdefault(key, _LockState())
+            if self._already_holds(state, txn_id, mode):
+                return
+            while not self._grantable(state, txn_id, mode):
+                blockers = self._blockers(state, txn_id, mode)
+                self._waits_for[txn_id] = blockers
+                if self._creates_cycle(txn_id):
+                    del self._waits_for[txn_id]
+                    raise DeadlockError(
+                        f"txn {txn_id} deadlocked requesting {mode.value} on {key}"
+                    )
+                state.waiting += 1
+                granted = self._cond.wait(timeout=self._timeout)
+                state.waiting -= 1
+                self._waits_for.pop(txn_id, None)
+                if not granted:
+                    raise TimeoutError(
+                        f"txn {txn_id} timed out waiting for {mode.value} on {key}"
+                    )
+            state.holders.setdefault(txn_id, set()).add(mode)
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock the transaction holds (commit/abort time)."""
+        with self._cond:
+            for key in self._held_by_txn.pop(txn_id, set()):
+                state = self._locks.get(key)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                if not state.holders and state.waiting == 0:
+                    del self._locks[key]
+            self._waits_for.pop(txn_id, None)
+            self._cond.notify_all()
+
+    def held(self, txn_id: int) -> set[LockKey]:
+        """Keys currently locked by the transaction (test introspection)."""
+        with self._cond:
+            return set(self._held_by_txn.get(txn_id, set()))
+
+    def lock_count(self) -> int:
+        with self._cond:
+            return len(self._locks)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _already_holds(state: _LockState, txn_id: int, mode: LockMode) -> bool:
+        modes = state.holders.get(txn_id, set())
+        if mode in modes or LockMode.EXCLUSIVE in modes:
+            return True
+        if mode is LockMode.INTENTION_SHARED and modes & {
+            LockMode.INTENTION_EXCLUSIVE, LockMode.SHARED
+        }:
+            return True
+        return False
+
+    @staticmethod
+    def _grantable(state: _LockState, txn_id: int, mode: LockMode) -> bool:
+        for other, modes in state.holders.items():
+            if other == txn_id:
+                continue
+            if any(not _COMPATIBLE[(held, mode)] for held in modes):
+                return False
+        return True
+
+    @staticmethod
+    def _blockers(state: _LockState, txn_id: int, mode: LockMode) -> set[int]:
+        blockers: set[int] = set()
+        for other, modes in state.holders.items():
+            if other == txn_id:
+                continue
+            if any(not _COMPATIBLE[(held, mode)] for held in modes):
+                blockers.add(other)
+        return blockers
+
+    def _creates_cycle(self, start: int) -> bool:
+        """DFS through the waits-for graph looking for a cycle back to start."""
+        stack = list(self._waits_for.get(start, ()))
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False

@@ -1,0 +1,877 @@
+"""A SQL subset over the mini engine.
+
+Supported statements (enough for the paper's exploitation scenarios — the
+"sophisticated user poses a SQL query" path of the DGE model):
+
+* ``CREATE TABLE t (col TYPE [PRIMARY KEY] [NOT NULL], ...)``
+* ``INSERT INTO t (c1, c2) VALUES (v1, v2), (v3, v4)``
+* ``SELECT <exprs> FROM t [JOIN u ON t.a = u.b] [WHERE <pred>]
+  [GROUP BY c1, c2] [HAVING <pred over group keys and aggregate aliases>]
+  [ORDER BY c [ASC|DESC]] [LIMIT n]``
+  with aggregates COUNT(*), COUNT(c), SUM(c), AVG(c), MIN(c), MAX(c)
+* ``UPDATE t SET c = v [, ...] [WHERE <pred>]``
+* ``DELETE FROM t [WHERE <pred>]``
+
+Predicates: comparisons (=, !=, <>, <, <=, >, >=), AND/OR/NOT, ``LIKE`` with
+``%``/``_`` wildcards, ``IS [NOT] NULL``, ``IN (v1, v2, ...)``, parentheses.
+
+Execution uses index lookups for top-level equality predicates on indexed
+columns, otherwise scans.  All statements run inside a transaction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.rdbms.engine import Database, Transaction
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+
+class SqlError(Exception):
+    """Raised on parse or execution errors."""
+
+
+# --------------------------------------------------------------------- lexer
+
+_SQL_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\.)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "by", "order", "limit", "and", "or",
+        "not", "like", "is", "null", "in", "insert", "into", "values", "update",
+        "set", "delete", "create", "table", "primary", "key", "asc", "desc",
+        "join", "on", "count", "sum", "avg", "min", "max", "true", "false",
+        "distinct", "as", "having",
+    }
+)
+
+
+@dataclass
+class _Token:
+    kind: str  # 'string' | 'number' | 'op' | 'word' | 'keyword' | 'eof'
+    value: Any
+    text: str
+
+
+def _lex(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        match = _SQL_TOKEN_RE.match(sql, pos)
+        if match is None or match.end() == pos:
+            raise SqlError(f"cannot tokenize SQL at: {sql[pos:pos+20]!r}")
+        pos = match.end()
+        if match.group("string") is not None:
+            raw = match.group("string")
+            tokens.append(_Token("string", raw[1:-1].replace("''", "'"), raw))
+        elif match.group("number") is not None:
+            raw = match.group("number")
+            is_float = "." in raw or "e" in raw.lower()
+            value = float(raw) if is_float else int(raw)
+            tokens.append(_Token("number", value, raw))
+        elif match.group("op") is not None:
+            tokens.append(_Token("op", match.group("op"), match.group("op")))
+        else:
+            word = match.group("word")
+            kind = "keyword" if word.lower() in _KEYWORDS else "word"
+            tokens.append(_Token(kind, word.lower() if kind == "keyword" else word, word))
+    tokens.append(_Token("eof", None, ""))
+    return tokens
+
+
+# ----------------------------------------------------------------------- AST
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly table-qualified) column reference."""
+
+    table: str | None
+    name: str
+
+    def key(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value in a predicate or VALUES list."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison between two operands."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """A LIKE pattern test against a column."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NullPredicate:
+    """An IS [NOT] NULL test against a column."""
+
+    column: ColumnRef
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """A column IN (v1, v2, ...) membership test."""
+
+    column: ColumnRef
+    values: tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """AND / OR / NOT over sub-predicates."""
+
+    op: str  # 'and' | 'or' | 'not'
+    operands: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: COUNT/SUM/AVG/MIN/MAX over a column or *."""
+
+    func: str  # count | sum | avg | min | max
+    column: ColumnRef | None  # None means COUNT(*)
+    alias: str | None = None
+
+    def key(self) -> str:
+        if self.alias:
+            return self.alias
+        inner = self.column.key() if self.column else "*"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list: a column or an aggregate."""
+
+    expr: ColumnRef | Aggregate
+    alias: str | None = None
+
+    def key(self) -> str:
+        if self.alias:
+            return self.alias
+        return self.expr.key()
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT with all optional clauses."""
+
+    items: list[SelectItem]
+    star: bool
+    table: str
+    join_table: str | None = None
+    join_left: ColumnRef | None = None
+    join_right: ColumnRef | None = None
+    where: Any = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: Any = None
+    order_by: ColumnRef | None = None
+    order_desc: bool = False
+    limit: int | None = None
+
+
+@dataclass
+class InsertStatement:
+    """A parsed multi-row INSERT."""
+
+    table: str
+    columns: list[str]
+    rows: list[list[Any]]
+
+
+@dataclass
+class UpdateStatement:
+    """A parsed UPDATE with assignments and predicate."""
+
+    table: str
+    assignments: dict[str, Any]
+    where: Any = None
+
+
+@dataclass
+class DeleteStatement:
+    """A parsed DELETE with an optional predicate."""
+
+    table: str
+    where: Any = None
+
+
+@dataclass
+class CreateTableStatement:
+    """A parsed CREATE TABLE carrying the schema."""
+
+    schema: TableSchema
+
+
+# -------------------------------------------------------------------- parser
+
+_TYPE_MAP = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "varchar": ColumnType.TEXT,
+    "string": ColumnType.TEXT,
+    "bool": ColumnType.BOOL,
+    "boolean": ColumnType.BOOL,
+}
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self._tokens = _lex(sql)
+        self._pos = 0
+
+    # -- token plumbing
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != word:
+            raise SqlError(f"expected {word.upper()}, got {token.text!r}")
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token.kind != "op" or token.value != op:
+            raise SqlError(f"expected {op!r}, got {token.text!r}")
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.value in words
+
+    def _at_op(self, op: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.value == op
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind not in ("word", "keyword"):
+            raise SqlError(f"expected identifier, got {token.text!r}")
+        return token.text if token.kind == "word" else token.value
+
+    # -- entry point
+
+    def parse(self):
+        token = self._peek()
+        if token.kind != "keyword":
+            raise SqlError(f"unexpected start of statement: {token.text!r}")
+        if token.value == "select":
+            return self._parse_select()
+        if token.value == "insert":
+            return self._parse_insert()
+        if token.value == "update":
+            return self._parse_update()
+        if token.value == "delete":
+            return self._parse_delete()
+        if token.value == "create":
+            return self._parse_create()
+        raise SqlError(f"unsupported statement {token.text!r}")
+
+    # -- statements
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        star = False
+        items: list[SelectItem] = []
+        if self._at_op("*"):
+            self._next()
+            star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._at_op(","):
+                self._next()
+                items.append(self._parse_select_item())
+        self._expect_keyword("from")
+        table = self._identifier()
+        stmt = SelectStatement(items=items, star=star, table=table)
+        if self._at_keyword("join"):
+            self._next()
+            stmt.join_table = self._identifier()
+            self._expect_keyword("on")
+            stmt.join_left = self._parse_column_ref()
+            self._expect_op("=")
+            stmt.join_right = self._parse_column_ref()
+        if self._at_keyword("where"):
+            self._next()
+            stmt.where = self._parse_or()
+        if self._at_keyword("group"):
+            self._next()
+            self._expect_keyword("by")
+            stmt.group_by.append(self._parse_column_ref())
+            while self._at_op(","):
+                self._next()
+                stmt.group_by.append(self._parse_column_ref())
+        if self._at_keyword("having"):
+            self._next()
+            stmt.having = self._parse_or()
+        if self._at_keyword("order"):
+            self._next()
+            self._expect_keyword("by")
+            stmt.order_by = self._parse_column_ref()
+            if self._at_keyword("asc", "desc"):
+                stmt.order_desc = self._next().value == "desc"
+        if self._at_keyword("limit"):
+            self._next()
+            token = self._next()
+            if token.kind != "number" or not isinstance(token.value, int):
+                raise SqlError("LIMIT expects an integer")
+            stmt.limit = token.value
+        if self._peek().kind != "eof":
+            raise SqlError(f"trailing input: {self._peek().text!r}")
+        return stmt
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._at_keyword("count", "sum", "avg", "min", "max"):
+            func = self._next().value
+            self._expect_op("(")
+            column: ColumnRef | None = None
+            if self._at_op("*"):
+                self._next()
+                if func != "count":
+                    raise SqlError(f"{func.upper()}(*) is not valid")
+            else:
+                column = self._parse_column_ref()
+            self._expect_op(")")
+            alias = self._parse_alias()
+            return SelectItem(Aggregate(func, column, alias), alias)
+        ref = self._parse_column_ref()
+        alias = self._parse_alias()
+        return SelectItem(ref, alias)
+
+    def _parse_alias(self) -> str | None:
+        if self._at_keyword("as"):
+            self._next()
+            return self._identifier()
+        return None
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._identifier()
+        if self._at_op("."):
+            self._next()
+            second = self._identifier()
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._identifier()
+        self._expect_op("(")
+        columns = [self._identifier()]
+        while self._at_op(","):
+            self._next()
+            columns.append(self._identifier())
+        self._expect_op(")")
+        self._expect_keyword("values")
+        rows: list[list[Any]] = []
+        while True:
+            self._expect_op("(")
+            row = [self._parse_literal()]
+            while self._at_op(","):
+                self._next()
+                row.append(self._parse_literal())
+            self._expect_op(")")
+            if len(row) != len(columns):
+                raise SqlError("VALUES arity does not match column list")
+            rows.append(row)
+            if self._at_op(","):
+                self._next()
+                continue
+            break
+        return InsertStatement(table, columns, rows)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("update")
+        table = self._identifier()
+        self._expect_keyword("set")
+        assignments: dict[str, Any] = {}
+        while True:
+            column = self._identifier()
+            self._expect_op("=")
+            assignments[column] = self._parse_literal()
+            if self._at_op(","):
+                self._next()
+                continue
+            break
+        where = None
+        if self._at_keyword("where"):
+            self._next()
+            where = self._parse_or()
+        return UpdateStatement(table, assignments, where)
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._identifier()
+        where = None
+        if self._at_keyword("where"):
+            self._next()
+            where = self._parse_or()
+        return DeleteStatement(table, where)
+
+    def _parse_create(self) -> CreateTableStatement:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._identifier()
+        self._expect_op("(")
+        columns: list[Column] = []
+        primary_key: str | None = None
+        while True:
+            col_name = self._identifier()
+            type_word = self._identifier().lower()
+            if type_word not in _TYPE_MAP:
+                raise SqlError(f"unknown type {type_word!r}")
+            nullable = True
+            while self._at_keyword("primary", "not"):
+                word = self._next().value
+                if word == "primary":
+                    self._expect_keyword("key")
+                    primary_key = col_name
+                    nullable = False
+                else:
+                    self._expect_keyword("null")
+                    nullable = False
+            columns.append(Column(col_name, _TYPE_MAP[type_word], nullable))
+            if self._at_op(","):
+                self._next()
+                continue
+            break
+        self._expect_op(")")
+        return CreateTableStatement(TableSchema(name, tuple(columns), primary_key))
+
+    # -- predicates
+
+    def _parse_or(self):
+        node = self._parse_and()
+        operands = [node]
+        while self._at_keyword("or"):
+            self._next()
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else BoolOp("or", tuple(operands))
+
+    def _parse_and(self):
+        node = self._parse_not()
+        operands = [node]
+        while self._at_keyword("and"):
+            self._next()
+            operands.append(self._parse_not())
+        return operands[0] if len(operands) == 1 else BoolOp("and", tuple(operands))
+
+    def _parse_not(self):
+        if self._at_keyword("not"):
+            self._next()
+            return BoolOp("not", (self._parse_not(),))
+        return self._parse_predicate()
+
+    def _parse_predicate(self):
+        if self._at_op("("):
+            self._next()
+            node = self._parse_or()
+            self._expect_op(")")
+            return node
+        left = self._parse_operand()
+        token = self._peek()
+        if token.kind == "keyword" and token.value == "is":
+            self._next()
+            negated = False
+            if self._at_keyword("not"):
+                self._next()
+                negated = True
+            self._expect_keyword("null")
+            if not isinstance(left, ColumnRef):
+                raise SqlError("IS NULL requires a column")
+            return NullPredicate(left, negated)
+        if token.kind == "keyword" and token.value in ("like", "in", "not"):
+            negated = False
+            if token.value == "not":
+                self._next()
+                negated = True
+                token = self._peek()
+            if token.kind == "keyword" and token.value == "like":
+                self._next()
+                pattern_token = self._next()
+                if pattern_token.kind != "string":
+                    raise SqlError("LIKE expects a string pattern")
+                if not isinstance(left, ColumnRef):
+                    raise SqlError("LIKE requires a column")
+                return LikePredicate(left, pattern_token.value, negated)
+            if token.kind == "keyword" and token.value == "in":
+                self._next()
+                self._expect_op("(")
+                values = [self._parse_literal()]
+                while self._at_op(","):
+                    self._next()
+                    values.append(self._parse_literal())
+                self._expect_op(")")
+                if not isinstance(left, ColumnRef):
+                    raise SqlError("IN requires a column")
+                return InPredicate(left, tuple(v.value for v in values), negated)
+            raise SqlError(f"unexpected NOT before {token.text!r}")
+        op_token = self._next()
+        if op_token.kind != "op" or op_token.value not in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            raise SqlError(f"expected comparison operator, got {op_token.text!r}")
+        right = self._parse_operand()
+        op = "!=" if op_token.value == "<>" else op_token.value
+        return Comparison(op, left, right)
+
+    def _parse_operand(self):
+        token = self._peek()
+        if token.kind in ("string", "number"):
+            return self._parse_literal()
+        if token.kind == "keyword" and token.value in ("true", "false", "null"):
+            return self._parse_literal()
+        return self._parse_column_ref()
+
+    def _parse_literal(self) -> Literal:
+        token = self._next()
+        if token.kind in ("string", "number"):
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value == "true":
+            return Literal(True)
+        if token.kind == "keyword" and token.value == "false":
+            return Literal(False)
+        if token.kind == "keyword" and token.value == "null":
+            return Literal(None)
+        raise SqlError(f"expected literal, got {token.text!r}")
+
+
+def parse_sql(sql: str):
+    """Parse one SQL statement into its AST node.
+
+    Raises:
+        SqlError: on syntax errors.
+    """
+    return _Parser(sql).parse()
+
+
+# ----------------------------------------------------------------- evaluator
+
+
+def _resolve(row: dict[str, Any], ref: ColumnRef) -> Any:
+    if ref.table is not None:
+        qualified = f"{ref.table}.{ref.name}"
+        if qualified in row:
+            return row[qualified]
+    if ref.name in row:
+        return row[ref.name]
+    matches = [k for k in row if k.endswith("." + ref.name)]
+    if len(matches) == 1:
+        return row[matches[0]]
+    raise SqlError(f"unknown column {ref.key()!r}")
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
+
+
+def eval_predicate(node: Any, row: dict[str, Any]) -> bool:
+    """Evaluate a parsed predicate against a row dict (SQL three-valued
+    logic simplified: comparisons with NULL are false)."""
+    if node is None:
+        return True
+    if isinstance(node, BoolOp):
+        if node.op == "and":
+            return all(eval_predicate(n, row) for n in node.operands)
+        if node.op == "or":
+            return any(eval_predicate(n, row) for n in node.operands)
+        return not eval_predicate(node.operands[0], row)
+    if isinstance(node, Comparison):
+        left = _operand_value(node.left, row)
+        right = _operand_value(node.right, row)
+        if left is None or right is None:
+            return False
+        try:
+            if node.op == "=":
+                return left == right
+            if node.op == "!=":
+                return left != right
+            if node.op == "<":
+                return left < right
+            if node.op == "<=":
+                return left <= right
+            if node.op == ">":
+                return left > right
+            if node.op == ">=":
+                return left >= right
+        except TypeError as exc:
+            raise SqlError(f"type error comparing {left!r} {node.op} {right!r}") from exc
+    if isinstance(node, LikePredicate):
+        value = _resolve(row, node.column)
+        if not isinstance(value, str):
+            return node.negated
+        matched = bool(_like_to_regex(node.pattern).match(value))
+        return matched != node.negated
+    if isinstance(node, NullPredicate):
+        is_null = _resolve(row, node.column) is None
+        return is_null != node.negated
+    if isinstance(node, InPredicate):
+        value = _resolve(row, node.column)
+        return (value in node.values) != node.negated
+    raise SqlError(f"cannot evaluate predicate node {node!r}")
+
+
+def _operand_value(operand: Any, row: dict[str, Any]) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, ColumnRef):
+        return _resolve(row, operand)
+    raise SqlError(f"bad operand {operand!r}")
+
+
+def _equality_lookup(node: Any) -> tuple[str, Any] | None:
+    """If the predicate is a top-level ``col = literal`` (possibly inside an
+    AND), return (column, value) for index-assisted execution."""
+    if isinstance(node, Comparison) and node.op == "=":
+        if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+            return node.left.name, node.right.value
+        if isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+            return node.right.name, node.left.value
+    if isinstance(node, BoolOp) and node.op == "and":
+        for operand in node.operands:
+            found = _equality_lookup(operand)
+            if found is not None:
+                return found
+    return None
+
+
+class _Executor:
+    def __init__(self, db: Database, txn: Transaction) -> None:
+        self._db = db
+        self._txn = txn
+
+    def execute(self, stmt) -> list[dict[str, Any]]:
+        if isinstance(stmt, SelectStatement):
+            return self._select(stmt)
+        if isinstance(stmt, InsertStatement):
+            count = 0
+            for row in stmt.rows:
+                values = {c: v.value for c, v in zip(stmt.columns, row)}
+                self._txn.insert(stmt.table, values)
+                count += 1
+            return [{"inserted": count}]
+        if isinstance(stmt, UpdateStatement):
+            changes = {c: v.value for c, v in stmt.assignments.items()}
+            rows = self._matching_rows(stmt.table, stmt.where)
+            for row in rows:
+                self._txn.update(stmt.table, row["__rid__"], changes)
+            return [{"updated": len(rows)}]
+        if isinstance(stmt, DeleteStatement):
+            rows = self._matching_rows(stmt.table, stmt.where)
+            for row in rows:
+                self._txn.delete(stmt.table, row["__rid__"])
+            return [{"deleted": len(rows)}]
+        if isinstance(stmt, CreateTableStatement):
+            self._db.create_table(stmt.schema)
+            return [{"created": stmt.schema.name}]
+        raise SqlError(f"cannot execute {stmt!r}")
+
+    # -- row production
+
+    def _matching_rows(self, table: str, where) -> list[dict[str, Any]]:
+        lookup = _equality_lookup(where) if where is not None else None
+        if lookup is not None and self._db._find_index(table, lookup[0]) is not None:
+            candidates = self._txn.lookup(table, lookup[0], lookup[1])
+        else:
+            candidates = self._txn.scan(table)
+        rows = []
+        for r in candidates:
+            row = dict(r.values)
+            row["__rid__"] = r.rid
+            if eval_predicate(where, row):
+                rows.append(row)
+        return rows
+
+    def _select(self, stmt: SelectStatement) -> list[dict[str, Any]]:
+        rows = self._source_rows(stmt)
+        rows = [r for r in rows if eval_predicate(stmt.where, r)]
+        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        if stmt.group_by or has_aggregates:
+            result = self._aggregate(stmt, rows)
+            if stmt.having is not None:
+                result = [r for r in result if eval_predicate(stmt.having, r)]
+        elif stmt.having is not None:
+            raise SqlError("HAVING requires GROUP BY or aggregates")
+        elif stmt.star:
+            result = [
+                {k: v for k, v in r.items() if k != "__rid__"} for r in rows
+            ]
+        else:
+            result = [
+                {item.key(): _resolve(r, item.expr) for item in stmt.items}
+                for r in rows
+            ]
+        if stmt.order_by is not None:
+            key_name = self._order_key(stmt)
+            result.sort(
+                key=lambda r: (r.get(key_name) is None, r.get(key_name)),
+                reverse=stmt.order_desc,
+            )
+        if stmt.limit is not None:
+            result = result[: stmt.limit]
+        return result
+
+    def _order_key(self, stmt: SelectStatement) -> str:
+        assert stmt.order_by is not None
+        wanted = stmt.order_by.key()
+        for item in stmt.items:
+            if item.key() == wanted or (
+                isinstance(item.expr, ColumnRef) and item.expr.name == stmt.order_by.name
+            ):
+                return item.key()
+        return wanted
+
+    def _source_rows(self, stmt: SelectStatement) -> list[dict[str, Any]]:
+        if stmt.join_table is None:
+            return self._matching_rows(stmt.table, None)
+        left_rows = self._txn.scan(stmt.table)
+        right_rows = self._txn.scan(stmt.join_table)
+        assert stmt.join_left is not None and stmt.join_right is not None
+        left_col, right_col = self._join_columns(stmt)
+        # hash join on the right side
+        buckets: dict[Any, list] = {}
+        for rr in right_rows:
+            buckets.setdefault(rr.values.get(right_col), []).append(rr)
+        joined: list[dict[str, Any]] = []
+        for lr in left_rows:
+            key = lr.values.get(left_col)
+            if key is None:
+                continue
+            for rr in buckets.get(key, ()):
+                row: dict[str, Any] = {}
+                for k, v in lr.values.items():
+                    row[f"{stmt.table}.{k}"] = v
+                    row.setdefault(k, v)
+                for k, v in rr.values.items():
+                    row[f"{stmt.join_table}.{k}"] = v
+                    row.setdefault(k, v)
+                row["__rid__"] = lr.rid
+                joined.append(row)
+        return joined
+
+    def _join_columns(self, stmt: SelectStatement) -> tuple[str, str]:
+        assert stmt.join_left is not None and stmt.join_right is not None
+        left, right = stmt.join_left, stmt.join_right
+        if left.table == stmt.join_table or right.table == stmt.table:
+            left, right = right, left
+        return left.name, right.name
+
+    def _aggregate(self, stmt: SelectStatement, rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        for row in rows:
+            key = tuple(_resolve(row, g) for g in stmt.group_by)
+            groups.setdefault(key, []).append(row)
+        if not stmt.group_by and not groups:
+            groups[()] = []
+        out: list[dict[str, Any]] = []
+        for key, members in sorted(
+            groups.items(), key=lambda kv: tuple((v is None, v) for v in kv[0])
+        ):
+            result: dict[str, Any] = {}
+            for g, value in zip(stmt.group_by, key):
+                result[g.key()] = value
+            for item in stmt.items:
+                if isinstance(item.expr, Aggregate):
+                    result[item.key()] = self._agg_value(item.expr, members)
+                elif stmt.group_by and any(
+                    g.name == item.expr.name for g in stmt.group_by
+                ):
+                    pass  # already emitted as a group key
+                else:
+                    raise SqlError(
+                        f"column {item.key()!r} must appear in GROUP BY"
+                    )
+            out.append(result)
+        return out
+
+    @staticmethod
+    def _agg_value(agg: Aggregate, members: list[dict[str, Any]]) -> Any:
+        if agg.func == "count":
+            if agg.column is None:
+                return len(members)
+            return sum(1 for m in members if _resolve(m, agg.column) is not None)
+        values = [
+            v for m in members
+            if (v := _resolve(m, agg.column)) is not None  # type: ignore[arg-type]
+        ]
+        if not values:
+            return None
+        if agg.func == "sum":
+            return sum(values)
+        if agg.func == "avg":
+            return sum(values) / len(values)
+        if agg.func == "min":
+            return min(values)
+        if agg.func == "max":
+            return max(values)
+        raise SqlError(f"unknown aggregate {agg.func!r}")
+
+
+def execute_sql(db: Database, sql: str,
+                txn: Transaction | None = None) -> list[dict[str, Any]]:
+    """Parse and execute one SQL statement.
+
+    If ``txn`` is None, the statement runs in its own transaction (with
+    deadlock retry).  Returns result rows as a list of dicts; DML returns a
+    one-row summary (e.g. ``[{"updated": 3}]``).
+
+    Raises:
+        SqlError: on parse or execution errors.
+    """
+    stmt = parse_sql(sql)
+    if txn is not None:
+        return _Executor(db, txn).execute(stmt)
+    if isinstance(stmt, CreateTableStatement):
+        db.create_table(stmt.schema)
+        return [{"created": stmt.schema.name}]
+    return db.run(lambda t: _Executor(db, t).execute(stmt))

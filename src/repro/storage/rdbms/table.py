@@ -1,0 +1,162 @@
+"""Heap tables: in-memory row storage with stable row IDs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.storage.rdbms.types import SchemaError, TableSchema
+
+
+@dataclass(frozen=True)
+class Row:
+    """A stored row: stable ``rid`` plus column values."""
+
+    rid: int
+    values: dict[str, Any]
+
+    def __getitem__(self, column: str) -> Any:
+        return self.values[column]
+
+
+class HeapTable:
+    """An unordered collection of rows addressed by row ID.
+
+    The engine layers locking, logging, and indexing on top; the heap table
+    itself only enforces the schema and primary-key uniqueness.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_rid = 0
+        self._pk_index: dict[Any, int] = {}
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------- mutation
+
+    def insert(self, values: dict[str, Any], rid: int | None = None) -> Row:
+        """Insert a row; returns the stored :class:`Row`.
+
+        ``rid`` may be forced (used by recovery replay); otherwise assigned.
+
+        Raises:
+            SchemaError: on schema or primary-key violations.
+        """
+        row_values = self._schema.validate_row(values)
+        pk = self._schema.primary_key
+        if pk is not None:
+            key = row_values[pk]
+            if key is None:
+                raise SchemaError(f"primary key {pk!r} may not be NULL")
+            if key in self._pk_index:
+                raise SchemaError(f"duplicate primary key {key!r}")
+        if rid is None:
+            rid = self._next_rid
+        if rid in self._rows:
+            raise SchemaError(f"row id {rid} already in use")
+        self._next_rid = max(self._next_rid, rid + 1)
+        self._rows[rid] = row_values
+        if pk is not None:
+            self._pk_index[row_values[pk]] = rid
+        return Row(rid=rid, values=dict(row_values))
+
+    def update(self, rid: int, changes: dict[str, Any]) -> tuple[Row, Row]:
+        """Apply column changes to one row; returns (old_row, new_row).
+
+        Raises:
+            KeyError: unknown rid.
+            SchemaError: schema or primary-key violations.
+        """
+        if rid not in self._rows:
+            raise KeyError(rid)
+        old_values = dict(self._rows[rid])
+        merged = dict(old_values)
+        merged.update(changes)
+        new_values = self._schema.validate_row(merged)
+        pk = self._schema.primary_key
+        if pk is not None and new_values[pk] != old_values[pk]:
+            if new_values[pk] is None:
+                raise SchemaError(f"primary key {pk!r} may not be NULL")
+            if new_values[pk] in self._pk_index:
+                raise SchemaError(f"duplicate primary key {new_values[pk]!r}")
+            del self._pk_index[old_values[pk]]
+            self._pk_index[new_values[pk]] = rid
+        self._rows[rid] = new_values
+        return Row(rid, old_values), Row(rid, dict(new_values))
+
+    def delete(self, rid: int) -> Row:
+        """Delete one row; returns the removed row.
+
+        Raises:
+            KeyError: unknown rid.
+        """
+        if rid not in self._rows:
+            raise KeyError(rid)
+        values = self._rows.pop(rid)
+        pk = self._schema.primary_key
+        if pk is not None:
+            self._pk_index.pop(values[pk], None)
+        return Row(rid, values)
+
+    def replace_schema(self, schema: TableSchema,
+                       migrate: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
+        """Swap in a new schema, rewriting every row through ``migrate``.
+
+        Used by the schema-evolution subsystem (Figure 1 Part IV).
+        """
+        new_rows: dict[int, dict[str, Any]] = {}
+        new_pk: dict[Any, int] = {}
+        pk = schema.primary_key
+        for rid, values in self._rows.items():
+            migrated = schema.validate_row(migrate(dict(values)))
+            if pk is not None:
+                key = migrated[pk]
+                if key is None or key in new_pk:
+                    raise SchemaError(f"migration breaks primary key at rid {rid}")
+                new_pk[key] = rid
+            new_rows[rid] = migrated
+        self._schema = schema
+        self._rows = new_rows
+        self._pk_index = new_pk
+
+    # ---------------------------------------------------------------- reads
+
+    def get(self, rid: int) -> Row:
+        """Fetch by row ID.
+
+        Raises:
+            KeyError: unknown rid.
+        """
+        return Row(rid, dict(self._rows[rid]))
+
+    def get_by_pk(self, key: Any) -> Row | None:
+        """Fetch by primary-key value, or None."""
+        rid = self._pk_index.get(key)
+        if rid is None:
+            return None
+        return self.get(rid)
+
+    def scan(self) -> Iterator[Row]:
+        """Yield all rows in rid order."""
+        for rid in sorted(self._rows):
+            yield Row(rid, dict(self._rows[rid]))
+
+    def scan_where(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[Row]:
+        """Filtered scan."""
+        for row in self.scan():
+            if predicate(row.values):
+                yield row
+
+    def rids(self) -> list[int]:
+        return sorted(self._rows)

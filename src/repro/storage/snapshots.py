@@ -1,0 +1,282 @@
+"""Versioned snapshot stores for crawled corpora.
+
+The paper: *"if the unstructured data is retrieved daily from a collection of
+Web sites, then the daily snapshots will overlap a lot, and hence may be best
+stored in a device such as Subversion, which only stores the 'diff' across
+the snapshots, to save space."*
+
+:class:`SnapshotStore` implements exactly that: per document it keeps a chain
+of line-level deltas with periodic full keyframes (so checkout cost stays
+bounded).  :class:`FullCopyStore` is the naive comparator that stores every
+snapshot in full; experiment E5 measures the space ratio between the two.
+
+Both stores persist to a directory as JSON so that on-disk size is a real,
+measurable quantity.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.docmodel.document import Document, DocumentMetadata
+
+_OP_EQUAL = "="
+_OP_INSERT = "+"
+_OP_DELETE = "-"
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Metadata about one stored version of one document."""
+
+    doc_id: str
+    version: int
+    is_keyframe: bool
+    byte_size: int
+
+
+def compute_delta(old_lines: list[str], new_lines: list[str]) -> list[list]:
+    """Line-level delta transforming ``old_lines`` into ``new_lines``.
+
+    The delta is a list of ops: ``["=", n]`` copies n lines from the old
+    version, ``["-", n]`` skips n old lines, ``["+", [lines...]]`` inserts
+    new lines.  This is the minimal structure needed to replay the chain.
+    """
+    matcher = difflib.SequenceMatcher(a=old_lines, b=new_lines, autojunk=False)
+    delta: list[list] = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            delta.append([_OP_EQUAL, i2 - i1])
+        elif tag == "delete":
+            delta.append([_OP_DELETE, i2 - i1])
+        elif tag == "insert":
+            delta.append([_OP_INSERT, new_lines[j1:j2]])
+        elif tag == "replace":
+            delta.append([_OP_DELETE, i2 - i1])
+            delta.append([_OP_INSERT, new_lines[j1:j2]])
+    return delta
+
+
+def apply_delta(old_lines: list[str], delta: list[list]) -> list[str]:
+    """Apply a delta produced by :func:`compute_delta`.
+
+    Raises:
+        ValueError: if the delta does not fit the old version (corruption).
+    """
+    out: list[str] = []
+    cursor = 0
+    for op in delta:
+        kind = op[0]
+        if kind == _OP_EQUAL:
+            count = op[1]
+            if cursor + count > len(old_lines):
+                raise ValueError("delta copies past end of base version")
+            out.extend(old_lines[cursor : cursor + count])
+            cursor += count
+        elif kind == _OP_DELETE:
+            count = op[1]
+            if cursor + count > len(old_lines):
+                raise ValueError("delta deletes past end of base version")
+            cursor += count
+        elif kind == _OP_INSERT:
+            out.extend(op[1])
+        else:
+            raise ValueError(f"unknown delta op {kind!r}")
+    if cursor != len(old_lines):
+        raise ValueError("delta does not consume the whole base version")
+    return out
+
+
+class SnapshotStore:
+    """Diff-based versioned document store with periodic keyframes.
+
+    Layout: ``<root>/<doc_id>/v<NNNN>.json``; each file is either a keyframe
+    (full line list) or a delta against the previous version.  A keyframe is
+    written every ``keyframe_every`` versions so checkout replays at most
+    that many deltas.
+    """
+
+    def __init__(self, root: str, keyframe_every: int = 20) -> None:
+        if keyframe_every < 1:
+            raise ValueError("keyframe_every must be >= 1")
+        self._root = root
+        self._keyframe_every = keyframe_every
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------ API
+
+    def commit(self, doc: Document) -> int:
+        """Store a new version of ``doc``; returns the new version number."""
+        doc_dir = self._doc_dir(doc.doc_id, create=True)
+        latest = self.latest_version(doc.doc_id)
+        version = 0 if latest is None else latest + 1
+        new_lines = doc.lines()
+        if version % self._keyframe_every == 0:
+            payload = {"keyframe": True, "lines": new_lines}
+        else:
+            old_lines = self._materialize(doc.doc_id, version - 1)
+            payload = {
+                "keyframe": False,
+                "delta": compute_delta(old_lines, new_lines),
+            }
+        path = self._version_path(doc.doc_id, version)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        os.replace(tmp, path)
+        return version
+
+    def checkout(self, doc_id: str, version: int | None = None) -> Document:
+        """Reconstruct a document at ``version`` (default: latest).
+
+        Raises:
+            KeyError: unknown document or version.
+        """
+        latest = self.latest_version(doc_id)
+        if latest is None:
+            raise KeyError(doc_id)
+        if version is None:
+            version = latest
+        if version < 0 or version > latest:
+            raise KeyError(f"{doc_id}@{version}")
+        lines = self._materialize(doc_id, version)
+        return Document(
+            doc_id=doc_id,
+            text="".join(lines),
+            metadata=DocumentMetadata(source=f"snapshot:{doc_id}@{version}"),
+        )
+
+    def latest_version(self, doc_id: str) -> int | None:
+        """Highest stored version number, or None if the doc is unknown."""
+        doc_dir = self._doc_dir(doc_id, create=False)
+        if not os.path.isdir(doc_dir):
+            return None
+        versions = [
+            int(name[1:-5])
+            for name in os.listdir(doc_dir)
+            if name.startswith("v") and name.endswith(".json")
+        ]
+        return max(versions) if versions else None
+
+    def doc_ids(self) -> list[str]:
+        """IDs of all stored documents."""
+        return sorted(
+            name for name in os.listdir(self._root)
+            if os.path.isdir(os.path.join(self._root, name))
+        )
+
+    def history(self, doc_id: str) -> Iterator[SnapshotInfo]:
+        """Yield per-version storage info, oldest first."""
+        latest = self.latest_version(doc_id)
+        if latest is None:
+            return
+        for version in range(latest + 1):
+            path = self._version_path(doc_id, version)
+            with open(path, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+            yield SnapshotInfo(
+                doc_id=doc_id,
+                version=version,
+                is_keyframe=payload["keyframe"],
+                byte_size=os.path.getsize(path),
+            )
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all stored versions (E5's metric)."""
+        total = 0
+        for dirpath, _, filenames in os.walk(self._root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    total += os.path.getsize(os.path.join(dirpath, name))
+        return total
+
+    # ------------------------------------------------------------ internals
+
+    def _materialize(self, doc_id: str, version: int) -> list[str]:
+        keyframe_version = (version // self._keyframe_every) * self._keyframe_every
+        path = self._version_path(doc_id, keyframe_version)
+        if not os.path.exists(path):
+            raise KeyError(f"{doc_id}@{keyframe_version}")
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        if not payload["keyframe"]:
+            raise ValueError(f"expected keyframe at {doc_id}@{keyframe_version}")
+        lines: list[str] = payload["lines"]
+        for v in range(keyframe_version + 1, version + 1):
+            vpath = self._version_path(doc_id, v)
+            if not os.path.exists(vpath):
+                raise KeyError(f"{doc_id}@{v}")
+            with open(vpath, "r", encoding="utf-8") as f:
+                vpayload = json.load(f)
+            if vpayload["keyframe"]:
+                lines = vpayload["lines"]
+            else:
+                lines = apply_delta(lines, vpayload["delta"])
+        return lines
+
+    def _doc_dir(self, doc_id: str, create: bool) -> str:
+        safe = doc_id.replace(os.sep, "_")
+        path = os.path.join(self._root, safe)
+        if create:
+            os.makedirs(path, exist_ok=True)
+        return path
+
+    def _version_path(self, doc_id: str, version: int) -> str:
+        return os.path.join(self._doc_dir(doc_id, create=False), f"v{version:04d}.json")
+
+
+class FullCopyStore:
+    """Naive comparator: stores every snapshot in full.
+
+    Same API subset as :class:`SnapshotStore` (commit / checkout /
+    total_bytes) so E5 can swap the two.
+    """
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+
+    def commit(self, doc: Document) -> int:
+        doc_dir = os.path.join(self._root, doc.doc_id.replace(os.sep, "_"))
+        os.makedirs(doc_dir, exist_ok=True)
+        existing = [
+            int(name[1:-4]) for name in os.listdir(doc_dir)
+            if name.startswith("v") and name.endswith(".txt")
+        ]
+        version = max(existing) + 1 if existing else 0
+        path = os.path.join(doc_dir, f"v{version:04d}.txt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(doc.text)
+        return version
+
+    def checkout(self, doc_id: str, version: int | None = None) -> Document:
+        doc_dir = os.path.join(self._root, doc_id.replace(os.sep, "_"))
+        if not os.path.isdir(doc_dir):
+            raise KeyError(doc_id)
+        versions = sorted(
+            int(name[1:-4]) for name in os.listdir(doc_dir)
+            if name.startswith("v") and name.endswith(".txt")
+        )
+        if not versions:
+            raise KeyError(doc_id)
+        if version is None:
+            version = versions[-1]
+        path = os.path.join(doc_dir, f"v{version:04d}.txt")
+        if not os.path.exists(path):
+            raise KeyError(f"{doc_id}@{version}")
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        return Document(doc_id=doc_id, text=text,
+                        metadata=DocumentMetadata(source=f"fullcopy:{doc_id}@{version}"))
+
+    def total_bytes(self) -> int:
+        total = 0
+        for dirpath, _, filenames in os.walk(self._root):
+            for name in filenames:
+                if name.endswith(".txt"):
+                    total += os.path.getsize(os.path.join(dirpath, name))
+        return total

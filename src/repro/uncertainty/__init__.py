@@ -1,0 +1,32 @@
+"""Uncertainty management and provenance — Figure 1, Part V.
+
+IE, II, and HI are all imperfect, so every derived fact carries a
+confidence; this subpackage gives that confidence algebra (combinators,
+thresholds, possible-worlds semantics for small fact sets) and the lineage
+graph that lets the system *explain* any derived value by tracing back
+through operators to source spans.
+"""
+
+from repro.uncertainty.probabilistic import (
+    ProbabilisticValue,
+    combine_independent_and,
+    combine_noisy_or,
+    expected_value,
+    possible_worlds,
+)
+from repro.uncertainty.provenance import (
+    ProvenanceGraph,
+    ProvenanceNode,
+    Explanation,
+)
+
+__all__ = [
+    "ProbabilisticValue",
+    "combine_independent_and",
+    "combine_noisy_or",
+    "expected_value",
+    "possible_worlds",
+    "ProvenanceGraph",
+    "ProvenanceNode",
+    "Explanation",
+]

@@ -1,0 +1,151 @@
+"""Probabilistic values and the confidence algebra.
+
+A :class:`ProbabilisticValue` is a discrete distribution over mutually
+exclusive alternatives for one fact (an x-tuple in U-relation terms), with
+an implicit "none of these" residual when the probabilities sum below 1.
+Combinators implement the standard independence assumptions used when
+propagating confidence through derivations: AND for conjunctive derivation
+steps, noisy-OR for corroborating independent evidence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class ProbabilisticValue:
+    """A discrete distribution over alternatives for one fact.
+
+    Attributes:
+        alternatives: (value, probability) pairs; probabilities are > 0 and
+            sum to at most 1 (the residual is "no value").
+    """
+
+    alternatives: tuple[tuple[Any, float], ...]
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for value, prob in self.alternatives:
+            if prob <= 0.0 or prob > 1.0:
+                raise ValueError(f"probability {prob} for {value!r} outside (0, 1]")
+            total += prob
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"alternative probabilities sum to {total} > 1")
+
+    @staticmethod
+    def certain(value: Any) -> "ProbabilisticValue":
+        return ProbabilisticValue(((value, 1.0),))
+
+    @staticmethod
+    def from_confidences(pairs: Sequence[tuple[Any, float]]) -> "ProbabilisticValue":
+        """Build from raw (value, confidence) pairs, normalizing only when
+        the confidences over-commit (sum > 1)."""
+        total = sum(c for _, c in pairs)
+        if total > 1.0:
+            pairs = [(v, c / total) for v, c in pairs]
+        return ProbabilisticValue(tuple((v, c) for v, c in pairs if c > 0))
+
+    def most_likely(self) -> tuple[Any, float]:
+        """(value, probability) of the mode.
+
+        Raises:
+            ValueError: empty distribution.
+        """
+        if not self.alternatives:
+            raise ValueError("empty distribution")
+        return max(self.alternatives, key=lambda vp: vp[1])
+
+    def probability_of(self, value: Any) -> float:
+        for v, p in self.alternatives:
+            if v == value:
+                return p
+        return 0.0
+
+    def residual(self) -> float:
+        """Probability that no listed alternative is the truth."""
+        return max(0.0, 1.0 - sum(p for _, p in self.alternatives))
+
+    def threshold(self, minimum: float) -> "ProbabilisticValue":
+        """Drop alternatives below ``minimum`` probability."""
+        return ProbabilisticValue(
+            tuple((v, p) for v, p in self.alternatives if p >= minimum)
+        )
+
+    def map_values(self, fn) -> "ProbabilisticValue":
+        """Apply ``fn`` to every alternative value, merging collisions."""
+        merged: dict[Any, float] = {}
+        for value, prob in self.alternatives:
+            new_value = fn(value)
+            merged[new_value] = merged.get(new_value, 0.0) + prob
+        return ProbabilisticValue(tuple(merged.items()))
+
+
+def combine_independent_and(*confidences: float) -> float:
+    """P(all hold) under independence: the product."""
+    result = 1.0
+    for c in confidences:
+        if not 0.0 <= c <= 1.0:
+            raise ValueError(f"confidence {c} outside [0, 1]")
+        result *= c
+    return result
+
+
+def combine_noisy_or(*confidences: float) -> float:
+    """P(at least one independent witness is right): 1 - prod(1 - c).
+
+    Used when several independent extractions corroborate one fact.
+    """
+    result = 1.0
+    for c in confidences:
+        if not 0.0 <= c <= 1.0:
+            raise ValueError(f"confidence {c} outside [0, 1]")
+        result *= 1.0 - c
+    return 1.0 - result
+
+
+def expected_value(dist: ProbabilisticValue) -> float:
+    """Expectation of a numeric distribution (residual mass ignored).
+
+    Raises:
+        ValueError: non-numeric alternatives or empty distribution.
+    """
+    if not dist.alternatives:
+        raise ValueError("empty distribution")
+    total_p = sum(p for _, p in dist.alternatives)
+    acc = 0.0
+    for value, prob in dist.alternatives:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"non-numeric alternative {value!r}")
+        acc += float(value) * prob
+    return acc / total_p
+
+
+def possible_worlds(
+    facts: Sequence[tuple[str, ProbabilisticValue]],
+) -> Iterator[tuple[dict[str, Any], float]]:
+    """Enumerate possible worlds of independent uncertain facts.
+
+    Each fact is (name, distribution); a world assigns one alternative (or
+    None, with residual probability) to every fact.  Yields (assignment,
+    world probability) with probability > 0.  Exponential in the number of
+    facts — intended for explanation and testing on small sets.
+    """
+    choice_lists: list[list[tuple[Any, float]]] = []
+    for _, dist in facts:
+        choices = list(dist.alternatives)
+        residual = dist.residual()
+        if residual > 1e-12:
+            choices.append((None, residual))
+        choice_lists.append(choices)
+    names = [name for name, _ in facts]
+    for combo in itertools.product(*choice_lists):
+        prob = 1.0
+        assignment: dict[str, Any] = {}
+        for name, (value, p) in zip(names, combo):
+            prob *= p
+            assignment[name] = value
+        if prob > 0.0:
+            yield assignment, prob

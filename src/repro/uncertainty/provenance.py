@@ -1,0 +1,238 @@
+"""Provenance: the lineage graph behind every derived fact.
+
+Figure 1's Part V "provides the provenance and explanation for the derived
+structured data".  The graph has typed nodes — ``document``, ``span``,
+``extraction``, ``operator``, ``fact`` (fused value / stored tuple),
+``feedback`` (an HI decision) — and ``derived_from`` edges.  The
+:meth:`ProvenanceGraph.explain` method renders the derivation tree of any
+node, which is what the user layer shows when a user asks "why is this
+value here?".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.docmodel.document import Span
+from repro.extraction.base import Extraction
+
+
+@dataclass(frozen=True)
+class ProvenanceNode:
+    """One node in the lineage graph."""
+
+    node_id: str
+    kind: str  # document | span | extraction | operator | fact | feedback
+    label: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Explanation:
+    """A rendered derivation tree for one node."""
+
+    node: ProvenanceNode
+    sources: list["Explanation"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering."""
+        pad = "  " * indent
+        lines = [f"{pad}[{self.node.kind}] {self.node.label}"]
+        for source in self.sources:
+            lines.append(source.render(indent + 1))
+        return "\n".join(lines)
+
+    def leaf_spans(self) -> list[ProvenanceNode]:
+        """All span-kind leaves — the raw evidence for this node."""
+        if not self.sources:
+            return [self.node] if self.node.kind == "span" else []
+        leaves: list[ProvenanceNode] = []
+        for source in self.sources:
+            leaves.extend(source.leaf_spans())
+        if self.node.kind == "span":
+            leaves.append(self.node)
+        return leaves
+
+
+class ProvenanceGraph:
+    """Append-only DAG of derivations."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ProvenanceNode] = {}
+        self._edges: dict[str, list[str]] = {}  # node -> its sources
+        self._counter = 0
+
+    # ----------------------------------------------------------- node adds
+
+    def add_node(self, kind: str, label: str,
+                 detail: dict[str, Any] | None = None,
+                 node_id: str | None = None) -> ProvenanceNode:
+        """Add (or fetch, when the id exists with same kind) a node."""
+        if node_id is None:
+            self._counter += 1
+            node_id = f"{kind}:{self._counter}"
+        existing = self._nodes.get(node_id)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"node {node_id} already exists with kind {existing.kind!r}"
+                )
+            return existing
+        node = ProvenanceNode(node_id, kind, label, detail or {})
+        self._nodes[node_id] = node
+        self._edges.setdefault(node_id, [])
+        return node
+
+    def add_edge(self, node_id: str, source_id: str) -> None:
+        """Record that ``node_id`` was derived from ``source_id``.
+
+        Raises:
+            KeyError: unknown node.
+            ValueError: the edge would create a cycle.
+        """
+        if node_id not in self._nodes or source_id not in self._nodes:
+            raise KeyError("both nodes must exist before adding an edge")
+        if node_id == source_id or self._reachable(source_id, node_id):
+            raise ValueError(f"edge {node_id} -> {source_id} would create a cycle")
+        self._edges[node_id].append(source_id)
+
+    # -------------------------------------------------- high-level helpers
+
+    def record_span(self, span: Span) -> ProvenanceNode:
+        """Register a source span (and its document) as evidence nodes."""
+        doc_node = self.add_node("document", span.doc_id,
+                                 node_id=f"document:{span.doc_id}")
+        span_id = f"span:{span.doc_id}:{span.start}:{span.end}"
+        span_node = self.add_node(
+            "span", f"{span.doc_id}[{span.start}:{span.end}] {span.text[:40]!r}",
+            detail={"doc_id": span.doc_id, "start": span.start, "end": span.end},
+            node_id=span_id,
+        )
+        if doc_node.node_id not in self._edges[span_node.node_id]:
+            self.add_edge(span_node.node_id, doc_node.node_id)
+        return span_node
+
+    def record_extraction(self, extraction: Extraction) -> ProvenanceNode:
+        """Register an extraction, its operator, and its source span."""
+        span_node = self.record_span(extraction.span)
+        op_node = self.add_node("operator", extraction.extractor or "extractor",
+                                node_id=f"operator:{extraction.extractor}")
+        node = self.add_node(
+            "extraction",
+            f"{extraction.entity or '?'}.{extraction.attribute} = "
+            f"{extraction.value!r} (conf {extraction.confidence:.2f})",
+            detail={"confidence": extraction.confidence},
+        )
+        self.add_edge(node.node_id, span_node.node_id)
+        self.add_edge(node.node_id, op_node.node_id)
+        return node
+
+    def record_fact(self, entity: str, attribute: str, value: Any,
+                    confidence: float,
+                    sources: list[ProvenanceNode]) -> ProvenanceNode:
+        """Register a fused/stored fact derived from earlier nodes."""
+        node = self.add_node(
+            "fact",
+            f"{entity}.{attribute} = {value!r} (conf {confidence:.2f})",
+            detail={"entity": entity, "attribute": attribute,
+                    "value": value, "confidence": confidence},
+        )
+        for source in sources:
+            self.add_edge(node.node_id, source.node_id)
+        return node
+
+    def record_feedback(self, description: str,
+                        applied_to: ProvenanceNode) -> ProvenanceNode:
+        """Register an HI decision that shaped a derived node."""
+        node = self.add_node("feedback", description)
+        self.add_edge(applied_to.node_id, node.node_id)
+        return node
+
+    # -------------------------------------------------------------- queries
+
+    def node(self, node_id: str) -> ProvenanceNode:
+        return self._nodes[node_id]
+
+    def sources_of(self, node_id: str) -> list[ProvenanceNode]:
+        return [self._nodes[s] for s in self._edges.get(node_id, ())]
+
+    def explain(self, node_id: str, max_depth: int = 10) -> Explanation:
+        """Derivation tree of a node, depth-limited.
+
+        Raises:
+            KeyError: unknown node.
+        """
+        node = self._nodes[node_id]
+        if max_depth <= 0:
+            return Explanation(node)
+        return Explanation(
+            node,
+            [self.explain(s, max_depth - 1) for s in self._edges.get(node_id, ())],
+        )
+
+    def facts(self) -> Iterator[ProvenanceNode]:
+        for node in self._nodes.values():
+            if node.kind == "fact":
+                yield node
+
+    def find_facts(self, entity: str | None = None,
+                   attribute: str | None = None) -> list[ProvenanceNode]:
+        out = []
+        for node in self.facts():
+            if entity is not None and node.detail.get("entity") != entity:
+                continue
+            if attribute is not None and node.detail.get("attribute") != attribute:
+                continue
+            out.append(node)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ---------------------------------------------------------- durability
+
+    def save(self, path: str) -> None:
+        """Persist the graph as JSON (the storage layer keeps derived
+        data's lineage alongside the data itself)."""
+        payload = {
+            "counter": self._counter,
+            "nodes": [
+                {"id": n.node_id, "kind": n.kind, "label": n.label,
+                 "detail": n.detail}
+                for n in self._nodes.values()
+            ],
+            "edges": {k: v for k, v in self._edges.items() if v},
+        }
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+
+    @staticmethod
+    def load(path: str) -> "ProvenanceGraph":
+        """Rebuild a graph saved by :meth:`save`."""
+        graph = ProvenanceGraph()
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        graph._counter = payload["counter"]
+        for node in payload["nodes"]:
+            graph._nodes[node["id"]] = ProvenanceNode(
+                node["id"], node["kind"], node["label"], node["detail"]
+            )
+            graph._edges.setdefault(node["id"], [])
+        for node_id, sources in payload["edges"].items():
+            graph._edges[node_id] = list(sources)
+        return graph
+
+    def _reachable(self, start: str, target: str) -> bool:
+        stack = [start]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == target:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._edges.get(current, ()))
+        return False

@@ -1,0 +1,45 @@
+"""User layer — Figure 1, top layer.
+
+"This layer allows users (ordinary and sophisticated alike) to exploit the
+data as well as provide feedback into the system."
+
+Exploitation modes:
+
+* keyword search over documents *and* structured facts
+  (:mod:`repro.userlayer.index`, :mod:`repro.userlayer.search`);
+* structured querying via the SQL subset (sophisticated users);
+* query forms (:mod:`repro.userlayer.forms`) and keyword→structured-query
+  translation (:mod:`repro.userlayer.translate`) that guide ordinary users
+  from a keyword query to the structured reformulation — the paper's
+  "guess and show the user several structured queries" mechanism;
+* iterative exploration sessions (:mod:`repro.userlayer.session`);
+* accounts, authentication, and reputation (:mod:`repro.userlayer.accounts`).
+"""
+
+from repro.userlayer.index import InvertedIndex, Posting, SearchHit
+from repro.userlayer.search import KeywordSearchEngine
+from repro.userlayer.forms import FormCatalog, QueryForm, FormSlot
+from repro.userlayer.translate import QueryTranslator, TranslationCandidate
+from repro.userlayer.session import ExplorationSession
+from repro.userlayer.accounts import AuthenticationError, UserAccount, UserManager
+from repro.userlayer.visualize import bar_chart, histogram, sparkline, table
+
+__all__ = [
+    "InvertedIndex",
+    "Posting",
+    "SearchHit",
+    "KeywordSearchEngine",
+    "QueryForm",
+    "FormSlot",
+    "FormCatalog",
+    "QueryTranslator",
+    "TranslationCandidate",
+    "ExplorationSession",
+    "UserAccount",
+    "UserManager",
+    "AuthenticationError",
+    "bar_chart",
+    "sparkline",
+    "histogram",
+    "table",
+]

@@ -1,0 +1,120 @@
+"""User accounts, authentication, roles, and reputation hooks.
+
+"Finally, this layer also contains modules that authenticates users,
+manage incentive schemes for soliciting user feedback, and manage user
+reputation."
+
+Passwords are salted-and-hashed (PBKDF2); roles separate the DGE model's
+*ordinary* users from *sophisticated* developers and admins.  Reputation
+delegates to :class:`~repro.hi.reputation.ReputationManager` so one record
+backs both the HI pipeline and the account UI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+
+from repro.hi.reputation import ReputationManager
+
+_ROLES = ("ordinary", "sophisticated", "admin")
+_PBKDF2_ITERATIONS = 50_000
+
+
+class AuthenticationError(Exception):
+    """Raised on bad credentials or unauthorized operations."""
+
+
+@dataclass
+class UserAccount:
+    """One registered user."""
+
+    username: str
+    role: str
+    salt: bytes
+    password_hash: bytes
+
+    def check_password(self, password: str) -> bool:
+        candidate = hashlib.pbkdf2_hmac(
+            "sha256", password.encode("utf-8"), self.salt, _PBKDF2_ITERATIONS
+        )
+        return hmac.compare_digest(candidate, self.password_hash)
+
+
+@dataclass
+class UserManager:
+    """Registration, login, roles, and reputation for all users."""
+
+    reputation: ReputationManager = field(default_factory=ReputationManager)
+    _accounts: dict[str, UserAccount] = field(default_factory=dict)
+    _sessions: dict[str, str] = field(default_factory=dict)  # token -> user
+
+    def register(self, username: str, password: str,
+                 role: str = "ordinary") -> UserAccount:
+        """Create an account.
+
+        Raises:
+            ValueError: duplicate username or unknown role.
+        """
+        if username in self._accounts:
+            raise ValueError(f"username {username!r} is taken")
+        if role not in _ROLES:
+            raise ValueError(f"unknown role {role!r}; expected one of {_ROLES}")
+        salt = os.urandom(16)
+        password_hash = hashlib.pbkdf2_hmac(
+            "sha256", password.encode("utf-8"), salt, _PBKDF2_ITERATIONS
+        )
+        account = UserAccount(username, role, salt, password_hash)
+        self._accounts[username] = account
+        return account
+
+    def login(self, username: str, password: str) -> str:
+        """Authenticate; returns a session token.
+
+        Raises:
+            AuthenticationError: unknown user or wrong password.
+        """
+        account = self._accounts.get(username)
+        if account is None or not account.check_password(password):
+            raise AuthenticationError("invalid username or password")
+        token = os.urandom(16).hex()
+        self._sessions[token] = username
+        return token
+
+    def logout(self, token: str) -> None:
+        self._sessions.pop(token, None)
+
+    def whoami(self, token: str) -> UserAccount:
+        """Account for a session token.
+
+        Raises:
+            AuthenticationError: invalid token.
+        """
+        username = self._sessions.get(token)
+        if username is None:
+            raise AuthenticationError("invalid session token")
+        return self._accounts[username]
+
+    def require_role(self, token: str, *roles: str) -> UserAccount:
+        """Gate an operation on role membership.
+
+        Raises:
+            AuthenticationError: invalid token or insufficient role.
+        """
+        account = self.whoami(token)
+        if account.role not in roles:
+            raise AuthenticationError(
+                f"{account.username!r} ({account.role}) lacks required role"
+            )
+        return account
+
+    def user_reputation(self, username: str) -> float:
+        return self.reputation.reputation(username)
+
+    def user_points(self, username: str) -> int:
+        return self.reputation.points(username)
+
+    def exists(self, username: str) -> bool:
+        return username in self._accounts

@@ -1,0 +1,86 @@
+"""Built-in query forms over the EAV facts store.
+
+These are the "canned" structured queries (Section 3.1: ordinary users
+interact "by invoking canned SQL commands and queries ... via relatively
+simple form interfaces") that every deployment of the system starts with.
+The system registers them automatically; developers add domain-specific
+forms on top.
+"""
+
+from __future__ import annotations
+
+from repro.userlayer.forms import FormCatalog, FormSlot, QueryForm
+
+
+def builtin_forms(table: str = "facts") -> list[QueryForm]:
+    """The standard form library over an EAV facts table."""
+    return [
+        QueryForm(
+            form_id="value_of",
+            title="Look up the value of an attribute for an entity",
+            sql_template=(
+                f"SELECT value_num, value_text, confidence FROM {table} "
+                "WHERE entity = {entity} AND attribute = {attribute}"
+            ),
+            slots=(FormSlot("entity", "Entity"),
+                   FormSlot("attribute", "Attribute")),
+            keywords=("value", "lookup", "what", "is"),
+        ),
+        QueryForm(
+            form_id="average_of",
+            title="Average of a numeric attribute for an entity",
+            sql_template=(
+                f"SELECT AVG(value_num) AS result FROM {table} "
+                "WHERE entity = {entity} AND attribute = {attribute}"
+            ),
+            slots=(FormSlot("entity", "Entity"),
+                   FormSlot("attribute", "Attribute")),
+            keywords=("average", "mean", "temperature"),
+        ),
+        QueryForm(
+            form_id="top_entities",
+            title="Entities ranked by a numeric attribute",
+            sql_template=(
+                f"SELECT entity, MAX(value_num) AS value FROM {table} "
+                "WHERE attribute = {attribute} GROUP BY entity "
+                "ORDER BY value DESC LIMIT {limit}"
+            ),
+            slots=(FormSlot("attribute", "Attribute"),
+                   FormSlot("limit", "How many", slot_type="number",
+                            required=False, default=10)),
+            keywords=("top", "highest", "largest", "ranking", "best"),
+        ),
+        QueryForm(
+            form_id="count_entities",
+            title="How many entities have a given attribute",
+            sql_template=(
+                f"SELECT COUNT(*) AS n FROM {table} "
+                "WHERE attribute = {attribute}"
+            ),
+            slots=(FormSlot("attribute", "Attribute"),),
+            keywords=("count", "how", "many", "number"),
+        ),
+        QueryForm(
+            form_id="low_confidence",
+            title="Facts the system is least sure about (curation queue)",
+            sql_template=(
+                f"SELECT entity, attribute, value_num, value_text, "
+                f"confidence FROM {table} ORDER BY confidence ASC "
+                "LIMIT {limit}"
+            ),
+            slots=(FormSlot("limit", "How many", slot_type="number",
+                            required=False, default=20),),
+            keywords=("uncertain", "review", "check", "confidence",
+                      "curate"),
+        ),
+    ]
+
+
+def register_builtin_forms(catalog: FormCatalog,
+                           table: str = "facts") -> int:
+    """Register every built-in form; returns how many were added."""
+    count = 0
+    for form in builtin_forms(table):
+        catalog.register(form)
+        count += 1
+    return count

@@ -1,0 +1,120 @@
+"""Query forms: parameterized structured-query templates.
+
+The paper's user layer guides ordinary users to structured queries through
+*form interfaces*: "one way to do so is to 'guess' and show the user
+several structured queries using, say, form interfaces, then ask the user
+to select the appropriate one."  A :class:`QueryForm` is such a template —
+a SQL string with named slots plus human-readable labels — and the
+:class:`FormCatalog` is the library the translator ranks against.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FormSlot:
+    """One fillable parameter of a form.
+
+    Attributes:
+        name: slot name used in the template as ``{name}``.
+        label: what the UI shows.
+        slot_type: ``text`` | ``number`` (controls literal quoting).
+        required: unfilled required slots block instantiation.
+        default: value used when optional and unfilled.
+    """
+
+    name: str
+    label: str
+    slot_type: str = "text"
+    required: bool = True
+    default: Any = None
+
+
+@dataclass(frozen=True)
+class QueryForm:
+    """A structured-query template with slots.
+
+    Attributes:
+        form_id: stable identifier.
+        title: human-readable description ("Average temperature of a city
+            over a month range").
+        sql_template: SQL with ``{slot}`` placeholders.
+        slots: the fillable parameters.
+        keywords: terms that should attract this form during translation.
+    """
+
+    form_id: str
+    title: str
+    sql_template: str
+    slots: tuple[FormSlot, ...] = ()
+    keywords: tuple[str, ...] = ()
+
+    def instantiate(self, values: dict[str, Any]) -> str:
+        """Fill the template; values are SQL-quoted by slot type.
+
+        Raises:
+            ValueError: missing required slot or unknown slot name.
+        """
+        known = {s.name for s in self.slots}
+        unknown = set(values) - known
+        if unknown:
+            raise ValueError(f"unknown slot(s) {sorted(unknown)}")
+        rendered: dict[str, str] = {}
+        for slot in self.slots:
+            if slot.name in values:
+                value = values[slot.name]
+            elif not slot.required:
+                value = slot.default
+            else:
+                raise ValueError(f"required slot {slot.name!r} not filled")
+            rendered[slot.name] = self._quote(slot, value)
+        return self.sql_template.format(**rendered)
+
+    @staticmethod
+    def _quote(slot: FormSlot, value: Any) -> str:
+        if slot.slot_type == "number":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"slot {slot.name!r} expects a number, got {value!r}"
+                )
+            return str(value)
+        escaped = str(value).replace("'", "''")
+        return f"'{escaped}'"
+
+    def all_terms(self) -> list[str]:
+        """Every word associated with this form (for ranking)."""
+        words: list[str] = []
+        for source in (self.title, " ".join(self.keywords),
+                       " ".join(s.label for s in self.slots)):
+            words.extend(re.findall(r"[A-Za-z0-9_]+", source.lower()))
+        return words
+
+
+class FormCatalog:
+    """The library of registered query forms."""
+
+    def __init__(self) -> None:
+        self._forms: dict[str, QueryForm] = {}
+
+    def register(self, form: QueryForm) -> None:
+        """Add a form.
+
+        Raises:
+            ValueError: duplicate form_id.
+        """
+        if form.form_id in self._forms:
+            raise ValueError(f"form {form.form_id!r} already registered")
+        self._forms[form.form_id] = form
+
+    def get(self, form_id: str) -> QueryForm:
+        return self._forms[form_id]
+
+    def all_forms(self) -> list[QueryForm]:
+        return list(self._forms.values())
+
+    def __len__(self) -> int:
+        return len(self._forms)

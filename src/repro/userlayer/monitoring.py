@@ -1,0 +1,128 @@
+"""Continuous queries: the *monitoring* exploitation mode.
+
+The DGE model lists monitoring among the exploitation modes, and the essay
+names "blog analysis and monitoring" among the applications.  A
+:class:`ContinuousQuery` is a standing SQL query plus a row predicate; the
+:class:`ContinuousQueryManager` re-evaluates registered queries whenever
+the system stores new facts and delivers *new* matching rows (matched rows
+are remembered, so each row notifies once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.sql import execute_sql
+
+Callback = Callable[[str, dict[str, Any]], None]
+
+
+@dataclass
+class Notification:
+    """One delivered match."""
+
+    query_id: str
+    row: dict[str, Any]
+
+
+@dataclass
+class ContinuousQuery:
+    """A standing query.
+
+    Attributes:
+        query_id: unique identifier.
+        sql: the query to re-run on each poke.
+        condition: optional extra row predicate (Python callable).
+        callback: invoked as ``callback(query_id, row)`` per new match;
+            when None, matches accumulate in the manager's inbox.
+    """
+
+    query_id: str
+    sql: str
+    condition: Callable[[dict[str, Any]], bool] | None = None
+    callback: Callback | None = None
+
+
+def _row_key(row: dict[str, Any]) -> tuple:
+    return tuple(sorted((k, repr(v)) for k, v in row.items()))
+
+
+@dataclass
+class ContinuousQueryManager:
+    """Registry and evaluator for continuous queries."""
+
+    db: Database
+    inbox: list[Notification] = field(default_factory=list)
+    _queries: dict[str, ContinuousQuery] = field(default_factory=dict)
+    _seen: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def register(self, query: ContinuousQuery,
+                 fire_on_existing: bool = False) -> int:
+        """Add a standing query.
+
+        Args:
+            query: the continuous query.
+            fire_on_existing: when False (default), rows already matching
+                at registration time are absorbed silently; when True they
+                are delivered immediately.
+
+        Returns:
+            Number of notifications delivered at registration.
+
+        Raises:
+            ValueError: duplicate query_id.
+        """
+        if query.query_id in self._queries:
+            raise ValueError(f"query {query.query_id!r} already registered")
+        self._queries[query.query_id] = query
+        self._seen[query.query_id] = set()
+        if fire_on_existing:
+            return self._evaluate(query)
+        for row in self._matching_rows(query):
+            self._seen[query.query_id].add(_row_key(row))
+        return 0
+
+    def unregister(self, query_id: str) -> None:
+        self._queries.pop(query_id, None)
+        self._seen.pop(query_id, None)
+
+    def poke(self) -> int:
+        """Re-evaluate every query; returns notifications delivered."""
+        delivered = 0
+        for query in self._queries.values():
+            delivered += self._evaluate(query)
+        return delivered
+
+    def pending(self, query_id: str | None = None) -> list[Notification]:
+        """Accumulated inbox notifications (optionally for one query)."""
+        if query_id is None:
+            return list(self.inbox)
+        return [n for n in self.inbox if n.query_id == query_id]
+
+    def clear_inbox(self) -> None:
+        self.inbox.clear()
+
+    # ------------------------------------------------------------ internals
+
+    def _matching_rows(self, query: ContinuousQuery) -> list[dict[str, Any]]:
+        rows = execute_sql(self.db, query.sql)
+        if query.condition is not None:
+            rows = [r for r in rows if query.condition(r)]
+        return rows
+
+    def _evaluate(self, query: ContinuousQuery) -> int:
+        delivered = 0
+        seen = self._seen[query.query_id]
+        for row in self._matching_rows(query):
+            key = _row_key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            delivered += 1
+            if query.callback is not None:
+                query.callback(query.query_id, row)
+            else:
+                self.inbox.append(Notification(query.query_id, row))
+        return delivered

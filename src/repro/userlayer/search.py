@@ -1,0 +1,107 @@
+"""Keyword search over documents and structured facts.
+
+:class:`KeywordSearchEngine` is both a user-layer service and — run over
+raw documents only — the IR baseline the paper argues against (re-exported
+by :mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.docmodel.document import Document
+from repro.userlayer.index import InvertedIndex, SearchHit
+
+
+@dataclass(frozen=True)
+class DocumentResult:
+    """A ranked document with a contextual snippet."""
+
+    doc_id: str
+    score: float
+    snippet: str
+
+
+class KeywordSearchEngine:
+    """BM25 search over a corpus, plus optional fact search.
+
+    Facts (dicts with entity/attribute/value) are indexed as
+    pseudo-documents under IDs ``fact:<n>`` so a keyword query can surface
+    structured results alongside pages — the user layer's combined
+    exploitation mode.
+    """
+
+    def __init__(self) -> None:
+        self._doc_index = InvertedIndex()
+        self._fact_index = InvertedIndex()
+        self._documents: dict[str, Document] = {}
+        self._facts: dict[str, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------ indexing
+
+    def index_corpus(self, docs: Iterable[Document]) -> int:
+        """Index documents; returns how many were added."""
+        count = 0
+        for doc in docs:
+            self._documents[doc.doc_id] = doc
+            self._doc_index.add(doc.doc_id, doc.text)
+            count += 1
+        return count
+
+    def index_facts(self, facts: Sequence[dict[str, Any]]) -> int:
+        """Index structured facts as searchable pseudo-documents."""
+        count = 0
+        for fact in facts:
+            fact_id = f"fact:{len(self._facts)}"
+            rendered = " ".join(
+                str(fact.get(k, "")) for k in ("entity", "attribute", "value")
+            )
+            self._facts[fact_id] = dict(fact)
+            self._fact_index.add(fact_id, rendered)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------- queries
+
+    def search(self, query: str, k: int = 10) -> list[DocumentResult]:
+        """Top-k documents for a keyword query, with snippets."""
+        hits = self._doc_index.search(query, k=k)
+        return [
+            DocumentResult(h.doc_id, h.score, self._snippet(h, query))
+            for h in hits
+        ]
+
+    def search_facts(self, query: str, k: int = 10) -> list[dict[str, Any]]:
+        """Top-k structured facts for a keyword query."""
+        hits = self._fact_index.search(query, k=k)
+        return [self._facts[h.doc_id] for h in hits]
+
+    def document(self, doc_id: str) -> Document:
+        return self._documents[doc_id]
+
+    def has_document(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def corpus_size(self) -> int:
+        return len(self._documents)
+
+    def fact_count(self) -> int:
+        return len(self._facts)
+
+    # ------------------------------------------------------------ internals
+
+    def _snippet(self, hit: SearchHit, query: str, width: int = 120) -> str:
+        text = self._documents[hit.doc_id].text
+        lowered = text.lower()
+        best_pos = 0
+        for term in query.lower().split():
+            pos = lowered.find(term)
+            if pos >= 0:
+                best_pos = pos
+                break
+        start = max(0, best_pos - width // 4)
+        end = min(len(text), start + width)
+        prefix = "..." if start > 0 else ""
+        suffix = "..." if end < len(text) else ""
+        return prefix + text[start:end].replace("\n", " ") + suffix

@@ -1,0 +1,273 @@
+"""Keyword → structured-query translation.
+
+"An ordinary user ... most likely would just want to start with a keyword
+query, such as 'average temperature Madison'.  In this case it would be
+highly desirable for the system to guide the user somehow to a
+structured-query reformulation."
+
+The translator matches query terms against (a) aggregate intent words,
+(b) the derived schema's attribute names, and (c) known entity values, then
+emits ranked :class:`TranslationCandidate` objects — directly runnable SQL
+plus, when a :class:`~repro.userlayer.forms.FormCatalog` is provided,
+matching pre-built query forms with slots pre-filled.  Experiment E10
+measures top-k accuracy of this guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.integration.similarity import jaro_winkler
+from repro.userlayer.forms import FormCatalog
+from repro.userlayer.index import index_tokens
+
+_AGGREGATE_WORDS = {
+    "average": "AVG", "avg": "AVG", "mean": "AVG",
+    "total": "SUM", "sum": "SUM",
+    "count": "COUNT", "many": "COUNT", "number": "COUNT",
+    "highest": "MAX", "max": "MAX", "maximum": "MAX", "largest": "MAX",
+    "warmest": "MAX", "biggest": "MAX",
+    "lowest": "MIN", "min": "MIN", "minimum": "MIN", "smallest": "MIN",
+    "coldest": "MIN",
+}
+
+_STOPWORDS = {
+    "the", "of", "in", "a", "an", "for", "is", "what", "whats", "how",
+    "find", "show", "me", "to", "and", "with", "on", "at", "by",
+}
+
+
+@dataclass(frozen=True)
+class TranslationCandidate:
+    """One proposed structured reformulation of a keyword query.
+
+    Attributes:
+        sql: runnable SQL for the mini engine.
+        description: human-readable phrasing shown for selection.
+        score: ranking score (higher is better).
+        form_id: the source form, when the candidate came from the catalog.
+        slot_values: pre-filled slot values for that form.
+    """
+
+    sql: str
+    description: str
+    score: float
+    form_id: str | None = None
+    slot_values: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class QueryTranslator:
+    """Translates keyword queries into ranked structured candidates.
+
+    Args:
+        table: target table of the derived structure.
+        entity_column: column naming entities (e.g. ``city``).
+        value_column: numeric value column for aggregate templates
+            (e.g. ``value`` in an EAV layout) or None for wide tables.
+        attribute_column: for EAV layouts, the column holding attribute
+            names; None for wide tables where attributes are columns.
+        attributes: known attribute names (wide columns or EAV values).
+        entities: known entity values (for entity-term recognition).
+        catalog: optional form catalog to rank against.
+    """
+
+    table: str
+    entity_column: str
+    attributes: Sequence[str] = ()
+    entities: Sequence[str] = ()
+    attribute_column: str | None = None
+    value_column: str | None = None
+    catalog: FormCatalog | None = None
+
+    def translate(self, query: str, k: int = 5) -> list[TranslationCandidate]:
+        """Top-k structured reformulations of a keyword query."""
+        terms = [t for t in index_tokens(query) if t not in _STOPWORDS]
+        aggregate = self._detect_aggregate(terms)
+        attribute_hits = self._match_attributes(terms)
+        entity_hits = self._match_entities(query, terms)
+        candidates: list[TranslationCandidate] = []
+        candidates.extend(
+            self._sql_candidates(aggregate, attribute_hits, entity_hits)
+        )
+        if self.catalog is not None:
+            candidates.extend(
+                self._form_candidates(terms, aggregate, attribute_hits,
+                                      entity_hits)
+            )
+        candidates.sort(key=lambda c: (-c.score, c.sql))
+        deduped: list[TranslationCandidate] = []
+        seen: set[str] = set()
+        for candidate in candidates:
+            if candidate.sql not in seen:
+                seen.add(candidate.sql)
+                deduped.append(candidate)
+        return deduped[:k]
+
+    # ------------------------------------------------------------ matching
+
+    @staticmethod
+    def _detect_aggregate(terms: Sequence[str]) -> str | None:
+        for term in terms:
+            if term in _AGGREGATE_WORDS:
+                return _AGGREGATE_WORDS[term]
+        return None
+
+    def _match_attributes(self, terms: Sequence[str]) -> list[tuple[str, float]]:
+        """Attributes matching query terms; the score is the mean per-token
+        match quality over the attribute's tokens, so an attribute fully
+        covered by the query ("september_temperature" for "september
+        temperature") outranks one only half covered ("april_temperature")."""
+        hits: dict[str, float] = {}
+        for attribute in self.attributes:
+            attr_tokens = list(dict.fromkeys(index_tokens(attribute.replace("_", " "))))
+            token_scores: list[float] = []
+            for attr_token in attr_tokens:
+                best = 0.0
+                for term in terms:
+                    if term in _AGGREGATE_WORDS:
+                        continue
+                    if term == attr_token:
+                        best = 1.0
+                        break
+                    # Abbreviation handling: "sep" ~ "september" either way.
+                    if len(attr_token) >= 3 and term.startswith(attr_token):
+                        best = max(best, 0.95)
+                    elif len(term) >= 3 and attr_token.startswith(term):
+                        best = max(best, 0.9)
+                    else:
+                        sim = jaro_winkler(term, attr_token)
+                        if sim >= 0.85:
+                            best = max(best, sim)
+                token_scores.append(best)
+            if any(token_scores):
+                hits[attribute] = sum(token_scores) / len(token_scores)
+        return sorted(hits.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def _match_entities(self, query: str,
+                        terms: Sequence[str]) -> list[tuple[str, float]]:
+        """Known entities mentioned by the query, scored in [0, 1].
+
+        Exact substring beats token overlap beats fuzzy match, so a typo
+        like "Madsion" still resolves to "Madison" (slightly discounted)
+        without ever outranking an exact mention of another entity.
+        """
+        lowered = query.lower()
+        hits: dict[str, float] = {}
+        for entity in self.entities:
+            entity_lower = entity.lower()
+            if entity_lower in lowered:
+                hits[entity] = 1.0
+                continue
+            entity_tokens = set(index_tokens(entity))
+            overlap = entity_tokens & set(terms)
+            if overlap:
+                hits[entity] = len(overlap) / len(entity_tokens)
+                continue
+            best_fuzzy = 0.0
+            for term in terms:
+                if len(term) < 4 or term in _AGGREGATE_WORDS:
+                    continue
+                for token in entity_tokens:
+                    sim = jaro_winkler(term, token)
+                    if sim >= 0.88:
+                        best_fuzzy = max(best_fuzzy, sim)
+            if best_fuzzy > 0:
+                hits[entity] = 0.9 * best_fuzzy  # discounted: inexact
+        return sorted(hits.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # --------------------------------------------------------- candidates
+
+    def _sql_candidates(
+        self,
+        aggregate: str | None,
+        attribute_hits: list[tuple[str, float]],
+        entity_hits: list[tuple[str, float]],
+    ) -> list[TranslationCandidate]:
+        out: list[TranslationCandidate] = []
+        top_entities = entity_hits[:2]
+        top_attributes = attribute_hits[:3]
+        for attribute, attr_score in top_attributes or [("", 0.0)]:
+            for entity, entity_score in top_entities or [("", 0.0)]:
+                candidate = self._build_sql(aggregate, attribute, entity)
+                if candidate is None:
+                    continue
+                sql, description = candidate
+                score = (
+                    attr_score
+                    + entity_score
+                    + (0.5 if aggregate else 0.0)
+                )
+                out.append(TranslationCandidate(sql, description, score))
+        return out
+
+    def _build_sql(self, aggregate: str | None, attribute: str,
+                   entity: str) -> tuple[str, str] | None:
+        conditions: list[str] = []
+        description_parts: list[str] = []
+        if self.attribute_column is not None:
+            # EAV layout: facts(entity, attribute, value)
+            if not attribute:
+                return None
+            conditions.append(f"{self.attribute_column} = '{attribute}'")
+            target = self.value_column or "value"
+        else:
+            if not attribute:
+                return None
+            target = attribute
+        if entity:
+            escaped = entity.replace("'", "''")
+            conditions.append(f"{self.entity_column} = '{escaped}'")
+            description_parts.append(f"of {entity}")
+        where = (" WHERE " + " AND ".join(conditions)) if conditions else ""
+        if aggregate:
+            sql = f"SELECT {aggregate}({target}) AS result FROM {self.table}{where}"
+            description = (
+                f"{aggregate.lower()} {attribute.replace('_', ' ')} "
+                + " ".join(description_parts)
+            ).strip()
+        else:
+            sql = (
+                f"SELECT {self.entity_column}, {target} FROM {self.table}{where}"
+            )
+            description = (
+                f"{attribute.replace('_', ' ')} " + " ".join(description_parts)
+            ).strip()
+        return sql, description
+
+    def _form_candidates(
+        self,
+        terms: Sequence[str],
+        aggregate: str | None,
+        attribute_hits: list[tuple[str, float]],
+        entity_hits: list[tuple[str, float]],
+    ) -> list[TranslationCandidate]:
+        assert self.catalog is not None
+        out: list[TranslationCandidate] = []
+        term_set = set(terms)
+        for form in self.catalog.all_forms():
+            form_terms = set(form.all_terms())
+            overlap = len(term_set & form_terms)
+            if overlap == 0:
+                continue
+            score = overlap / max(len(term_set), 1)
+            slot_values: dict[str, Any] = {}
+            for slot in form.slots:
+                if slot.name in ("entity", self.entity_column) and entity_hits:
+                    slot_values[slot.name] = entity_hits[0][0]
+                elif slot.name == "attribute" and attribute_hits:
+                    slot_values[slot.name] = attribute_hits[0][0]
+            try:
+                sql = form.instantiate(slot_values)
+            except ValueError:
+                continue  # required slots we could not pre-fill
+            score += 0.3 * len(slot_values)
+            if aggregate and aggregate.lower() in form.sql_template.lower():
+                score += 0.4
+            out.append(
+                TranslationCandidate(sql, form.title, score,
+                                     form_id=form.form_id,
+                                     slot_values=slot_values)
+            )
+        return out

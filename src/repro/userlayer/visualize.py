@@ -1,0 +1,112 @@
+"""Text visualization of query results.
+
+The DGE model's exploitation modes include *visualization* alongside
+keyword search, structured querying, and browsing.  This module renders
+query results (lists of dicts, as the SQL layer returns) into terminal
+charts: horizontal bar charts, sparklines, and histograms — enough for a
+user to eyeball a distribution mid-exploration and then refine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "█"
+
+
+def _numeric(values: Sequence[Any]) -> list[float]:
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"non-numeric value {value!r} in chart data")
+        out.append(float(value))
+    return out
+
+
+def bar_chart(rows: Sequence[dict[str, Any]], label_key: str,
+              value_key: str, width: int = 40) -> str:
+    """Horizontal bar chart of ``value_key`` per ``label_key``.
+
+    Raises:
+        ValueError: empty rows, missing keys, or non-numeric values.
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    labels = [str(r.get(label_key, "")) for r in rows]
+    values = _numeric([r.get(value_key, 0) for r in rows])
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = _BAR_CHAR * max(1, round(abs(value) / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[Any]) -> str:
+    """One-line sparkline of a numeric series.
+
+    Raises:
+        ValueError: empty or non-numeric input.
+    """
+    numbers = _numeric(values)
+    if not numbers:
+        raise ValueError("no values for sparkline")
+    low, high = min(numbers), max(numbers)
+    span = high - low or 1.0
+    return "".join(
+        _SPARK_LEVELS[
+            min(int((v - low) / span * len(_SPARK_LEVELS)),
+                len(_SPARK_LEVELS) - 1)
+        ]
+        for v in numbers
+    )
+
+
+def histogram(values: Sequence[Any], bins: int = 8, width: int = 40) -> str:
+    """Terminal histogram of a numeric sample.
+
+    Raises:
+        ValueError: empty input or non-positive bin count.
+    """
+    numbers = _numeric(values)
+    if not numbers:
+        raise ValueError("no values to histogram")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    low, high = min(numbers), max(numbers)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in numbers:
+        index = min(int((value - low) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = []
+    for i, count in enumerate(counts):
+        lo = low + span * i / bins
+        hi = low + span * (i + 1) / bins
+        bar = _BAR_CHAR * max(0, round(count / peak * width))
+        lines.append(f"[{lo:8.2f}, {hi:8.2f}) | {bar} {count}")
+    return "\n".join(lines)
+
+
+def table(rows: Sequence[dict[str, Any]], limit: int = 20) -> str:
+    """Plain aligned table of result rows (browsing mode's default view)."""
+    if not rows:
+        return "(no rows)"
+    shown = list(rows[:limit])
+    headers = list(shown[0].keys())
+    widths = [
+        max(len(h), *(len(str(r.get(h, ""))) for r in shown)) for h in headers
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in shown:
+        lines.append(
+            "  ".join(str(row.get(h, "")).ljust(w)
+                      for h, w in zip(headers, widths))
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more rows")
+    return "\n".join(lines)

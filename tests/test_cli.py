@@ -1,0 +1,105 @@
+"""Tests for the command-line interface (full workflow over a workspace)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def pages_dir(tmp_path):
+    pages = tmp_path / "pages"
+    pages.mkdir()
+    (pages / "madison.txt").write_text(
+        "{{Infobox city | name = Madison | sep_temp = 70 | population = 233209 }}\n"
+        "'''Madison''' is the capital of [[Wisconsin]].\n"
+    )
+    (pages / "austin.txt").write_text(
+        "{{Infobox city | name = Austin | sep_temp = 85 | population = 950000 }}\n"
+        "'''Austin''' is in [[Texas]].\n"
+    )
+    return str(pages)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return str(tmp_path / "ws")
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_ingest_generate_sql_roundtrip(capsys, pages_dir, workspace, tmp_path):
+    code, out = _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    assert code == 0 and "ingested 2 pages" in out
+
+    program = tmp_path / "extract.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    code, out = _run(capsys, "--workspace", workspace, "generate",
+                     str(program))
+    assert code == 0 and "stored" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "sql",
+                     "SELECT entity, value_num FROM facts "
+                     "WHERE attribute = 'sep_temp' ORDER BY value_num")
+    assert code == 0
+    assert "Madison" in out and "Austin" in out
+    assert out.index("Madison") < out.index("Austin")  # ordered by temp
+
+
+def test_search_and_suggest(capsys, pages_dir, workspace, tmp_path):
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    program = tmp_path / "p.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    _run(capsys, "--workspace", workspace, "generate", str(program))
+
+    code, out = _run(capsys, "--workspace", workspace, "search",
+                     "Madison capital")
+    assert code == 0 and "madison" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "suggest",
+                     "average sep_temp Madison")
+    assert code == 0
+    assert "AVG(value_num)" in out and "Madison" in out
+
+
+def test_explain_and_facts(capsys, pages_dir, workspace, tmp_path):
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    program = tmp_path / "p.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    _run(capsys, "--workspace", workspace, "generate", str(program))
+
+    code, out = _run(capsys, "--workspace", workspace, "explain",
+                     "Madison", "sep_temp")
+    assert code == 0 and "[span]" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "facts", "--limit", "3")
+    assert code == 0 and "entity" in out
+
+
+def test_generate_explain_mode(capsys, pages_dir, workspace, tmp_path):
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    program = tmp_path / "p.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    code, out = _run(capsys, "--workspace", workspace, "generate",
+                     str(program), "--explain")
+    assert code == 0
+    assert "-- naive plan" in out and "-- optimized plan" in out
+
+
+def test_reingest_versions_snapshots(capsys, pages_dir, workspace):
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    # edit a page and re-ingest: the diff store should version it
+    with open(os.path.join(pages_dir, "madison.txt"), "a",
+              encoding="utf-8") as f:
+        f.write("A new paragraph appeared today.\n")
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    from repro.storage.snapshots import SnapshotStore
+    store = SnapshotStore(os.path.join(workspace, "raw"))
+    assert store.latest_version("madison") == 1
+    assert "new paragraph" in store.checkout("madison").text
+    assert "new paragraph" not in store.checkout("madison", 0).text

@@ -1,0 +1,54 @@
+"""Tests for running the system with the simulated cluster enabled."""
+
+from repro.cluster.simulator import ClusterConfig
+from repro.core.system import FACTS_TABLE, StructureManagementSystem
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.extraction.infobox import InfoboxExtractor
+
+PROGRAM = 'p = docs()\nf = extract(p, "infobox")\noutput f'
+
+
+def _system(use_cluster, workers=4):
+    corpus, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=12, seed=53, styles=("infobox",))
+    )
+    system = StructureManagementSystem(
+        use_cluster=use_cluster,
+        cluster_config=ClusterConfig(num_workers=workers, seed=2),
+    )
+    system.registry.register_extractor("infobox", InfoboxExtractor())
+    system.ingest(corpus)
+    return system, truth
+
+
+def test_cluster_mode_produces_same_facts_as_inline():
+    inline, _ = _system(use_cluster=False)
+    clustered, _ = _system(use_cluster=True)
+    inline.generate(PROGRAM)
+    report = clustered.generate(PROGRAM)
+    assert report.cluster_makespan > 0
+
+    def all_facts(system):
+        return sorted(
+            (r["entity"], r["attribute"], r["value_num"], r["value_text"])
+            for r in system.query(
+                f"SELECT entity, attribute, value_num, value_text "
+                f"FROM {FACTS_TABLE}"
+            )
+        )
+
+    assert all_facts(inline) == all_facts(clustered)
+
+
+def test_inline_mode_reports_zero_makespan():
+    system, _ = _system(use_cluster=False)
+    report = system.generate(PROGRAM)
+    assert report.cluster_makespan == 0.0
+
+
+def test_more_workers_lower_simulated_makespan():
+    small, _ = _system(use_cluster=True, workers=1)
+    large, _ = _system(use_cluster=True, workers=8)
+    makespan_small = small.generate(PROGRAM).cluster_makespan
+    makespan_large = large.generate(PROGRAM).cluster_makespan
+    assert makespan_large < makespan_small

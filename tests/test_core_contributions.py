@@ -1,0 +1,108 @@
+"""Tests for user contributions and system-level attribute unification."""
+
+import pytest
+
+from repro.core.system import FACTS_TABLE, StructureManagementSystem
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.debugger.constraints import RangeConstraint
+from repro.extraction.infobox import InfoboxExtractor
+from repro.extraction.normalize import MONTHS
+
+
+@pytest.fixture
+def system():
+    corpus, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=8, seed=88)
+    )
+    sys_ = StructureManagementSystem()
+    sys_.registry.register_extractor("infobox", InfoboxExtractor())
+    sys_.ingest(corpus)
+    sys_.generate('p = docs()\nf = extract(p, "infobox")\noutput f')
+    return sys_, truth
+
+
+def test_contribute_requires_registered_user(system):
+    sys_, _ = system
+    with pytest.raises(ValueError):
+        sys_.contribute("ghost", "Madison", "nickname", "Mad City")
+
+
+def test_contribution_is_stored_and_queryable(system):
+    sys_, _ = system
+    sys_.users.register("alice", "pw")
+    sys_.contribute("alice", "Madison", "nickname", "Mad City")
+    rows = sys_.query(
+        f"SELECT value_text, confidence, doc_id FROM {FACTS_TABLE} "
+        "WHERE entity = 'Madison' AND attribute = 'nickname'"
+    )
+    assert rows[0]["value_text"] == "Mad City"
+    assert rows[0]["doc_id"] == "user:alice"
+    assert rows[0]["confidence"] == pytest.approx(0.75)  # fresh reputation
+
+
+def test_contribution_confidence_tracks_reputation(system):
+    sys_, _ = system
+    sys_.users.register("veteran", "pw")
+    for _ in range(20):
+        sys_.users.reputation.record_gold("veteran", True)
+    sys_.contribute("veteran", "Madison", "motto", "Forward")
+    rows = sys_.query(
+        f"SELECT confidence FROM {FACTS_TABLE} WHERE attribute = 'motto'"
+    )
+    assert rows[0]["confidence"] > 0.9
+
+
+def test_contribution_screened_by_debugger(system):
+    sys_, _ = system
+    sys_.debugger.add_constraint(RangeConstraint("sep_temp", -80.0, 130.0))
+    sys_.users.register("sloppy", "pw")
+    sys_.contribute("sloppy", "Madison", "sep_temp", 500.0)
+    rows = sys_.query(
+        f"SELECT confidence FROM {FACTS_TABLE} "
+        "WHERE doc_id = 'user:sloppy'"
+    )
+    assert rows[0]["confidence"] < 0.5  # halved by the violation
+    assert any("500" in a.message for a in sys_.debugger.alerts)
+
+
+def test_contribution_has_feedback_provenance(system):
+    sys_, _ = system
+    sys_.users.register("bob", "pw")
+    sys_.contribute("bob", "Madison", "nickname", "Mad City")
+    explanation = sys_.explain("Madison", "nickname")
+    assert "[feedback]" in explanation
+    assert "bob" in explanation
+
+
+def test_contribution_searchable(system):
+    sys_, _ = system
+    sys_.users.register("carol", "pw")
+    sys_.contribute("carol", "Madison", "nickname", "Mad City")
+    facts = sys_.keyword_facts("Mad City nickname")
+    assert any(f["attribute"] == "nickname" for f in facts)
+
+
+def test_unify_attributes_folds_long_names(system):
+    sys_, truth = system
+    short = [f"{m[:3]}_temp" for m in MONTHS]
+    long = [f"{m}_temperature" for m in MONTHS]
+    before = sys_.query(
+        f"SELECT COUNT(*) AS n FROM {FACTS_TABLE} "
+        f"WHERE attribute = 'september_temperature'"
+    )[0]["n"]
+    assert before > 0  # the corpus contains infobox_long pages
+    results = sys_.unify_attributes(long, short)
+    assert len(results) == 12
+    for left, right, rewritten in results:
+        assert left.split("_")[0][:3] == right.split("_")[0]
+        assert rewritten > 0
+    after = sys_.query(
+        f"SELECT COUNT(*) AS n FROM {FACTS_TABLE} "
+        f"WHERE attribute = 'september_temperature'"
+    )[0]["n"]
+    assert after == 0
+
+
+def test_unify_attributes_no_samples_is_noop(system):
+    sys_, _ = system
+    assert sys_.unify_attributes(["ghost_attr"], ["sep_temp"]) == []

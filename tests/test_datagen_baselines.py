@@ -1,0 +1,166 @@
+"""Tests for data generators and the keyword baseline."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.keyword_baseline import KeywordSearchBaseline
+from repro.datagen.churn import churn_corpus
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.datagen.emails import generate_email_corpus
+from repro.datagen.people import PeopleCorpusConfig, generate_people_corpus
+from repro.docmodel.wikimarkup import parse_infoboxes
+from repro.extraction.normalize import MONTHS
+
+
+def test_city_corpus_deterministic():
+    a, truth_a = generate_city_corpus(CityCorpusConfig(num_cities=10, seed=3))
+    b, truth_b = generate_city_corpus(CityCorpusConfig(num_cities=10, seed=3))
+    assert [d.text for d in a] == [d.text for d in b]
+    assert truth_a == truth_b
+
+
+def test_city_corpus_styles_cycle():
+    _, truth = generate_city_corpus(CityCorpusConfig(num_cities=8))
+    assert [t.style for t in truth] == [
+        "infobox", "infobox_long", "table", "prose",
+        "infobox", "infobox_long", "table", "prose",
+    ]
+
+
+def test_city_infobox_pages_parse_with_ground_truth_values():
+    corpus, truth = generate_city_corpus(CityCorpusConfig(num_cities=8))
+    docs = list(corpus)
+    for doc, facts in zip(docs, truth):
+        if facts.style != "infobox":
+            continue
+        box = parse_infoboxes(doc)[0]
+        assert box.fields["name"] == facts.name
+        assert float(box.fields["sep_temp"]) == facts.monthly_temps[8]
+
+
+def test_city_seasonality_summer_warmer_than_winter():
+    _, truth = generate_city_corpus(CityCorpusConfig(num_cities=20))
+    for facts in truth:
+        july = facts.temp("july")
+        january = facts.temp("january")
+        assert july > january + 10
+
+
+def test_city_corruption_injection():
+    _, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=60, corruption_rate=0.5, seed=1)
+    )
+    corrupted = [t for t in truth if t.corrupted_month is not None]
+    assert 10 < len(corrupted) < 50
+    for facts in corrupted:
+        assert facts.corrupted_value not in facts.monthly_temps
+
+
+def test_city_temp_lookup_by_month_name():
+    _, truth = generate_city_corpus(CityCorpusConfig(num_cities=2))
+    facts = truth[0]
+    assert facts.temp("September") == facts.monthly_temps[8]
+    assert len(facts.monthly_temps) == len(MONTHS)
+
+
+def test_people_corpus_mention_map_consistent():
+    corpus, people, mentions = generate_people_corpus(
+        PeopleCorpusConfig(num_people=10, mentions_per_person=3)
+    )
+    assert len(mentions) == 30
+    assert len(corpus) == 30
+    person_ids = {p.person_id for p in people}
+    assert set(mentions.values()) <= person_ids
+    # each document actually mentions one of the person's name variants
+    by_id = {p.person_id: p for p in people}
+    for doc in corpus:
+        person = by_id[mentions[doc.doc_id]]
+        assert any(v in doc.text for v in person.variants())
+
+
+def test_people_confusable_names_exist():
+    _, people, _ = generate_people_corpus(
+        PeopleCorpusConfig(num_people=30, confusable_fraction=0.8, seed=2)
+    )
+    keys = [(p.first[0], p.last) for p in people]
+    assert len(set(keys)) < len(keys)  # at least one shared (initial, last)
+
+
+def test_people_distinct_identities():
+    _, people, _ = generate_people_corpus(PeopleCorpusConfig(num_people=25))
+    identities = {(p.first, p.middle, p.last) for p in people}
+    assert len(identities) == 25
+
+
+def test_email_corpus_meetings_extractable_text():
+    corpus, truths = generate_email_corpus(num_messages=40, seed=1)
+    with_meeting = [t for t in truths if t.meeting_date is not None]
+    assert 5 < len(with_meeting) < 35
+    for truth in with_meeting:
+        text = corpus.get(truth.doc_id).text
+        assert truth.meeting_time in text
+        assert truth.meeting_room in text
+
+
+def test_email_headers_present():
+    corpus, truths = generate_email_corpus(num_messages=5)
+    for truth in truths:
+        text = corpus.get(truth.doc_id).text
+        assert text.startswith(f"From: {truth.sender}")
+        assert f"To: {truth.recipient}" in text
+
+
+def test_churn_changes_bounded_fraction():
+    corpus, _ = generate_city_corpus(CityCorpusConfig(num_cities=20))
+    churned = churn_corpus(corpus, change_fraction=0.1, seed=4)
+    changed = sum(
+        1 for doc in corpus if churned.get(doc.doc_id).text != doc.text
+    )
+    assert 0 < changed < 20
+    assert len(churned) == len(corpus)
+
+
+def test_churn_validates_fraction():
+    with pytest.raises(ValueError):
+        churn_corpus([], change_fraction=1.5)
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def test_baseline_search_ranks_city_page():
+    corpus, truth = generate_city_corpus(CityCorpusConfig(num_cities=12))
+    baseline = KeywordSearchBaseline()
+    baseline.index_corpus(corpus)
+    target = truth[0]
+    hits = baseline.search(f"{target.name} temperature")
+    assert hits[0] == f"city_{target.name.lower()}"
+
+
+def test_baseline_honest_mode_cannot_answer_aggregates():
+    corpus, _ = generate_city_corpus(CityCorpusConfig(num_cities=5))
+    baseline = KeywordSearchBaseline()
+    baseline.index_corpus(corpus)
+    answer = baseline.answer_aggregate("average september temperature Fairview")
+    assert answer.answerable is False
+    assert answer.value is None
+
+
+def test_baseline_grep_guess_usually_wrong_for_averages():
+    corpus, truth = generate_city_corpus(CityCorpusConfig(num_cities=20, seed=9))
+    baseline = KeywordSearchBaseline()
+    baseline.index_corpus(corpus)
+    wrong = 0
+    asked = 0
+    for facts in truth:
+        question = f"average March September temperature {facts.name}"
+        expected = statistics.fmean(facts.monthly_temps[2:9])
+        answer = baseline.answer_aggregate(question, grep_guess=True)
+        if answer.value is None:
+            continue
+        asked += 1
+        if abs(answer.value - expected) > 1.0:
+            wrong += 1
+    assert asked > 0
+    assert wrong / asked > 0.7  # grepping a single number is no aggregate

@@ -1,0 +1,74 @@
+"""Tests for corpus containers."""
+
+import pytest
+
+from repro.docmodel.corpus import DirectoryCorpus, InMemoryCorpus
+from repro.docmodel.document import Document
+
+
+def _docs(n=3):
+    return [Document(f"d{i}", f"text {i}") for i in range(n)]
+
+
+def test_in_memory_add_iterate_len():
+    corpus = InMemoryCorpus(_docs())
+    assert len(corpus) == 3
+    assert [d.doc_id for d in corpus] == ["d0", "d1", "d2"]
+
+
+def test_in_memory_get_and_contains():
+    corpus = InMemoryCorpus(_docs())
+    assert corpus.get("d1").text == "text 1"
+    assert "d1" in corpus
+    assert "missing" not in corpus
+    with pytest.raises(KeyError):
+        corpus.get("missing")
+
+
+def test_in_memory_replace_same_id():
+    corpus = InMemoryCorpus(_docs())
+    corpus.add(Document("d1", "replaced"))
+    assert len(corpus) == 3
+    assert corpus.get("d1").text == "replaced"
+
+
+def test_in_memory_remove():
+    corpus = InMemoryCorpus(_docs())
+    corpus.remove("d0")
+    assert len(corpus) == 2
+    with pytest.raises(KeyError):
+        corpus.remove("d0")
+
+
+def test_directory_corpus_roundtrip(tmp_path):
+    corpus = DirectoryCorpus(str(tmp_path / "corpus"))
+    for doc in _docs():
+        corpus.add(doc)
+    assert len(corpus) == 3
+    fetched = corpus.get("d2")
+    assert fetched.text == "text 2"
+    assert fetched.metadata.source.endswith("d2.txt")
+
+
+def test_directory_corpus_iterates_sorted(tmp_path):
+    corpus = DirectoryCorpus(str(tmp_path))
+    corpus.add(Document("b", "B"))
+    corpus.add(Document("a", "A"))
+    assert [d.doc_id for d in corpus] == ["a", "b"]
+
+
+def test_directory_corpus_missing_doc(tmp_path):
+    corpus = DirectoryCorpus(str(tmp_path))
+    with pytest.raises(KeyError):
+        corpus.get("nope")
+
+
+def test_directory_corpus_rejects_path_traversal(tmp_path):
+    corpus = DirectoryCorpus(str(tmp_path))
+    with pytest.raises(ValueError):
+        corpus.add(Document("../evil", "x"))
+
+
+def test_doc_ids_helper():
+    corpus = InMemoryCorpus(_docs(2))
+    assert corpus.doc_ids() == ["d0", "d1"]

@@ -1,0 +1,127 @@
+"""Tests for the core document model."""
+
+import pytest
+
+from repro.docmodel.document import (
+    Document,
+    DocumentMetadata,
+    Span,
+    Token,
+    iter_ngrams,
+    merge_spans,
+)
+
+
+def test_document_length_and_span():
+    doc = Document("d1", "hello world")
+    assert len(doc) == 11
+    span = doc.span(0, 5)
+    assert span.text == "hello"
+    assert span.doc_id == "d1"
+
+
+def test_document_content_hash_is_stable():
+    a = Document("a", "same text")
+    b = Document("b", "same text")
+    assert a.content_hash() == b.content_hash()
+    assert a.content_hash() != Document("c", "other").content_hash()
+
+
+def test_document_lines_keepends():
+    doc = Document("d", "one\ntwo\nthree")
+    assert doc.lines() == ["one\n", "two\n", "three"]
+
+
+def test_span_validates_bounds():
+    with pytest.raises(ValueError):
+        Span("d", -1, 3, "abcd")
+    with pytest.raises(ValueError):
+        Span("d", 5, 2, "")
+
+
+def test_span_validates_text_length():
+    with pytest.raises(ValueError):
+        Span("d", 0, 3, "toolong")
+
+
+def test_span_overlap_same_doc():
+    a = Span("d", 0, 5, "aaaaa")
+    b = Span("d", 3, 8, "bbbbb")
+    c = Span("d", 5, 9, "cccc")
+    assert a.overlaps(b)
+    assert b.overlaps(a)
+    assert not a.overlaps(c)  # half-open ranges touch but do not overlap
+
+
+def test_span_overlap_different_docs_is_false():
+    a = Span("d1", 0, 5, "aaaaa")
+    b = Span("d2", 0, 5, "bbbbb")
+    assert not a.overlaps(b)
+
+
+def test_span_contains():
+    outer = Span("d", 0, 10, "x" * 10)
+    inner = Span("d", 2, 5, "xxx")
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+
+
+def test_span_shifted():
+    span = Span("d", 5, 8, "abc")
+    moved = span.shifted(10)
+    assert (moved.start, moved.end) == (15, 18)
+    assert moved.text == "abc"
+
+
+def test_span_ordering():
+    spans = [Span("d", 5, 6, "x"), Span("d", 0, 3, "abc")]
+    assert sorted(spans)[0].start == 0
+
+
+def test_token_properties():
+    token = Token(span=Span("d", 0, 2, "42"), kind="number")
+    assert token.text == "42"
+    assert token.is_number()
+    assert not token.is_word()
+
+
+def test_merge_spans_contiguous():
+    a = Span("d", 0, 3, "abc")
+    b = Span("d", 3, 6, "def")
+    merged = merge_spans([a, b])
+    assert (merged.start, merged.end) == (0, 6)
+    assert merged.text == "abcdef"
+
+
+def test_merge_spans_with_gap_pads():
+    a = Span("d", 0, 3, "abc")
+    b = Span("d", 5, 8, "def")
+    merged = merge_spans([b, a])
+    assert merged.text == "abc  def"
+
+
+def test_merge_spans_rejects_empty_and_mixed_docs():
+    with pytest.raises(ValueError):
+        merge_spans([])
+    with pytest.raises(ValueError):
+        merge_spans([Span("d1", 0, 1, "a"), Span("d2", 0, 1, "b")])
+
+
+def test_iter_ngrams():
+    tokens = [
+        Token(Span("d", i, i + 1, c), "word") for i, c in enumerate("abcd")
+    ]
+    bigrams = list(iter_ngrams(tokens, 2))
+    assert len(bigrams) == 3
+    assert bigrams[0][0].text == "a" and bigrams[0][1].text == "b"
+
+
+def test_iter_ngrams_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        list(iter_ngrams([], 0))
+
+
+def test_metadata_defaults():
+    meta = DocumentMetadata()
+    assert meta.mime_type == "text/plain"
+    assert meta.extra == {}

@@ -1,0 +1,91 @@
+"""Tests for tokenization and sentence splitting."""
+
+from repro.docmodel.document import Document
+from repro.docmodel.tokenize import SentenceSplitter, Tokenizer, sentences, tokenize
+
+
+def _texts(tokens):
+    return [t.text for t in tokens]
+
+
+def test_tokenize_words_numbers_punct():
+    doc = Document("d", "Madison has 233,209 people!")
+    tokens = tokenize(doc)
+    assert _texts(tokens) == ["Madison", "has", "233,209", "people", "!"]
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["word", "word", "number", "word", "punct"]
+
+
+def test_tokenize_spans_are_accurate():
+    doc = Document("d", "ab 12 cd")
+    for token in tokenize(doc):
+        assert doc.text[token.span.start:token.span.end] == token.text
+
+
+def test_tokenize_negative_and_decimal_numbers():
+    doc = Document("d", "temp is -7 or 3.14")
+    numbers = [t.text for t in tokenize(doc) if t.is_number()]
+    assert numbers == ["-7", "3.14"]
+
+
+def test_tokenize_hyphenated_words():
+    doc = Document("d", "best-effort extraction")
+    assert _texts(tokenize(doc))[0] == "best-effort"
+
+
+def test_tokenize_range_restricts_offsets():
+    doc = Document("d", "aaa bbb ccc")
+    tokens = Tokenizer().tokenize_range(doc, 4, 7)
+    assert _texts(tokens) == ["bbb"]
+    assert tokens[0].span.start == 4
+
+
+def test_normalize_lowercases_words_only():
+    tokenizer = Tokenizer()
+    doc = Document("d", "Madison 42")
+    tokens = tokenizer.tokenize(doc)
+    assert tokenizer.normalize(tokens[0]) == "madison"
+    assert tokenizer.normalize(tokens[1]) == "42"
+
+
+def test_sentences_basic_split():
+    doc = Document("d", "First sentence. Second sentence! Third?")
+    spans = sentences(doc)
+    assert len(spans) == 3
+    assert spans[0].text == "First sentence."
+
+
+def test_sentences_abbreviations_do_not_split():
+    doc = Document("d", "Dr. Smith agrees. Mr. Jones does not.")
+    spans = sentences(doc)
+    assert len(spans) == 2
+    assert spans[0].text == "Dr. Smith agrees."
+
+
+def test_sentences_initials_do_not_split():
+    doc = Document("d", "J. F. Naughton wrote this. It is good.")
+    spans = sentences(doc)
+    assert len(spans) == 2
+
+
+def test_sentences_spans_point_into_document():
+    doc = Document("d", "  Leading space. Next one.  ")
+    for span in sentences(doc):
+        assert doc.text[span.start:span.end] == span.text
+        assert span.text == span.text.strip()
+
+
+def test_sentences_empty_document():
+    assert sentences(Document("d", "")) == []
+
+
+def test_sentences_no_terminator():
+    spans = sentences(Document("d", "no punctuation here"))
+    assert len(spans) == 1
+    assert spans[0].text == "no punctuation here"
+
+
+def test_splitter_custom_abbreviations():
+    splitter = SentenceSplitter(abbreviations=frozenset({"approx"}))
+    doc = Document("d", "It is approx. forty. Done.")
+    assert len(splitter.split(doc)) == 2

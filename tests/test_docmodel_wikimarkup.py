@@ -1,0 +1,112 @@
+"""Tests for the wiki-markup parser."""
+
+from repro.docmodel.document import Document
+from repro.docmodel.wikimarkup import (
+    parse_headings,
+    parse_infoboxes,
+    parse_tables,
+    parse_wiki_page,
+    strip_markup,
+)
+
+PAGE = """{{Infobox city
+ | name = Madison
+ | state = Wisconsin
+ | sep_temp = 70
+ | population = 233,209
+}}
+
+'''Madison''' is the capital of [[Wisconsin]].
+
+== Climate ==
+The weather varies.
+
+{|
+! month !! temperature
+|-
+| January || 26
+|-
+| September || 70
+|}
+"""
+
+
+def test_infobox_fields_parsed():
+    box = parse_infoboxes(Document("m", PAGE))[0]
+    assert box.box_type == "city"
+    assert box.fields["name"] == "Madison"
+    assert box.fields["sep_temp"] == "70"
+    assert box.fields["population"] == "233,209"
+
+
+def test_infobox_field_spans_match_source():
+    doc = Document("m", PAGE)
+    box = parse_infoboxes(doc)[0]
+    for key, span in box.field_spans.items():
+        assert doc.text[span.start:span.end] == box.fields[key]
+
+
+def test_infobox_span_covers_template():
+    doc = Document("m", PAGE)
+    box = parse_infoboxes(doc)[0]
+    assert doc.text[box.span.start:box.span.start + 2] == "{{"
+    assert doc.text[box.span.end - 2:box.span.end] == "}}"
+
+
+def test_infobox_nested_template_value():
+    text = "{{Infobox city | name = Springfield | coord = {{coord|44|N}} | pop = 5 }}"
+    box = parse_infoboxes(Document("d", text))[0]
+    assert box.fields["coord"] == "{{coord|44|N}}"
+    assert box.fields["pop"] == "5"
+
+
+def test_infobox_unbalanced_is_skipped():
+    assert parse_infoboxes(Document("d", "{{Infobox city | name = X")) == []
+
+
+def test_multiple_infoboxes():
+    text = "{{Infobox city | name = A }} text {{Infobox person | name = B }}"
+    boxes = parse_infoboxes(Document("d", text))
+    assert [b.box_type for b in boxes] == ["city", "person"]
+
+
+def test_table_headers_and_rows():
+    table = parse_tables(Document("m", PAGE))[0]
+    assert table.headers == ["month", "temperature"]
+    assert ["January", "26"] in table.rows
+    assert ["September", "70"] in table.rows
+
+
+def test_table_multi_cell_rows():
+    text = "{|\n! a !! b !! c\n|-\n| 1 || 2 || 3\n|}"
+    table = parse_tables(Document("d", text))[0]
+    assert table.rows == [["1", "2", "3"]]
+
+
+def test_headings():
+    headings = parse_headings(Document("m", PAGE))
+    assert len(headings) == 1
+    assert headings[0].title == "Climate"
+    assert headings[0].level == 2
+
+
+def test_strip_markup_removes_templates_and_links():
+    plain = strip_markup(PAGE)
+    assert "Infobox" not in plain
+    assert "[[" not in plain
+    assert "Madison is the capital of Wisconsin." in plain
+    assert "month !! temperature" not in plain
+
+
+def test_strip_markup_link_with_label():
+    assert strip_markup("see [[Page|the label]] here") == "see the label here"
+
+
+def test_parse_wiki_page_bundles_everything():
+    page = parse_wiki_page(Document("m", PAGE))
+    assert page.infobox("city") is not None
+    assert page.infobox("CITY") is not None  # case-insensitive
+    assert page.infobox("person") is None
+    assert len(page.tables) == 1
+    assert len(page.headings) == 1
+    assert "Madison is the capital" in page.plain_text

@@ -1,0 +1,205 @@
+"""Cross-module integration tests: the full DGE loop on each scenario."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.keyword_baseline import KeywordSearchBaseline
+from repro.core.system import FACTS_TABLE, StructureManagementSystem
+from repro.datagen.cities import CityCorpusConfig, generate_city_corpus
+from repro.datagen.emails import generate_email_corpus
+from repro.datagen.people import PeopleCorpusConfig, generate_people_corpus
+from repro.extraction.dictionary import DictionaryExtractor
+from repro.extraction.infobox import InfoboxExtractor
+from repro.extraction.normalize import (
+    MONTHS,
+    normalize_date,
+    normalize_temperature,
+)
+from repro.extraction.regex_extractor import RegexExtractor
+from repro.extraction.rules import ContextRule, RuleCascadeExtractor
+from repro.hi.crowd import SimulatedCrowd
+from repro.hi.tasks import VerifyMatchTask
+from repro.hi.aggregate import aggregate_majority
+from repro.integration.entity_resolution import (
+    EntityResolver,
+    MatchConstraints,
+    Mention,
+)
+
+
+def _pairwise_f1(clusters, truth_of):
+    """Pairwise F1 of predicted clusters against a truth mapping."""
+    predicted = set()
+    for cluster in clusters:
+        ids = cluster.mention_ids
+        for i in range(len(ids)):
+            for j in range(i + 1, len(ids)):
+                predicted.add((ids[i], ids[j]))
+    mention_ids = sorted(truth_of)
+    actual = set()
+    for i in range(len(mention_ids)):
+        for j in range(i + 1, len(mention_ids)):
+            a, b = mention_ids[i], mention_ids[j]
+            if truth_of[a] == truth_of[b]:
+                actual.add((a, b))
+    if not predicted or not actual:
+        return 0.0
+    tp = len(predicted & actual)
+    precision = tp / len(predicted)
+    recall = tp / len(actual)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def test_city_scenario_structured_beats_keyword_baseline():
+    """The paper's motivating claim, end to end (E1 in miniature)."""
+    corpus, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=12, seed=31, styles=("infobox",))
+    )
+    system = StructureManagementSystem()
+    system.registry.register_extractor("infobox", InfoboxExtractor())
+    system.ingest(corpus)
+    system.generate('pages = docs()\nf = extract(pages, "infobox")\noutput f')
+
+    baseline = KeywordSearchBaseline()
+    baseline.index_corpus(corpus)
+
+    months = ["mar", "apr", "may", "jun", "jul", "aug", "sep"]
+    attr_list = ", ".join(f"'{m}_temp'" for m in months)
+    structured_correct = baseline_correct = 0
+    for facts in truth:
+        expected = statistics.fmean(facts.monthly_temps[2:9])
+        rows = system.query(
+            f"SELECT AVG(value_num) AS a FROM {FACTS_TABLE} "
+            f"WHERE entity = '{facts.name}' AND attribute IN ({attr_list})"
+        )
+        if rows[0]["a"] is not None and abs(rows[0]["a"] - expected) < 0.5:
+            structured_correct += 1
+        answer = baseline.answer_aggregate(
+            f"average March September temperature {facts.name}",
+            grep_guess=True,
+        )
+        if answer.value is not None and abs(answer.value - expected) < 0.5:
+            baseline_correct += 1
+    assert structured_correct == len(truth)
+    assert baseline_correct < len(truth) / 2
+
+
+def test_people_scenario_hi_feedback_improves_er():
+    """E2 in miniature: crowd feedback on uncertain pairs raises F1."""
+    _, people, _ = generate_people_corpus(
+        PeopleCorpusConfig(num_people=25, mentions_per_person=3,
+                           confusable_fraction=0.5, seed=41)
+    )
+    mentions = []
+    truth_of = {}
+    mid = 0
+    for person in people:
+        for variant in person.variants()[:3]:
+            mentions.append(Mention(mid, variant))
+            truth_of[mid] = person.person_id
+            mid += 1
+
+    resolver = EntityResolver(threshold=0.86)
+    baseline_f1 = _pairwise_f1(resolver.resolve(mentions), truth_of)
+
+    crowd = SimulatedCrowd.uniform(5, accuracy=0.95, seed=7)
+    constraints = MatchConstraints()
+    for pair in resolver.uncertain_pairs(mentions, band=0.15, limit=40):
+        truth = truth_of[pair.left] == truth_of[pair.right]
+        task = VerifyMatchTask(task_id=f"p{pair.left}-{pair.right}",
+                               prompt="same person?")
+        answer, _ = aggregate_majority(crowd.ask(task, truth, redundancy=5))
+        if answer:
+            constraints.add_must(pair.left, pair.right)
+        else:
+            constraints.add_cannot(pair.left, pair.right)
+    improved_f1 = _pairwise_f1(resolver.resolve(mentions, constraints),
+                               truth_of)
+    assert improved_f1 > baseline_f1
+
+
+def test_email_scenario_pim_extraction():
+    """Meetings extracted from e-mail and queried relationally."""
+    corpus, truths = generate_email_corpus(num_messages=50, seed=5)
+    system = StructureManagementSystem()
+    system.registry.register_extractor(
+        "meetings",
+        RegexExtractor(
+            pattern=(r"at (?P<meeting_time>\d{2}:\d{2}) "
+                     r"in (?P<meeting_room>[A-Za-z0-9 ]+?)\."),
+        ),
+    )
+    system.registry.register_extractor(
+        "dates",
+        RegexExtractor(
+            pattern=r"on (?P<meeting_date>[A-Z][a-z]+ \d{1,2}, \d{4})",
+            normalizers={"meeting_date": normalize_date},
+        ),
+    )
+    system.ingest(corpus)
+    system.generate(
+        'mail = docs()\n'
+        'meet = extract(mail, "meetings")\n'
+        'dates = extract(mail, "dates")\n'
+        'all = union(meet, dates)\noutput all'
+    )
+    with_meeting = [t for t in truths if t.meeting_time is not None]
+    rows = system.query(
+        f"SELECT doc_id, value_text FROM {FACTS_TABLE} "
+        "WHERE attribute = 'meeting_time'"
+    )
+    extracted = {r["doc_id"]: r["value_text"] for r in rows}
+    hits = sum(
+        1 for t in with_meeting if extracted.get(t.doc_id) == t.meeting_time
+    )
+    assert hits == len(with_meeting)
+    date_rows = system.query(
+        f"SELECT doc_id, value_text FROM {FACTS_TABLE} "
+        "WHERE attribute = 'meeting_date'"
+    )
+    dates = {r["doc_id"]: r["value_text"] for r in date_rows}
+    date_hits = sum(
+        1 for t in with_meeting if dates.get(t.doc_id) == t.meeting_date
+    )
+    assert date_hits == len(with_meeting)
+
+
+def test_mixed_style_corpus_needs_union_of_extractors():
+    """Coverage grows as extractor variety grows — the best-effort story."""
+    corpus, truth = generate_city_corpus(
+        CityCorpusConfig(num_cities=16, seed=51)
+    )
+    names = [t.name for t in truth]
+    cities = DictionaryExtractor(attribute="city", phrases=names)
+    rules = [
+        ContextRule(f"{m[:3]}_temp", (m.capitalize(), "temperature"),
+                    r"(\d+(?:\.\d+)?)\s*degrees",
+                    normalizer=normalize_temperature, confidence=0.75)
+        for m in MONTHS
+    ]
+
+    def coverage(program):
+        system = StructureManagementSystem()
+        system.registry.register_extractor("infobox", InfoboxExtractor())
+        system.registry.register_extractor(
+            "prose", RuleCascadeExtractor(rules=list(rules),
+                                          entity_dictionary=cities)
+        )
+        system.ingest(corpus)
+        system.generate(program)
+        rows = system.query(
+            f"SELECT entity FROM {FACTS_TABLE} WHERE attribute = 'sep_temp'"
+        )
+        return {r["entity"] for r in rows}
+
+    infobox_only = coverage(
+        'p = docs()\nf = extract(p, "infobox")\noutput f'
+    )
+    both = coverage(
+        'p = docs()\na = extract(p, "infobox")\nb = extract(p, "prose")\n'
+        "u = union(a, b)\noutput u"
+    )
+    assert len(both) > len(infobox_only)

@@ -1,0 +1,72 @@
+"""Every example script must run end-to-end (guards the deliverables)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "wikipedia_city_portal",
+    "community_dblp",
+    "email_pim",
+    "sensor_events",
+]
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_quickstart_answers_match_ground_truth(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "ground truth" in out
+    # the printed SQL answer equals the printed ground truth
+    for line in out.splitlines():
+        if line.startswith("SQL answer"):
+            assert line.split("= ")[1].split(" ")[0] in line.split(
+                "ground truth "
+            )[1]
+
+
+def test_portal_beats_baseline(capsys):
+    module = _load("wikipedia_city_portal")
+    module.main()
+    out = capsys.readouterr().out
+    portal_line = next(l for l in out.splitlines()
+                       if l.startswith("structured portal"))
+    baseline_line = next(l for l in out.splitlines()
+                         if l.startswith("keyword baseline"))
+    portal_score = int(portal_line.split(":")[1].strip().split("/")[0])
+    baseline_score = int(baseline_line.split(":")[1].strip().split("/")[0])
+    assert portal_score > baseline_score
+
+
+def test_dblp_feedback_never_hurts(capsys):
+    module = _load("community_dblp")
+    module.main()
+    out = capsys.readouterr().out
+    auto = float(next(l for l in out.splitlines()
+                      if l.startswith("automatic ER")).split("= ")[1])
+    curated = float(
+        next(l for l in out.splitlines() if l.startswith("curated ER"))
+        .split("= ")[1].split(" ")[0]
+    )
+    assert curated >= auto

@@ -1,0 +1,111 @@
+"""Tests for the learned extractors (Naive Bayes and HMM taggers)."""
+
+import pytest
+
+from repro.docmodel.document import Document
+from repro.docmodel.tokenize import Tokenizer
+from repro.extraction.learned import (
+    HmmSequenceTagger,
+    LabeledExample,
+    NaiveBayesTokenTagger,
+    bio_encode,
+)
+from repro.extraction.normalize import normalize_number
+
+
+def _training_examples(n=20):
+    """Positive sentences (number after 'temperature is' labeled temp) plus
+    negative sentences (numbers in other contexts, unlabeled)."""
+    examples = []
+    for i in range(n):
+        value = 50 + i
+        text = f"The temperature is {value} degrees today here."
+        start = text.index(str(value))
+        doc = Document(f"train{i}", text)
+        examples.append(
+            LabeledExample(doc, ((start, start + len(str(value)), "temp"),))
+        )
+        negative = Document(
+            f"neg{i}",
+            f"The population grew by {100 + i} percent since the census.",
+        )
+        examples.append(LabeledExample(negative, ()))
+    return examples
+
+
+def test_bio_encode_marks_b_and_i():
+    doc = Document("d", "born in New York City")
+    start = doc.text.index("New")
+    tokens, tags = bio_encode(doc, [(start, len(doc.text), "place")], Tokenizer())
+    assert tags == ["O", "O", "B-place", "I-place", "I-place"]
+    assert [t.text for t in tokens] == ["born", "in", "New", "York", "City"]
+
+
+def test_bio_encode_no_labels_all_outside():
+    doc = Document("d", "nothing here")
+    _, tags = bio_encode(doc, [], Tokenizer())
+    assert set(tags) == {"O"}
+
+
+def test_naive_bayes_learns_pattern():
+    tagger = NaiveBayesTokenTagger(value_normalizer=normalize_number)
+    tagger.train(_training_examples())
+    test_doc = Document("test", "The temperature is 72 degrees right now.")
+    results = tagger.extract(test_doc)
+    assert len(results) == 1
+    assert results[0].attribute == "temp"
+    assert results[0].value == 72.0
+    assert 0.0 <= results[0].confidence <= 1.0
+
+
+def test_naive_bayes_does_not_fire_on_unrelated_numbers():
+    tagger = NaiveBayesTokenTagger(value_normalizer=normalize_number)
+    tagger.train(_training_examples())
+    test_doc = Document("test", "The population grew by 140 percent since then.")
+    results = tagger.extract(test_doc)
+    assert all(r.attribute != "temp" or r.value != 140.0 for r in results) or results == []
+
+
+def test_naive_bayes_requires_training():
+    tagger = NaiveBayesTokenTagger()
+    with pytest.raises(RuntimeError):
+        tagger.extract(Document("d", "text"))
+    with pytest.raises(ValueError):
+        NaiveBayesTokenTagger().train([])
+
+
+def test_naive_bayes_repairs_illegal_bio():
+    assert NaiveBayesTokenTagger._repair_bio(["O", "I-x", "I-x"]) == [
+        "O", "B-x", "I-x"
+    ]
+    assert NaiveBayesTokenTagger._repair_bio(["B-y", "I-x"]) == ["B-y", "B-x"]
+
+
+def test_hmm_learns_pattern():
+    tagger = HmmSequenceTagger(value_normalizer=normalize_number)
+    tagger.train(_training_examples(40))
+    test_doc = Document("test", "The temperature is 72 degrees right now.")
+    results = tagger.extract(test_doc)
+    assert len(results) == 1
+    assert results[0].value == 72.0
+
+
+def test_hmm_requires_training():
+    with pytest.raises(RuntimeError):
+        HmmSequenceTagger().extract(Document("d", "x"))
+    with pytest.raises(ValueError):
+        HmmSequenceTagger().train([])
+
+
+def test_hmm_empty_document():
+    tagger = HmmSequenceTagger()
+    tagger.train(_training_examples(5))
+    assert tagger.extract(Document("d", "")) == []
+
+
+def test_taggers_emit_spans_into_source():
+    tagger = NaiveBayesTokenTagger(value_normalizer=normalize_number)
+    tagger.train(_training_examples())
+    doc = Document("test", "The temperature is 65 degrees.")
+    for result in tagger.extract(doc):
+        assert doc.text[result.span.start:result.span.end] == result.span.text

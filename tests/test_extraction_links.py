@@ -1,0 +1,66 @@
+"""Tests for the wiki-link extractor."""
+
+from repro.docmodel.document import Document
+from repro.extraction.links import LinkExtractor
+
+PAGE = (
+    "'''Madison''' is the capital of [[Wisconsin]]. It sits in "
+    "[[Dane County|the county]] near [[Lake Mendota]]. "
+    "See [[Wisconsin]] again and [[Geography of Wisconsin#Climate]]."
+)
+
+
+def test_links_extracted_with_page_entity():
+    results = LinkExtractor().extract(Document("madison", PAGE))
+    assert all(r.entity == "Madison" for r in results)
+    targets = [r.value for r in results]
+    assert targets == ["Wisconsin", "Dane County", "Lake Mendota",
+                       "Geography of Wisconsin"]
+
+
+def test_duplicate_targets_collapse():
+    results = LinkExtractor().extract(Document("madison", PAGE))
+    assert [r.value for r in results].count("Wisconsin") == 1
+
+
+def test_piped_label_and_section_anchor_stripped():
+    doc = Document("d", "x [[Target Page#Section|display text]] y")
+    results = LinkExtractor().extract(doc)
+    assert results[0].value == "Target Page"
+
+
+def test_entity_falls_back_to_doc_id():
+    doc = Document("plain_doc", "no bold title, just [[A Link]]")
+    results = LinkExtractor().extract(doc)
+    assert results[0].entity == "plain_doc"
+
+
+def test_spans_cover_link_markup():
+    doc = Document("d", "before [[Somewhere]] after")
+    result = LinkExtractor().extract(doc)[0]
+    assert doc.text[result.span.start:result.span.end] == "[[Somewhere]]"
+
+
+def test_no_links_no_output():
+    assert LinkExtractor().extract(Document("d", "plain text")) == []
+
+
+def test_link_graph_queryable_through_system():
+    from repro.core.system import FACTS_TABLE, StructureManagementSystem
+
+    docs = [
+        Document("a", "'''PageA''' links [[PageB]] and [[PageC]]."),
+        Document("b", "'''PageB''' links [[PageC]]."),
+        Document("c", "'''PageC''' stands alone."),
+    ]
+    system = StructureManagementSystem()
+    system.registry.register_extractor("links", LinkExtractor())
+    system.ingest(docs)
+    system.generate('p = docs()\nl = extract(p, "links")\noutput l')
+    inbound = system.query(
+        f"SELECT value_text, COUNT(*) AS n FROM {FACTS_TABLE} "
+        "WHERE attribute = 'links_to' GROUP BY value_text "
+        "ORDER BY n DESC"
+    )
+    assert inbound[0]["value_text"] == "PageC"
+    assert inbound[0]["n"] == 2

@@ -1,0 +1,83 @@
+"""Tests for value normalizers."""
+
+from repro.extraction.normalize import (
+    month_number,
+    normalize_date,
+    normalize_month,
+    normalize_number,
+    normalize_person_name,
+    normalize_temperature,
+)
+
+
+def test_normalize_number_plain_and_separators():
+    assert normalize_number("42") == 42.0
+    assert normalize_number("3.14") == 3.14
+    assert normalize_number("-7") == -7.0
+    assert normalize_number("233,209") == 233209.0
+    assert normalize_number("1,234,567.89") == 1234567.89
+
+
+def test_normalize_number_words():
+    assert normalize_number("seventy") == 70.0
+    assert normalize_number("twelve") == 12.0
+
+
+def test_normalize_number_embedded_and_failure():
+    assert normalize_number("about 55 degrees") == 55.0
+    assert normalize_number("no digits here") is None
+
+
+def test_normalize_month():
+    assert normalize_month("September") == "september"
+    assert normalize_month("sep") == "september"
+    assert normalize_month("Sep.") == "september"
+    assert normalize_month("wednesday") is None
+
+
+def test_month_number():
+    assert month_number("january") == 1
+    assert month_number("Dec") == 12
+    assert month_number("notamonth") is None
+
+
+def test_normalize_temperature_fahrenheit_default():
+    assert normalize_temperature("70") == 70.0
+    assert normalize_temperature("70 °F") == 70.0
+    assert normalize_temperature("70 degrees") == 70.0
+
+
+def test_normalize_temperature_celsius_converted():
+    assert normalize_temperature("21 C") == 21 * 9 / 5 + 32
+    assert normalize_temperature("0C") == 32.0
+
+
+def test_normalize_temperature_unparseable():
+    assert normalize_temperature("warm") is None
+
+
+def test_normalize_date_long_form():
+    assert normalize_date("September 8, 2008") == "2008-09-08"
+    assert normalize_date("met on March 3 2009 in town") == "2009-03-03"
+
+
+def test_normalize_date_iso():
+    assert normalize_date("2008-09-08") == "2008-09-08"
+
+
+def test_normalize_date_invalid():
+    assert normalize_date("Foober 8, 2008") is None
+    assert normalize_date("no date") is None
+    assert normalize_date("2008-13-40") is None
+
+
+def test_normalize_person_name_variants():
+    assert normalize_person_name("Smith, David") == "David Smith"
+    assert normalize_person_name("Dr. David Smith") == "David Smith"
+    assert normalize_person_name("David Smith Jr.") == "David Smith"
+    assert normalize_person_name("D. Smith") == "D. Smith"
+    assert normalize_person_name("  David   Smith ") == "David Smith"
+
+
+def test_normalize_person_name_suffix_after_comma():
+    assert normalize_person_name("Smith, Jr.") == "Smith"

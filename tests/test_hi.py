@@ -1,0 +1,206 @@
+"""Tests for the human-intervention subsystem."""
+
+import pytest
+
+from repro.hi.aggregate import aggregate_majority, aggregate_weighted
+from repro.hi.crowd import SimulatedCrowd, SimulatedWorker
+from repro.hi.reputation import ReputationManager
+from repro.hi.tasks import (
+    GenerateAnswerTask,
+    HiTask,
+    SelectCandidateTask,
+    TaskQueue,
+    TaskResponse,
+    ValidateValueTask,
+    VerifyMatchTask,
+)
+
+
+# ------------------------------------------------------------------ queue
+
+
+def test_queue_priority_order():
+    queue = TaskQueue()
+    queue.submit(HiTask("low", "p", priority=10))
+    queue.submit(HiTask("high", "p", priority=1))
+    queue.submit(HiTask("mid", "p", priority=5))
+    assert queue.next_task().task_id == "high"
+    assert queue.next_task().task_id == "mid"
+    assert queue.next_task().task_id == "low"
+    assert queue.next_task() is None
+
+
+def test_queue_fifo_within_priority():
+    queue = TaskQueue()
+    queue.submit_all([HiTask("a", "p"), HiTask("b", "p")])
+    assert queue.next_task().task_id == "a"
+
+
+def test_queue_rejects_duplicates():
+    queue = TaskQueue()
+    queue.submit(HiTask("x", "p"))
+    with pytest.raises(ValueError):
+        queue.submit(HiTask("x", "p"))
+
+
+def test_queue_records_responses():
+    queue = TaskQueue()
+    queue.submit(HiTask("x", "p"))
+    queue.record(TaskResponse("x", "w1", True))
+    queue.record(TaskResponse("x", "w2", False))
+    assert len(queue.responses("x")) == 2
+    with pytest.raises(KeyError):
+        queue.record(TaskResponse("missing", "w", 1))
+
+
+# ------------------------------------------------------------------ crowd
+
+
+def test_worker_accuracy_statistics():
+    worker = SimulatedWorker("w", accuracy=0.8, seed=5)
+    correct = 0
+    for i in range(500):
+        task = VerifyMatchTask(task_id=f"t{i}", prompt="")
+        if worker.answer(task, truth=True).answer:
+            correct += 1
+    assert 0.74 < correct / 500 < 0.86
+
+
+def test_worker_validates_accuracy_bounds():
+    with pytest.raises(ValueError):
+        SimulatedWorker("w", accuracy=1.5)
+
+
+def test_worker_selection_within_attention_budget():
+    worker = SimulatedWorker("w", accuracy=0.95, attention_budget=5, seed=1)
+    candidates = tuple(f"option{i}" for i in range(5))
+    hits = 0
+    for i in range(200):
+        task = SelectCandidateTask(task_id=f"s{i}", prompt="",
+                                   candidates=candidates)
+        response = worker.answer(task, truth="option2")
+        if response.answer == 2:
+            hits += 1
+    assert hits / 200 > 0.85
+
+
+def test_worker_selection_beyond_attention_budget_fails():
+    worker = SimulatedWorker("w", accuracy=0.95, attention_budget=3, seed=1)
+    candidates = tuple(f"option{i}" for i in range(30))
+    hits = 0
+    for i in range(200):
+        task = SelectCandidateTask(task_id=f"s{i}", prompt="",
+                                   candidates=candidates)
+        if worker.answer(task, truth="option25").answer == 25:
+            hits += 1
+    assert hits == 0  # option25 is never inspected
+
+
+def test_worker_generation_much_harder_than_recognition():
+    worker = SimulatedWorker("w", accuracy=0.9, generation_skill=0.2, seed=2)
+    generated = 0
+    for i in range(300):
+        task = GenerateAnswerTask(task_id=f"g{i}", prompt="")
+        if worker.answer(task, truth="the-answer").answer == "the-answer":
+            generated += 1
+    assert generated / 300 < 0.3
+
+
+def test_crowd_uniform_and_mixed_builders():
+    crowd = SimulatedCrowd.uniform(5, accuracy=0.7)
+    assert len(crowd) == 5
+    mixed = SimulatedCrowd.mixed([0.9, 0.5])
+    assert mixed.workers[0].accuracy == 0.9
+
+
+def test_crowd_redundancy_subset():
+    crowd = SimulatedCrowd.uniform(10)
+    task = ValidateValueTask(task_id="v", prompt="")
+    responses = crowd.ask(task, truth=True, redundancy=3)
+    assert len(responses) == 3
+    assert len({r.worker_id for r in responses}) == 3
+
+
+def test_empty_crowd_raises():
+    with pytest.raises(ValueError):
+        SimulatedCrowd().ask(ValidateValueTask(task_id="v", prompt=""), True)
+
+
+def test_majority_of_crowd_beats_individual():
+    crowd = SimulatedCrowd.uniform(9, accuracy=0.7, seed=4)
+    single_correct = majority_correct = 0
+    trials = 200
+    for i in range(trials):
+        truth = i % 2 == 0
+        task = VerifyMatchTask(task_id=f"m{i}", prompt="")
+        responses = crowd.ask(task, truth)
+        answer, _ = aggregate_majority(responses)
+        if answer == truth:
+            majority_correct += 1
+        if responses[0].answer == truth:
+            single_correct += 1
+    assert majority_correct > single_correct
+
+
+# -------------------------------------------------------------- aggregate
+
+
+def test_aggregate_majority():
+    responses = [TaskResponse("t", f"w{i}", answer) for i, answer in
+                 enumerate([True, True, False])]
+    answer, share = aggregate_majority(responses)
+    assert answer is True
+    assert share == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        aggregate_majority([])
+
+
+def test_aggregate_weighted_downweights_bad_workers():
+    responses = [
+        TaskResponse("t", "good1", True),
+        TaskResponse("t", "bad1", False),
+        TaskResponse("t", "bad2", False),
+    ]
+    weights = {"good1": 0.95, "bad1": 0.1, "bad2": 0.1}
+    answer, share = aggregate_weighted(responses, weights)
+    assert answer is True
+    # plain majority would say False
+    assert aggregate_majority(responses)[0] is False
+
+
+def test_aggregate_weighted_default_weight():
+    responses = [TaskResponse("t", "unknown", 42)]
+    answer, share = aggregate_weighted(responses, {})
+    assert answer == 42 and share == 1.0
+
+
+# -------------------------------------------------------------- reputation
+
+
+def test_reputation_starts_at_half_and_updates():
+    manager = ReputationManager()
+    assert manager.reputation("w") == 0.5
+    for _ in range(8):
+        manager.record_gold("w", True)
+    assert manager.reputation("w") > 0.8
+    for _ in range(20):
+        manager.record_gold("w", False)
+    assert manager.reputation("w") < 0.4
+
+
+def test_reputation_agreement_bootstrap():
+    manager = ReputationManager()
+    responses = [TaskResponse("t", "agree", True),
+                 TaskResponse("t", "disagree", False)]
+    manager.record_agreement(responses, accepted_answer=True)
+    assert manager.reputation("agree") > manager.reputation("disagree")
+
+
+def test_points_and_leaderboard():
+    manager = ReputationManager(points_per_accepted=2)
+    manager.record_gold("a", True)
+    manager.record_gold("a", True)
+    manager.record_gold("b", True)
+    manager.record_gold("c", False)
+    assert manager.points("a") == 4
+    assert manager.leaderboard(2) == [("a", 4), ("b", 2)]

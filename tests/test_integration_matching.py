@@ -1,0 +1,226 @@
+"""Tests for schema matching, entity resolution, and fusion."""
+
+import pytest
+
+from repro.docmodel.document import Span
+from repro.extraction.base import Extraction
+from repro.integration.entity_resolution import (
+    EntityResolver,
+    MatchConstraints,
+    Mention,
+    default_blocking_key,
+)
+from repro.integration.fusion import fuse_extractions
+from repro.integration.schema_matching import SchemaMatcher
+
+
+# ------------------------------------------------------------ schema match
+
+
+def test_schema_match_synonyms():
+    matcher = SchemaMatcher(threshold=0.4)
+    matches = matcher.match(
+        {"location": ["123 Main St", "9 Oak Ave"]},
+        {"address": ["55 Elm St", "123 Main St"]},
+    )
+    assert matches and matches[0].left == "location" and matches[0].right == "address"
+
+
+def test_schema_match_instance_numeric_overlap():
+    matcher = SchemaMatcher(threshold=0.3, name_weight=0.2, instance_weight=0.8)
+    matches = matcher.match(
+        {"temp_f": [60.0, 70.0, 80.0]},
+        {"temperature": [65.0, 75.0], "year": [1990.0, 2005.0]},
+    )
+    assert matches[0].right == "temperature"
+
+
+def test_schema_match_type_disagreement_zero_instance():
+    matcher = SchemaMatcher(threshold=0.01, name_weight=0.0, instance_weight=1.0)
+    matches = matcher.match({"a": [1.0, 2.0]}, {"b": ["x", "y"]})
+    assert matches == []
+
+
+def test_schema_match_one_to_one():
+    matcher = SchemaMatcher(threshold=0.3)
+    matches = matcher.match(
+        {"pop": [100, 200], "population": [100, 200]},
+        {"population": [150, 250]},
+    )
+    assert len(matches) == 1  # only one left attribute may claim 'population'
+
+
+def test_schema_match_constraints():
+    matcher = SchemaMatcher(threshold=0.2)
+    left = {"location": ["a"], "pop": [1]}
+    right = {"address": ["a"], "population": [1]}
+    pinned = matcher.match(left, right, must_match={("pop", "address")})
+    assert any(m.left == "pop" and m.right == "address" and m.score == 1.0
+               for m in pinned)
+    forbidden = matcher.match(left, right,
+                              cannot_match={("location", "address")})
+    assert not any(m.left == "location" and m.right == "address"
+                   for m in forbidden)
+
+
+def test_schema_match_top_k_candidates():
+    matcher = SchemaMatcher()
+    candidates = matcher.top_k_candidates(
+        "location", ["123 Main St"],
+        {"address": ["123 Main St"], "phone": ["555-1234"], "name": ["Bob"]},
+        k=2,
+    )
+    assert len(candidates) == 2
+    assert candidates[0].right == "address"
+    # state restored after the call
+    assert matcher.one_to_one and matcher.threshold == 0.5
+
+
+# --------------------------------------------------------------------- ER
+
+
+def _mentions():
+    return [
+        Mention(0, "David Smith"),
+        Mention(1, "D. Smith"),
+        Mention(2, "Smith, David"),
+        Mention(3, "Jane Doe"),
+        Mention(4, "J. Doe"),
+        Mention(5, "Albert Zweig"),
+    ]
+
+
+def test_resolver_clusters_variants():
+    clusters = EntityResolver().resolve(_mentions())
+    by_mention = {}
+    for cluster in clusters:
+        for mid in cluster.mention_ids:
+            by_mention[mid] = cluster.cluster_id
+    assert by_mention[0] == by_mention[1]  # David Smith ~ D. Smith
+    assert by_mention[3] == by_mention[4]  # Jane Doe ~ J. Doe
+    assert by_mention[0] != by_mention[3]
+    assert by_mention[5] not in (by_mention[0], by_mention[3])
+
+
+def test_resolver_canonical_name_is_longest():
+    clusters = EntityResolver().resolve([Mention(0, "D. Smith"),
+                                         Mention(1, "David Smith")])
+    assert clusters[0].canonical_name == "David Smith"
+
+
+def test_blocking_reduces_pairs():
+    mentions = [Mention(i, name) for i, name in enumerate(
+        ["Al Brown", "Bo Crane", "Cy Drake", "Di Evans", "Ed Frank"]
+    )]
+    blocked = EntityResolver().candidate_pairs(mentions)
+    unblocked = EntityResolver(blocking_key=None).candidate_pairs(mentions)
+    assert len(unblocked) == 10
+    assert len(blocked) < len(unblocked)
+
+
+def test_default_blocking_key_groups_smiths():
+    assert default_blocking_key(Mention(0, "David Smith")) == \
+        default_blocking_key(Mention(1, "D. Smith"))
+
+
+def test_constraints_must_link_overrides_score():
+    mentions = [Mention(0, "Alpha One"), Mention(1, "Beta Two")]
+    constraints = MatchConstraints()
+    constraints.add_must(0, 1)
+    clusters = EntityResolver(blocking_key=None).resolve(mentions, constraints)
+    assert len(clusters) == 1
+
+
+def test_constraints_cannot_link_blocks_merge():
+    mentions = [Mention(0, "David Smith"), Mention(1, "D. Smith")]
+    constraints = MatchConstraints()
+    constraints.add_cannot(0, 1)
+    clusters = EntityResolver().resolve(mentions, constraints)
+    assert len(clusters) == 2
+
+
+def test_constraints_flip():
+    constraints = MatchConstraints()
+    constraints.add_must(0, 1)
+    constraints.add_cannot(1, 0)  # normalized to same pair, flips it
+    assert (0, 1) in constraints.cannot_link
+    assert (0, 1) not in constraints.must_link
+
+
+def test_attribute_agreement_shifts_score():
+    resolver = EntityResolver(attribute_weight=0.15)
+    base = resolver.score_pair(Mention(0, "D. Smith"), Mention(1, "Dan Smith"))
+    agree = resolver.score_pair(
+        Mention(0, "D. Smith", (("affiliation", "UW"),)),
+        Mention(1, "Dan Smith", (("affiliation", "UW"),)),
+    )
+    conflict = resolver.score_pair(
+        Mention(0, "D. Smith", (("affiliation", "UW"),)),
+        Mention(1, "Dan Smith", (("affiliation", "MIT"),)),
+    )
+    assert agree > base > conflict
+
+
+def test_uncertain_pairs_near_threshold():
+    resolver = EntityResolver(threshold=0.85)
+    pairs = resolver.uncertain_pairs(_mentions(), band=0.2, limit=3)
+    assert len(pairs) <= 3
+    for pair in pairs:
+        assert abs(pair.score - 0.85) <= 0.2
+
+
+# ------------------------------------------------------------------ fusion
+
+
+def _extractions():
+    span = Span("d", 0, 2, "70")
+    return [
+        Extraction("Madison", "sep_temp", 70.0, span, 0.95, "infobox"),
+        Extraction("Madison", "sep_temp", 70.0, span, 0.6, "prose"),
+        Extraction("Madison", "sep_temp", 7.0, span, 0.4, "noisy"),
+        Extraction("Madison", "population", 233209.0, span, 0.9, "infobox"),
+    ]
+
+
+def test_fusion_weighted_vote_picks_majority_confidence():
+    fused = {f.attribute: f for f in fuse_extractions(_extractions())}
+    assert fused["sep_temp"].value == 70.0
+    assert fused["sep_temp"].support == 2
+    assert fused["sep_temp"].conflict == 1
+    assert fused["population"].value == 233209.0
+
+
+def test_fusion_max_confidence_strategy():
+    span = Span("d", 0, 1, "x")
+    extractions = [
+        Extraction("e", "a", "low", span, 0.3),
+        Extraction("e", "a", "high", span, 0.9),
+    ]
+    fused = fuse_extractions(extractions, strategy="max_confidence")
+    assert fused[0].value == "high"
+
+
+def test_fusion_numeric_median_robust_to_outlier():
+    span = Span("d", 0, 1, "x")
+    extractions = [
+        Extraction("e", "t", 70.0, span, 0.8),
+        Extraction("e", "t", 71.0, span, 0.8),
+        Extraction("e", "t", 999.0, span, 0.8),
+    ]
+    fused = fuse_extractions(extractions, strategy="numeric_median")
+    assert fused[0].value in (70.0, 71.0)
+
+
+def test_fusion_unknown_strategy():
+    with pytest.raises(ValueError):
+        fuse_extractions([], strategy="bogus")
+
+
+def test_fusion_confidence_in_bounds():
+    for fact in fuse_extractions(_extractions()):
+        assert 0.0 <= fact.confidence <= 1.0
+
+
+def test_fusion_keeps_supporting_spans():
+    fused = {f.attribute: f for f in fuse_extractions(_extractions())}
+    assert len(fused["sep_temp"].spans) == 2

@@ -1,0 +1,164 @@
+"""Tests for logical plans and the optimizer."""
+
+import pytest
+
+from repro.docmodel.document import Document
+from repro.extraction.dictionary import DictionaryExtractor
+from repro.extraction.normalize import normalize_temperature
+from repro.extraction.rules import ContextRule, RuleCascadeExtractor
+from repro.lang.ast import DocFilterOp, ExtractOp, FilterOp
+from repro.lang.optimizer import Optimizer, doc_passes_keyword_groups
+from repro.lang.parser import parse_program
+from repro.lang.plan import LogicalPlan, PlanError
+from repro.lang.registry import OperatorRegistry
+
+
+def _plan(source):
+    ops, output = parse_program(source)
+    return LogicalPlan.from_ops(ops, output)
+
+
+def _registry():
+    registry = OperatorRegistry()
+    registry.register_extractor(
+        "temp_rules",
+        RuleCascadeExtractor(
+            rules=[ContextRule("sep_temp", ("September", "temperature"),
+                               r"(\d+)\s*degrees",
+                               normalizer=normalize_temperature)],
+            cost_per_char=5.0,
+        ),
+    )
+    registry.register_extractor(
+        "cities", DictionaryExtractor(attribute="city", phrases=["Madison"])
+    )
+    return registry
+
+
+def _corpus(relevant=5, irrelevant=45):
+    docs = []
+    for i in range(relevant):
+        docs.append(Document(
+            f"rel{i}",
+            f"The September temperature in Madison is {60 + i} degrees.",
+        ))
+    for i in range(irrelevant):
+        docs.append(Document(f"irr{i}", "Totally unrelated page content. " * 5))
+    return docs
+
+
+def test_plan_validates_undefined_input():
+    with pytest.raises(PlanError):
+        _plan('x = extract(ghost, "e")\noutput x')
+
+
+def test_plan_validates_stream_types():
+    # extract over a tuple stream is a type error
+    with pytest.raises(PlanError):
+        _plan('a = docs()\nb = extract(a, "e")\nc = extract(b, "e")\noutput c')
+    # filter over a document stream is a type error
+    with pytest.raises(PlanError):
+        _plan("a = docs()\nb = filter(a, x = 1)\noutput b")
+
+
+def test_plan_topological_only_needed_ops():
+    plan = _plan(
+        'a = docs()\nb = extract(a, "e")\nunused = extract(a, "e2")\noutput b'
+    )
+    names = [op.name for op in plan.topological()]
+    assert "unused" not in names
+    assert names.index("a") < names.index("b")
+
+
+def test_plan_render_lists_ops():
+    plan = _plan('a = docs()\nb = extract(a, "e")\noutput b')
+    rendering = plan.render()
+    assert "extract(a, 'e')" in rendering
+    assert rendering.endswith("output b")
+
+
+def test_insert_before_rewires():
+    plan = _plan('a = docs()\nb = extract(a, "e")\noutput b')
+    prefilter = DocFilterOp(name="pf", inputs=["a"], keyword_groups=[["x"]])
+    plan.insert_before("b", prefilter)
+    assert plan.ops["b"].inputs == ["pf"]
+    assert plan.is_doc_stream("pf")
+
+
+def test_doc_passes_keyword_groups():
+    doc = Document("d", "The September temperature is mild")
+    assert doc_passes_keyword_groups(doc, [["september", "temperature"]])
+    assert not doc_passes_keyword_groups(doc, [["january", "temperature"]])
+    assert doc_passes_keyword_groups(
+        doc, [["january"], ["september"]]
+    )  # OR across groups
+
+
+def test_optimizer_inserts_trigger_prefilter():
+    plan = _plan('a = docs()\nb = extract(a, "temp_rules")\noutput b')
+    optimized = Optimizer(_registry()).optimize(plan, _corpus())
+    docfilters = [op for op in optimized.ops.values()
+                  if isinstance(op, DocFilterOp)]
+    assert len(docfilters) == 1
+    assert docfilters[0].keyword_groups == [["September", "temperature"]]
+    extract = next(op for op in optimized.ops.values()
+                   if isinstance(op, ExtractOp))
+    assert extract.inputs == [docfilters[0].name]
+
+
+def test_optimizer_skips_prefilter_when_unselective():
+    # every document matches the trigger: pre-filter would not pay off
+    docs = [Document(f"d{i}", "September temperature everywhere")
+            for i in range(30)]
+    plan = _plan('a = docs()\nb = extract(a, "temp_rules")\noutput b')
+    optimized = Optimizer(_registry()).optimize(plan, docs)
+    assert not any(isinstance(op, DocFilterOp)
+                   for op in optimized.ops.values())
+
+
+def test_optimizer_no_prefilter_for_unknown_terms():
+    # dictionary extractor exposes no prefilter terms
+    plan = _plan('a = docs()\nb = extract(a, "cities")\noutput b')
+    optimized = Optimizer(_registry()).optimize(plan, _corpus())
+    assert not any(isinstance(op, DocFilterOp)
+                   for op in optimized.ops.values())
+
+
+def test_optimizer_fuses_adjacent_filters():
+    plan = _plan(
+        'a = docs()\nb = extract(a, "cities")\n'
+        "c = filter(b, confidence >= 0.5)\nd = filter(c, value != 0)\noutput d"
+    )
+    optimized = Optimizer(_registry()).optimize(plan, [])
+    filters = [op for op in optimized.ops.values() if isinstance(op, FilterOp)]
+    assert len(filters) == 1
+
+
+def test_optimizer_does_not_fuse_shared_filter():
+    plan = _plan(
+        'a = docs()\nb = extract(a, "cities")\n'
+        "c = filter(b, confidence >= 0.5)\n"
+        "d = filter(c, value != 0)\n"
+        "e = limit(c, 5)\n"  # c has two consumers
+        "output d"
+    )
+    optimized = Optimizer(_registry()).optimize(plan, [])
+    assert "c" in optimized.ops
+
+
+def test_optimizer_original_plan_untouched():
+    plan = _plan('a = docs()\nb = extract(a, "temp_rules")\noutput b')
+    Optimizer(_registry()).optimize(plan, _corpus())
+    assert not any(isinstance(op, DocFilterOp) for op in plan.ops.values())
+
+
+def test_cost_estimate_prefers_optimized():
+    registry = _registry()
+    corpus = _corpus()
+    naive = _plan('a = docs()\nb = extract(a, "temp_rules")\noutput b')
+    optimizer = Optimizer(registry)
+    optimized = optimizer.optimize(naive, corpus)
+    cost_naive = optimizer.estimate_cost(naive, corpus)
+    cost_optimized = optimizer.estimate_cost(optimized, corpus)
+    assert cost_optimized.total < cost_naive.total
+    assert cost_naive.extract_cost > 0

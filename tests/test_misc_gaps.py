@@ -1,0 +1,83 @@
+"""Coverage for smaller corners: provenance persistence, plan rendering,
+snapshot history, mapreduce accounting."""
+
+import pytest
+
+from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
+from repro.cluster.simulator import ClusterConfig
+from repro.docmodel.document import Document, Span
+from repro.extraction.base import Extraction
+from repro.lang.ast import DedupOp, DocFilterOp
+from repro.storage.snapshots import SnapshotStore
+from repro.uncertainty.provenance import ProvenanceGraph
+
+
+def _graph():
+    graph = ProvenanceGraph()
+    extraction = Extraction("Madison", "sep_temp", 70.0,
+                            Span("d1", 5, 7, "70"), 0.9, "infobox")
+    node = graph.record_extraction(extraction)
+    fact = graph.record_fact("Madison", "sep_temp", 70.0, 0.95, [node])
+    graph.record_feedback("curated by alice", fact)
+    return graph, fact
+
+
+def test_provenance_save_load_roundtrip(tmp_path):
+    graph, fact = _graph()
+    path = str(tmp_path / "prov.json")
+    graph.save(path)
+    again = ProvenanceGraph.load(path)
+    assert len(again) == len(graph)
+    original = graph.explain(fact.node_id).render()
+    restored = again.explain(fact.node_id).render()
+    assert original == restored
+    # counters continue, so new nodes do not collide
+    new_node = again.add_node("fact", "another")
+    assert new_node.node_id not in {fact.node_id}
+
+
+def test_provenance_load_preserves_queries(tmp_path):
+    graph, _ = _graph()
+    path = str(tmp_path / "prov.json")
+    graph.save(path)
+    again = ProvenanceGraph.load(path)
+    found = again.find_facts(entity="Madison", attribute="sep_temp")
+    assert len(found) == 1
+    assert again.explain(found[0].node_id).leaf_spans()
+
+
+def test_op_describe_strings():
+    dedup = DedupOp(name="d", inputs=["x"], keys=["entity"])
+    assert dedup.describe() == "dedup(x, entity)"
+    assert DedupOp(name="d", inputs=["x"]).describe() == "dedup(x, *)"
+    prefilter = DocFilterOp(name="p", inputs=["a"],
+                            keyword_groups=[["sep", "temp"], ["jan"]])
+    assert prefilter.describe() == "docfilter(a, sep&temp | jan)"
+
+
+def test_snapshot_history_metadata(tmp_path):
+    store = SnapshotStore(str(tmp_path), keyframe_every=2)
+    for i in range(4):
+        store.commit(Document("p", f"v{i}\ncommon line\n"))
+    infos = list(store.history("p"))
+    assert [i.version for i in infos] == [0, 1, 2, 3]
+    assert [i.is_keyframe for i in infos] == [True, False, True, False]
+    assert all(i.byte_size > 0 for i in infos)
+
+
+def test_mapreduce_result_accounting():
+    job = MapReduceJob(
+        map_fn=lambda x: [(x % 2, x)],
+        reduce_fn=lambda key, values: sum(values),
+        split_size=3, num_reducers=2,
+    )
+    result = run_mapreduce(job, list(range(12)),
+                           config=ClusterConfig(num_workers=2, seed=1))
+    assert result.makespan == result.map_makespan + result.reduce_makespan
+    assert result.shuffle_records == 12
+    assert result.output[0] + result.output[1] == sum(range(12))
+
+
+def test_graph_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ProvenanceGraph.load(str(tmp_path / "absent.json"))

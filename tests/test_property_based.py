@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docmodel.document import Document
+from repro.docmodel.tokenize import tokenize
+from repro.extraction.normalize import normalize_number
+from repro.integration.similarity import (
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+)
+from repro.lang.ast import eval_expr, render_expr
+from repro.lang.parser import parse_expression
+from repro.storage.snapshots import apply_delta, compute_delta
+from repro.uncertainty.probabilistic import (
+    ProbabilisticValue,
+    combine_independent_and,
+    combine_noisy_or,
+    possible_worlds,
+)
+from repro.userlayer.index import InvertedIndex
+
+# ----------------------------------------------------------------- strategies
+
+lines = st.lists(
+    st.text(alphabet=string.ascii_letters + " ", min_size=0, max_size=20).map(
+        lambda s: s + "\n"
+    ),
+    max_size=30,
+)
+short_text = st.text(alphabet=string.ascii_letters + string.digits + " .',-",
+                     max_size=60)
+confidences = st.floats(min_value=0.0, max_value=1.0)
+
+
+# --------------------------------------------------------------- diff store
+
+
+@given(old=lines, new=lines)
+@settings(max_examples=150)
+def test_delta_roundtrip_property(old, new):
+    assert apply_delta(old, compute_delta(old, new)) == new
+
+
+@given(version=lines)
+def test_delta_identity_is_compact(version):
+    delta = compute_delta(version, version)
+    # identity delta never carries inserted lines
+    assert all(op[0] != "+" for op in delta)
+    assert apply_delta(version, delta) == version
+
+
+# --------------------------------------------------------------- similarity
+
+
+@given(a=short_text, b=short_text)
+@settings(max_examples=150)
+def test_levenshtein_metric_properties(a, b):
+    d = levenshtein(a, b)
+    assert d == levenshtein(b, a)
+    assert d >= abs(len(a) - len(b))
+    assert d <= max(len(a), len(b))
+    assert (d == 0) == (a == b)
+
+
+@given(a=short_text, b=short_text, c=short_text)
+@settings(max_examples=60)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(a=short_text, b=short_text)
+def test_similarity_measures_bounded(a, b):
+    for measure in (jaccard, jaro_winkler, name_similarity):
+        score = measure(a, b)
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+
+@given(a=short_text)
+def test_similarity_reflexive(a):
+    assert jaccard(a, a) == 1.0
+    if a:
+        assert jaro_winkler(a, a) == 1.0
+
+
+# ------------------------------------------------------------- tokenization
+
+
+@given(text=short_text)
+def test_tokens_cover_source_text(text):
+    doc = Document("d", text)
+    for token in tokenize(doc):
+        assert doc.text[token.span.start:token.span.end] == token.text
+        assert token.text.strip() == token.text
+
+
+@given(text=short_text)
+def test_tokens_are_ordered_and_disjoint(text):
+    spans = [t.span for t in tokenize(Document("d", text))]
+    for earlier, later in zip(spans, spans[1:]):
+        assert earlier.end <= later.start
+
+
+# ------------------------------------------------------------- normalizers
+
+
+@given(value=st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False))
+def test_normalize_number_roundtrips_floats(value):
+    rendered = f"{value:.3f}"
+    parsed = normalize_number(rendered)
+    assert parsed is not None
+    assert abs(parsed - float(rendered)) < 1e-9
+
+
+# -------------------------------------------------------- confidence algebra
+
+
+@given(cs=st.lists(confidences, max_size=6))
+def test_and_le_min_and_or_ge_max(cs):
+    conj = combine_independent_and(*cs)
+    disj = combine_noisy_or(*cs)
+    assert 0.0 <= conj <= 1.0
+    assert 0.0 <= disj <= 1.0 + 1e-12
+    if cs:
+        assert conj <= min(cs) + 1e-12
+        assert disj >= max(cs) - 1e-12
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5),
+                  st.floats(min_value=0.01, max_value=1.0)),
+        min_size=1, max_size=4, unique_by=lambda t: t[0],
+    )
+)
+def test_from_confidences_never_overcommits(pairs):
+    dist = ProbabilisticValue.from_confidences(pairs)
+    total = sum(p for _, p in dist.alternatives)
+    assert total <= 1.0 + 1e-9
+    assert dist.residual() >= -1e-9
+
+
+@given(
+    probs=st.lists(st.floats(min_value=0.05, max_value=0.95),
+                   min_size=1, max_size=3)
+)
+def test_possible_worlds_sum_to_one(probs):
+    facts = [
+        (f"f{i}", ProbabilisticValue(((1, min(p, 0.95)),)))
+        for i, p in enumerate(probs)
+    ]
+    total = sum(p for _, p in possible_worlds(facts))
+    assert abs(total - 1.0) < 1e-9
+
+
+# ------------------------------------------------------------- expressions
+
+
+@given(
+    threshold=st.floats(min_value=0, max_value=1, allow_nan=False),
+    value=st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+def test_expression_matches_python_semantics(threshold, value):
+    expr = parse_expression(f"confidence >= {threshold}")
+    assert eval_expr(expr, {"confidence": value}) == (value >= threshold)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=9),
+    b=st.integers(min_value=0, max_value=9),
+    row_a=st.integers(min_value=0, max_value=9),
+    row_b=st.integers(min_value=0, max_value=9),
+)
+def test_render_parse_roundtrip_property(a, b, row_a, row_b):
+    source = f"x = {a} and not y = {b}"
+    expr = parse_expression(source)
+    again = parse_expression(render_expr(expr))
+    row = {"x": row_a, "y": row_b}
+    assert eval_expr(expr, row) == eval_expr(again, row)
+
+
+# ------------------------------------------------------------ search index
+
+
+@given(
+    docs=st.dictionaries(
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+        st.text(alphabet=string.ascii_lowercase + " ", min_size=1,
+                max_size=60),
+        min_size=1, max_size=10,
+    )
+)
+@settings(max_examples=60)
+def test_index_search_returns_only_term_holders(docs):
+    index = InvertedIndex()
+    for doc_id, text in docs.items():
+        index.add(doc_id, text)
+    for doc_id, text in docs.items():
+        words = text.split()
+        if not words:
+            continue
+        query = words[0]
+        hits = {h.doc_id for h in index.search(query, k=100)}
+        holders = {d for d, t in docs.items() if query in t.split()}
+        assert hits == holders
+
+
+@given(
+    docs=st.lists(
+        st.text(alphabet=string.ascii_lowercase + " ", min_size=1,
+                max_size=40),
+        min_size=1, max_size=8,
+    )
+)
+@settings(max_examples=50)
+def test_index_scores_positive_and_sorted(docs):
+    index = InvertedIndex()
+    for i, text in enumerate(docs):
+        index.add(f"d{i}", text)
+    words = [w for text in docs for w in text.split()]
+    if not words:
+        return
+    hits = index.search(words[0], k=50)
+    scores = [h.score for h in hits]
+    assert all(s > 0 for s in scores)
+    assert scores == sorted(scores, reverse=True)

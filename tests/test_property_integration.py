@@ -1,0 +1,127 @@
+"""Property-based tests for integration invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docmodel.document import Document
+from repro.docmodel.wikimarkup import strip_markup
+from repro.integration.entity_resolution import (
+    EntityResolver,
+    MatchConstraints,
+    Mention,
+)
+from repro.integration.fusion import fuse_extractions
+from repro.docmodel.document import Span
+from repro.extraction.base import Extraction
+
+names = st.lists(
+    st.text(alphabet=string.ascii_letters + " .", min_size=1, max_size=25)
+    .filter(lambda s: s.strip()),
+    min_size=1, max_size=12,
+)
+
+
+@given(name_list=names)
+@settings(max_examples=60)
+def test_clusters_partition_mentions(name_list):
+    mentions = [Mention(i, n) for i, n in enumerate(name_list)]
+    clusters = EntityResolver().resolve(mentions)
+    covered = [mid for c in clusters for mid in c.mention_ids]
+    assert sorted(covered) == list(range(len(mentions)))  # exact partition
+
+
+@given(name_list=names)
+@settings(max_examples=60)
+def test_canonical_name_is_a_member_name(name_list):
+    mentions = [Mention(i, n) for i, n in enumerate(name_list)]
+    by_id = {m.mention_id: m.name for m in mentions}
+    for cluster in EntityResolver().resolve(mentions):
+        member_names = {by_id[mid] for mid in cluster.mention_ids}
+        assert cluster.canonical_name in member_names
+
+
+@given(name_list=names, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40)
+def test_must_link_is_always_honored(name_list, seed):
+    if len(name_list) < 2:
+        return
+    mentions = [Mention(i, n) for i, n in enumerate(name_list)]
+    import random
+    rng = random.Random(seed)
+    a, b = rng.sample(range(len(mentions)), 2)
+    constraints = MatchConstraints()
+    constraints.add_must(a, b)
+    clusters = EntityResolver().resolve(mentions, constraints)
+    cluster_of = {mid: c.cluster_id for c in clusters for mid in c.mention_ids}
+    assert cluster_of[a] == cluster_of[b]
+
+
+@given(name_list=names, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40)
+def test_cannot_link_is_always_honored(name_list, seed):
+    if len(name_list) < 2:
+        return
+    mentions = [Mention(i, n) for i, n in enumerate(name_list)]
+    import random
+    rng = random.Random(seed)
+    a, b = rng.sample(range(len(mentions)), 2)
+    constraints = MatchConstraints()
+    constraints.add_cannot(a, b)
+    clusters = EntityResolver().resolve(mentions, constraints)
+    cluster_of = {mid: c.cluster_id for c in clusters for mid in c.mention_ids}
+    assert cluster_of[a] != cluster_of[b]
+
+
+values_with_conf = st.lists(
+    st.tuples(st.floats(min_value=-100, max_value=100, allow_nan=False),
+              st.floats(min_value=0.05, max_value=1.0)),
+    min_size=1, max_size=8,
+)
+
+
+@given(pairs=values_with_conf)
+@settings(max_examples=80)
+def test_fusion_chooses_an_observed_value(pairs):
+    span = Span("d", 0, 1, "x")
+    extractions = [
+        Extraction("e", "a", v, span, c) for v, c in pairs
+    ]
+    for strategy in ("max_confidence", "weighted_vote", "numeric_median"):
+        fused = fuse_extractions(extractions, strategy=strategy)
+        assert len(fused) == 1
+        fact = fused[0]
+        assert 0.0 <= fact.confidence <= 1.0
+        assert fact.support + fact.conflict == len(pairs)
+        observed = {v for v, _ in pairs}
+        assert fact.value in observed
+
+
+@given(text=st.text(alphabet=string.printable, max_size=300))
+@settings(max_examples=80)
+def test_strip_markup_removes_link_brackets(text):
+    plain = strip_markup(text)
+    assert "[[" not in plain or "]]" not in plain.split("[[", 1)[1]
+
+
+@given(
+    fields=st.dictionaries(
+        st.text(alphabet=string.ascii_lowercase + "_", min_size=1,
+                max_size=10),
+        st.text(alphabet=string.ascii_letters + string.digits + " ",
+                min_size=1, max_size=15).map(str.strip).filter(bool),
+        min_size=1, max_size=6,
+    )
+)
+@settings(max_examples=60)
+def test_infobox_roundtrip_property(fields):
+    from repro.docmodel.wikimarkup import parse_infoboxes
+
+    body = "\n".join(f" | {k} = {v}" for k, v in fields.items())
+    doc = Document("d", "{{Infobox test\n" + body + "\n}}")
+    boxes = parse_infoboxes(doc)
+    assert len(boxes) == 1
+    assert boxes[0].fields == {k: v for k, v in fields.items()}
+    for key, span in boxes[0].field_spans.items():
+        assert doc.text[span.start:span.end] == fields[key]

@@ -1,0 +1,133 @@
+"""Differential property tests: the SQL engine vs plain-Python semantics.
+
+Random data and random simple predicates are generated with hypothesis;
+the engine's answers must match a straightforward Python evaluation over
+the same rows.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.sql import execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+_NAMES = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_NAMES),
+        st.integers(min_value=-100, max_value=100),
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False,
+                  allow_infinity=False),
+    ),
+    min_size=0, max_size=25,
+)
+
+
+def _load(rows):
+    db = Database()
+    db.create_table(TableSchema(
+        "t",
+        (Column("rid", ColumnType.INT, nullable=False),
+         Column("name", ColumnType.TEXT),
+         Column("qty", ColumnType.INT),
+         Column("score", ColumnType.FLOAT)),
+        primary_key="rid",
+    ))
+    def insert_all(txn):
+        for i, (name, qty, score) in enumerate(rows):
+            txn.insert("t", {"rid": i, "name": name, "qty": qty,
+                             "score": score})
+    db.run(insert_all)
+    return db
+
+
+@given(rows=rows_strategy, bound=st.integers(min_value=-100, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_where_comparison_matches_python(rows, bound):
+    db = _load(rows)
+    got = execute_sql(db, f"SELECT rid FROM t WHERE qty >= {bound}")
+    expected = sorted(i for i, (_, qty, _) in enumerate(rows) if qty >= bound)
+    assert sorted(r["rid"] for r in got) == expected
+
+
+@given(rows=rows_strategy, name=st.sampled_from(_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_equality_and_count_match_python(rows, name):
+    db = _load(rows)
+    got = execute_sql(
+        db, f"SELECT COUNT(*) AS n FROM t WHERE name = '{name}'"
+    )[0]["n"]
+    assert got == sum(1 for n, _, _ in rows if n == name)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_aggregates_match_python(rows):
+    db = _load(rows)
+    result = execute_sql(
+        db, "SELECT COUNT(*) AS n, SUM(qty) AS s, MIN(qty) AS lo, "
+            "MAX(qty) AS hi, AVG(score) AS avg_score FROM t"
+    )[0]
+    assert result["n"] == len(rows)
+    if rows:
+        quantities = [q for _, q, _ in rows]
+        scores = [s for _, _, s in rows]
+        assert result["s"] == sum(quantities)
+        assert result["lo"] == min(quantities)
+        assert result["hi"] == max(quantities)
+        assert abs(result["avg_score"] - sum(scores) / len(scores)) < 1e-6
+    else:
+        assert result["s"] is None and result["lo"] is None
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_group_by_partitions_exactly(rows):
+    db = _load(rows)
+    grouped = execute_sql(
+        db, "SELECT name, COUNT(*) AS n FROM t GROUP BY name"
+    )
+    from collections import Counter
+    expected = Counter(n for n, _, _ in rows)
+    assert {g["name"]: g["n"] for g in grouped} == dict(expected)
+    # group counts sum back to the table size
+    assert sum(g["n"] for g in grouped) == len(rows)
+
+
+@given(rows=rows_strategy, k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_order_by_limit_is_sorted_prefix(rows, k):
+    db = _load(rows)
+    got = execute_sql(db, f"SELECT rid, qty FROM t ORDER BY qty LIMIT {k}")
+    quantities = [r["qty"] for r in got]
+    assert quantities == sorted(quantities)
+    assert len(got) == min(k, len(rows))
+    if rows and got:
+        assert quantities[0] == min(q for _, q, _ in rows)
+
+
+@given(rows=rows_strategy, bound=st.integers(min_value=-100, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_delete_then_count_consistent(rows, bound):
+    db = _load(rows)
+    deleted = execute_sql(db, f"DELETE FROM t WHERE qty < {bound}")[0]["deleted"]
+    remaining = execute_sql(db, "SELECT COUNT(*) AS n FROM t")[0]["n"]
+    assert deleted + remaining == len(rows)
+    assert all(
+        r["qty"] >= bound
+        for r in execute_sql(db, "SELECT qty FROM t")
+    )
+
+
+@given(rows=rows_strategy, delta=st.integers(min_value=-5, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_update_preserves_row_count(rows, delta):
+    db = _load(rows)
+    execute_sql(db, f"UPDATE t SET qty = {delta}")
+    got = execute_sql(db, "SELECT qty FROM t")
+    assert len(got) == len(rows)
+    assert all(r["qty"] == delta for r in got)

@@ -1,0 +1,100 @@
+"""Tests for the provenance graph."""
+
+import pytest
+
+from repro.docmodel.document import Span
+from repro.extraction.base import Extraction
+from repro.uncertainty.provenance import ProvenanceGraph
+
+
+def _extraction(value=70.0, doc="d1"):
+    return Extraction("Madison", "sep_temp", value,
+                      Span(doc, 10, 12, "70"), 0.9, "infobox")
+
+
+def test_record_extraction_builds_chain():
+    graph = ProvenanceGraph()
+    node = graph.record_extraction(_extraction())
+    explanation = graph.explain(node.node_id)
+    kinds = {e.node.kind for e in explanation.sources}
+    assert kinds == {"span", "operator"}
+    rendered = explanation.render()
+    assert "extraction" in rendered and "span" in rendered
+
+
+def test_span_nodes_deduplicate():
+    graph = ProvenanceGraph()
+    graph.record_extraction(_extraction())
+    graph.record_extraction(_extraction(value=71.0))
+    span_nodes = [n for n in graph._nodes.values() if n.kind == "span"]
+    assert len(span_nodes) == 1
+
+
+def test_record_fact_and_find():
+    graph = ProvenanceGraph()
+    source = graph.record_extraction(_extraction())
+    fact = graph.record_fact("Madison", "sep_temp", 70.0, 0.95, [source])
+    found = graph.find_facts(entity="Madison", attribute="sep_temp")
+    assert [n.node_id for n in found] == [fact.node_id]
+    assert graph.find_facts(entity="Nowhere") == []
+
+
+def test_explanation_leaf_spans():
+    graph = ProvenanceGraph()
+    source = graph.record_extraction(_extraction())
+    fact = graph.record_fact("Madison", "sep_temp", 70.0, 0.95, [source])
+    leaves = graph.explain(fact.node_id).leaf_spans()
+    assert len(leaves) == 1
+    assert leaves[0].detail["doc_id"] == "d1"
+
+
+def test_feedback_nodes():
+    graph = ProvenanceGraph()
+    source = graph.record_extraction(_extraction())
+    fact = graph.record_fact("Madison", "sep_temp", 70.0, 0.95, [source])
+    graph.record_feedback("crowd accepted 5/5", fact)
+    explanation = graph.explain(fact.node_id)
+    kinds = [e.node.kind for e in explanation.sources]
+    assert "feedback" in kinds
+
+
+def test_cycle_rejected():
+    graph = ProvenanceGraph()
+    a = graph.add_node("fact", "a")
+    b = graph.add_node("fact", "b")
+    graph.add_edge(b.node_id, a.node_id)
+    with pytest.raises(ValueError):
+        graph.add_edge(a.node_id, b.node_id)
+    with pytest.raises(ValueError):
+        graph.add_edge(a.node_id, a.node_id)
+
+
+def test_edge_requires_existing_nodes():
+    graph = ProvenanceGraph()
+    a = graph.add_node("fact", "a")
+    with pytest.raises(KeyError):
+        graph.add_edge(a.node_id, "ghost")
+
+
+def test_add_node_same_id_same_kind_is_fetch():
+    graph = ProvenanceGraph()
+    first = graph.add_node("document", "d", node_id="document:d")
+    second = graph.add_node("document", "d", node_id="document:d")
+    assert first is second
+    with pytest.raises(ValueError):
+        graph.add_node("fact", "d", node_id="document:d")
+
+
+def test_explain_depth_limit():
+    graph = ProvenanceGraph()
+    source = graph.record_extraction(_extraction())
+    fact = graph.record_fact("M", "a", 1, 0.5, [source])
+    shallow = graph.explain(fact.node_id, max_depth=1)
+    assert shallow.sources and all(not s.sources for s in shallow.sources)
+
+
+def test_sources_of():
+    graph = ProvenanceGraph()
+    source = graph.record_extraction(_extraction())
+    fact = graph.record_fact("M", "a", 1, 0.5, [source])
+    assert [n.node_id for n in graph.sources_of(fact.node_id)] == [source.node_id]

@@ -1,0 +1,133 @@
+"""Tests for heap tables."""
+
+import pytest
+
+from repro.storage.rdbms.table import HeapTable
+from repro.storage.rdbms.types import Column, ColumnType, SchemaError, TableSchema
+
+
+def _table(pk="id"):
+    return HeapTable(
+        TableSchema(
+            "t",
+            (Column("id", ColumnType.INT, nullable=False),
+             Column("name", ColumnType.TEXT)),
+            primary_key=pk,
+        )
+    )
+
+
+def test_insert_and_get():
+    table = _table()
+    row = table.insert({"id": 1, "name": "a"})
+    assert table.get(row.rid).values == {"id": 1, "name": "a"}
+    assert len(table) == 1
+
+
+def test_insert_duplicate_pk_rejected():
+    table = _table()
+    table.insert({"id": 1, "name": "a"})
+    with pytest.raises(SchemaError):
+        table.insert({"id": 1, "name": "b"})
+
+
+def test_insert_null_pk_rejected():
+    table = HeapTable(
+        TableSchema("t", (Column("id", ColumnType.INT),), primary_key="id")
+    )
+    with pytest.raises(SchemaError):
+        table.insert({"id": None})
+
+
+def test_get_by_pk():
+    table = _table()
+    table.insert({"id": 7, "name": "x"})
+    assert table.get_by_pk(7).values["name"] == "x"
+    assert table.get_by_pk(99) is None
+
+
+def test_update_returns_old_and_new():
+    table = _table()
+    row = table.insert({"id": 1, "name": "a"})
+    old, new = table.update(row.rid, {"name": "b"})
+    assert old.values["name"] == "a"
+    assert new.values["name"] == "b"
+
+
+def test_update_pk_change_maintains_index():
+    table = _table()
+    row = table.insert({"id": 1, "name": "a"})
+    table.update(row.rid, {"id": 2})
+    assert table.get_by_pk(1) is None
+    assert table.get_by_pk(2) is not None
+
+
+def test_update_pk_conflict_rejected():
+    table = _table()
+    table.insert({"id": 1, "name": "a"})
+    row = table.insert({"id": 2, "name": "b"})
+    with pytest.raises(SchemaError):
+        table.update(row.rid, {"id": 1})
+
+
+def test_update_unknown_rid():
+    with pytest.raises(KeyError):
+        _table().update(42, {"name": "x"})
+
+
+def test_delete_removes_pk_entry():
+    table = _table()
+    row = table.insert({"id": 1, "name": "a"})
+    table.delete(row.rid)
+    assert len(table) == 0
+    assert table.get_by_pk(1) is None
+    with pytest.raises(KeyError):
+        table.delete(row.rid)
+
+
+def test_forced_rid_for_recovery_replay():
+    table = _table()
+    table.insert({"id": 1, "name": "a"}, rid=10)
+    assert table.rids() == [10]
+    next_row = table.insert({"id": 2, "name": "b"})
+    assert next_row.rid == 11
+    with pytest.raises(SchemaError):
+        table.insert({"id": 3, "name": "c"}, rid=10)
+
+
+def test_scan_in_rid_order():
+    table = _table()
+    for i in range(3):
+        table.insert({"id": i, "name": str(i)})
+    assert [r.values["id"] for r in table.scan()] == [0, 1, 2]
+
+
+def test_scan_where():
+    table = _table()
+    for i in range(5):
+        table.insert({"id": i, "name": str(i)})
+    hits = list(table.scan_where(lambda v: v["id"] >= 3))
+    assert [r.values["id"] for r in hits] == [3, 4]
+
+
+def test_rows_are_copies():
+    table = _table()
+    row = table.insert({"id": 1, "name": "a"})
+    row.values["name"] = "mutated"
+    assert table.get(row.rid).values["name"] == "a"
+
+
+def test_replace_schema_migrates_rows():
+    table = _table()
+    table.insert({"id": 1, "name": "David Smith"})
+    new_schema = TableSchema(
+        "t",
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("last", ColumnType.TEXT)),
+        primary_key="id",
+    )
+    table.replace_schema(
+        new_schema,
+        lambda row: {"id": row["id"], "last": row["name"].split()[-1]},
+    )
+    assert table.get_by_pk(1).values == {"id": 1, "last": "Smith"}

@@ -1,0 +1,102 @@
+"""Tests for column types and table schemas."""
+
+import pytest
+
+from repro.storage.rdbms.types import Column, ColumnType, SchemaError, TableSchema
+
+
+def _schema():
+    return TableSchema(
+        "city",
+        (
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("pop", ColumnType.INT),
+            Column("temp", ColumnType.FLOAT),
+            Column("capital", ColumnType.BOOL),
+        ),
+        primary_key="name",
+    )
+
+
+def test_int_validation():
+    assert ColumnType.INT.validate(5) == 5
+    assert ColumnType.INT.validate(None) is None
+    with pytest.raises(SchemaError):
+        ColumnType.INT.validate("5")
+    with pytest.raises(SchemaError):
+        ColumnType.INT.validate(True)  # bools are not ints here
+
+
+def test_float_widens_int():
+    assert ColumnType.FLOAT.validate(5) == 5.0
+    assert isinstance(ColumnType.FLOAT.validate(5), float)
+    with pytest.raises(SchemaError):
+        ColumnType.FLOAT.validate("x")
+
+
+def test_text_and_bool_validation():
+    assert ColumnType.TEXT.validate("hi") == "hi"
+    with pytest.raises(SchemaError):
+        ColumnType.TEXT.validate(1)
+    assert ColumnType.BOOL.validate(True) is True
+    with pytest.raises(SchemaError):
+        ColumnType.BOOL.validate(1)
+
+
+def test_not_null_column():
+    column = Column("name", ColumnType.TEXT, nullable=False)
+    with pytest.raises(SchemaError):
+        column.validate(None)
+
+
+def test_schema_rejects_duplicate_columns():
+    with pytest.raises(SchemaError):
+        TableSchema("t", (Column("a", ColumnType.INT),
+                          Column("a", ColumnType.TEXT)))
+
+
+def test_schema_rejects_bad_pk():
+    with pytest.raises(SchemaError):
+        TableSchema("t", (Column("a", ColumnType.INT),), primary_key="b")
+
+
+def test_validate_row_fills_missing_nullable():
+    row = _schema().validate_row({"name": "Madison"})
+    assert row == {"name": "Madison", "pop": None, "temp": None, "capital": None}
+
+
+def test_validate_row_rejects_unknown_column():
+    with pytest.raises(SchemaError):
+        _schema().validate_row({"name": "X", "bogus": 1})
+
+
+def test_with_column_and_without_column():
+    schema = _schema().with_column(Column("state", ColumnType.TEXT))
+    assert schema.has_column("state")
+    back = schema.without_column("state")
+    assert not back.has_column("state")
+    with pytest.raises(SchemaError):
+        _schema().without_column("name")  # cannot drop PK
+    with pytest.raises(SchemaError):
+        _schema().with_column(Column("pop", ColumnType.INT))
+
+
+def test_renamed_column_updates_pk():
+    schema = _schema().renamed_column("name", "city_name")
+    assert schema.primary_key == "city_name"
+    assert schema.has_column("city_name")
+    with pytest.raises(SchemaError):
+        schema.renamed_column("missing", "x")
+
+
+def test_to_from_dict_roundtrip():
+    schema = _schema()
+    again = TableSchema.from_dict(schema.to_dict())
+    assert again == schema
+
+
+def test_column_lookup():
+    schema = _schema()
+    assert schema.column("pop").col_type is ColumnType.INT
+    with pytest.raises(SchemaError):
+        schema.column("nope")

@@ -1,0 +1,163 @@
+"""Tests for schema evolution."""
+
+import pytest
+
+from repro.schema.evolution import (
+    AddAttribute,
+    DropAttribute,
+    EvolvingTable,
+    MergeAttributes,
+    RenameAttribute,
+    RetypeAttribute,
+    SchemaRegistry,
+    SplitAttribute,
+)
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.types import Column, ColumnType, SchemaError, TableSchema
+
+
+def _schema(name="t"):
+    return TableSchema(
+        name,
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("full_name", ColumnType.TEXT)),
+        primary_key="id",
+    )
+
+
+def test_registry_versions_advance():
+    registry = SchemaRegistry()
+    registry.register(_schema())
+    v1 = registry.evolve("t", AddAttribute(Column("age", ColumnType.INT)))
+    assert v1.version == 1
+    assert registry.current("t").schema.has_column("age")
+    assert len(registry.history("t")) == 2
+    changes = registry.changes_since("t", 0)
+    assert len(changes) == 1
+
+
+def test_registry_rejects_duplicates_and_unknown():
+    registry = SchemaRegistry()
+    registry.register(_schema())
+    with pytest.raises(SchemaError):
+        registry.register(_schema())
+    with pytest.raises(SchemaError):
+        registry.current("missing")
+
+
+def test_add_attribute_with_compute():
+    change = AddAttribute(Column("name_len", ColumnType.INT),
+                          compute=lambda row: len(row["full_name"]))
+    row = change.apply_row({"id": 1, "full_name": "Ann Lee"})
+    assert row["name_len"] == 7
+
+
+def test_rename_attribute():
+    change = RenameAttribute("full_name", "name")
+    schema = change.apply_schema(_schema())
+    assert schema.has_column("name") and not schema.has_column("full_name")
+    assert change.apply_row({"id": 1, "full_name": "x"}) == {"id": 1, "name": "x"}
+
+
+def test_drop_attribute():
+    change = DropAttribute("full_name")
+    assert not change.apply_schema(_schema()).has_column("full_name")
+    assert change.apply_row({"id": 1, "full_name": "x"}) == {"id": 1}
+
+
+def test_split_attribute():
+    change = SplitAttribute(
+        "full_name",
+        (Column("first", ColumnType.TEXT), Column("last", ColumnType.TEXT)),
+        splitter=lambda v: dict(zip(("first", "last"), v.split(None, 1))),
+    )
+    schema = change.apply_schema(_schema())
+    assert schema.has_column("first") and schema.has_column("last")
+    row = change.apply_row({"id": 1, "full_name": "David Smith"})
+    assert row == {"id": 1, "first": "David", "last": "Smith"}
+
+
+def test_merge_attributes():
+    base = _schema().with_column(Column("suffix", ColumnType.TEXT))
+    change = MergeAttributes(
+        ("full_name", "suffix"), Column("display", ColumnType.TEXT),
+        merger=lambda vs: f"{vs['full_name']} {vs['suffix']}".strip(),
+    )
+    schema = change.apply_schema(base)
+    assert schema.has_column("display")
+    row = change.apply_row({"id": 1, "full_name": "A B", "suffix": "Jr"})
+    assert row["display"] == "A B Jr"
+
+
+def test_retype_attribute():
+    base = TableSchema("t", (Column("v", ColumnType.TEXT),))
+    change = RetypeAttribute("v", ColumnType.FLOAT, converter=float)
+    schema = change.apply_schema(base)
+    assert schema.column("v").col_type is ColumnType.FLOAT
+    assert change.apply_row({"v": "3.5"}) == {"v": 3.5}
+
+
+def test_eager_table_migrates_immediately():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=False)
+    table.insert({"id": 1, "full_name": "David Smith"})
+    table.evolve(RenameAttribute("full_name", "name"))
+    assert table.rows_rewritten == 1
+    assert table.rows() == [{"id": 1, "name": "David Smith"}]
+    assert table.pending_changes == 0
+
+
+def test_lazy_table_defers_until_flush():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=True)
+    table.insert({"id": 1, "full_name": "David Smith"})
+    table.evolve(RenameAttribute("full_name", "name"))
+    table.evolve(AddAttribute(Column("age", ColumnType.INT), default=0))
+    assert table.pending_changes == 2
+    assert table.rows_rewritten == 0
+    # logical reads see the evolved schema already
+    assert table.rows() == [{"id": 1, "name": "David Smith", "age": 0}]
+    rewritten = table.flush()
+    assert rewritten == 1
+    assert table.pending_changes == 0
+    assert table.rows() == [{"id": 1, "name": "David Smith", "age": 0}]
+
+
+def test_lazy_flush_composes_in_one_pass():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=True)
+    for i in range(10):
+        table.insert({"id": i, "full_name": f"Person {i}"})
+    table.evolve(AddAttribute(Column("a", ColumnType.INT), default=1))
+    table.evolve(AddAttribute(Column("b", ColumnType.INT), default=2))
+    table.evolve(AddAttribute(Column("c", ColumnType.INT), default=3))
+    table.flush()
+    # 3 changes applied in ONE rewrite of 10 rows, not 30
+    assert table.rows_rewritten == 10
+
+
+def test_lazy_insert_triggers_flush():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=True)
+    table.insert({"id": 1, "full_name": "A"})
+    table.evolve(RenameAttribute("full_name", "name"))
+    table.insert({"id": 2, "name": "B"})  # logical-schema insert forces flush
+    assert table.pending_changes == 0
+    assert {r["name"] for r in table.rows()} == {"A", "B"}
+
+
+def test_logical_schema_tracks_registry():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=True)
+    table.evolve(AddAttribute(Column("x", ColumnType.INT)))
+    assert table.logical_schema.has_column("x")
+
+
+def test_db_indexes_survive_evolution():
+    db = Database()
+    table = EvolvingTable(db, _schema(), lazy=False)
+    db.create_index("t", "full_name", kind="hash")
+    table.insert({"id": 1, "full_name": "findme"})
+    table.evolve(AddAttribute(Column("extra", ColumnType.INT)))
+    hits = db.run(lambda t: t.lookup("t", "full_name", "findme"))
+    assert len(hits) == 1

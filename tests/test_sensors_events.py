@@ -1,0 +1,144 @@
+"""Tests for the Section 6 generalization: sensor logs and event IE."""
+
+import pytest
+
+from repro.datagen.sensors import (
+    EVENT_TYPES,
+    SensorCorpusConfig,
+    generate_sensor_corpus,
+)
+from repro.docmodel.document import Document
+from repro.extraction.events import (
+    Reading,
+    SensorEventExtractor,
+    parse_sensor_log,
+)
+
+
+def test_corpus_deterministic_and_sized():
+    a, truth_a = generate_sensor_corpus(SensorCorpusConfig(seed=1))
+    b, truth_b = generate_sensor_corpus(SensorCorpusConfig(seed=1))
+    assert [d.text for d in a] == [d.text for d in b]
+    assert truth_a == truth_b
+    assert len(a) == 9  # 3 kinds x 3 sensors
+
+
+def test_corpus_events_raise_values():
+    corpus, truth = generate_sensor_corpus(
+        SensorCorpusConfig(noise=0.02, seed=2)
+    )
+    event = truth[0]
+    doc = corpus.get(f"log_{event.sensor_id}")
+    readings = parse_sensor_log(doc)
+    inside = readings[event.start_minute].value
+    outside_index = (event.start_minute + 100) % len(readings)
+    outside = readings[outside_index].value
+    assert inside > outside
+
+
+def test_parse_sensor_log_offsets():
+    doc = Document("log", "0 door0 0.1\n1 door0 0.9\nbad line\n2 door0 0.2")
+    readings = parse_sensor_log(doc)
+    assert len(readings) == 3
+    for reading in readings:
+        line = doc.text[reading.line_start:reading.line_end]
+        assert line.split()[1] == reading.sensor_id
+
+
+def test_parse_skips_malformed():
+    doc = Document("log", "x y\n1 s notanumber\n2 s 1.0")
+    readings = parse_sensor_log(doc)
+    assert [r.minute for r in readings] == [2]
+
+
+def test_detector_finds_injected_events():
+    corpus, truth = generate_sensor_corpus(
+        SensorCorpusConfig(noise=0.05, seed=3)
+    )
+    extractor = SensorEventExtractor()
+    detected = extractor.extract_corpus(corpus)
+
+    def matches(d, t):
+        minute = int(d.value.split("@")[1])
+        return (d.entity == t.sensor_id
+                and t.start_minute - 2 <= minute
+                <= t.start_minute + t.duration)
+
+    recall = sum(
+        1 for t in truth if any(matches(d, t) for d in detected)
+    ) / len(truth)
+    false_positives = sum(
+        1 for d in detected if not any(matches(d, t) for t in truth)
+    )
+    assert recall > 0.9
+    assert false_positives <= 1
+
+
+def test_detector_quiet_log_has_no_events():
+    doc = Document(
+        "log", "\n".join(f"{i} temp0 68.0{i % 7}" for i in range(200))
+    )
+    assert SensorEventExtractor().extract(doc) == []
+
+
+def test_detector_short_log_returns_empty():
+    doc = Document("log", "0 s 1.0\n1 s 1.0")
+    assert SensorEventExtractor(baseline_window=60).extract(doc) == []
+
+
+def test_detector_min_duration_filters_blips():
+    lines = [f"{i} s 10.0" for i in range(100)]
+    lines[50] = "50 s 99.0"  # single-reading blip
+    doc = Document("log", "\n".join(lines))
+    assert SensorEventExtractor(min_duration=3).extract(doc) == []
+    lines[50:55] = [f"{i} s 99.0" for i in range(50, 55)]
+    doc2 = Document("log", "\n".join(lines))
+    events = SensorEventExtractor(min_duration=3).extract(doc2)
+    assert len(events) == 1
+    assert events[0].value.endswith("@50")
+
+
+def test_detector_classifier_labels_events():
+    corpus, truth = generate_sensor_corpus(
+        SensorCorpusConfig(noise=0.05, seed=4, num_sensors=1)
+    )
+    extractor = SensorEventExtractor(
+        classify=lambda sensor, mag: EVENT_TYPES[sensor.rstrip("0123456789")]
+    )
+    detected = extractor.extract_corpus(corpus)
+    labels = {d.value.split("@")[0] for d in detected}
+    assert labels <= set(EVENT_TYPES.values())
+    assert "entry" in labels
+
+
+def test_detector_confidence_in_bounds_and_spans_valid():
+    corpus, _ = generate_sensor_corpus(SensorCorpusConfig(seed=5))
+    extractor = SensorEventExtractor()
+    for extraction in extractor.extract_corpus(corpus):
+        assert 0.5 <= extraction.confidence <= 0.99
+        doc = corpus.get(extraction.span.doc_id)
+        assert doc.text[extraction.span.start:extraction.span.end] \
+            == extraction.span.text
+
+
+def test_noise_degrades_detection():
+    def f1_at(noise):
+        corpus, truth = generate_sensor_corpus(
+            SensorCorpusConfig(noise=noise, seed=6)
+        )
+        detected = SensorEventExtractor().extract_corpus(corpus)
+
+        def matches(d, t):
+            minute = int(d.value.split("@")[1])
+            return (d.entity == t.sensor_id
+                    and t.start_minute - 2 <= minute
+                    <= t.start_minute + t.duration)
+
+        tp = sum(1 for t in truth if any(matches(d, t) for d in detected))
+        fp = sum(1 for d in detected if not any(matches(d, t) for t in truth))
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / len(truth)
+        return (2 * precision * recall / (precision + recall)
+                if precision + recall else 0.0)
+
+    assert f1_at(0.05) >= f1_at(0.6)

@@ -1,0 +1,79 @@
+"""Tests for the append-only record file store."""
+
+import pytest
+
+from repro.storage.filestore import RecordFileStore
+
+
+def test_append_assigns_increasing_ids(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    ids = [store.append({"v": i}) for i in range(5)]
+    assert ids == [0, 1, 2, 3, 4]
+
+
+def test_scan_returns_in_order(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    store.append_many([{"v": i} for i in range(4)])
+    assert [r.payload["v"] for r in store.scan()] == [0, 1, 2, 3]
+
+
+def test_delete_tombstones(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    ids = store.append_many([{"v": i} for i in range(3)])
+    store.delete(ids[1])
+    assert [r.payload["v"] for r in store.scan()] == [0, 2]
+    assert store.count() == 2
+
+
+def test_reserved_key_rejected(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        store.append({"__deleted__": True})
+
+
+def test_segment_rotation(tmp_path):
+    store = RecordFileStore(str(tmp_path), segment_max_records=3)
+    store.append_many([{"v": i} for i in range(10)])
+    assert store.segment_count() == 4
+    assert store.count() == 10
+
+
+def test_compact_drops_tombstones_and_shrinks(tmp_path):
+    store = RecordFileStore(str(tmp_path), segment_max_records=5)
+    ids = store.append_many([{"v": i} for i in range(20)])
+    for rid in ids[:15]:
+        store.delete(rid)
+    before = store.total_bytes()
+    live = store.compact()
+    assert live == 5
+    assert store.total_bytes() < before
+    assert [r.payload["v"] for r in store.scan()] == [15, 16, 17, 18, 19]
+
+
+def test_reopen_recovers_next_id(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    store.append_many([{"v": 1}, {"v": 2}])
+    reopened = RecordFileStore(str(tmp_path))
+    new_id = reopened.append({"v": 3})
+    assert new_id == 2
+    assert reopened.count() == 3
+
+
+def test_scan_where(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    store.append_many([{"v": i} for i in range(10)])
+    evens = list(store.scan_where(lambda p: p["v"] % 2 == 0))
+    assert [r.payload["v"] for r in evens] == [0, 2, 4, 6, 8]
+
+
+def test_invalid_segment_size(tmp_path):
+    with pytest.raises(ValueError):
+        RecordFileStore(str(tmp_path), segment_max_records=0)
+
+
+def test_ids_continue_after_compact(tmp_path):
+    store = RecordFileStore(str(tmp_path))
+    ids = store.append_many([{"v": i} for i in range(3)])
+    store.delete(ids[0])
+    store.compact()
+    assert store.append({"v": 99}) > ids[-1]

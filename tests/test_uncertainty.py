@@ -1,0 +1,111 @@
+"""Tests for probabilistic values and the confidence algebra."""
+
+import pytest
+
+from repro.uncertainty.probabilistic import (
+    ProbabilisticValue,
+    combine_independent_and,
+    combine_noisy_or,
+    expected_value,
+    possible_worlds,
+)
+
+
+def test_certain_value():
+    dist = ProbabilisticValue.certain(70)
+    assert dist.most_likely() == (70, 1.0)
+    assert dist.residual() == 0.0
+
+
+def test_rejects_bad_probabilities():
+    with pytest.raises(ValueError):
+        ProbabilisticValue(((1, 0.0),))
+    with pytest.raises(ValueError):
+        ProbabilisticValue(((1, 1.2),))
+    with pytest.raises(ValueError):
+        ProbabilisticValue(((1, 0.7), (2, 0.7)))
+
+
+def test_from_confidences_normalizes_overcommitted():
+    dist = ProbabilisticValue.from_confidences([(1, 0.9), (2, 0.9)])
+    total = sum(p for _, p in dist.alternatives)
+    assert total == pytest.approx(1.0)
+    assert dist.probability_of(1) == pytest.approx(0.5)
+
+
+def test_from_confidences_keeps_undercommitted():
+    dist = ProbabilisticValue.from_confidences([(1, 0.3), (2, 0.2)])
+    assert dist.probability_of(1) == 0.3
+    assert dist.residual() == pytest.approx(0.5)
+
+
+def test_most_likely_and_probability_of():
+    dist = ProbabilisticValue(((70, 0.6), (7, 0.3)))
+    assert dist.most_likely() == (70, 0.6)
+    assert dist.probability_of(7) == 0.3
+    assert dist.probability_of(999) == 0.0
+    with pytest.raises(ValueError):
+        ProbabilisticValue(()).most_likely()
+
+
+def test_threshold_filters():
+    dist = ProbabilisticValue(((1, 0.6), (2, 0.1)))
+    cut = dist.threshold(0.5)
+    assert cut.alternatives == ((1, 0.6),)
+
+
+def test_map_values_merges_collisions():
+    dist = ProbabilisticValue(((1.4, 0.3), (1.6, 0.3), (5.0, 0.2)))
+    rounded = dist.map_values(round)
+    assert rounded.probability_of(2) == pytest.approx(0.6, abs=1e-9) or \
+        rounded.probability_of(1) + rounded.probability_of(2) == pytest.approx(0.6)
+    assert rounded.probability_of(5) == 0.2
+
+
+def test_combine_and():
+    assert combine_independent_and(0.5, 0.5) == 0.25
+    assert combine_independent_and() == 1.0
+    with pytest.raises(ValueError):
+        combine_independent_and(1.5)
+
+
+def test_combine_noisy_or():
+    assert combine_noisy_or(0.5, 0.5) == pytest.approx(0.75)
+    assert combine_noisy_or(1.0, 0.1) == 1.0
+    assert combine_noisy_or() == 0.0
+    with pytest.raises(ValueError):
+        combine_noisy_or(-0.1)
+
+
+def test_noisy_or_exceeds_any_single_witness():
+    confidences = (0.6, 0.7, 0.5)
+    assert combine_noisy_or(*confidences) > max(confidences)
+
+
+def test_expected_value():
+    dist = ProbabilisticValue(((70.0, 0.5), (80.0, 0.5)))
+    assert expected_value(dist) == 75.0
+    # residual mass is ignored (conditional expectation)
+    dist2 = ProbabilisticValue(((10.0, 0.2), (20.0, 0.2)))
+    assert expected_value(dist2) == 15.0
+    with pytest.raises(ValueError):
+        expected_value(ProbabilisticValue((("x", 1.0),)))
+
+
+def test_possible_worlds_probabilities_sum_to_one():
+    facts = [
+        ("a", ProbabilisticValue(((1, 0.7), (2, 0.3)))),
+        ("b", ProbabilisticValue(((True, 0.6),))),
+    ]
+    worlds = list(possible_worlds(facts))
+    assert sum(p for _, p in worlds) == pytest.approx(1.0)
+    # 2 alternatives x (1 alternative + residual) = 4 worlds
+    assert len(worlds) == 4
+
+
+def test_possible_worlds_assignments():
+    facts = [("t", ProbabilisticValue(((70, 0.9), (7, 0.1))))]
+    worlds = dict()
+    for assignment, p in possible_worlds(facts):
+        worlds[assignment["t"]] = p
+    assert worlds == {70: pytest.approx(0.9), 7: pytest.approx(0.1)}

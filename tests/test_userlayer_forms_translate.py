@@ -1,0 +1,144 @@
+"""Tests for query forms and keyword→structured translation."""
+
+import pytest
+
+from repro.userlayer.forms import FormCatalog, FormSlot, QueryForm
+from repro.userlayer.translate import QueryTranslator
+
+
+def _form():
+    return QueryForm(
+        form_id="avg_temp",
+        title="Average temperature of a city",
+        sql_template=(
+            "SELECT AVG(value_num) AS result FROM facts "
+            "WHERE entity = {entity} AND attribute = {attribute}"
+        ),
+        slots=(
+            FormSlot("entity", "City name"),
+            FormSlot("attribute", "Temperature attribute"),
+        ),
+        keywords=("average", "temperature", "city"),
+    )
+
+
+def test_form_instantiate_quotes_text():
+    sql = _form().instantiate({"entity": "Madison", "attribute": "sep_temp"})
+    assert "entity = 'Madison'" in sql
+    assert "attribute = 'sep_temp'" in sql
+
+
+def test_form_instantiate_escapes_quotes():
+    sql = _form().instantiate({"entity": "O'Fallon", "attribute": "a"})
+    assert "O''Fallon" in sql
+
+
+def test_form_missing_required_slot():
+    with pytest.raises(ValueError):
+        _form().instantiate({"entity": "Madison"})
+
+
+def test_form_unknown_slot():
+    with pytest.raises(ValueError):
+        _form().instantiate({"bogus": 1})
+
+
+def test_form_number_slot_type_checked():
+    form = QueryForm(
+        "f", "t", "SELECT * FROM t WHERE pop > {min_pop}",
+        slots=(FormSlot("min_pop", "Minimum population", slot_type="number"),),
+    )
+    assert "pop > 500" in form.instantiate({"min_pop": 500})
+    with pytest.raises(ValueError):
+        form.instantiate({"min_pop": "lots"})
+
+
+def test_form_optional_slot_default():
+    form = QueryForm(
+        "f", "t", "SELECT * FROM t LIMIT {n}",
+        slots=(FormSlot("n", "Limit", slot_type="number",
+                        required=False, default=10),),
+    )
+    assert form.instantiate({}) == "SELECT * FROM t LIMIT 10"
+
+
+def test_catalog_register_and_duplicate():
+    catalog = FormCatalog()
+    catalog.register(_form())
+    assert len(catalog) == 1
+    assert catalog.get("avg_temp").title.startswith("Average")
+    with pytest.raises(ValueError):
+        catalog.register(_form())
+
+
+def _translator(catalog=None):
+    return QueryTranslator(
+        table="facts",
+        entity_column="entity",
+        attributes=["sep_temp", "september_temperature", "april_temperature",
+                    "population", "state"],
+        entities=["Madison", "Chicago", "Fairview"],
+        attribute_column="attribute",
+        value_column="value_num",
+        catalog=catalog,
+    )
+
+
+def test_translate_aggregate_entity_attribute():
+    candidates = _translator().translate("average september temperature Madison")
+    assert candidates
+    top = candidates[0]
+    assert "AVG(" in top.sql
+    assert "entity = 'Madison'" in top.sql
+    assert "september" in top.sql or "sep_temp" in top.sql
+
+
+def test_translate_full_token_coverage_beats_partial():
+    candidates = _translator().translate("average september temperature Madison", k=5)
+    sqls = [c.sql for c in candidates]
+    september = next(i for i, s in enumerate(sqls) if "september_temperature" in s)
+    april = [i for i, s in enumerate(sqls) if "april_temperature" in s]
+    assert not april or september < april[0]
+
+
+def test_translate_count_and_max_intents():
+    count = _translator().translate("how many population Fairview")[0]
+    assert "COUNT(" in count.sql
+    maxi = _translator().translate("highest population")[0]
+    assert "MAX(" in maxi.sql
+
+
+def test_translate_no_aggregate_lists_values():
+    candidates = _translator().translate("population Madison")
+    assert any("SELECT entity, value_num" in c.sql for c in candidates)
+
+
+def test_translate_unknown_terms_returns_empty_or_generic():
+    candidates = _translator().translate("zzz qqq www")
+    assert all("attribute" not in c.sql or c.score <= 0.6 for c in candidates)
+
+
+def test_translate_results_are_deduplicated():
+    candidates = _translator().translate("average september temperature Madison", k=10)
+    assert len({c.sql for c in candidates}) == len(candidates)
+
+
+def test_translate_ranks_form_candidates():
+    catalog = FormCatalog()
+    catalog.register(_form())
+    candidates = _translator(catalog).translate(
+        "average temperature Madison", k=10
+    )
+    form_hits = [c for c in candidates if c.form_id == "avg_temp"]
+    assert form_hits
+    assert form_hits[0].slot_values.get("entity") == "Madison"
+
+
+def test_translate_wide_table_layout():
+    translator = QueryTranslator(
+        table="city", entity_column="name",
+        attributes=["sep_temp", "population"], entities=["Madison"],
+    )
+    top = translator.translate("average sep_temp Madison")[0]
+    assert "AVG(sep_temp)" in top.sql
+    assert "name = 'Madison'" in top.sql

@@ -1,0 +1,112 @@
+"""Tests for the inverted index and keyword search engine."""
+
+import pytest
+
+from repro.docmodel.document import Document
+from repro.userlayer.index import InvertedIndex, index_tokens
+from repro.userlayer.search import KeywordSearchEngine
+
+
+def test_index_tokens():
+    assert index_tokens("Madison's sep_temp = 70!") == [
+        "madison", "s", "sep_temp", "70"
+    ]
+
+
+def test_add_and_search_ranks_relevant_first():
+    index = InvertedIndex()
+    index.add("relevant", "madison temperature madison weather")
+    index.add("less", "madison city hall")
+    index.add("noise", "unrelated page about trains")
+    hits = index.search("madison temperature")
+    assert hits[0].doc_id == "relevant"
+    assert {h.doc_id for h in hits} == {"relevant", "less"}
+
+
+def test_duplicate_add_rejected():
+    index = InvertedIndex()
+    index.add("a", "text")
+    with pytest.raises(ValueError):
+        index.add("a", "text again")
+
+
+def test_remove_document():
+    index = InvertedIndex()
+    index.add("a", "unique term here")
+    index.add("b", "other things")
+    index.remove("a")
+    assert index.search("unique") == []
+    assert len(index) == 1
+    with pytest.raises(KeyError):
+        index.remove("a")
+
+
+def test_idf_prefers_rare_terms():
+    index = InvertedIndex()
+    for i in range(10):
+        index.add(f"common{i}", "common words everywhere")
+    index.add("rare", "common words everywhere zanzibar")
+    hits = index.search("zanzibar")
+    assert hits[0].doc_id == "rare" and len(hits) == 1
+
+
+def test_length_normalization():
+    index = InvertedIndex()
+    index.add("short", "madison")
+    index.add("long", "madison " + "filler " * 200)
+    hits = index.search("madison")
+    assert hits[0].doc_id == "short"
+
+
+def test_search_empty_query_or_index():
+    index = InvertedIndex()
+    assert index.search("anything") == []
+    index.add("a", "text")
+    assert index.search("") == []
+
+
+def test_top_k_limit():
+    index = InvertedIndex()
+    for i in range(30):
+        index.add(f"d{i}", "same words here")
+    assert len(index.search("words", k=7)) == 7
+
+
+def test_document_frequency_and_contains():
+    index = InvertedIndex()
+    index.add("a", "apple banana")
+    index.add("b", "apple")
+    assert index.document_frequency("apple") == 2
+    assert index.document_frequency("banana") == 1
+    assert "a" in index and "zz" not in index
+
+
+def test_engine_indexes_corpus_and_snippets():
+    engine = KeywordSearchEngine()
+    engine.index_corpus([
+        Document("d1", "x " * 50 + "the september temperature is 70 " + "y " * 50),
+        Document("d2", "irrelevant content"),
+    ])
+    results = engine.search("september temperature")
+    assert results[0].doc_id == "d1"
+    assert "september" in results[0].snippet.lower()
+    assert "..." in results[0].snippet
+
+
+def test_engine_fact_search():
+    engine = KeywordSearchEngine()
+    engine.index_facts([
+        {"entity": "Madison", "attribute": "sep_temp", "value": 70.0},
+        {"entity": "Austin", "attribute": "sep_temp", "value": 85.0},
+    ])
+    facts = engine.search_facts("madison sep_temp")
+    assert facts[0]["entity"] == "Madison"
+    assert engine.fact_count() == 2
+
+
+def test_engine_has_document():
+    engine = KeywordSearchEngine()
+    engine.index_corpus([Document("d1", "hello")])
+    assert engine.has_document("d1")
+    assert not engine.has_document("d2")
+    assert engine.corpus_size() == 1
