@@ -1,0 +1,51 @@
+"""One-shot gate: smoke-run the E15 benchmark, then the tier-1 test suite.
+
+Intended as the pre-merge check for the execution-backend / batched-write
+work — it exercises the real-parallelism path end to end (small workload,
+equality invariants enforced, no timing assertions) and then confirms the
+whole repo is still green::
+
+    python benchmarks/run_all.py
+
+Exits non-zero if either step fails.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run(title: str, cmd: list[str]) -> int:
+    print(f"\n=== {title} ===\n$ {' '.join(cmd)}", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
+
+
+def main() -> int:
+    steps = [
+        ("E15 parallel-backend bench (smoke)",
+         [sys.executable,
+          os.path.join(REPO_ROOT, "benchmarks", "bench_e15_parallel_backend.py"),
+          "--smoke"]),
+        ("tier-1 tests",
+         [sys.executable, "-m", "pytest", "-x", "-q"]),
+    ]
+    for title, cmd in steps:
+        code = _run(title, cmd)
+        if code != 0:
+            print(f"\nFAILED: {title} (exit {code})")
+            return code
+    print("\nall steps passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,8 +34,11 @@ from repro.extraction.links import LinkExtractor
 from repro.userlayer.visualize import table
 
 
-def _build_system(workspace: str, builtin: bool) -> StructureManagementSystem:
-    system = StructureManagementSystem(workspace=workspace)
+def _build_system(workspace: str, builtin: bool,
+                  backend: str | None = None,
+                  workers: int | None = None) -> StructureManagementSystem:
+    system = StructureManagementSystem(workspace=workspace, backend=backend,
+                                       backend_workers=workers)
     if builtin:
         system.registry.register_extractor("infobox", InfoboxExtractor())
         system.registry.register_extractor("links", LinkExtractor())
@@ -61,7 +64,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     """Run (or EXPLAIN) a declarative IE program file."""
-    system = _build_system(args.workspace, args.builtin)
+    system = _build_system(args.workspace, args.builtin,
+                           backend=args.backend, workers=args.workers)
     _reingest_existing(system)
     with open(args.program, "r", encoding="utf-8") as f:
         source = f.read()
@@ -74,6 +78,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
           f"({report.facts_flagged} flagged); "
           f"scanned {report.chars_scanned} chars; "
           f"asked {report.hi_questions} HI questions")
+    if report.backend_name != "inline":
+        print(f"backend {report.backend_name}: "
+              f"{report.real_parallel_seconds:.3f}s parallel extraction")
     system.close()
     return 0
 
@@ -141,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workspace directory (default ./repro-workspace)")
     parser.add_argument("--builtin", action="store_true", default=True,
                         help="register the built-in wiki extractors")
+    parser.add_argument("--backend", choices=["serial", "thread", "process"],
+                        default=None,
+                        help="real parallel execution backend for extraction "
+                             "(default: inline)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for --backend thread/process "
+                             "(default: CPU count)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("ingest", help="ingest a directory of .txt pages")

@@ -9,17 +9,37 @@ DESIGN.md): tasks execute in-process, but scheduling, data partitioning,
 shuffle, worker failures, stragglers, and speculative re-execution are all
 real, and a simulated clock yields makespans whose *shape* under varying
 worker counts is the quantity experiment E7 reports.
+
+Orthogonally, :mod:`repro.cluster.backends` provides *real* wall-clock
+parallelism on the local machine: serial, thread-pool, and process-pool
+execution backends that run the same task payloads (experiment E15).  The
+simulator stays the cost/failure model; a backend changes only how fast
+the work physically executes.
 """
 
+from repro.cluster.backends import (
+    BackendError,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task, TaskResult
 from repro.cluster.mapreduce import MapReduceJob, MapReduceResult, run_mapreduce
 
 __all__ = [
+    "BackendError",
     "ClusterConfig",
+    "ExecutionBackend",
+    "MapReduceJob",
+    "MapReduceResult",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "SimulatedCluster",
     "Task",
     "TaskResult",
-    "MapReduceJob",
-    "MapReduceResult",
+    "ThreadPoolBackend",
+    "make_backend",
     "run_mapreduce",
 ]

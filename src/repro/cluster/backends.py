@@ -1,0 +1,222 @@
+"""Real parallel execution backends for the processing layer.
+
+The simulated cluster models *time and failure* (E7's makespans); backends
+model *wall-clock* parallelism: they actually execute task payloads, either
+inline, on a thread pool, or on a process pool.  The paper's premise — "IE
+is computation intensive ... we need parallel processing in the physical
+layer" — is therefore realized twice: the simulator answers "how would this
+scale on a cluster?", a backend answers "how fast does it run on this
+machine right now?".
+
+All backends preserve input order: ``backend.map(fn, items)`` returns
+``[fn(items[0]), fn(items[1]), ...]`` regardless of which worker finished
+first, so serial, thread, and process execution produce byte-identical
+output streams (the determinism contract documented in DESIGN.md).
+
+The process backend requires picklable callables and items.  Plan-level
+callables in :mod:`repro.lang.executor` are module-level dataclasses for
+exactly this reason; ad-hoc lambdas raise :class:`BackendError` with a
+hint instead of a bare ``PicklingError``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+
+class BackendError(RuntimeError):
+    """A backend could not be built or could not run a payload."""
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Uniform map-style execution surface.
+
+    Attributes:
+        name: short identifier reported in stats (``serial`` / ``thread``
+            / ``process``).
+        max_workers: degree of real parallelism (1 for serial).
+    """
+
+    name: str
+    max_workers: int
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            chunk_size: int | None = None) -> list[Any]:
+        """Apply ``fn`` to every item; results in input order."""
+        ...
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+        ...
+
+
+def _chunk(items: Sequence[Any], size: int) -> list[Sequence[Any]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> list[Any]:
+    """Worker-side loop; module-level so process pools can pickle it."""
+    return [fn(item) for item in chunk]
+
+
+class SerialBackend:
+    """Default backend: runs everything inline, fully deterministic."""
+
+    name = "serial"
+    max_workers = 1
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            chunk_size: int | None = None) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _PoolBackend:
+    """Shared chunked-submission logic for thread/process pools.
+
+    Tasks are submitted as chunks (``max(len(items) // (workers * 4), 1)``
+    items each by default) so per-task overhead — especially pickling for
+    process pools — amortizes over many items, and results are reassembled
+    in submission order.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        if self.max_workers < 1:
+            raise BackendError("max_workers must be >= 1")
+        self._pool: _FuturesExecutor | None = None
+
+    # ------------------------------------------------------------------ API
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            chunk_size: int | None = None) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        self._check_payload(fn, items[0])
+        if chunk_size is None:
+            chunk_size = max(len(items) // (self.max_workers * 4), 1)
+        chunks = _chunk(items, chunk_size)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_apply_chunk, fn, chunk) for chunk in chunks]
+        out: list[Any] = []
+        for future in futures:  # submission order == input order
+            out.extend(future.result())
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PoolBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_pool(self) -> _FuturesExecutor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def _make_pool(self) -> _FuturesExecutor:
+        raise NotImplementedError
+
+    def _check_payload(self, fn: Callable[[Any], Any], sample: Any) -> None:
+        """Hook: process pools validate picklability up front."""
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Thread-pool execution.
+
+    Effective when the per-item work releases the GIL (I/O, C extensions,
+    ``time.sleep``-style waits); pure-Python CPU work serializes on the GIL
+    but still overlaps any I/O component.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ThreadPoolExecutor(max_workers=self.max_workers,
+                                  thread_name_prefix="repro-backend")
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Process-pool execution: true multi-core fan-out.
+
+    Payloads (callable + items) cross a process boundary, so both must be
+    picklable — module-level functions or dataclass callables holding
+    picklable state (all shipped extractors qualify).
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> _FuturesExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _check_payload(self, fn: Callable[[Any], Any], sample: Any) -> None:
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(sample)
+        except Exception as exc:  # PicklingError, TypeError, AttributeError…
+            raise BackendError(
+                f"process backend needs picklable payloads; "
+                f"{fn!r} / sample item failed to pickle ({exc}). "
+                f"Use a module-level function or a picklable callable "
+                f"object, or switch to backend='thread'."
+            ) from exc
+
+
+_BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
+    "serial": lambda max_workers=None: SerialBackend(),
+    "thread": ThreadPoolBackend,
+    "threads": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+    "processes": ProcessPoolBackend,
+}
+
+
+def make_backend(spec: "str | ExecutionBackend | None",
+                 max_workers: int | None = None) -> ExecutionBackend | None:
+    """Resolve a backend spec.
+
+    Args:
+        spec: ``None`` (no backend — inline execution), an
+            :class:`ExecutionBackend` instance (returned as-is), or one of
+            ``"serial"``, ``"thread"``, ``"process"``.
+        max_workers: pool size for thread/process backends.
+
+    Raises:
+        BackendError: unknown spec string.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        factory = _BACKENDS.get(spec.lower())
+        if factory is None:
+            raise BackendError(
+                f"unknown backend {spec!r}; expected one of "
+                f"{sorted(set(_BACKENDS))}"
+            )
+        return factory(max_workers=max_workers)
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise BackendError(f"cannot build a backend from {spec!r}")

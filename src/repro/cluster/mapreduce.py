@@ -7,14 +7,25 @@ are shuffled by ``hash(key) % num_reducers`` into reduce partitions; reduce
 tasks then run per partition.  Both waves are scheduled on the
 :class:`~repro.cluster.simulator.SimulatedCluster`, and the job's simulated
 makespan is map-makespan + shuffle cost + reduce-makespan.
+
+When an :class:`~repro.cluster.backends.ExecutionBackend` is supplied, the
+*real* work of each wave (running map/combine/reduce payloads) fans out on
+that backend first — threads or processes for actual wall-clock
+parallelism — and the simulator then schedules the same tasks against
+precomputed results.  The simulated makespan is byte-identical with and
+without a backend (the cost model sees the same tasks in the same order);
+the backend only changes how fast the wave really runs, reported as
+``real_seconds``.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
+from repro.cluster.backends import ExecutionBackend
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task
 
 MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
@@ -56,6 +67,13 @@ class MapReduceResult:
         map_makespan: simulated time of the map wave.
         reduce_makespan: simulated time of the reduce wave.
         shuffle_records: number of (key, value) pairs shuffled.
+        backend_name: which execution backend ran the real work
+            (``inline`` when no backend was supplied).
+        real_seconds: wall-clock seconds the backend spent executing wave
+            payloads (0.0 inline — payloads run inside the simulator).
+        map_tasks: map tasks in the map wave.
+        reduce_tasks: reduce tasks in the reduce wave (empty partitions
+            are not scheduled).
         makespan: total simulated job time.
     """
 
@@ -63,6 +81,10 @@ class MapReduceResult:
     map_makespan: float
     reduce_makespan: float
     shuffle_records: int
+    backend_name: str = "inline"
+    real_seconds: float = 0.0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
     makespan: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -78,38 +100,82 @@ def _stable_hash(key: Hashable) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+@dataclass(frozen=True)
+class _MapSplitPayload:
+    """Real work of one map task: map every item, then combine.
+
+    A module-level dataclass (not a closure) so process backends can
+    pickle it — provided ``map_fn``/``combine_fn`` are themselves
+    picklable.
+    """
+
+    map_fn: MapFn
+    combine_fn: CombineFn | None
+
+    def __call__(self, split: Sequence[Any]) -> list[tuple[Hashable, Any]]:
+        pairs: list[tuple[Hashable, Any]] = []
+        for item in split:
+            pairs.extend(self.map_fn(item))
+        if self.combine_fn is not None:
+            grouped: dict[Hashable, list[Any]] = {}
+            for key, value in pairs:
+                grouped.setdefault(key, []).append(value)
+            pairs = [
+                (key, value)
+                for key, values in grouped.items()
+                for value in self.combine_fn(key, values)
+            ]
+        return pairs
+
+
+@dataclass(frozen=True)
+class _ReducePartitionPayload:
+    """Real work of one reduce task (picklable, see _MapSplitPayload)."""
+
+    reduce_fn: ReduceFn
+
+    def __call__(self, partition: dict[Hashable, list[Any]]) -> dict[Hashable, Any]:
+        return {
+            key: self.reduce_fn(key, values)
+            for key, values in partition.items()
+        }
+
+
 def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
                   cluster: SimulatedCluster | None = None,
-                  config: ClusterConfig | None = None) -> MapReduceResult:
+                  config: ClusterConfig | None = None,
+                  backend: ExecutionBackend | None = None) -> MapReduceResult:
     """Run a Map-Reduce job over ``items``.
 
     Provide either an existing ``cluster`` or a ``config`` (defaults to a
-    4-worker cluster).
+    4-worker cluster).  With a ``backend``, wave payloads execute on it for
+    real wall-clock parallelism before the simulator schedules the (now
+    precomputed) tasks — simulated makespans are unaffected.
 
     Raises:
         repro.cluster.simulator.TaskFailedError: a task exhausted retries.
+        repro.cluster.backends.BackendError: a process backend was given
+            unpicklable map/combine/reduce functions.
     """
     if cluster is None:
         cluster = SimulatedCluster(config or ClusterConfig())
 
     splits = _chunk(items, job.split_size)
+    real_seconds = 0.0
+
+    map_payload = _MapSplitPayload(job.map_fn, job.combine_fn)
+    map_outputs: list[list[tuple[Hashable, Any]]] | None = None
+    if backend is not None:
+        started = time.perf_counter()
+        map_outputs = backend.map(map_payload, splits, chunk_size=1)
+        real_seconds += time.perf_counter() - started
 
     def make_map_task(index: int, split: Sequence[Any]) -> Task:
-        def run() -> list[tuple[Hashable, Any]]:
-            pairs: list[tuple[Hashable, Any]] = []
-            for item in split:
-                pairs.extend(job.map_fn(item))
-            if job.combine_fn is not None:
-                grouped: dict[Hashable, list[Any]] = {}
-                for key, value in pairs:
-                    grouped.setdefault(key, []).append(value)
-                pairs = [
-                    (key, value)
-                    for key, values in grouped.items()
-                    for value in job.combine_fn(key, values)
-                ]
-            return pairs
-
+        if map_outputs is not None:
+            precomputed = map_outputs[index]
+            run: Callable[[], list[tuple[Hashable, Any]]] = lambda: precomputed
+        else:
+            run = lambda: map_payload(split)
         return Task(task_id=f"map-{index}", fn=run,
                     cost=max(len(split) * job.map_cost_per_item, 1e-9))
 
@@ -127,16 +193,27 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
             bucket = partitions[_stable_hash(key) % job.num_reducers]
             bucket.setdefault(key, []).append(value)
 
-    def make_reduce_task(index: int, partition: dict[Hashable, list[Any]]) -> Task:
-        def run() -> dict[Hashable, Any]:
-            return {key: job.reduce_fn(key, values) for key, values in partition.items()}
+    live_partitions = [p for p in partitions if p]
+    reduce_payload = _ReducePartitionPayload(job.reduce_fn)
+    reduce_outputs: list[dict[Hashable, Any]] | None = None
+    if backend is not None:
+        started = time.perf_counter()
+        reduce_outputs = backend.map(reduce_payload, live_partitions,
+                                     chunk_size=1)
+        real_seconds += time.perf_counter() - started
 
+    def make_reduce_task(index: int, partition: dict[Hashable, list[Any]]) -> Task:
+        if reduce_outputs is not None:
+            precomputed = reduce_outputs[index]
+            run: Callable[[], dict[Hashable, Any]] = lambda: precomputed
+        else:
+            run = lambda: reduce_payload(partition)
         n_values = sum(len(v) for v in partition.values())
         return Task(task_id=f"reduce-{index}", fn=run,
                     cost=max(n_values * job.reduce_cost_per_value, 1e-9))
 
     reduce_tasks = [
-        make_reduce_task(i, p) for i, p in enumerate(partitions) if p
+        make_reduce_task(i, p) for i, p in enumerate(live_partitions)
     ]
     reduce_results, reduce_makespan = cluster.run(reduce_tasks)
 
@@ -148,4 +225,8 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
         map_makespan=map_makespan,
         reduce_makespan=reduce_makespan,
         shuffle_records=shuffle_records,
+        backend_name=backend.name if backend is not None else "inline",
+        real_seconds=real_seconds,
+        map_tasks=len(map_tasks),
+        reduce_tasks=len(reduce_tasks),
     )

@@ -6,6 +6,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.cluster.backends import ExecutionBackend, make_backend
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster
 from repro.debugger.semantic import SemanticDebugger, SystemMonitor
 from repro.docmodel.corpus import Corpus, InMemoryCorpus
@@ -54,7 +55,12 @@ def facts_schema() -> TableSchema:
 
 @dataclass
 class GenerationReport:
-    """Outcome of one data-generation run."""
+    """Outcome of one data-generation run.
+
+    ``cluster_makespan`` is *simulated* time (the E7 cost model);
+    ``backend_name`` / ``real_parallel_seconds`` report *real* wall-clock
+    parallel execution when an execution backend is configured.
+    """
 
     facts_stored: int
     facts_flagged: int
@@ -63,6 +69,8 @@ class GenerationReport:
     chars_scanned: int
     cluster_makespan: float
     plan_rendering: str
+    backend_name: str = "inline"
+    real_parallel_seconds: float = 0.0
 
 
 @dataclass
@@ -75,12 +83,22 @@ class StructureManagementSystem:
         registry: extractors/resolvers/crowd used by programs.
         use_cluster: run extraction waves on a simulated cluster.
         cluster_config: cluster shape when ``use_cluster``.
+        backend: real execution backend for extraction — ``"serial"``,
+            ``"thread"``, ``"process"``, an :class:`ExecutionBackend`
+            instance, or None (inline, the default).  Independent of
+            ``use_cluster``: the cluster simulates cost/failure, the
+            backend adds real wall-clock parallelism; output is identical
+            either way.
+        backend_workers: pool size for thread/process backends
+            (default: CPU count, capped at 8).
     """
 
     workspace: str | None = None
     registry: OperatorRegistry = field(default_factory=OperatorRegistry)
     use_cluster: bool = False
     cluster_config: ClusterConfig = field(default_factory=ClusterConfig)
+    backend: str | ExecutionBackend | None = None
+    backend_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.workspace is not None:
@@ -102,6 +120,8 @@ class StructureManagementSystem:
         self._cluster = (
             SimulatedCluster(self.cluster_config) if self.use_cluster else None
         )
+        self._backend = make_backend(self.backend,
+                                     max_workers=self.backend_workers)
         if FACTS_TABLE not in self.db.table_names():
             self.db.create_table(facts_schema())
             self.db.create_index(FACTS_TABLE, "entity")
@@ -119,17 +139,27 @@ class StructureManagementSystem:
         """Take in (a snapshot of) unstructured data.
 
         Pages are committed to the raw snapshot store (when a workspace is
-        configured) and indexed for keyword search.  Returns page count.
+        configured) and indexed for keyword search.  The dedup check and
+        index build are batched: one pass decides which pages are new, one
+        ``index_corpus`` call indexes them all (O(n) total rather than a
+        per-document index call).  Returns page count.
         """
-        count = 0
-        for doc in corpus:
+        docs = list(corpus)
+        new_docs: list[Document] = []
+        seen_in_batch: set[str] = set()
+        for doc in docs:
             self._corpus.add(doc)
             if self.storage is not None:
                 self.storage.raw.commit(doc)
-            if not self.search.has_document(doc.doc_id):  # reingest-safe
-                self.search.index_corpus([doc])
-            count += 1
-        return count
+            # reingest-safe: skip pages already indexed, and index only the
+            # first occurrence of a doc_id repeated within this batch
+            if doc.doc_id not in seen_in_batch \
+                    and not self.search.has_document(doc.doc_id):
+                seen_in_batch.add(doc.doc_id)
+                new_docs.append(doc)
+        if new_docs:
+            self.search.index_corpus(new_docs)
+        return len(docs)
 
     @property
     def corpus(self) -> InMemoryCorpus:
@@ -151,7 +181,8 @@ class StructureManagementSystem:
         plan = LogicalPlan.from_ops(ops, output)
         if optimize:
             plan = Optimizer(self.registry).optimize(plan, docs[:50])
-        executor = Executor(self.registry, cluster=self._cluster)
+        executor = Executor(self.registry, cluster=self._cluster,
+                            backend=self._backend)
         result: ExecutionResult = executor.execute(plan, docs)
 
         rows = [r for r in result.rows if r.get("attribute")]
@@ -169,7 +200,7 @@ class StructureManagementSystem:
                 self.debugger.learn(trusted)
 
         flagged_count = 0
-        stored = 0
+        staged: list[tuple[dict[str, Any], dict[str, Any], float]] = []
         for row in rows:
             violations = self.debugger.check(
                 {row["attribute"]: row["value"]},
@@ -179,8 +210,16 @@ class StructureManagementSystem:
             if violations:
                 flagged_count += 1
                 confidence *= 0.5
-            self._store_fact(row, confidence)
-            stored += 1
+            staged.append((row, self._fact_values(row, confidence), confidence))
+        # Batched write path: one transaction, one insert_many WAL record
+        # and one table-lock acquisition for the whole run (vs one
+        # transaction per fact on the old loop).
+        if staged:
+            batch = [values for _, values, _ in staged]
+            self.db.run(lambda t: t.insert_many(FACTS_TABLE, batch))
+            for row, values, confidence in staged:
+                self._record_fact_provenance(row, values, confidence)
+        stored = len(staged)
         self.monitor.record_batch(processed=max(len(rows), 1),
                                   errors=flagged_count)
         self.search.index_facts(
@@ -199,14 +238,23 @@ class StructureManagementSystem:
             chars_scanned=result.stats.total_chars_scanned,
             cluster_makespan=result.stats.cluster_makespan,
             plan_rendering=result.plan.render(),
+            backend_name=result.stats.backend_name,
+            real_parallel_seconds=result.stats.real_parallel_seconds,
         )
 
     def _store_fact(self, row: dict[str, Any], confidence: float) -> None:
+        """Store one fact (single-row path; generate() batches instead)."""
+        values = self._fact_values(row, confidence)
+        self.db.run(lambda t: t.insert(FACTS_TABLE, values))
+        self._record_fact_provenance(row, values, confidence)
+
+    def _fact_values(self, row: dict[str, Any], confidence: float) -> dict[str, Any]:
+        """Build the facts-table row for a pipeline tuple (assigns an id)."""
         value = row.get("value")
         is_num = isinstance(value, (int, float)) and not isinstance(value, bool)
         fact_id = self._fact_counter
         self._fact_counter += 1
-        values = {
+        return {
             "fact_id": fact_id,
             "entity": str(row.get("entity", "")),
             "attribute": str(row["attribute"]),
@@ -215,7 +263,11 @@ class StructureManagementSystem:
             "confidence": confidence,
             "doc_id": str(row.get("doc_id", "")),
         }
-        self.db.run(lambda t: t.insert(FACTS_TABLE, values))
+
+    def _record_fact_provenance(self, row: dict[str, Any],
+                                values: dict[str, Any],
+                                confidence: float) -> None:
+        value = row.get("value")
         span_detail = row.get("span_text")
         if span_detail is not None and row.get("doc_id"):
             from repro.docmodel.document import Span
@@ -368,11 +420,16 @@ class StructureManagementSystem:
                                 instance_weight=1.0 - name_weight)
         out: list[tuple[str, str, int]] = []
         for match in matcher.match(left, right):
-            result = self.query(
-                f"UPDATE {FACTS_TABLE} SET attribute = '{match.right}' "
-                f"WHERE attribute = '{match.left}'"
-            )
-            out.append((match.left, match.right, result[0]["updated"]))
+            # Parameterized rewrite through the transaction API (the SQL
+            # string path would need quote-escaping for attribute names
+            # containing ', and this also uses the attribute index).
+            def rewrite(t, source=match.left, target=match.right):
+                hits = t.lookup(FACTS_TABLE, "attribute", source)
+                for hit in hits:
+                    t.update(FACTS_TABLE, hit.rid, {"attribute": target})
+                return len(hits)
+
+            out.append((match.left, match.right, self.db.run(rewrite)))
         return out
 
     def explain_program(self, program_source: str) -> str:
@@ -397,6 +454,8 @@ class StructureManagementSystem:
         return int(rows[0]["n"])
 
     def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
         if self.storage is not None:
             self.provenance.save(self._provenance_path())
             self.storage.close()

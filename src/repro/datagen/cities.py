@@ -84,11 +84,26 @@ _FILLER_SENTENCES = [
 
 
 def _city_name(rng: random.Random, taken: set[str]) -> str:
-    while True:
-        name = rng.choice(_CITY_PREFIXES) + rng.choice(_CITY_SUFFIXES)
-        if name not in taken:
-            taken.add(name)
-            return name
+    # 20 prefixes x 15 suffixes = 300 distinct base names.  Below that
+    # capacity the draw loop behaves exactly as it always has (same RNG
+    # stream, so seeded corpora are unchanged); past it, base names are
+    # disambiguated with an ordinal so arbitrarily large corpora generate
+    # (the E15 parallel-backend benchmark uses thousands of pages) instead
+    # of looping forever on an exhausted name space.
+    capacity = len(_CITY_PREFIXES) * len(_CITY_SUFFIXES)
+    if len(taken) < capacity:
+        while True:
+            name = rng.choice(_CITY_PREFIXES) + rng.choice(_CITY_SUFFIXES)
+            if name not in taken:
+                taken.add(name)
+                return name
+    base = rng.choice(_CITY_PREFIXES) + rng.choice(_CITY_SUFFIXES)
+    ordinal = 2
+    while f"{base} {ordinal}" in taken:
+        ordinal += 1
+    name = f"{base} {ordinal}"
+    taken.add(name)
+    return name
 
 
 def _monthly_temps(rng: random.Random) -> tuple[float, ...]:

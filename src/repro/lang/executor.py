@@ -11,9 +11,11 @@ HI experiments (E2) report.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.cluster.backends import ExecutionBackend, make_backend
 from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
 from repro.cluster.simulator import SimulatedCluster
 from repro.docmodel.document import Document, Span
@@ -46,14 +48,27 @@ from repro.lang.registry import OperatorRegistry
 
 @dataclass
 class ExecutionStats:
-    """Work counters collected during one plan execution."""
+    """Work counters collected during one plan execution.
 
-    chars_scanned: dict[str, int] = field(default_factory=dict)
-    docs_extracted: dict[str, int] = field(default_factory=dict)
-    tuples_produced: dict[str, int] = field(default_factory=dict)
+    The per-operator maps are :class:`collections.Counter` so hot loops
+    accumulate with ``counter[key] += n`` (no per-update ``.get`` dance);
+    Counter is a dict subclass, so existing readers are unaffected.
+
+    ``backend_name`` / ``real_parallel_seconds`` / ``wave_task_counts``
+    describe *real* parallel execution (E15); ``cluster_makespan`` remains
+    the *simulated* cost model (E7).  The two are independent and can be
+    reported side by side.
+    """
+
+    chars_scanned: Counter = field(default_factory=Counter)
+    docs_extracted: Counter = field(default_factory=Counter)
+    tuples_produced: Counter = field(default_factory=Counter)
     hi_questions: int = 0
     wall_seconds: float = 0.0
     cluster_makespan: float = 0.0
+    backend_name: str = "inline"
+    real_parallel_seconds: float = 0.0
+    wave_task_counts: Counter = field(default_factory=Counter)
 
     @property
     def total_chars_scanned(self) -> int:
@@ -88,6 +103,38 @@ def tuple_to_extraction(row: dict[str, Any]) -> Extraction:
     )
 
 
+@dataclass(frozen=True)
+class _ExtractDocPayload:
+    """Per-document extraction payload for execution backends.
+
+    A module-level dataclass (not a lambda) so process backends can ship
+    it to workers — every bundled extractor pickles cleanly.
+    """
+
+    extractor: Any  # Extractor; Any avoids a hard import cycle in hints
+
+    def __call__(self, doc: Document) -> list[dict[str, Any]]:
+        return [extraction_to_tuple(e) for e in self.extractor.extract(doc)]
+
+
+@dataclass(frozen=True)
+class _ExtractMapFn:
+    """Map-function form of extraction for the Map-Reduce path."""
+
+    extractor: Any
+
+    def __call__(self, doc: Document) -> list[tuple[str, dict[str, Any]]]:
+        return [
+            (e.span.doc_id, extraction_to_tuple(e))
+            for e in self.extractor.extract(doc)
+        ]
+
+
+def _values_reduce(key: Any, values: list[Any]) -> list[Any]:
+    """Identity reduce (picklable module-level replacement for a lambda)."""
+    return values
+
+
 @dataclass
 class ExecutionResult:
     """Output rows plus the executed plan and its statistics."""
@@ -105,21 +152,33 @@ class Executor:
         cluster: when given, extract operators run as map waves on the
             simulated cluster and the job makespans accumulate in
             ``stats.cluster_makespan``.
+        backend: real execution backend (``"serial"`` / ``"thread"`` /
+            ``"process"``, an :class:`ExecutionBackend`, or None for
+            inline).  Extraction payloads fan out on it — combined with a
+            cluster they run inside the simulated waves; without one they
+            run as a plain parallel map.  Output is identical across
+            backends (the determinism contract).
     """
 
     def __init__(self, registry: OperatorRegistry,
-                 cluster: SimulatedCluster | None = None) -> None:
+                 cluster: SimulatedCluster | None = None,
+                 backend: str | ExecutionBackend | None = None) -> None:
         self._registry = registry
         self._cluster = cluster
+        self._backend = make_backend(backend) if isinstance(backend, str) \
+            else backend
 
     def execute(self, plan: LogicalPlan,
                 corpus: Sequence[Document]) -> ExecutionResult:
         """Run the plan; returns rows of the output stream plus stats."""
         stats = ExecutionStats()
+        if self._backend is not None:
+            stats.backend_name = self._backend.name
         started = time.perf_counter()
+        corpus_list = list(corpus)  # materialize once, not per operator
         streams: dict[str, Any] = {}
         for op in plan.topological():
-            streams[op.name] = self._eval(op, streams, list(corpus), stats)
+            streams[op.name] = self._eval(op, streams, corpus_list, stats)
             result = streams[op.name]
             if isinstance(result, list) and result and isinstance(result[0], dict):
                 stats.tuples_produced[op.name] = len(result)
@@ -134,14 +193,13 @@ class Executor:
     def _eval(self, op: Op, streams: dict[str, Any],
               corpus: list[Document], stats: ExecutionStats) -> Any:
         if isinstance(op, DocsOp):
-            return corpus
+            return list(corpus)  # fresh list: downstream ops own their copy
         if isinstance(op, DocFilterOp):
             docs: list[Document] = streams[op.inputs[0]]
             kept = [
                 d for d in docs if doc_passes_keyword_groups(d, op.keyword_groups)
             ]
-            key = f"docfilter:{op.name}"
-            stats.chars_scanned[key] = stats.chars_scanned.get(key, 0) + sum(
+            stats.chars_scanned[f"docfilter:{op.name}"] += sum(
                 len(d.text) for d in docs
             )
             return kept
@@ -216,27 +274,35 @@ class Executor:
                       stats: ExecutionStats) -> list[dict[str, Any]]:
         extractor = self._registry.extractor(op.extractor)
         key = f"{op.extractor}@{op.name}"
-        stats.chars_scanned[key] = stats.chars_scanned.get(key, 0) + sum(
-            len(d.text) for d in docs
-        )
-        stats.docs_extracted[key] = stats.docs_extracted.get(key, 0) + len(docs)
+        total_chars = sum(len(d.text) for d in docs)
+        stats.chars_scanned[key] += total_chars
+        stats.docs_extracted[key] += len(docs)
         if self._cluster is not None and docs:
             job = MapReduceJob(
-                map_fn=lambda doc: [
-                    (e.span.doc_id, extraction_to_tuple(e))
-                    for e in extractor.extract(doc)
-                ],
-                reduce_fn=lambda key, values: values,
+                map_fn=_ExtractMapFn(extractor),
+                reduce_fn=_values_reduce,
                 split_size=max(len(docs) // (len(self._cluster.worker_speeds()) * 4), 1),
                 num_reducers=1,
                 map_cost_per_item=extractor.cost_per_char
-                * (sum(len(d.text) for d in docs) / len(docs)),
+                * (total_chars / len(docs)),
             )
-            result = run_mapreduce(job, docs, cluster=self._cluster)
+            result = run_mapreduce(job, docs, cluster=self._cluster,
+                                   backend=self._backend)
             stats.cluster_makespan += result.makespan
+            stats.real_parallel_seconds += result.real_seconds
+            stats.wave_task_counts["map"] += result.map_tasks
+            stats.wave_task_counts["reduce"] += result.reduce_tasks
             rows = [row for values in result.output.values() for row in values]
             rows.sort(key=lambda r: (r["doc_id"], r["span_start"], r["attribute"]))
             return rows
+        if self._backend is not None and docs:
+            started = time.perf_counter()
+            per_doc = self._backend.map(_ExtractDocPayload(extractor), docs)
+            stats.real_parallel_seconds += time.perf_counter() - started
+            stats.wave_task_counts["map"] += len(docs)
+            # Input order is preserved, so flattening matches the serial
+            # loop below row for row.
+            return [row for rows in per_doc for row in rows]
         out: list[dict[str, Any]] = []
         for doc in docs:
             out.extend(extraction_to_tuple(e) for e in extractor.extract(doc))
@@ -298,10 +364,11 @@ class Executor:
 
 def run_program(source: str, corpus: Sequence[Document],
                 registry: OperatorRegistry, optimize: bool = True,
-                cluster: SimulatedCluster | None = None) -> ExecutionResult:
+                cluster: SimulatedCluster | None = None,
+                backend: str | ExecutionBackend | None = None) -> ExecutionResult:
     """Parse, (optionally) optimize, and execute an xlog program."""
     ops, output = parse_program(source)
     plan = LogicalPlan.from_ops(ops, output)
     if optimize:
         plan = Optimizer(registry).optimize(plan, list(corpus)[:50])
-    return Executor(registry, cluster=cluster).execute(plan, corpus)
+    return Executor(registry, cluster=cluster, backend=backend).execute(plan, corpus)

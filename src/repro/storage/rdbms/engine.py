@@ -87,6 +87,37 @@ class Transaction:
             self._undo.append(("insert", table, row.rid))
         return row
 
+    def insert_many(self, table: str, values_list: list[dict[str, Any]]) -> list[Row]:
+        """Insert a batch of rows; X-locks each.
+
+        The batched fast path for bulk fact generation: one
+        intention-exclusive table lock acquisition, one mutate-lock
+        critical section, and one ``insert_many`` WAL record for the whole
+        batch (vs one of each per row on the :meth:`insert` path).  The
+        batch is all-or-nothing — a schema or primary-key violation on any
+        row stores none of them.
+
+        Raises:
+            SchemaError: schema violation on any row.
+            KeyError: unknown table.
+        """
+        self._check_active()
+        if not values_list:
+            return []
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_EXCLUSIVE)
+        with db._mutate_lock:
+            rows = db._table(table).insert_many(values_list)
+            for row in rows:
+                db._locks.acquire(self.txn_id, (table, row.rid), LockMode.EXCLUSIVE)
+                db._index_insert(table, row)
+                self._undo.append(("insert", table, row.rid))
+            db._log(
+                self.txn_id, "insert_many", table=table,
+                rows=[{"rid": r.rid, "values": r.values} for r in rows],
+            )
+        return rows
+
     def update(self, table: str, rid: int, changes: dict[str, Any]) -> Row:
         """Update a row by rid; X-locks it; returns the new row."""
         self._check_active()
@@ -305,6 +336,18 @@ class Database:
                 raise
         raise last_error if last_error else RuntimeError("transaction retry failed")
 
+    def run_batch(self, works: "list[Callable[[Transaction], Any]]",
+                  retries: int = 25) -> list[Any]:
+        """Run several work items inside ONE transaction (one begin/commit
+        pair, one lock scope), retrying the whole batch on deadlock.
+
+        Returns the per-item results in order.  Use with
+        :meth:`Transaction.insert_many` for bulk loads: a 5,000-fact
+        generate() run becomes a handful of WAL records instead of 15,000.
+        """
+        return self.run(lambda txn: [work(txn) for work in works],
+                        retries=retries)
+
     # ----------------------------------------------------------- durability
 
     def checkpoint(self) -> None:
@@ -437,6 +480,10 @@ class Database:
                 self._tables[rec.payload["table"]].insert(
                     rec.payload["values"], rid=rec.payload["rid"]
                 )
+            elif rec.rec_type == "insert_many" and apply_dml:
+                table = self._tables[rec.payload["table"]]
+                for entry in rec.payload["rows"]:
+                    table.insert(entry["values"], rid=entry["rid"])
             elif rec.rec_type == "update" and apply_dml:
                 self._tables[rec.payload["table"]].update(
                     rec.payload["rid"], rec.payload["after"]

@@ -71,6 +71,37 @@ class HeapTable:
             self._pk_index[row_values[pk]] = rid
         return Row(rid=rid, values=dict(row_values))
 
+    def insert_many(self, values_list: list[dict[str, Any]]) -> list[Row]:
+        """Insert a batch of rows atomically; returns the stored rows.
+
+        All rows are validated (schema + primary-key uniqueness, including
+        duplicates *within* the batch) before any row is stored, so a
+        failure leaves the table untouched.
+
+        Raises:
+            SchemaError: on schema or primary-key violations.
+        """
+        validated = [self._schema.validate_row(v) for v in values_list]
+        pk = self._schema.primary_key
+        if pk is not None:
+            batch_keys: set[Any] = set()
+            for row_values in validated:
+                key = row_values[pk]
+                if key is None:
+                    raise SchemaError(f"primary key {pk!r} may not be NULL")
+                if key in self._pk_index or key in batch_keys:
+                    raise SchemaError(f"duplicate primary key {key!r}")
+                batch_keys.add(key)
+        rows: list[Row] = []
+        for row_values in validated:
+            rid = self._next_rid
+            self._next_rid += 1
+            self._rows[rid] = row_values
+            if pk is not None:
+                self._pk_index[row_values[pk]] = rid
+            rows.append(Row(rid=rid, values=dict(row_values)))
+        return rows
+
     def update(self, rid: int, changes: dict[str, Any]) -> tuple[Row, Row]:
         """Apply column changes to one row; returns (old_row, new_row).
 

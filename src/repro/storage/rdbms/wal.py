@@ -6,6 +6,8 @@ a transaction id, and a type:
 * ``begin`` / ``commit`` / ``abort`` — transaction lifecycle,
 * ``insert`` / ``delete`` / ``update`` — logical row operations carrying
   before/after images,
+* ``insert_many`` — one record for a whole batch of inserted rows (the
+  bulk-load fast path: rids + values for every row in the batch),
 * ``create_table`` / ``alter_schema`` — DDL,
 * ``checkpoint`` — marker written after a consistent snapshot of all tables
   has been dumped to the checkpoint file.

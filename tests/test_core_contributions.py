@@ -106,3 +106,21 @@ def test_unify_attributes_folds_long_names(system):
 def test_unify_attributes_no_samples_is_noop(system):
     sys_, _ = system
     assert sys_.unify_attributes(["ghost_attr"], ["sep_temp"]) == []
+
+
+def test_unify_attributes_handles_quoted_names(system):
+    # Regression: attribute names containing a single quote used to break
+    # the interpolated UPDATE statement.  The rewrite is now parameterized.
+    sys_, _ = system
+    sys_.users.register("pat", "pw")
+    for value in (6.0, 7.0, 8.0):
+        sys_.contribute("pat", "Madison", "o'clock_temp", value)
+        sys_.contribute("pat", "Madison", "oclock_temperature", value)
+    results = sys_.unify_attributes(["o'clock_temp"], ["oclock_temperature"])
+    assert results == [("o'clock_temp", "oclock_temperature", 3)]
+    remaining = sys_.query(
+        f"SELECT attribute FROM {FACTS_TABLE}"
+    )
+    names = {r["attribute"] for r in remaining}
+    assert "o'clock_temp" not in names
+    assert "oclock_temperature" in names
