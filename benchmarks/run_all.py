@@ -1,13 +1,14 @@
-"""One-shot gate: smoke-run the E15 benchmark, then the tier-1 test suite.
+"""One-shot gate: smoke-run the E15/E16 benchmarks, then tier-1 tests.
 
-Intended as the pre-merge check for the execution-backend / batched-write
-work — it exercises the real-parallelism path end to end (small workload,
-equality invariants enforced, no timing assertions) and then confirms the
+Intended as the pre-merge check — it exercises the real-parallelism path
+end to end (small workload, equality invariants enforced, no timing
+assertions), runs the full telemetry-overhead bench (E16: fails when
+end-to-end instrumentation costs more than 10%), and then confirms the
 whole repo is still green::
 
     python benchmarks/run_all.py
 
-Exits non-zero if either step fails.
+Exits non-zero if any step fails.
 """
 
 from __future__ import annotations
@@ -35,6 +36,10 @@ def main() -> int:
          [sys.executable,
           os.path.join(REPO_ROOT, "benchmarks", "bench_e15_parallel_backend.py"),
           "--smoke"]),
+        ("E16 telemetry-overhead bench (<=10% gate)",
+         [sys.executable,
+          os.path.join(REPO_ROOT, "benchmarks",
+                       "bench_e16_telemetry_overhead.py")]),
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]

@@ -27,10 +27,13 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import telemetry
 from repro.core.system import FACTS_TABLE, StructureManagementSystem
 from repro.docmodel.corpus import DirectoryCorpus
 from repro.extraction.infobox import InfoboxExtractor
 from repro.extraction.links import LinkExtractor
+from repro.telemetry.report import load_telemetry, render_report, \
+    summarize_trace
 from repro.userlayer.visualize import table
 
 
@@ -126,6 +129,16 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a telemetry JSONL file (spans + metrics snapshot)."""
+    spans, snapshot = load_telemetry(args.telemetry_file)
+    if not spans and snapshot is None:
+        print(f"no telemetry records in {args.telemetry_file}")
+        return 1
+    print(render_report(summarize_trace(spans, top_k=args.top), snapshot))
+    return 0
+
+
 def cmd_facts(args: argparse.Namespace) -> int:
     """Browse stored facts as a table."""
     system = _build_system(args.workspace, args.builtin)
@@ -155,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for --backend thread/process "
                              "(default: CPU count)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record spans and a metrics snapshot to this "
+                             "JSONL file (inspect with 'repro stats PATH')")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("ingest", help="ingest a directory of .txt pages")
@@ -192,13 +208,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=25)
     p.set_defaults(fn=cmd_facts)
 
+    p = sub.add_parser("stats", help="summarize a telemetry JSONL file")
+    p.add_argument("telemetry_file")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many slowest spans to show")
+    p.set_defaults(fn=cmd_stats)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if args.telemetry is None:
+        return args.fn(args)
+    session = telemetry.enable(jsonl_path=args.telemetry)
+    try:
+        return args.fn(args)
+    finally:
+        session.finish()
+        telemetry.disable()
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,13 @@ The process backend requires picklable callables and items.  Plan-level
 callables in :mod:`repro.lang.executor` are module-level dataclasses for
 exactly this reason; ad-hoc lambdas raise :class:`BackendError` with a
 hint instead of a bare ``PicklingError``.
+
+Telemetry: pool backends run every chunk under a fresh worker-local
+:class:`~repro.telemetry.metrics.MetricsRegistry` and merge its snapshot
+back into the caller's ambient registry, so metrics recorded inside
+payloads (``extraction.docs`` etc.) aggregate to identical totals on
+serial, thread, and process backends — counters are commutative, and
+snapshots are merged in submission order.
 """
 
 from __future__ import annotations
@@ -26,6 +33,8 @@ import pickle
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.telemetry import metrics
 
 
 class BackendError(RuntimeError):
@@ -62,6 +71,24 @@ def _chunk(items: Sequence[Any], size: int) -> list[Sequence[Any]]:
 def _apply_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> list[Any]:
     """Worker-side loop; module-level so process pools can pickle it."""
     return [fn(item) for item in chunk]
+
+
+def _apply_chunk_metered(
+    fn: Callable[[Any], Any], chunk: Sequence[Any],
+) -> tuple[list[Any], dict[str, Any]]:
+    """Worker-side loop that captures payload metrics.
+
+    Runs the chunk under a fresh worker-local registry (installed as this
+    worker thread/process's ambient registry) and returns its snapshot
+    alongside the results, for the caller to merge.
+    """
+    registry = metrics.MetricsRegistry()
+    metrics.push_registry(registry)
+    try:
+        out = [fn(item) for item in chunk]
+    finally:
+        metrics.pop_registry()
+    return out, registry.snapshot()
 
 
 class SerialBackend:
@@ -113,10 +140,15 @@ class _PoolBackend:
             chunk_size = max(len(items) // (self.max_workers * 4), 1)
         chunks = _chunk(items, chunk_size)
         pool = self._ensure_pool()
-        futures = [pool.submit(_apply_chunk, fn, chunk) for chunk in chunks]
+        futures = [
+            pool.submit(_apply_chunk_metered, fn, chunk) for chunk in chunks
+        ]
+        parent_registry = metrics.get_registry()
         out: list[Any] = []
         for future in futures:  # submission order == input order
-            out.extend(future.result())
+            results, snapshot = future.result()
+            out.extend(results)
+            parent_registry.merge(snapshot)
         return out
 
     def close(self) -> None:

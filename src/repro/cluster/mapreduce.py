@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.cluster.backends import ExecutionBackend
-from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task
+from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task, TaskResult
+from repro.telemetry import metrics, tracing
 
 MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
 ReduceFn = Callable[[Hashable, list[Any]], Any]
@@ -141,6 +142,32 @@ class _ReducePartitionPayload:
         }
 
 
+def _emit_task_spans(tracer: Any, wave: str,
+                     results: list[TaskResult]) -> None:
+    """Per-task child spans carrying the simulator's scheduling outcome.
+
+    Real durations of individual simulated tasks are not observable (the
+    wave runs them inside ``cluster.run``), so the span's value is its
+    attributes: assigned worker, attempts, simulated start/end.
+    """
+    for result in results:
+        with tracer.span(
+            f"mapreduce.task.{wave}",
+            task_id=result.task_id,
+            worker=result.worker,
+            attempts=result.attempts,
+            simulated_start=result.start_time,
+            simulated_end=result.end_time,
+            speculated=result.speculated,
+        ):
+            pass
+
+
+def _approx_record_bytes(key: Hashable, value: Any) -> int:
+    """Cheap size proxy for one shuffled (key, value) record."""
+    return len(repr(key)) + len(repr(value))
+
+
 def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
                   cluster: SimulatedCluster | None = None,
                   config: ClusterConfig | None = None,
@@ -152,6 +179,11 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
     real wall-clock parallelism before the simulator schedules the (now
     precomputed) tasks — simulated makespans are unaffected.
 
+    Emits a ``mapreduce.job`` span with per-wave and per-task children,
+    plus ``mapreduce.*`` metrics (task counts, shuffle records; shuffle
+    bytes only while tracing is enabled — sizing every record costs real
+    time).
+
     Raises:
         repro.cluster.simulator.TaskFailedError: a task exhausted retries.
         repro.cluster.backends.BackendError: a process backend was given
@@ -160,73 +192,106 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
     if cluster is None:
         cluster = SimulatedCluster(config or ClusterConfig())
 
-    splits = _chunk(items, job.split_size)
-    real_seconds = 0.0
+    tracer = tracing.get_tracer()
+    registry = metrics.get_registry()
+    with tracer.span(
+        "mapreduce.job",
+        items=len(items),
+        split_size=job.split_size,
+        num_reducers=job.num_reducers,
+        backend=backend.name if backend is not None else "inline",
+    ) as job_span:
+        splits = _chunk(items, job.split_size)
+        real_seconds = 0.0
 
-    map_payload = _MapSplitPayload(job.map_fn, job.combine_fn)
-    map_outputs: list[list[tuple[Hashable, Any]]] | None = None
-    if backend is not None:
-        started = time.perf_counter()
-        map_outputs = backend.map(map_payload, splits, chunk_size=1)
-        real_seconds += time.perf_counter() - started
+        map_payload = _MapSplitPayload(job.map_fn, job.combine_fn)
+        with tracer.span("mapreduce.wave.map", tasks=len(splits)) as map_span:
+            map_outputs: list[list[tuple[Hashable, Any]]] | None = None
+            if backend is not None:
+                started = time.perf_counter()
+                map_outputs = backend.map(map_payload, splits, chunk_size=1)
+                real_seconds += time.perf_counter() - started
 
-    def make_map_task(index: int, split: Sequence[Any]) -> Task:
-        if map_outputs is not None:
-            precomputed = map_outputs[index]
-            run: Callable[[], list[tuple[Hashable, Any]]] = lambda: precomputed
-        else:
-            run = lambda: map_payload(split)
-        return Task(task_id=f"map-{index}", fn=run,
-                    cost=max(len(split) * job.map_cost_per_item, 1e-9))
+            def make_map_task(index: int, split: Sequence[Any]) -> Task:
+                if map_outputs is not None:
+                    precomputed = map_outputs[index]
+                    run: Callable[[], list[tuple[Hashable, Any]]] = (
+                        lambda: precomputed
+                    )
+                else:
+                    run = lambda: map_payload(split)
+                return Task(task_id=f"map-{index}", fn=run,
+                            cost=max(len(split) * job.map_cost_per_item, 1e-9))
 
-    map_tasks = [make_map_task(i, split) for i, split in enumerate(splits)]
-    map_results, map_makespan = cluster.run(map_tasks)
+            map_tasks = [make_map_task(i, s) for i, s in enumerate(splits)]
+            map_results, map_makespan = cluster.run(map_tasks)
+            map_span.set_attribute("simulated_makespan", map_makespan)
+            if tracing.enabled():
+                _emit_task_spans(tracer, "map", map_results)
+        registry.inc("mapreduce.tasks.map", len(map_tasks))
 
-    # Shuffle: partition by hash(key) % num_reducers.
-    partitions: list[dict[Hashable, list[Any]]] = [
-        {} for _ in range(job.num_reducers)
-    ]
-    shuffle_records = 0
-    for result in map_results:
-        for key, value in result.value:
-            shuffle_records += 1
-            bucket = partitions[_stable_hash(key) % job.num_reducers]
-            bucket.setdefault(key, []).append(value)
+        # Shuffle: partition by hash(key) % num_reducers.
+        partitions: list[dict[Hashable, list[Any]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        shuffle_records = 0
+        shuffle_bytes = 0
+        size_records = tracing.enabled()
+        for result in map_results:
+            for key, value in result.value:
+                shuffle_records += 1
+                if size_records:
+                    shuffle_bytes += _approx_record_bytes(key, value)
+                bucket = partitions[_stable_hash(key) % job.num_reducers]
+                bucket.setdefault(key, []).append(value)
+        registry.inc("mapreduce.shuffle.records", shuffle_records)
+        if size_records:
+            registry.inc("mapreduce.shuffle.bytes", shuffle_bytes)
 
-    live_partitions = [p for p in partitions if p]
-    reduce_payload = _ReducePartitionPayload(job.reduce_fn)
-    reduce_outputs: list[dict[Hashable, Any]] | None = None
-    if backend is not None:
-        started = time.perf_counter()
-        reduce_outputs = backend.map(reduce_payload, live_partitions,
-                                     chunk_size=1)
-        real_seconds += time.perf_counter() - started
+        live_partitions = [p for p in partitions if p]
+        reduce_payload = _ReducePartitionPayload(job.reduce_fn)
+        with tracer.span("mapreduce.wave.reduce",
+                         tasks=len(live_partitions)) as reduce_span:
+            reduce_outputs: list[dict[Hashable, Any]] | None = None
+            if backend is not None:
+                started = time.perf_counter()
+                reduce_outputs = backend.map(reduce_payload, live_partitions,
+                                             chunk_size=1)
+                real_seconds += time.perf_counter() - started
 
-    def make_reduce_task(index: int, partition: dict[Hashable, list[Any]]) -> Task:
-        if reduce_outputs is not None:
-            precomputed = reduce_outputs[index]
-            run: Callable[[], dict[Hashable, Any]] = lambda: precomputed
-        else:
-            run = lambda: reduce_payload(partition)
-        n_values = sum(len(v) for v in partition.values())
-        return Task(task_id=f"reduce-{index}", fn=run,
-                    cost=max(n_values * job.reduce_cost_per_value, 1e-9))
+            def make_reduce_task(index: int,
+                                 partition: dict[Hashable, list[Any]]) -> Task:
+                if reduce_outputs is not None:
+                    precomputed = reduce_outputs[index]
+                    run: Callable[[], dict[Hashable, Any]] = lambda: precomputed
+                else:
+                    run = lambda: reduce_payload(partition)
+                n_values = sum(len(v) for v in partition.values())
+                return Task(task_id=f"reduce-{index}", fn=run,
+                            cost=max(n_values * job.reduce_cost_per_value, 1e-9))
 
-    reduce_tasks = [
-        make_reduce_task(i, p) for i, p in enumerate(live_partitions)
-    ]
-    reduce_results, reduce_makespan = cluster.run(reduce_tasks)
+            reduce_tasks = [
+                make_reduce_task(i, p) for i, p in enumerate(live_partitions)
+            ]
+            reduce_results, reduce_makespan = cluster.run(reduce_tasks)
+            reduce_span.set_attribute("simulated_makespan", reduce_makespan)
+            if tracing.enabled():
+                _emit_task_spans(tracer, "reduce", reduce_results)
+        registry.inc("mapreduce.tasks.reduce", len(reduce_tasks))
 
-    output: dict[Hashable, Any] = {}
-    for result in reduce_results:
-        output.update(result.value)
-    return MapReduceResult(
-        output=output,
-        map_makespan=map_makespan,
-        reduce_makespan=reduce_makespan,
-        shuffle_records=shuffle_records,
-        backend_name=backend.name if backend is not None else "inline",
-        real_seconds=real_seconds,
-        map_tasks=len(map_tasks),
-        reduce_tasks=len(reduce_tasks),
-    )
+        output: dict[Hashable, Any] = {}
+        for result in reduce_results:
+            output.update(result.value)
+        job_span.set_attribute("shuffle_records", shuffle_records)
+        job_span.set_attribute("simulated_makespan",
+                               map_makespan + reduce_makespan)
+        return MapReduceResult(
+            output=output,
+            map_makespan=map_makespan,
+            reduce_makespan=reduce_makespan,
+            shuffle_records=shuffle_records,
+            backend_name=backend.name if backend is not None else "inline",
+            real_seconds=real_seconds,
+            map_tasks=len(map_tasks),
+            reduce_tasks=len(reduce_tasks),
+        )

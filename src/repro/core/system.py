@@ -20,6 +20,8 @@ from repro.storage.manager import StorageManager
 from repro.storage.rdbms.engine import Database
 from repro.storage.rdbms.sql import execute_sql
 from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.telemetry import metrics
+from repro.telemetry.tracing import get_tracer
 from repro.uncertainty.provenance import ProvenanceGraph
 from repro.userlayer.accounts import UserManager
 from repro.userlayer.builtin_forms import register_builtin_forms
@@ -115,6 +117,10 @@ class StructureManagementSystem:
         self.forms = FormCatalog()
         register_builtin_forms(self.forms, table=FACTS_TABLE)
         self.monitoring = ContinuousQueryManager(self.db)
+        # Standing queries fire on *any* committed write to the facts
+        # table — including direct db.run(insert_many)/run_batch writes
+        # that never pass through generate()/contribute().
+        self.db.add_commit_listener(self._facts_committed)
         self._corpus = InMemoryCorpus()
         self._fact_counter = 0
         self._cluster = (
@@ -133,6 +139,11 @@ class StructureManagementSystem:
             )[0]["m"]
             self._fact_counter = (existing + 1) if existing is not None else 0
 
+    def _facts_committed(self, tables: frozenset[str]) -> None:
+        """Database commit listener: poke standing queries on facts writes."""
+        if FACTS_TABLE in tables:
+            self.monitoring.poke()
+
     # ------------------------------------------------------------ ingestion
 
     def ingest(self, corpus: Corpus | Sequence[Document]) -> int:
@@ -144,22 +155,26 @@ class StructureManagementSystem:
         ``index_corpus`` call indexes them all (O(n) total rather than a
         per-document index call).  Returns page count.
         """
-        docs = list(corpus)
-        new_docs: list[Document] = []
-        seen_in_batch: set[str] = set()
-        for doc in docs:
-            self._corpus.add(doc)
-            if self.storage is not None:
-                self.storage.raw.commit(doc)
-            # reingest-safe: skip pages already indexed, and index only the
-            # first occurrence of a doc_id repeated within this batch
-            if doc.doc_id not in seen_in_batch \
-                    and not self.search.has_document(doc.doc_id):
-                seen_in_batch.add(doc.doc_id)
-                new_docs.append(doc)
-        if new_docs:
-            self.search.index_corpus(new_docs)
-        return len(docs)
+        with get_tracer().span("system.ingest") as span:
+            docs = list(corpus)
+            new_docs: list[Document] = []
+            seen_in_batch: set[str] = set()
+            for doc in docs:
+                self._corpus.add(doc)
+                if self.storage is not None:
+                    self.storage.raw.commit(doc)
+                # reingest-safe: skip pages already indexed, and index only
+                # the first occurrence of a doc_id repeated within this batch
+                if doc.doc_id not in seen_in_batch \
+                        and not self.search.has_document(doc.doc_id):
+                    seen_in_batch.add(doc.doc_id)
+                    new_docs.append(doc)
+            if new_docs:
+                self.search.index_corpus(new_docs)
+            metrics.get_registry().inc("system.pages.ingested", len(docs))
+            span.set_attribute("pages", len(docs))
+            span.set_attribute("new_pages", len(new_docs))
+            return len(docs)
 
     @property
     def corpus(self) -> InMemoryCorpus:
@@ -176,71 +191,81 @@ class StructureManagementSystem:
         flagged — a human decides; their confidence is halved), written to
         the final RDBMS, provenance-recorded, and fact-indexed for search.
         """
-        docs = list(self._corpus)
-        ops, output = parse_program(program_source)
-        plan = LogicalPlan.from_ops(ops, output)
-        if optimize:
-            plan = Optimizer(self.registry).optimize(plan, docs[:50])
-        executor = Executor(self.registry, cluster=self._cluster,
-                            backend=self._backend)
-        result: ExecutionResult = executor.execute(plan, docs)
+        with get_tracer().span("system.generate") as span:
+            docs = list(self._corpus)
+            ops, output = parse_program(program_source)
+            plan = LogicalPlan.from_ops(ops, output)
+            if optimize:
+                plan = Optimizer(self.registry).optimize(plan, docs[:50])
+            executor = Executor(self.registry, cluster=self._cluster,
+                                backend=self._backend)
+            result: ExecutionResult = executor.execute(plan, docs)
 
-        rows = [r for r in result.rows if r.get("attribute")]
-        if self.storage is not None:
-            self.storage.intermediate.append_many(
-                [dict(r) for r in rows]
-            )
-        if learn_constraints_first and rows and not self.debugger.constraints:
-            trusted = [
-                {r["attribute"]: r["value"]}
-                for r in rows
-                if r.get("confidence", 0.0) >= 0.9
-            ]
-            if trusted:
-                self.debugger.learn(trusted)
+            rows = [r for r in result.rows if r.get("attribute")]
+            if self.storage is not None:
+                self.storage.intermediate.append_many(
+                    [dict(r) for r in rows]
+                )
+            if learn_constraints_first and rows \
+                    and not self.debugger.constraints:
+                trusted = [
+                    {r["attribute"]: r["value"]}
+                    for r in rows
+                    if r.get("confidence", 0.0) >= 0.9
+                ]
+                if trusted:
+                    self.debugger.learn(trusted)
 
-        flagged_count = 0
-        staged: list[tuple[dict[str, Any], dict[str, Any], float]] = []
-        for row in rows:
-            violations = self.debugger.check(
-                {row["attribute"]: row["value"]},
-                context=f"doc {row.get('doc_id', '?')}",
+            flagged_count = 0
+            staged: list[tuple[dict[str, Any], dict[str, Any], float]] = []
+            for row in rows:
+                violations = self.debugger.check(
+                    {row["attribute"]: row["value"]},
+                    context=f"doc {row.get('doc_id', '?')}",
+                )
+                confidence = float(row.get("confidence", 1.0))
+                if violations:
+                    flagged_count += 1
+                    confidence *= 0.5
+                staged.append(
+                    (row, self._fact_values(row, confidence), confidence)
+                )
+            # Batched write path: one transaction, one insert_many WAL
+            # record and one table-lock acquisition for the whole run (vs
+            # one transaction per fact on the old loop).  The commit
+            # listener pokes monitoring, so standing queries fire here too.
+            if staged:
+                batch = [values for _, values, _ in staged]
+                self.db.run(lambda t: t.insert_many(FACTS_TABLE, batch))
+                for row, values, confidence in staged:
+                    self._record_fact_provenance(row, values, confidence)
+            stored = len(staged)
+            self.monitor.record_batch(processed=max(len(rows), 1),
+                                      errors=flagged_count)
+            self.search.index_facts(
+                [
+                    {"entity": r["entity"], "attribute": r["attribute"],
+                     "value": r["value"]}
+                    for r in rows
+                ]
             )
-            confidence = float(row.get("confidence", 1.0))
-            if violations:
-                flagged_count += 1
-                confidence *= 0.5
-            staged.append((row, self._fact_values(row, confidence), confidence))
-        # Batched write path: one transaction, one insert_many WAL record
-        # and one table-lock acquisition for the whole run (vs one
-        # transaction per fact on the old loop).
-        if staged:
-            batch = [values for _, values, _ in staged]
-            self.db.run(lambda t: t.insert_many(FACTS_TABLE, batch))
-            for row, values, confidence in staged:
-                self._record_fact_provenance(row, values, confidence)
-        stored = len(staged)
-        self.monitor.record_batch(processed=max(len(rows), 1),
-                                  errors=flagged_count)
-        self.search.index_facts(
-            [
-                {"entity": r["entity"], "attribute": r["attribute"],
-                 "value": r["value"]}
-                for r in rows
-            ]
-        )
-        self.monitoring.poke()  # monitoring mode: standing queries fire
-        return GenerationReport(
-            facts_stored=stored,
-            facts_flagged=flagged_count,
-            intermediate_records=len(rows),
-            hi_questions=result.stats.hi_questions,
-            chars_scanned=result.stats.total_chars_scanned,
-            cluster_makespan=result.stats.cluster_makespan,
-            plan_rendering=result.plan.render(),
-            backend_name=result.stats.backend_name,
-            real_parallel_seconds=result.stats.real_parallel_seconds,
-        )
+            registry = metrics.get_registry()
+            registry.inc("system.facts.stored", stored)
+            registry.inc("system.facts.flagged", flagged_count)
+            span.set_attribute("facts_stored", stored)
+            span.set_attribute("facts_flagged", flagged_count)
+            span.set_attribute("intermediate_records", len(rows))
+            return GenerationReport(
+                facts_stored=stored,
+                facts_flagged=flagged_count,
+                intermediate_records=len(rows),
+                hi_questions=result.stats.hi_questions,
+                chars_scanned=result.stats.total_chars_scanned,
+                cluster_makespan=result.stats.cluster_makespan,
+                plan_rendering=result.plan.render(),
+                backend_name=result.stats.backend_name,
+                real_parallel_seconds=result.stats.real_parallel_seconds,
+            )
 
     def _store_fact(self, row: dict[str, Any], confidence: float) -> None:
         """Store one fact (single-row path; generate() batches instead)."""
@@ -291,7 +316,11 @@ class StructureManagementSystem:
 
     def query(self, sql: str) -> list[dict[str, Any]]:
         """Structured querying (sophisticated-user path)."""
-        return execute_sql(self.db, sql)
+        with get_tracer().span("system.query") as span:
+            rows = execute_sql(self.db, sql)
+            metrics.get_registry().inc("system.queries")
+            span.set_attribute("rows", len(rows))
+            return rows
 
     def keyword(self, query: str, k: int = 5):
         """Keyword search over pages (ordinary-user starting point)."""
@@ -386,7 +415,6 @@ class StructureManagementSystem:
         self.search.index_facts(
             [{"entity": entity, "attribute": attribute, "value": value}]
         )
-        self.monitoring.poke()
         return fact_id
 
     def unify_attributes(self, left_attributes: Sequence[str],

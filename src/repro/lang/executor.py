@@ -2,17 +2,27 @@
 
 Evaluates operators in dependency order, materializing each stream.
 Extraction can run either inline or as a map wave on the simulated cluster
-(the physical-layer integration).  The executor gathers
-:class:`ExecutionStats` — characters scanned per extractor, tuples per
-operator, HI questions asked — which the optimizer experiments (E6) and the
-HI experiments (E2) report.
+(the physical-layer integration).
+
+All work accounting flows through one per-execution
+:class:`~repro.telemetry.metrics.MetricsRegistry`: operators record
+``executor.*`` counters (characters scanned per extractor, rows per
+operator, HI questions asked), extraction payloads record
+``extraction.*`` counters even when they run on worker processes (the
+backends merge worker-local registries back), and nested map-reduce /
+RDBMS work lands in the same registry because it is installed as the
+ambient registry for the duration of the run.  :class:`ExecutionStats` is
+a thin read view over that registry, keeping the attribute API the
+optimizer experiments (E6) and the HI experiments (E2) report on.  When a
+tracer is enabled, each operator additionally gets an ``executor.op.*``
+span.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.cluster.backends import ExecutionBackend, make_backend
@@ -24,6 +34,9 @@ from repro.hi.aggregate import aggregate_majority
 from repro.hi.tasks import ValidateValueTask
 from repro.integration.entity_resolution import Mention
 from repro.integration.fusion import fuse_extractions
+from repro.telemetry import metrics
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import get_tracer
 from repro.lang.ast import (
     AskOp,
     DedupOp,
@@ -46,13 +59,15 @@ from repro.lang.plan import LogicalPlan
 from repro.lang.registry import OperatorRegistry
 
 
-@dataclass
 class ExecutionStats:
-    """Work counters collected during one plan execution.
+    """Read view over one execution's :class:`MetricsRegistry`.
 
-    The per-operator maps are :class:`collections.Counter` so hot loops
-    accumulate with ``counter[key] += n`` (no per-update ``.get`` dance);
-    Counter is a dict subclass, so existing readers are unaffected.
+    The executor no longer accumulates its own Counters — every number
+    below is derived from registry counters/gauges on access, so the same
+    run is visible both here (the stable per-execution API) and in the
+    merged telemetry snapshot (``repro stats``).  The per-operator maps
+    are :class:`collections.Counter`, as before, so readers keep their
+    missing-key-is-zero semantics.
 
     ``backend_name`` / ``real_parallel_seconds`` / ``wave_task_counts``
     describe *real* parallel execution (E15); ``cluster_makespan`` remains
@@ -60,19 +75,46 @@ class ExecutionStats:
     reported side by side.
     """
 
-    chars_scanned: Counter = field(default_factory=Counter)
-    docs_extracted: Counter = field(default_factory=Counter)
-    tuples_produced: Counter = field(default_factory=Counter)
-    hi_questions: int = 0
-    wall_seconds: float = 0.0
-    cluster_makespan: float = 0.0
-    backend_name: str = "inline"
-    real_parallel_seconds: float = 0.0
-    wave_task_counts: Counter = field(default_factory=Counter)
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 backend_name: str = "inline") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.backend_name = backend_name
+
+    @property
+    def chars_scanned(self) -> Counter:
+        return self.registry.labeled("executor.chars_scanned")
+
+    @property
+    def docs_extracted(self) -> Counter:
+        return self.registry.labeled("executor.docs_extracted")
+
+    @property
+    def tuples_produced(self) -> Counter:
+        return self.registry.labeled("executor.rows")
+
+    @property
+    def wave_task_counts(self) -> Counter:
+        return self.registry.labeled("executor.wave_tasks")
+
+    @property
+    def hi_questions(self) -> int:
+        return int(self.registry.get("executor.hi_questions"))
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.registry.gauge("executor.wall_seconds")
+
+    @property
+    def cluster_makespan(self) -> float:
+        return self.registry.get("executor.cluster_makespan")
+
+    @property
+    def real_parallel_seconds(self) -> float:
+        return self.registry.get("executor.real_parallel_seconds")
 
     @property
     def total_chars_scanned(self) -> int:
-        return sum(self.chars_scanned.values())
+        return int(sum(self.chars_scanned.values()))
 
 
 def extraction_to_tuple(extraction: Extraction) -> dict[str, Any]:
@@ -103,6 +145,24 @@ def tuple_to_extraction(row: dict[str, Any]) -> Extraction:
     )
 
 
+def _record_extraction_metrics(rows: list[dict[str, Any]]) -> None:
+    """Per-document ``extraction.*`` counters (docs, yield, precision proxy).
+
+    Runs wherever the payload runs — inline, pool thread, or worker
+    process; the ambient registry there is merged back by the backend, so
+    totals are backend-independent.  ``high_confidence`` vs
+    ``extractions`` is the precision proxy: the share of output the
+    debugger would trust without human review.
+    """
+    registry = metrics.get_registry()
+    registry.inc("extraction.docs")
+    registry.inc("extraction.extractions", len(rows))
+    registry.inc(
+        "extraction.high_confidence",
+        sum(1 for r in rows if r.get("confidence", 1.0) >= 0.9),
+    )
+
+
 @dataclass(frozen=True)
 class _ExtractDocPayload:
     """Per-document extraction payload for execution backends.
@@ -114,7 +174,9 @@ class _ExtractDocPayload:
     extractor: Any  # Extractor; Any avoids a hard import cycle in hints
 
     def __call__(self, doc: Document) -> list[dict[str, Any]]:
-        return [extraction_to_tuple(e) for e in self.extractor.extract(doc)]
+        rows = [extraction_to_tuple(e) for e in self.extractor.extract(doc)]
+        _record_extraction_metrics(rows)
+        return rows
 
 
 @dataclass(frozen=True)
@@ -124,10 +186,12 @@ class _ExtractMapFn:
     extractor: Any
 
     def __call__(self, doc: Document) -> list[tuple[str, dict[str, Any]]]:
-        return [
+        pairs = [
             (e.span.doc_id, extraction_to_tuple(e))
             for e in self.extractor.extract(doc)
         ]
+        _record_extraction_metrics([row for _, row in pairs])
+        return pairs
 
 
 def _values_reduce(key: Any, values: list[Any]) -> list[Any]:
@@ -170,19 +234,41 @@ class Executor:
 
     def execute(self, plan: LogicalPlan,
                 corpus: Sequence[Document]) -> ExecutionResult:
-        """Run the plan; returns rows of the output stream plus stats."""
-        stats = ExecutionStats()
-        if self._backend is not None:
-            stats.backend_name = self._backend.name
+        """Run the plan; returns rows of the output stream plus stats.
+
+        The run gets a fresh registry, installed as the thread's ambient
+        registry so nested map-reduce and payload metrics accumulate with
+        the executor's own; it is merged into the enclosing ambient
+        registry afterwards (one global snapshot sees every run).
+        """
+        registry = MetricsRegistry()
+        stats = ExecutionStats(
+            registry,
+            backend_name=self._backend.name if self._backend is not None
+            else "inline",
+        )
+        tracer = get_tracer()
+        outer_registry = metrics.get_registry()
         started = time.perf_counter()
-        corpus_list = list(corpus)  # materialize once, not per operator
-        streams: dict[str, Any] = {}
-        for op in plan.topological():
-            streams[op.name] = self._eval(op, streams, corpus_list, stats)
-            result = streams[op.name]
-            if isinstance(result, list) and result and isinstance(result[0], dict):
-                stats.tuples_produced[op.name] = len(result)
-        stats.wall_seconds = time.perf_counter() - started
+        with metrics.use_registry(registry), \
+                tracer.span("executor.plan", output=plan.output) as plan_span:
+            corpus_list = list(corpus)  # materialize once, not per operator
+            streams: dict[str, Any] = {}
+            n_ops = 0
+            for op in plan.topological():
+                n_ops += 1
+                op_kind = type(op).__name__.removesuffix("Op").lower()
+                with tracer.span(f"executor.op.{op_kind}", op=op.name) as sp:
+                    result = self._eval(op, streams, corpus_list, stats)
+                    streams[op.name] = result
+                    if isinstance(result, list) and result \
+                            and isinstance(result[0], dict):
+                        registry.inc(f"executor.rows.{op.name}", len(result))
+                        sp.set_attribute("rows", len(result))
+            plan_span.set_attribute("operators", n_ops)
+            registry.set_gauge("executor.wall_seconds",
+                               time.perf_counter() - started)
+        outer_registry.merge(registry)
         rows = streams[plan.output]
         if rows and isinstance(rows[0], Document):
             rows = [{"doc_id": d.doc_id, "chars": len(d.text)} for d in rows]
@@ -199,8 +285,9 @@ class Executor:
             kept = [
                 d for d in docs if doc_passes_keyword_groups(d, op.keyword_groups)
             ]
-            stats.chars_scanned[f"docfilter:{op.name}"] += sum(
-                len(d.text) for d in docs
+            stats.registry.inc(
+                f"executor.chars_scanned.docfilter:{op.name}",
+                sum(len(d.text) for d in docs),
             )
             return kept
         if isinstance(op, ExtractOp):
@@ -233,6 +320,11 @@ class Executor:
             fused = fuse_extractions(
                 [tuple_to_extraction(r) for r in rows], strategy=op.strategy
             )
+            registry = stats.registry
+            registry.inc("integration.fuse.input_rows", len(rows))
+            registry.inc("integration.fuse.fused_values", len(fused))
+            registry.inc("integration.fuse.conflicts",
+                         sum(f.conflict for f in fused))
             return [
                 {
                     "entity": f.entity,
@@ -249,7 +341,7 @@ class Executor:
                 for f in fused
             ]
         if isinstance(op, ResolveOp):
-            return self._eval_resolve(op, streams[op.inputs[0]])
+            return self._eval_resolve(op, streams[op.inputs[0]], stats)
         if isinstance(op, AskOp):
             return self._eval_ask(op, streams[op.inputs[0]], stats)
         if isinstance(op, LimitOp):
@@ -275,8 +367,9 @@ class Executor:
         extractor = self._registry.extractor(op.extractor)
         key = f"{op.extractor}@{op.name}"
         total_chars = sum(len(d.text) for d in docs)
-        stats.chars_scanned[key] += total_chars
-        stats.docs_extracted[key] += len(docs)
+        registry = stats.registry
+        registry.inc(f"executor.chars_scanned.{key}", total_chars)
+        registry.inc(f"executor.docs_extracted.{key}", len(docs))
         if self._cluster is not None and docs:
             job = MapReduceJob(
                 map_fn=_ExtractMapFn(extractor),
@@ -288,32 +381,39 @@ class Executor:
             )
             result = run_mapreduce(job, docs, cluster=self._cluster,
                                    backend=self._backend)
-            stats.cluster_makespan += result.makespan
-            stats.real_parallel_seconds += result.real_seconds
-            stats.wave_task_counts["map"] += result.map_tasks
-            stats.wave_task_counts["reduce"] += result.reduce_tasks
+            registry.inc("executor.cluster_makespan", result.makespan)
+            registry.inc("executor.real_parallel_seconds", result.real_seconds)
+            registry.inc("executor.wave_tasks.map", result.map_tasks)
+            registry.inc("executor.wave_tasks.reduce", result.reduce_tasks)
             rows = [row for values in result.output.values() for row in values]
             rows.sort(key=lambda r: (r["doc_id"], r["span_start"], r["attribute"]))
             return rows
         if self._backend is not None and docs:
             started = time.perf_counter()
             per_doc = self._backend.map(_ExtractDocPayload(extractor), docs)
-            stats.real_parallel_seconds += time.perf_counter() - started
-            stats.wave_task_counts["map"] += len(docs)
+            registry.inc("executor.real_parallel_seconds",
+                         time.perf_counter() - started)
+            registry.inc("executor.wave_tasks.map", len(docs))
             # Input order is preserved, so flattening matches the serial
             # loop below row for row.
             return [row for rows in per_doc for row in rows]
         out: list[dict[str, Any]] = []
         for doc in docs:
-            out.extend(extraction_to_tuple(e) for e in extractor.extract(doc))
+            rows = [extraction_to_tuple(e) for e in extractor.extract(doc)]
+            _record_extraction_metrics(rows)
+            out.extend(rows)
         return out
 
-    def _eval_resolve(self, op: ResolveOp,
-                      rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    def _eval_resolve(self, op: ResolveOp, rows: list[dict[str, Any]],
+                      stats: ExecutionStats) -> list[dict[str, Any]]:
         resolver = self._registry.resolver(op.resolver)
         names = sorted({r.get("entity", "") for r in rows if r.get("entity")})
         mentions = [Mention(i, name) for i, name in enumerate(names)]
         clusters = resolver.resolve(mentions)
+        stats.registry.inc("integration.resolve.mentions", len(mentions))
+        stats.registry.inc("integration.resolve.clusters", len(clusters))
+        stats.registry.inc("integration.resolve.merged",
+                           len(mentions) - len(clusters))
         canonical: dict[str, str] = {}
         for cluster in clusters:
             for mention_id in cluster.mention_ids:
@@ -351,7 +451,7 @@ class Executor:
                 value=row.get("value"),
             )
             responses = crowd.ask(task, truth, redundancy=op.redundancy)
-            stats.hi_questions += len(responses)
+            stats.registry.inc("executor.hi_questions", len(responses))
             answer, share = aggregate_majority(responses)
             if not answer:
                 continue  # crowd rejected the tuple

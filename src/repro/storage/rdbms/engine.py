@@ -15,6 +15,9 @@ import threading
 from typing import Any, Callable
 
 from repro.storage.rdbms.index import HashIndex, Index, SortedIndex
+from repro.telemetry import metrics
+from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS
+from repro.telemetry.tracing import get_tracer
 from repro.storage.rdbms.lockmgr import LockManager, LockMode
 from repro.storage.rdbms.table import HeapTable, Row
 from repro.storage.rdbms.types import SchemaError, TableSchema
@@ -36,6 +39,7 @@ class Transaction:
         self._db = db
         self.txn_id = txn_id
         self._undo: list[tuple[str, ...]] = []
+        self._tables_written: set[str] = set()
         self.finished = False
 
     # ----------------------------------------------------------- lifecycle
@@ -52,11 +56,19 @@ class Transaction:
             self.abort()
 
     def commit(self) -> None:
-        """Make all changes durable and release locks."""
+        """Make all changes durable and release locks.
+
+        Commit listeners registered on the database fire after locks are
+        released (so a listener's own queries cannot self-deadlock) and
+        only when the transaction actually wrote rows.
+        """
         self._check_active()
         self._db._log(self.txn_id, "commit")
         self.finished = True
         self._db._end_txn(self)
+        metrics.get_registry().inc("rdbms.txn.commits")
+        if self._tables_written:
+            self._db._notify_commit(frozenset(self._tables_written))
 
     def abort(self) -> None:
         """Undo all changes (in reverse order) and release locks."""
@@ -66,6 +78,7 @@ class Transaction:
         self._db._log(self.txn_id, "abort")
         self.finished = True
         self._db._end_txn(self)
+        metrics.get_registry().inc("rdbms.txn.aborts")
 
     # ------------------------------------------------------------- writes
 
@@ -85,6 +98,8 @@ class Transaction:
             db._index_insert(table, row)
             db._log(self.txn_id, "insert", table=table, rid=row.rid, values=row.values)
             self._undo.append(("insert", table, row.rid))
+        self._tables_written.add(table)
+        metrics.get_registry().inc("rdbms.rows.inserted")
         return row
 
     def insert_many(self, table: str, values_list: list[dict[str, Any]]) -> list[Row]:
@@ -116,6 +131,11 @@ class Transaction:
                 self.txn_id, "insert_many", table=table,
                 rows=[{"rid": r.rid, "values": r.values} for r in rows],
             )
+        self._tables_written.add(table)
+        registry = metrics.get_registry()
+        registry.inc("rdbms.rows.inserted", len(rows))
+        registry.observe("rdbms.insert.batch_size", len(rows),
+                         buckets=DEFAULT_SIZE_BUCKETS)
         return rows
 
     def update(self, table: str, rid: int, changes: dict[str, Any]) -> Row:
@@ -132,6 +152,7 @@ class Transaction:
                 table=table, rid=rid, before=old.values, after=new.values,
             )
             self._undo.append(("update", table, rid, old.values))
+        self._tables_written.add(table)
         return new
 
     def delete(self, table: str, rid: int) -> Row:
@@ -145,6 +166,7 @@ class Transaction:
             db._index_delete(table, row)
             db._log(self.txn_id, "delete", table=table, rid=rid, values=row.values)
             self._undo.append(("delete", table, rid, row.values))
+        self._tables_written.add(table)
         return row
 
     # -------------------------------------------------------------- reads
@@ -185,13 +207,17 @@ class Transaction:
         self._check_active()
         db = self._db
         index = db._find_index(table, column)
+        registry = metrics.get_registry()
         if index is None:
+            registry.inc("rdbms.index.scan_fallbacks")
             return self.scan_where(table, lambda v: v.get(column) == value)
         db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_SHARED)
         rows: list[Row] = []
         for rid in index.lookup(value):
             db._locks.acquire(self.txn_id, (table, rid), LockMode.SHARED)
             rows.append(db._table(table).get(rid))
+        registry.inc("rdbms.index.lookups")
+        registry.inc("rdbms.index.rows_fetched", len(rows))
         return rows
 
     # ---------------------------------------------------------- internals
@@ -220,10 +246,29 @@ class Database:
         self._mutate_lock = threading.RLock()
         self._txn_counter = 0
         self._txn_lock = threading.Lock()
+        self._commit_listeners: list[Callable[[frozenset[str]], None]] = []
         self._wal: WriteAheadLog | None = None
         if directory is not None:
             self._wal = WriteAheadLog(directory, sync=sync_wal)
             self._recover()
+
+    # ----------------------------------------------------- commit listeners
+
+    def add_commit_listener(
+            self, listener: Callable[[frozenset[str]], None]) -> None:
+        """Call ``listener(tables_written)`` after every data-writing commit.
+
+        This is how standing-query evaluation hooks the *batched* write
+        paths (``insert_many`` / ``run_batch``) as well as single-row
+        stores: any committed transaction that touched rows notifies,
+        whatever API produced the writes.  Listeners run outside all
+        engine locks and must not raise.
+        """
+        self._commit_listeners.append(listener)
+
+    def _notify_commit(self, tables: frozenset[str]) -> None:
+        for listener in self._commit_listeners:
+            listener(tables)
 
     # -------------------------------------------------------------- schema
 
@@ -320,21 +365,25 @@ class Database:
         from repro.storage.rdbms.lockmgr import DeadlockError
 
         last_error: Exception | None = None
-        for _ in range(retries):
-            txn = self.begin()
-            try:
-                result = work(txn)
-                txn.commit()
-                return result
-            except DeadlockError as exc:
-                last_error = exc
-                if not txn.finished:
-                    txn.abort()
-            except Exception:
-                if not txn.finished:
-                    txn.abort()
-                raise
-        raise last_error if last_error else RuntimeError("transaction retry failed")
+        with get_tracer().span("rdbms.txn") as span:
+            for attempt in range(retries):
+                txn = self.begin()
+                try:
+                    result = work(txn)
+                    txn.commit()
+                    span.set_attribute("txn_id", txn.txn_id)
+                    span.set_attribute("attempts", attempt + 1)
+                    return result
+                except DeadlockError as exc:
+                    last_error = exc
+                    if not txn.finished:
+                        txn.abort()
+                except Exception:
+                    if not txn.finished:
+                        txn.abort()
+                    raise
+            raise last_error if last_error \
+                else RuntimeError("transaction retry failed")
 
     def run_batch(self, works: "list[Callable[[Transaction], Any]]",
                   retries: int = 25) -> list[Any]:

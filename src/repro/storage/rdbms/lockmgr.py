@@ -21,8 +21,11 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Hashable
+
+from repro.telemetry import metrics
 
 
 class DeadlockError(Exception):
@@ -96,11 +99,18 @@ class LockManager:
             state = self._locks.setdefault(key, _LockState())
             if self._already_holds(state, txn_id, mode):
                 return
+            # Wait metrics are recorded only when the request actually
+            # blocks, so the granted-immediately fast path (every row
+            # lock of a bulk insert) stays metric-free.
+            wait_started: float | None = None
             while not self._grantable(state, txn_id, mode):
+                if wait_started is None:
+                    wait_started = time.perf_counter()
                 blockers = self._blockers(state, txn_id, mode)
                 self._waits_for[txn_id] = blockers
                 if self._creates_cycle(txn_id):
                     del self._waits_for[txn_id]
+                    metrics.get_registry().inc("rdbms.lock.deadlocks")
                     raise DeadlockError(
                         f"txn {txn_id} deadlocked requesting {mode.value} on {key}"
                     )
@@ -109,9 +119,16 @@ class LockManager:
                 state.waiting -= 1
                 self._waits_for.pop(txn_id, None)
                 if not granted:
+                    metrics.get_registry().inc("rdbms.lock.timeouts")
                     raise TimeoutError(
                         f"txn {txn_id} timed out waiting for {mode.value} on {key}"
                     )
+            if wait_started is not None:
+                waited = time.perf_counter() - wait_started
+                registry = metrics.get_registry()
+                registry.inc("rdbms.lock.waits")
+                registry.inc("rdbms.lock.wait_seconds", waited)
+                registry.observe("rdbms.lock.wait_seconds.hist", waited)
             state.holders.setdefault(txn_id, set()).add(mode)
             self._held_by_txn.setdefault(txn_id, set()).add(key)
 

@@ -27,6 +27,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.telemetry import metrics
+
 LOG_FILE = "wal.jsonl"
 CHECKPOINT_FILE = "checkpoint.json"
 
@@ -78,10 +80,15 @@ class WriteAheadLog:
         """Append one record and return it (LSN assigned here)."""
         record = LogRecord(self._next_lsn, txn_id, rec_type, payload)
         self._next_lsn += 1
-        self._file.write(record.to_json() + "\n")
+        line = record.to_json()
+        self._file.write(line + "\n")
         self._file.flush()
         if self._sync:
             os.fsync(self._file.fileno())
+        registry = metrics.get_registry()
+        registry.inc("rdbms.wal.records")
+        registry.inc(f"rdbms.wal.records.{rec_type}")
+        registry.inc("rdbms.wal.bytes", len(line) + 1)
         return record
 
     def records(self) -> Iterator[LogRecord]:

@@ -1,0 +1,159 @@
+"""Observability subsystem: metrics, tracing spans, and trace reports.
+
+The paper's blueprint gives the processing layer a semantic debugger and
+the exploitation layer tools to inspect *how* structure was produced —
+both presuppose a system that can observe itself (Impliance makes
+self-monitoring a first-class appliance concern).  This package is that
+substrate, dependency-free and always importable:
+
+* :mod:`repro.telemetry.metrics` — :class:`MetricsRegistry`; counters,
+  gauges, fixed-bucket histograms; thread-safe, and mergeable across
+  processes via snapshots (the execution backends do this automatically).
+* :mod:`repro.telemetry.tracing` — :class:`Tracer` producing hierarchical
+  spans with a context-manager API; in-memory and JSONL exporters; a
+  no-op tracer when disabled, so instrumentation can live in hot paths.
+* :mod:`repro.telemetry.report` — ``summarize_trace`` /
+  ``render_report``: top-k slowest spans and per-layer time breakdown.
+
+Typical session (what ``repro --telemetry out.jsonl <cmd>`` does)::
+
+    session = telemetry.enable(jsonl_path="out.jsonl")
+    ...  # run instrumented work: spans + metrics collect
+    snapshot = session.finish()      # appends the metrics snapshot
+    telemetry.disable()
+
+Metrics *always* collect into the ambient registry (they are cheap and
+power ``ExecutionStats``); ``enable``/``disable`` toggle span recording.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    global_registry,
+    pop_registry,
+    push_registry,
+    use_registry,
+)
+from repro.telemetry.report import (
+    layer_of,
+    load_telemetry,
+    render_report,
+    summarize_trace,
+)
+from repro.telemetry.tracing import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    NoopTracer,
+    Span,
+    Tracer,
+    enabled,
+    get_tracer,
+    set_tracer,
+)
+
+
+@dataclass
+class TelemetrySession:
+    """Handle for one enable()..disable() window."""
+
+    tracer: Tracer
+    memory: InMemorySpanExporter
+    jsonl: JsonlSpanExporter | None
+    registry: MetricsRegistry
+
+    def spans(self) -> list[Span]:
+        """Spans finished so far in this session."""
+        return list(self.memory.spans)
+
+    def finish(self) -> dict[str, Any]:
+        """Snapshot the metrics registry, append it to the JSONL file (if
+        any), close the file, and return the snapshot."""
+        snapshot = self.registry.snapshot()
+        if self.jsonl is not None:
+            self.jsonl.export_metrics(snapshot)
+            self.jsonl.close()
+        return snapshot
+
+
+_session: TelemetrySession | None = None
+
+
+def enable(jsonl_path: str | None = None,
+           registry: MetricsRegistry | None = None) -> TelemetrySession:
+    """Turn span recording on; returns the session handle.
+
+    Args:
+        jsonl_path: when given, finished spans stream to this JSONL file
+            and ``session.finish()`` appends the metrics snapshot.
+        registry: the registry ``finish()`` snapshots (default: the
+            current ambient registry).
+
+    Raises:
+        RuntimeError: telemetry is already enabled.
+    """
+    global _session
+    if _session is not None:
+        raise RuntimeError("telemetry already enabled; call disable() first")
+    memory = InMemorySpanExporter()
+    exporters: list[Any] = [memory]
+    jsonl = JsonlSpanExporter(jsonl_path) if jsonl_path is not None else None
+    if jsonl is not None:
+        exporters.append(jsonl)
+    # pid-based id prefix: successive CLI runs appending to one JSONL file
+    # must not collide on trace/span ids
+    tracer = Tracer(exporters, id_prefix=f"{os.getpid()}.")
+    set_tracer(tracer)
+    _session = TelemetrySession(
+        tracer=tracer, memory=memory, jsonl=jsonl,
+        registry=registry if registry is not None else get_registry(),
+    )
+    return _session
+
+
+def disable() -> None:
+    """Turn span recording off (idempotent); closes the JSONL file."""
+    global _session
+    if _session is not None and _session.jsonl is not None:
+        _session.jsonl.close()
+    _session = None
+    set_tracer(None)
+
+
+def current_session() -> TelemetrySession | None:
+    return _session
+
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "TelemetrySession",
+    "Tracer",
+    "current_session",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "global_registry",
+    "layer_of",
+    "load_telemetry",
+    "pop_registry",
+    "push_registry",
+    "render_report",
+    "set_tracer",
+    "summarize_trace",
+    "use_registry",
+]

@@ -1,0 +1,158 @@
+"""Trace/metrics reporting: load a telemetry file, summarize, render.
+
+``summarize_trace`` turns a flat span list into the numbers a performance
+investigation starts from: the top-k slowest spans and a per-layer time
+breakdown.  Layer attribution uses *self time* (a span's duration minus
+its children's), so an outer ``system.generate`` span does not absorb the
+executor/RDBMS time it merely contains.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.telemetry.tracing import Span
+
+# First dotted component of a span/metric name -> Figure-1 layer.
+LAYER_BY_PREFIX = {
+    "system": "user",
+    "executor": "processing",
+    "extraction": "processing",
+    "integration": "processing",
+    "mapreduce": "cluster",
+    "rdbms": "storage",
+}
+
+
+def layer_of(name: str) -> str:
+    """Figure-1 layer of a dotted span/metric name (``other`` if unknown)."""
+    return LAYER_BY_PREFIX.get(name.split(".", 1)[0], "other")
+
+
+def summarize_trace(spans: Iterable[Span], top_k: int = 10) -> dict[str, Any]:
+    """Aggregate a span list into a report dict.
+
+    Returns keys: ``span_count``, ``trace_count``, ``roots`` (names of
+    parentless spans), ``total_seconds`` (sum of root durations),
+    ``top_spans`` (``[{name, span_id, duration, attributes}]``, slowest
+    first), ``layer_seconds`` (self-time per layer), ``errors`` (names of
+    spans with error status).
+    """
+    spans = list(spans)
+    child_time: dict[str, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration
+            )
+
+    layer_seconds: dict[str, float] = {}
+    for span in spans:
+        self_time = max(span.duration - child_time.get(span.span_id, 0.0), 0.0)
+        layer = layer_of(span.name)
+        layer_seconds[layer] = layer_seconds.get(layer, 0.0) + self_time
+
+    roots = [s for s in spans if s.parent_id is None]
+    slowest = sorted(spans, key=lambda s: s.duration, reverse=True)[:top_k]
+    return {
+        "span_count": len(spans),
+        "trace_count": len({s.trace_id for s in spans}),
+        "roots": [s.name for s in roots],
+        "total_seconds": sum(s.duration for s in roots),
+        "top_spans": [
+            {
+                "name": s.name,
+                "span_id": s.span_id,
+                "duration": s.duration,
+                "attributes": s.attributes,
+            }
+            for s in slowest
+        ],
+        "layer_seconds": dict(
+            sorted(layer_seconds.items(), key=lambda kv: kv[1], reverse=True)
+        ),
+        "errors": [s.name for s in spans if s.status == "error"],
+    }
+
+
+def render_report(summary: dict[str, Any],
+                  snapshot: dict[str, Any] | None = None,
+                  max_metrics: int = 25) -> str:
+    """Human-readable text for a ``summarize_trace`` result.
+
+    With a metrics ``snapshot``, appends the counters (all of them up to
+    ``max_metrics``, largest first) and any histograms.
+    """
+    root_counts: dict[str, int] = {}
+    for name in summary["roots"]:
+        root_counts[name] = root_counts.get(name, 0) + 1
+    roots = ", ".join(
+        name if count == 1 else f"{name} x{count}"
+        for name, count in root_counts.items()
+    )
+    lines = [
+        f"spans: {summary['span_count']} across "
+        f"{summary['trace_count']} trace(s); "
+        f"roots: {roots or '(none)'}",
+        f"total traced time: {summary['total_seconds']:.4f}s",
+        "",
+        "per-layer self time:",
+    ]
+    total = sum(summary["layer_seconds"].values()) or 1.0
+    for layer, seconds in summary["layer_seconds"].items():
+        lines.append(
+            f"  {layer:<12} {seconds:10.4f}s  {100.0 * seconds / total:5.1f}%"
+        )
+    lines += ["", f"top {len(summary['top_spans'])} slowest spans:"]
+    for entry in summary["top_spans"]:
+        lines.append(f"  {entry['duration']:10.4f}s  {entry['name']}")
+    if summary["errors"]:
+        lines += ["", f"spans with errors: {', '.join(summary['errors'])}"]
+    if snapshot is not None:
+        counters = sorted(snapshot.get("counters", {}).items(),
+                          key=lambda kv: kv[1], reverse=True)
+        lines += ["", "metrics (counters):"]
+        for name, value in counters[:max_metrics]:
+            rendered = f"{value:.0f}" if value == int(value) else f"{value:.4f}"
+            lines.append(f"  {name:<40} {rendered}")
+        if len(counters) > max_metrics:
+            lines.append(f"  ... {len(counters) - max_metrics} more")
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            lines += ["", "metrics (histograms):"]
+            for name, h in sorted(histograms.items()):
+                lines.append(
+                    f"  {name:<40} count={h['count']} sum={h['sum']:.1f} "
+                    f"min={h['min']} max={h['max']}"
+                )
+    return "\n".join(lines)
+
+
+def load_telemetry(path: str) -> tuple[list[Span], dict[str, Any] | None]:
+    """Read a ``--telemetry`` JSONL file.
+
+    Returns:
+        (spans, metrics snapshot) — all metrics records in the file merged
+        under the registry rules (each CLI invocation appends the totals
+        of its own fresh registry, so counters add up to session totals),
+        or None if none was written.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    spans: list[Span] = []
+    merged: MetricsRegistry | None = None
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("kind", "span")
+            if kind == "span":
+                spans.append(Span.from_dict(record))
+            elif kind == "metrics":
+                if merged is None:
+                    merged = MetricsRegistry()
+                merged.merge(record["snapshot"])
+    return spans, merged.snapshot() if merged is not None else None

@@ -1,0 +1,254 @@
+"""Hierarchical tracing spans with pluggable exporters.
+
+A :class:`Span` is one timed unit of work — ``trace_id`` groups a whole
+request (one ``generate()`` call, say), ``span_id``/``parent_id`` form the
+tree.  Spans are created through :meth:`Tracer.span`, a context manager
+that maintains a per-thread stack so nesting in code becomes nesting in
+the trace:
+
+    with get_tracer().span("system.generate", program=name) as sp:
+        ...                      # children created here parent under sp
+        sp.set_attribute("facts_stored", n)
+
+Tracing is **off by default**: :func:`get_tracer` returns a shared no-op
+tracer whose ``span()`` costs one function call, so instrumentation can
+stay inline in hot paths.  :func:`set_tracer` (normally via
+``repro.telemetry.enable``) installs a real tracer; :func:`enabled` is the
+fast guard for instrumentation whose *data collection* is itself costly
+(e.g. sizing shuffled records).
+
+Span names are dotted, ``<layer>.<what>`` (``rdbms.txn``,
+``mapreduce.wave.map``); the report module maps the first component to a
+Figure-1 layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One node of a trace tree.
+
+    ``start``/``end`` are ``time.perf_counter()`` readings (durations);
+    ``start_wall`` is ``time.time()`` (human-readable anchoring).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start: float = 0.0
+    end: float | None = None
+    start_wall: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while unfinished)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "start_wall": self.start_wall,
+            "attributes": self.attributes,
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Span":
+        return Span(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data.get("start", 0.0),
+            end=data.get("end"),
+            start_wall=data.get("start_wall", 0.0),
+            attributes=dict(data.get("attributes", {})),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+        )
+
+
+class InMemorySpanExporter:
+    """Collects finished spans in a list (tests, ``summarize_trace``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: list[Span] = []
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+
+class JsonlSpanExporter:
+    """Appends finished spans (and metrics snapshots) to a JSONL file.
+
+    Lines are ``{"kind": "span", ...span fields...}`` or
+    ``{"kind": "metrics", "snapshot": {...}}`` — see
+    ``repro.telemetry.report.load_telemetry`` for the reader.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def export(self, span: Span) -> None:
+        self._write({"kind": "span", **span.to_dict()})
+
+    def export_metrics(self, snapshot: dict[str, Any]) -> None:
+        self._write({"kind": "metrics", "snapshot": snapshot})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def _write(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(json.dumps(record, default=repr) + "\n")
+            self._file.flush()
+
+
+class Tracer:
+    """Creates spans, tracks the per-thread current span, exports on finish.
+
+    Span/trace ids are sequential per tracer (``s1``, ``s2``, ... /
+    ``t1``, ...) — deterministic and cheap; worker processes run with
+    tracing disabled and report through metrics snapshots instead.
+    ``id_prefix`` keeps ids distinct when several runs append to one JSONL
+    file (``repro.telemetry.enable`` passes a pid-based prefix).
+    """
+
+    def __init__(self, exporters: "list[Any] | tuple[Any, ...]" = (),
+                 id_prefix: str = "") -> None:
+        self.exporters = list(exporters)
+        self._id_prefix = id_prefix
+        self._stack = threading.local()
+        self._id_lock = threading.Lock()
+        self._next = 0
+
+    # ------------------------------------------------------------------ API
+
+    def current_span(self) -> Span | None:
+        stack = getattr(self._stack, "spans", None)
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span as a child of this thread's current span."""
+        parent = self.current_span()
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent
+            else f"t{self._id_prefix}{self._new_id()}",
+            span_id=f"s{self._id_prefix}{self._new_id()}",
+            parent_id=parent.span_id if parent else None,
+            start=time.perf_counter(),
+            start_wall=time.time(),
+            attributes=dict(attributes),
+        )
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = repr(exc)
+            raise
+        finally:
+            span.end = time.perf_counter()
+            stack.pop()
+            for exporter in self.exporters:
+                exporter.export(span)
+
+    # ------------------------------------------------------------ internals
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            self._next += 1
+            return self._next
+
+
+class _NoopSpan:
+    """Shared do-nothing span (and its own context manager)."""
+
+    __slots__ = ()
+    attributes: dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Stands in when tracing is disabled; ``span()`` allocates nothing."""
+
+    exporters: list[Any] = []
+
+    def current_span(self) -> None:
+        return None
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+
+_NOOP_TRACER = NoopTracer()
+_active: Tracer | None = None
+
+
+def get_tracer() -> "Tracer | NoopTracer":
+    """The installed tracer, or the shared no-op tracer."""
+    return _active if _active is not None else _NOOP_TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or with None, remove) the process-wide tracer."""
+    global _active
+    _active = tracer
+
+
+def enabled() -> bool:
+    """True when a real tracer is installed.
+
+    Guard for instrumentation whose data *collection* is costly; plain
+    span creation does not need it.
+    """
+    return _active is not None

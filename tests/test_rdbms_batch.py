@@ -1,10 +1,14 @@
 """Tests for the batched write path: insert_many + run_batch + recovery."""
 
+import threading
+import time
+
 import pytest
 
 from repro.storage.rdbms.engine import Database
 from repro.storage.rdbms.table import HeapTable
 from repro.storage.rdbms.types import Column, ColumnType, SchemaError, TableSchema
+from repro.telemetry.metrics import MetricsRegistry, use_registry
 
 
 def _schema(name="items"):
@@ -158,3 +162,67 @@ def test_batch_path_writes_fewer_wal_records_than_per_row(tmp_path):
     # per-row: begin+insert+commit per fact; batched: 3 records total
     assert per_row_records >= 3 * n
     assert batched_records <= 5
+
+
+# -------------------------------------------------------- telemetry metrics
+
+
+def test_insert_many_records_wal_and_batch_metrics(tmp_path):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        db = Database(str(tmp_path))
+        db.create_table(_schema())
+        db.run(lambda t: t.insert_many("items", _rows(50)))
+        db.close()
+    # the batch is one WAL record — metrics agree with the log itself
+    assert registry.get("rdbms.wal.records.insert_many") == 1
+    assert registry.get("rdbms.wal.records.insert") == 0
+    assert registry.get("rdbms.wal.records") >= 3  # begin + batch + commit
+    assert registry.get("rdbms.wal.bytes") > 0
+    assert registry.get("rdbms.rows.inserted") == 50
+    assert registry.get("rdbms.txn.commits") == 1
+    hist = registry.histogram("rdbms.insert.batch_size")
+    assert hist is not None
+    assert hist["count"] == 1 and hist["sum"] == 50 and hist["max"] == 50
+
+
+def test_lock_wait_metrics_only_on_contention():
+    registry = MetricsRegistry()
+    db = Database()
+    db.create_table(_schema())
+    with use_registry(registry):
+        db.run(lambda t: t.insert_many("items", _rows(10)))
+    # uncontended single-threaded writes never touch the wait counters
+    assert registry.get("rdbms.lock.waits") == 0
+
+    shared = MetricsRegistry()
+    first_holds = threading.Event()
+    release_first = threading.Event()
+
+    def long_writer():
+        def body(t):
+            t.update("items", 0, {"label": "held"})
+            first_holds.set()
+            release_first.wait(timeout=5.0)
+        with use_registry(shared):
+            db.run(body)
+
+    def blocked_writer():
+        first_holds.wait(timeout=5.0)
+        with use_registry(shared):
+            db.run(lambda t: t.update("items", 0, {"label": "later"}))
+
+    threads = [threading.Thread(target=long_writer),
+               threading.Thread(target=blocked_writer)]
+    for thread in threads:
+        thread.start()
+    first_holds.wait(timeout=5.0)
+    time.sleep(0.2)  # let the second writer block on the row lock
+    release_first.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert shared.get("rdbms.lock.waits") >= 1
+    assert shared.get("rdbms.lock.wait_seconds") > 0.0
+    hist = shared.histogram("rdbms.lock.wait_seconds.hist")
+    assert hist is not None and hist["count"] >= 1
+    db.close()

@@ -102,6 +102,42 @@ def test_system_pokes_monitoring_on_generate():
     assert len(system.monitoring.pending("any_temp")) == len(truth)
 
 
+def test_direct_batched_writes_fire_standing_queries():
+    """Regression: standing queries must see rows written through the
+    batched db paths (insert_many / run_batch), not just generate()."""
+    system = StructureManagementSystem()
+    system.monitoring.register(ContinuousQuery(
+        "hot",
+        f"SELECT entity, value_num FROM {FACTS_TABLE} "
+        "WHERE attribute = 'sep_temp' AND value_num > 90",
+    ))
+
+    def _fact(fact_id, entity, temp):
+        return {"fact_id": fact_id, "entity": entity,
+                "attribute": "sep_temp", "value_text": None,
+                "value_num": temp, "confidence": 1.0, "doc_id": "direct"}
+
+    # batched insert_many through db.run — no generate(), no manual poke
+    system.db.run(lambda t: t.insert_many(
+        FACTS_TABLE, [_fact(0, "Phoenix", 95.0), _fact(1, "Fargo", 55.0)]
+    ))
+    assert [n.row["entity"] for n in system.monitoring.pending("hot")] \
+        == ["Phoenix"]
+
+    # run_batch path fires too, once per commit
+    system.db.run_batch([
+        lambda t: t.insert_many(FACTS_TABLE, [_fact(2, "Tucson", 93.0)]),
+        lambda t: t.insert(FACTS_TABLE, _fact(3, "Nome", 40.0)),
+    ])
+    assert [n.row["entity"] for n in system.monitoring.pending("hot")] \
+        == ["Phoenix", "Tucson"]
+
+    # read-only transactions (the poke's own SELECTs) do not re-notify
+    assert system.query(f"SELECT COUNT(*) AS n FROM {FACTS_TABLE}")[0]["n"] \
+        == 4
+    assert len(system.monitoring.pending("hot")) == 2
+
+
 # ------------------------------------------------------------------ forms
 
 
