@@ -1,10 +1,12 @@
-"""One-shot gate: smoke-run the E15/E16 benchmarks, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16/E17 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
 assertions), runs the full telemetry-overhead bench (E16: fails when
-end-to-end instrumentation costs more than 10%), and then confirms the
-whole repo is still green::
+end-to-end instrumentation costs more than 10%), runs the full extraction
+cache bench (E17: fails unless a warm run after 10% churn is >= 3x faster
+than cold and warm work exactly matches the churned text), and then
+confirms the whole repo is still green::
 
     python benchmarks/run_all.py
 
@@ -40,6 +42,10 @@ def main() -> int:
          [sys.executable,
           os.path.join(REPO_ROOT, "benchmarks",
                        "bench_e16_telemetry_overhead.py")]),
+        ("E17 extraction-cache bench (>=3x warm speedup gate)",
+         [sys.executable,
+          os.path.join(REPO_ROOT, "benchmarks",
+                       "bench_e17_cache_churn.py")]),
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]

@@ -1,0 +1,39 @@
+"""Content-addressed extraction cache (the perf ladder's third rung).
+
+The DGE model is incremental and best-effort: corpora churn while most
+documents stay unchanged, so re-running every extractor over every
+document on each ``generate()`` wastes almost all of its work.  This
+package caches extraction output keyed by a *content fingerprint* —
+``(document text hash, extractor fingerprint)`` — so a warm re-run after
+a 1% corpus update only extracts the 1% of documents that changed.
+
+* :mod:`repro.cache.fingerprint` — stable fingerprints of extractor
+  *behaviour* (class, config, patterns, normalizers, cost params, and an
+  explicit ``version`` developers bump to force invalidation).
+* :mod:`repro.cache.store` — the :class:`ExtractionCache` interface with
+  an in-memory LRU implementation and a persistent on-disk implementation
+  (JSONL segments, reusing the storage layer's record file store).
+
+The executor consults the cache per extract operator: documents partition
+into hits and misses, only the misses fan out on the execution backend,
+and fresh results are written back.  Output is byte-identical cached vs
+uncached and across all execution backends (the determinism contract).
+"""
+
+from repro.cache.fingerprint import extractor_fingerprint
+from repro.cache.store import (
+    DiskExtractionCache,
+    ExtractionCache,
+    LRUExtractionCache,
+    document_key,
+    make_cache,
+)
+
+__all__ = [
+    "DiskExtractionCache",
+    "ExtractionCache",
+    "LRUExtractionCache",
+    "document_key",
+    "extractor_fingerprint",
+    "make_cache",
+]

@@ -1,0 +1,129 @@
+"""Stable fingerprints of extractor behaviour.
+
+A cached extraction result is only valid while the extractor that
+produced it would still produce the same output.  The fingerprint
+therefore covers everything behaviour-affecting: the extractor's class,
+its declared ``version`` (the explicit invalidation knob), and its whole
+configuration — patterns, field lists, normalizer functions, nested
+extractors, cost parameters.  Two extractor instances with equal
+fingerprints are interchangeable for cache purposes; any config change
+produces a different fingerprint and therefore a cache miss.
+
+Values are folded into a SHA-256 over a canonical token stream:
+
+* dataclass extractors contribute their declared fields (sorted by name;
+  private/derived state like compiled patterns is excluded by
+  construction);
+* non-dataclass extractors contribute their public instance attributes
+  plus the base-class knobs (``name``, ``cost_per_char``, ``version``);
+* compiled regexes contribute pattern + flags; functions contribute
+  module/qualname *and* a hash of their code object, so editing a
+  normalizer lambda in place invalidates cached results;
+* nested extractors (e.g. inside a
+  :class:`~repro.extraction.base.CompositeExtractor`) recurse.
+
+Fingerprints are deterministic across processes and sessions — the
+on-disk cache relies on this to survive a close/reopen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import re
+from typing import Any, Iterator
+
+from repro.extraction.base import Extractor
+
+# Memory addresses in default reprs (``<object at 0x7f...>``) would make
+# fallback tokens session-specific; strip them.
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def extractor_fingerprint(extractor: Extractor) -> str:
+    """Hex digest identifying this extractor's observable behaviour."""
+    digest = hashlib.sha256()
+    for token in _tokens(extractor):
+        digest.update(token.encode("utf-8", "backslashreplace"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def _tokens(extractor: Extractor) -> Iterator[str]:
+    cls = type(extractor)
+    yield f"class={cls.__module__}.{cls.__qualname__}"
+    for knob in ("name", "cost_per_char", "version"):
+        yield f"{knob}={_stable(getattr(extractor, knob, None))}"
+    for field_name, value in _state_items(extractor):
+        yield f"{field_name}={_stable(value)}"
+
+
+def _state_items(obj: Any) -> list[tuple[str, Any]]:
+    """Behaviour-relevant (attribute, value) pairs, deterministically ordered.
+
+    Dataclasses expose exactly their declared fields — derived state
+    (compiled patterns, tries, tokenizers) lives in underscored attributes
+    outside the field list.  Plain classes expose public instance
+    attributes.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        items = [(f.name, getattr(obj, f.name))
+                 for f in dataclasses.fields(obj)]
+    else:
+        items = [(k, v) for k, v in vars(obj).items()
+                 if not k.startswith("_")]
+    return sorted(items, key=lambda kv: kv[0])
+
+
+def _stable(value: Any) -> str:
+    """Canonical string for one config value (recursive)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, re.Pattern):
+        return f"re({value.pattern!r},{value.flags})"
+    if isinstance(value, Extractor):
+        return f"extractor({extractor_fingerprint(value)})"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_stable(k)}:{_stable(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: _stable(kv[0]))
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_stable(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{{" + ",".join(sorted(_stable(v) for v in value)) + "}}"
+    if isinstance(value, functools.partial):
+        return (f"partial({_stable(value.func)},{_stable(value.args)},"
+                f"{_stable(dict(value.keywords))})")
+    if callable(value):
+        return _stable_callable(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        inner = ",".join(
+            f"{name}:{_stable(v)}" for name, v in _state_items(value)
+        )
+        return f"dc({cls.__module__}.{cls.__qualname__},{inner})"
+    return (f"obj({type(value).__module__}.{type(value).__qualname__},"
+            f"{_ADDRESS_RE.sub('0x', repr(value))})")
+
+
+def _stable_callable(fn: Any) -> str:
+    """Identify a normalizer/namer function by location *and* code.
+
+    The code-object hash makes an in-place edit of a lambda or local
+    function a different fingerprint even though its qualname is
+    unchanged.
+    """
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", type(fn).__qualname__)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return f"callable({module}.{qualname})"
+    body = hashlib.sha256(
+        code.co_code + repr(code.co_consts).encode("utf-8", "backslashreplace")
+    ).hexdigest()[:16]
+    return f"callable({module}.{qualname},{body})"

@@ -24,10 +24,12 @@ corpora without any code.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro import telemetry
+from repro.cache.store import DiskExtractionCache
 from repro.core.system import FACTS_TABLE, StructureManagementSystem
 from repro.docmodel.corpus import DirectoryCorpus
 from repro.extraction.infobox import InfoboxExtractor
@@ -39,9 +41,10 @@ from repro.userlayer.visualize import table
 
 def _build_system(workspace: str, builtin: bool,
                   backend: str | None = None,
-                  workers: int | None = None) -> StructureManagementSystem:
+                  workers: int | None = None,
+                  cache: str | None = None) -> StructureManagementSystem:
     system = StructureManagementSystem(workspace=workspace, backend=backend,
-                                       backend_workers=workers)
+                                       backend_workers=workers, cache=cache)
     if builtin:
         system.registry.register_extractor("infobox", InfoboxExtractor())
         system.registry.register_extractor("links", LinkExtractor())
@@ -68,7 +71,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 def cmd_generate(args: argparse.Namespace) -> int:
     """Run (or EXPLAIN) a declarative IE program file."""
     system = _build_system(args.workspace, args.builtin,
-                           backend=args.backend, workers=args.workers)
+                           backend=args.backend, workers=args.workers,
+                           cache=args.cache)
     _reingest_existing(system)
     with open(args.program, "r", encoding="utf-8") as f:
         source = f.read()
@@ -84,6 +88,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
     if report.backend_name != "inline":
         print(f"backend {report.backend_name}: "
               f"{report.real_parallel_seconds:.3f}s parallel extraction")
+    if args.cache is not None:
+        print(f"cache: {report.cache_hits} hits, "
+              f"{report.cache_misses} misses")
     system.close()
     return 0
 
@@ -139,6 +146,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent extraction cache."""
+    root = args.cache if args.cache is not None \
+        else os.path.join(args.workspace, "cache")
+    cache = DiskExtractionCache(root)
+    if args.action == "stats":
+        for key, value in cache.stats().items():
+            print(f"{key:12} {value}")
+    else:  # clear
+        entries = len(cache)
+        cache.clear()
+        print(f"cleared {entries} cached entries under {root}")
+    cache.close()
+    return 0
+
+
 def cmd_facts(args: argparse.Namespace) -> int:
     """Browse stored facts as a table."""
     system = _build_system(args.workspace, args.builtin)
@@ -168,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for --backend thread/process "
                              "(default: CPU count)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="persistent extraction cache directory; warm "
+                             "re-runs only extract changed documents "
+                             "(default: off)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record spans and a metrics snapshot to this "
                              "JSONL file (inspect with 'repro stats PATH')")
@@ -207,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("facts", help="browse stored facts")
     p.add_argument("--limit", type=int, default=25)
     p.set_defaults(fn=cmd_facts)
+
+    p = sub.add_parser("cache", help="inspect or clear the extraction cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("stats", help="summarize a telemetry JSONL file")
     p.add_argument("telemetry_file")

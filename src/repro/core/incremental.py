@@ -10,6 +10,12 @@ attributes), only the not-yet-run extractors execute; everything already
 extracted is served from cache.  Work is accounted in characters scanned ×
 extractor cost, so experiment E4 can compare incremental total cost against
 one-shot extraction of everything.
+
+The manager can additionally share a content-addressed
+:class:`~repro.cache.store.ExtractionCache` with the executor: cached
+rows use the executor's tuple form, so a document an xlog program already
+extracted is served without re-scanning here (and vice versa), and
+``work_done`` counts only extraction actually performed.
 """
 
 from __future__ import annotations
@@ -17,8 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.cache.fingerprint import extractor_fingerprint
+from repro.cache.store import ExtractionCache, document_key, make_cache
 from repro.docmodel.document import Document
 from repro.extraction.base import Extraction, Extractor
+from repro.lang.executor import extraction_to_tuple, tuple_to_extraction
 
 
 @dataclass
@@ -30,12 +39,23 @@ class _ExtractorEntry:
 
 @dataclass
 class IncrementalExtractionManager:
-    """On-demand attribute extraction with cost accounting."""
+    """On-demand attribute extraction with cost accounting.
+
+    Args:
+        corpus: documents to extract from.
+        cache: optional content-addressed extraction cache (same specs as
+            :func:`~repro.cache.store.make_cache`); hits skip the scan and
+            do not count toward ``work_done``.
+    """
 
     corpus: Sequence[Document] = ()
+    cache: ExtractionCache | str | None = None
     _entries: dict[str, _ExtractorEntry] = field(default_factory=dict)
     _cache: list[Extraction] = field(default_factory=list)
     work_done: float = 0.0  # cost-weighted characters scanned
+
+    def __post_init__(self) -> None:
+        self._extraction_cache = make_cache(self.cache)
 
     def register(self, name: str, extractor: Extractor,
                  attributes: Sequence[str]) -> None:
@@ -96,10 +116,26 @@ class IncrementalExtractionManager:
         return list(self._cache)
 
     def _run(self, entry: _ExtractorEntry) -> None:
+        store = self._extraction_cache
+        fingerprint = (
+            extractor_fingerprint(entry.extractor) if store is not None else ""
+        )
         for doc in self.corpus:
+            rows = None
+            if store is not None:
+                rows = store.get(document_key(doc), fingerprint)
+            if rows is None:
+                extractions = entry.extractor.extract(doc)
+                self.work_done += entry.extractor.cost_per_char * len(doc.text)
+                if store is not None:
+                    # The *full* output is cached (pre-filter), so the
+                    # same entry serves any attribute subset — and the
+                    # executor, which shares the tuple form.
+                    store.put(document_key(doc), fingerprint,
+                              [extraction_to_tuple(e) for e in extractions])
+            else:
+                extractions = [tuple_to_extraction(r) for r in rows]
             self._cache.extend(
-                e for e in entry.extractor.extract(doc)
-                if e.attribute in entry.attributes
+                e for e in extractions if e.attribute in entry.attributes
             )
-            self.work_done += entry.extractor.cost_per_char * len(doc.text)
         entry.has_run = True

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Sequence
 
+from repro.cache.store import ExtractionCache, make_cache
 from repro.cluster.backends import ExecutionBackend, make_backend
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster
 from repro.debugger.semantic import SemanticDebugger, SystemMonitor
@@ -73,6 +75,8 @@ class GenerationReport:
     plan_rendering: str
     backend_name: str = "inline"
     real_parallel_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -93,6 +97,13 @@ class StructureManagementSystem:
             either way.
         backend_workers: pool size for thread/process backends
             (default: CPU count, capped at 8).
+        cache: extraction cache — ``None`` (off), ``"memory"`` (in-process
+            LRU), any other string (directory for a persistent on-disk
+            cache; survives across system instances), or an
+            :class:`~repro.cache.store.ExtractionCache` instance.  With a
+            cache, ``generate()`` re-runs only extract documents whose
+            text (or extractor configuration) changed since the cached
+            run; output is byte-identical either way.
     """
 
     workspace: str | None = None
@@ -101,6 +112,7 @@ class StructureManagementSystem:
     cluster_config: ClusterConfig = field(default_factory=ClusterConfig)
     backend: str | ExecutionBackend | None = None
     backend_workers: int | None = None
+    cache: ExtractionCache | str | None = None
 
     def __post_init__(self) -> None:
         if self.workspace is not None:
@@ -128,6 +140,7 @@ class StructureManagementSystem:
         )
         self._backend = make_backend(self.backend,
                                      max_workers=self.backend_workers)
+        self._cache = make_cache(self.cache)
         if FACTS_TABLE not in self.db.table_names():
             self.db.create_table(facts_schema())
             self.db.create_index(FACTS_TABLE, "entity")
@@ -198,7 +211,7 @@ class StructureManagementSystem:
             if optimize:
                 plan = Optimizer(self.registry).optimize(plan, docs[:50])
             executor = Executor(self.registry, cluster=self._cluster,
-                                backend=self._backend)
+                                backend=self._backend, cache=self._cache)
             result: ExecutionResult = executor.execute(plan, docs)
 
             rows = [r for r in result.rows if r.get("attribute")]
@@ -265,6 +278,8 @@ class StructureManagementSystem:
                 plan_rendering=result.plan.render(),
                 backend_name=result.stats.backend_name,
                 real_parallel_seconds=result.stats.real_parallel_seconds,
+                cache_hits=result.stats.cache_hits,
+                cache_misses=result.stats.cache_misses,
             )
 
     def _store_fact(self, row: dict[str, Any], confidence: float) -> None:
@@ -463,7 +478,7 @@ class StructureManagementSystem:
     def explain_program(self, program_source: str) -> str:
         """EXPLAIN for xlog programs: naive and optimized plans with the
         cost model's estimates (developer-facing, Figure 1 Part II)."""
-        docs = list(self._corpus)[:50]
+        docs = list(islice(self._corpus, 50))
         ops, output = parse_program(program_source)
         naive = LogicalPlan.from_ops(ops, output)
         optimizer = Optimizer(self.registry)
@@ -481,9 +496,16 @@ class StructureManagementSystem:
         rows = self.query(f"SELECT COUNT(*) AS n FROM {FACTS_TABLE}")
         return int(rows[0]["n"])
 
+    @property
+    def extraction_cache(self) -> ExtractionCache | None:
+        """The resolved extraction cache (None when caching is off)."""
+        return self._cache
+
     def close(self) -> None:
         if self._backend is not None:
             self._backend.close()
+        if self._cache is not None:
+            self._cache.close()
         if self.storage is not None:
             self.provenance.save(self._provenance_path())
             self.storage.close()

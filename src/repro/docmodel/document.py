@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Iterator, Mapping
 
 
@@ -52,9 +53,28 @@ class Document:
         """Create a validated span into this document."""
         return Span(doc_id=self.doc_id, start=start, end=end, text=self.text[start:end])
 
-    def content_hash(self) -> str:
-        """Stable hash of the text, used by the snapshot store for dedup."""
+    @cached_property
+    def _content_hash(self) -> str:
         return hashlib.sha256(self.text.encode("utf-8")).hexdigest()
+
+    def content_hash(self) -> str:
+        """Stable hash of the text (snapshot-store dedup, extraction cache).
+
+        Computed once per document — the extraction cache hashes every
+        document on every lookup, so this must not re-digest each call.
+        """
+        return self._content_hash
+
+    @cached_property
+    def text_lower(self) -> str:
+        """The text lowercased, computed once.
+
+        Keyword pre-filters (:func:`repro.lang.optimizer.
+        doc_passes_keyword_groups`) and selectivity probes lowercase the
+        same document repeatedly on the hot path; memoizing here turns an
+        O(len) allocation per probe into one per document.
+        """
+        return self.text.lower()
 
     def lines(self) -> list[str]:
         """The document text split into lines (used by the diff store)."""

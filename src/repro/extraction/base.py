@@ -79,11 +79,16 @@ class Extractor(ABC):
 
     Subclasses implement :meth:`extract`; :attr:`name` identifies the
     operator in provenance records; :attr:`cost_per_char` is the optimizer's
-    cost model input (simulated work units per character scanned).
+    cost model input (simulated work units per character scanned);
+    :attr:`version` feeds the extraction cache's fingerprint
+    (:func:`repro.cache.extractor_fingerprint`) — bump it whenever the
+    extraction *logic* changes in a way the configuration fields do not
+    capture, to force cached results to be regenerated.
     """
 
     name: str = "extractor"
     cost_per_char: float = 1.0
+    version: int = 0
 
     @abstractmethod
     def extract(self, doc: Document) -> list[Extraction]:

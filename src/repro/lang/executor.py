@@ -23,8 +23,11 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Sequence
+from itertools import islice
+from typing import Any, Iterator, Sequence
 
+from repro.cache.fingerprint import extractor_fingerprint
+from repro.cache.store import ExtractionCache, document_key
 from repro.cluster.backends import ExecutionBackend, make_backend
 from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
 from repro.cluster.simulator import SimulatedCluster
@@ -111,6 +114,14 @@ class ExecutionStats:
     @property
     def real_parallel_seconds(self) -> float:
         return self.registry.get("executor.real_parallel_seconds")
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.registry.get("cache.hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.registry.get("cache.misses"))
 
     @property
     def total_chars_scanned(self) -> int:
@@ -222,15 +233,26 @@ class Executor:
             cluster they run inside the simulated waves; without one they
             run as a plain parallel map.  Output is identical across
             backends (the determinism contract).
+        cache: content-addressed extraction cache.  Each extract operator
+            partitions its documents into hits and misses against
+            ``(document key, extractor fingerprint)``; only the misses
+            are extracted (on whichever execution path is configured) and
+            fresh results are written back.  Output — including its byte
+            order — is identical with and without the cache; the
+            ``executor.*`` work counters then measure only extraction
+            actually performed, with ``cache.hits``/``cache.misses``
+            recorded alongside.
     """
 
     def __init__(self, registry: OperatorRegistry,
                  cluster: SimulatedCluster | None = None,
-                 backend: str | ExecutionBackend | None = None) -> None:
+                 backend: str | ExecutionBackend | None = None,
+                 cache: ExtractionCache | None = None) -> None:
         self._registry = registry
         self._cluster = cluster
         self._backend = make_backend(backend) if isinstance(backend, str) \
             else backend
+        self._cache = cache
 
     def execute(self, plan: LogicalPlan,
                 corpus: Sequence[Document]) -> ExecutionResult:
@@ -366,43 +388,130 @@ class Executor:
                       stats: ExecutionStats) -> list[dict[str, Any]]:
         extractor = self._registry.extractor(op.extractor)
         key = f"{op.extractor}@{op.name}"
-        total_chars = sum(len(d.text) for d in docs)
         registry = stats.registry
+
+        # Partition into cache hits and misses; only misses are extracted.
+        # Cached entries hold the extractor's per-document output in its
+        # natural emission order, so reassembly below reproduces the
+        # uncached byte stream exactly on every execution path.
+        cached: dict[int, list[dict[str, Any]]] = {}
+        miss_docs = docs
+        fingerprint = ""
+        # Duplicate doc_ids inside one operator input (reachable via a
+        # union of document streams) would make the per-document
+        # regrouping on the cluster path ambiguous — such streams simply
+        # bypass the cache.
+        if self._cache is not None and docs \
+                and len({d.doc_id for d in docs}) == len(docs):
+            fingerprint = extractor_fingerprint(extractor)
+            with get_tracer().span("cache.lookup", op=op.name) as span:
+                miss_docs = []
+                for i, doc in enumerate(docs):
+                    rows = self._cache.get(document_key(doc), fingerprint)
+                    if rows is None:
+                        miss_docs.append(doc)
+                    else:
+                        cached[i] = rows
+                span.set_attribute("hits", len(cached))
+                span.set_attribute("misses", len(miss_docs))
+
+        total_chars = sum(len(d.text) for d in miss_docs)
         registry.inc(f"executor.chars_scanned.{key}", total_chars)
-        registry.inc(f"executor.docs_extracted.{key}", len(docs))
+        registry.inc(f"executor.docs_extracted.{key}", len(miss_docs))
+
         if self._cluster is not None and docs:
-            job = MapReduceJob(
-                map_fn=_ExtractMapFn(extractor),
-                reduce_fn=_values_reduce,
-                split_size=max(len(docs) // (len(self._cluster.worker_speeds()) * 4), 1),
-                num_reducers=1,
-                map_cost_per_item=extractor.cost_per_char
-                * (total_chars / len(docs)),
-            )
-            result = run_mapreduce(job, docs, cluster=self._cluster,
-                                   backend=self._backend)
-            registry.inc("executor.cluster_makespan", result.makespan)
-            registry.inc("executor.real_parallel_seconds", result.real_seconds)
-            registry.inc("executor.wave_tasks.map", result.map_tasks)
-            registry.inc("executor.wave_tasks.reduce", result.reduce_tasks)
-            rows = [row for values in result.output.values() for row in values]
+            if miss_docs:
+                job = MapReduceJob(
+                    map_fn=_ExtractMapFn(extractor),
+                    reduce_fn=_values_reduce,
+                    split_size=max(len(miss_docs) // (len(self._cluster.worker_speeds()) * 4), 1),
+                    num_reducers=1,
+                    map_cost_per_item=extractor.cost_per_char
+                    * (total_chars / len(miss_docs)),
+                )
+                result = run_mapreduce(job, miss_docs, cluster=self._cluster,
+                                       backend=self._backend)
+                registry.inc("executor.cluster_makespan", result.makespan)
+                registry.inc("executor.real_parallel_seconds",
+                             result.real_seconds)
+                registry.inc("executor.wave_tasks.map", result.map_tasks)
+                registry.inc("executor.wave_tasks.reduce", result.reduce_tasks)
+                if fingerprint:
+                    # result.output[doc_id] is that document's rows in
+                    # emission order (map preserves it, the identity
+                    # reduce keeps it) — the per-doc form both the
+                    # write-back and the reassembly need.
+                    per_miss_doc = [
+                        result.output.get(doc.doc_id, []) for doc in miss_docs
+                    ]
+                    self._cache_write_back(fingerprint, miss_docs,
+                                           per_miss_doc)
+                    rows = [
+                        row
+                        for per_doc in self._assemble(docs, cached,
+                                                      per_miss_doc)
+                        for row in per_doc
+                    ]
+                else:
+                    rows = [
+                        row
+                        for values in result.output.values()
+                        for row in values
+                    ]
+            else:  # fully warm wave: every document hit the cache
+                rows = [
+                    row
+                    for per_doc in self._assemble(docs, cached, [])
+                    for row in per_doc
+                ]
             rows.sort(key=lambda r: (r["doc_id"], r["span_start"], r["attribute"]))
             return rows
-        if self._backend is not None and docs:
+        if self._backend is not None and miss_docs:
             started = time.perf_counter()
-            per_doc = self._backend.map(_ExtractDocPayload(extractor), docs)
+            per_miss_doc = self._backend.map(_ExtractDocPayload(extractor),
+                                             miss_docs)
             registry.inc("executor.real_parallel_seconds",
                          time.perf_counter() - started)
-            registry.inc("executor.wave_tasks.map", len(docs))
+            registry.inc("executor.wave_tasks.map", len(miss_docs))
+            self._cache_write_back(fingerprint, miss_docs, per_miss_doc)
             # Input order is preserved, so flattening matches the serial
             # loop below row for row.
-            return [row for rows in per_doc for row in rows]
-        out: list[dict[str, Any]] = []
-        for doc in docs:
+            return [
+                row
+                for per_doc in self._assemble(docs, cached, per_miss_doc)
+                for row in per_doc
+            ]
+        per_miss_doc = []
+        for doc in miss_docs:
             rows = [extraction_to_tuple(e) for e in extractor.extract(doc)]
             _record_extraction_metrics(rows)
-            out.extend(rows)
-        return out
+            per_miss_doc.append(rows)
+        self._cache_write_back(fingerprint, miss_docs, per_miss_doc)
+        return [
+            row
+            for per_doc in self._assemble(docs, cached, per_miss_doc)
+            for row in per_doc
+        ]
+
+    def _cache_write_back(self, fingerprint: str, miss_docs: list[Document],
+                          per_doc_rows: list[list[dict[str, Any]]]) -> None:
+        """Store freshly extracted rows (empty lists included — an
+        unchanged document that yields nothing must also hit next time)."""
+        if self._cache is None or not fingerprint:
+            return
+        for doc, rows in zip(miss_docs, per_doc_rows):
+            self._cache.put(document_key(doc), fingerprint, rows)
+
+    @staticmethod
+    def _assemble(docs: list[Document],
+                  cached: dict[int, list[dict[str, Any]]],
+                  per_miss_doc: list[list[dict[str, Any]]],
+                  ) -> Iterator[list[dict[str, Any]]]:
+        """Per-document row lists in original document order, merging
+        cache hits with freshly extracted misses."""
+        fresh = iter(per_miss_doc)
+        for i in range(len(docs)):
+            yield cached[i] if i in cached else next(fresh)
 
     def _eval_resolve(self, op: ResolveOp, rows: list[dict[str, Any]],
                       stats: ExecutionStats) -> list[dict[str, Any]]:
@@ -465,10 +574,14 @@ class Executor:
 def run_program(source: str, corpus: Sequence[Document],
                 registry: OperatorRegistry, optimize: bool = True,
                 cluster: SimulatedCluster | None = None,
-                backend: str | ExecutionBackend | None = None) -> ExecutionResult:
+                backend: str | ExecutionBackend | None = None,
+                cache: ExtractionCache | None = None) -> ExecutionResult:
     """Parse, (optionally) optimize, and execute an xlog program."""
     ops, output = parse_program(source)
     plan = LogicalPlan.from_ops(ops, output)
     if optimize:
-        plan = Optimizer(registry).optimize(plan, list(corpus)[:50])
-    return Executor(registry, cluster=cluster, backend=backend).execute(plan, corpus)
+        # islice: the optimizer only probes a small sample — don't
+        # materialize the whole (possibly lazily streamed) corpus for it.
+        plan = Optimizer(registry).optimize(plan, list(islice(corpus, 50)))
+    return Executor(registry, cluster=cluster, backend=backend,
+                    cache=cache).execute(plan, corpus)

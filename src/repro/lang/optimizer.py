@@ -32,8 +32,13 @@ from repro.lang.registry import OperatorRegistry
 
 
 def doc_passes_keyword_groups(doc: Document, groups: list[list[str]]) -> bool:
-    """True when for some group all keywords occur in the document."""
-    lowered = doc.text.lower()
+    """True when for some group all keywords occur in the document.
+
+    Uses the document's memoized lowercase text — this runs per document
+    per filter *and* per selectivity probe, and re-lowercasing the full
+    text each call was an O(corpus) allocation on the pre-filter path.
+    """
+    lowered = doc.text_lower
     return any(all(kw.lower() in lowered for kw in group) for group in groups)
 
 

@@ -105,6 +105,21 @@ class RecordFileStore:
             self._write_line({"id": record.record_id, **record.payload})
         return len(live)
 
+    def clear(self) -> int:
+        """Delete every segment and reset to an empty store.
+
+        Unlike :meth:`compact` this drops live records too (the extraction
+        cache's ``clear`` uses it).  Record IDs restart at 0.  Returns the
+        number of segment files removed.
+        """
+        names = self._segment_names()
+        for name in names:
+            os.remove(os.path.join(self._root, name))
+        self._next_id = 0
+        self._active_segment = 0
+        self._active_count = 0
+        return len(names)
+
     def total_bytes(self) -> int:
         """Total on-disk size of all segments."""
         return sum(

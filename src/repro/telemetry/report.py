@@ -20,6 +20,7 @@ LAYER_BY_PREFIX = {
     "executor": "processing",
     "extraction": "processing",
     "integration": "processing",
+    "cache": "storage",
     "mapreduce": "cluster",
     "rdbms": "storage",
 }
@@ -112,6 +113,19 @@ def render_report(summary: dict[str, Any],
     if snapshot is not None:
         counters = sorted(snapshot.get("counters", {}).items(),
                           key=lambda kv: kv[1], reverse=True)
+        all_counters = snapshot.get("counters", {})
+        lookups = all_counters.get("cache.hits", 0.0) \
+            + all_counters.get("cache.misses", 0.0)
+        if lookups:
+            # Dedicated line: the hit rate is the number a caching session
+            # is judged by, and the counters may not crack the top list.
+            hits = all_counters.get("cache.hits", 0.0)
+            lines += [
+                "",
+                f"extraction cache: cache.hits={hits:.0f} "
+                f"cache.misses={all_counters.get('cache.misses', 0.0):.0f} "
+                f"({100.0 * hits / lookups:.1f}% hit rate)",
+            ]
         lines += ["", "metrics (counters):"]
         for name, value in counters[:max_metrics]:
             rendered = f"{value:.0f}" if value == int(value) else f"{value:.4f}"

@@ -21,6 +21,20 @@ def test_hash_ignores_none_values():
     index.remove(None, 1)  # no-op, no error
 
 
+def test_hash_buckets_stay_sorted_without_per_lookup_sort():
+    # Out-of-order inserts, duplicates, and removals must leave buckets
+    # already sorted: lookup() is a plain O(k) copy, so it returns the
+    # deterministic ascending order only if mutation maintains it.
+    index = HashIndex("t", "c")
+    for rid in [9, 2, 7, 2, 0, 5]:
+        index.insert("a", rid)
+    assert index._buckets["a"] == sorted(set([9, 2, 7, 2, 0, 5]))
+    index.remove("a", 7)
+    assert index._buckets["a"] == [0, 2, 5, 9]
+    assert index.lookup("a") == [0, 2, 5, 9]
+    assert index.lookup("a") is not index._buckets["a"]  # caller-owned copy
+
+
 def test_hash_update_moves_rid():
     index = HashIndex("t", "c")
     index.insert("a", 1)
