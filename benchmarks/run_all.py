@@ -1,12 +1,16 @@
-"""One-shot gate: smoke-run E15, run the E16/E17 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E18 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
 assertions), runs the full telemetry-overhead bench (E16: fails when
 end-to-end instrumentation costs more than 10%), runs the full extraction
 cache bench (E17: fails unless a warm run after 10% churn is >= 3x faster
-than cold and warm work exactly matches the churned text), and then
-confirms the whole repo is still green::
+than cold and warm work exactly matches the churned text), runs the full
+fault-tolerance bench (E18: fails unless output under 1/5/10% injected
+faults is byte-identical to the fault-free run minus quarantined
+documents, fault-free retry overhead is < 5%, and crash recovery loses no
+committed transactions), and then confirms the whole repo is still
+green::
 
     python benchmarks/run_all.py
 
@@ -46,6 +50,10 @@ def main() -> int:
          [sys.executable,
           os.path.join(REPO_ROOT, "benchmarks",
                        "bench_e17_cache_churn.py")]),
+        ("E18 fault-tolerance bench (identity + <5% overhead gates)",
+         [sys.executable,
+          os.path.join(REPO_ROOT, "benchmarks",
+                       "bench_e18_fault_tolerance.py")]),
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]

@@ -158,16 +158,34 @@ class DiskExtractionCache(ExtractionCache):
     never touch the disk.  Rows must be JSON scalars — anything richer
     (an extractor emitting, say, tuples) is *skipped*, not stored, so a
     JSON round-trip can never change result bytes.
+
+    The open-time scan is crash-safe: corrupt lines (torn final append,
+    flipped bytes) and well-formed lines with the wrong shape are skipped
+    — a damaged entry simply becomes a future miss and gets regenerated —
+    counted in the ``cache.corrupt_entries`` telemetry counter and
+    reported by :meth:`stats`.
     """
 
     def __init__(self, root: str, segment_max_records: int = 5_000) -> None:
         self._lock = threading.Lock()
         self._store = RecordFileStore(root,
-                                      segment_max_records=segment_max_records)
+                                      segment_max_records=segment_max_records,
+                                      tolerant=True)
         self._index: dict[tuple[str, str], Rows] = {}
+        malformed = 0
         for record in self._store.scan():
             payload = record.payload
-            self._index[(payload["doc"], payload["ext"])] = payload["rows"]
+            doc, ext, rows = payload.get("doc"), payload.get("ext"), \
+                payload.get("rows")
+            if not isinstance(doc, str) or not isinstance(ext, str) \
+                    or not isinstance(rows, list):
+                malformed += 1
+                continue
+            self._index[(doc, ext)] = rows
+        self.corrupt_entries = self._store.corrupt_lines + malformed
+        if self.corrupt_entries:
+            metrics.get_registry().inc("cache.corrupt_entries",
+                                       self.corrupt_entries)
 
     @property
     def root(self) -> str:
@@ -199,6 +217,7 @@ class DiskExtractionCache(ExtractionCache):
                 "entries": len(self._index),
                 "segments": self._store.segment_count(),
                 "disk_bytes": self._store.total_bytes(),
+                "corrupt_entries": self.corrupt_entries,
             }
 
     def clear(self) -> None:

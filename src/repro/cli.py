@@ -30,6 +30,8 @@ from typing import Sequence
 
 from repro import telemetry
 from repro.cache.store import DiskExtractionCache
+from repro.cluster.backends import BackendError
+from repro.cluster.simulator import TaskFailedError
 from repro.core.system import FACTS_TABLE, StructureManagementSystem
 from repro.docmodel.corpus import DirectoryCorpus
 from repro.extraction.infobox import InfoboxExtractor
@@ -38,13 +40,19 @@ from repro.telemetry.report import load_telemetry, render_report, \
     summarize_trace
 from repro.userlayer.visualize import table
 
+#: Exit code for execution failures (dead backend, exhausted retries, a
+#: failed simulated task) — distinct from argparse's 2 and success's 0.
+EXIT_EXECUTION_FAILURE = 3
+
 
 def _build_system(workspace: str, builtin: bool,
                   backend: str | None = None,
                   workers: int | None = None,
-                  cache: str | None = None) -> StructureManagementSystem:
+                  cache: str | None = None,
+                  fail_fast: bool = False) -> StructureManagementSystem:
     system = StructureManagementSystem(workspace=workspace, backend=backend,
-                                       backend_workers=workers, cache=cache)
+                                       backend_workers=workers, cache=cache,
+                                       fail_fast=fail_fast)
     if builtin:
         system.registry.register_extractor("infobox", InfoboxExtractor())
         system.registry.register_extractor("links", LinkExtractor())
@@ -72,7 +80,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     """Run (or EXPLAIN) a declarative IE program file."""
     system = _build_system(args.workspace, args.builtin,
                            backend=args.backend, workers=args.workers,
-                           cache=args.cache)
+                           cache=args.cache, fail_fast=args.fail_fast)
     _reingest_existing(system)
     with open(args.program, "r", encoding="utf-8") as f:
         source = f.read()
@@ -85,6 +93,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
           f"({report.facts_flagged} flagged); "
           f"scanned {report.chars_scanned} chars; "
           f"asked {report.hi_questions} HI questions")
+    if report.failed_docs:
+        print(f"quarantined {report.failed_docs} document(s) after "
+              f"retries — inspect with 'repro deadletter list'")
     if report.backend_name != "inline":
         print(f"backend {report.backend_name}: "
               f"{report.real_parallel_seconds:.3f}s parallel extraction")
@@ -162,6 +173,46 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_deadletter(args: argparse.Namespace) -> int:
+    """Inspect, re-drive, or clear quarantined (poison) documents."""
+    system = _build_system(args.workspace, args.builtin,
+                           backend=args.backend, workers=args.workers,
+                           cache=args.cache)
+    try:
+        if args.action == "list":
+            entries = system.deadletter.entries()
+            if not entries:
+                print("dead-letter store is empty")
+                return 0
+            print(table([
+                {"doc_id": e.doc_id, "extractor": e.extractor,
+                 "error_type": e.error_type, "attempts": e.attempts,
+                 "error": e.error[:60]}
+                for e in entries
+            ], limit=args.limit))
+            return 0
+        if args.action == "clear":
+            dropped = system.deadletter.clear()
+            print(f"cleared {dropped} dead-letter entr"
+                  f"{'y' if dropped == 1 else 'ies'}")
+            return 0
+        # retry
+        if args.program is None:
+            print("deadletter retry needs --program <file.xlog>",
+                  file=sys.stderr)
+            return 2
+        _reingest_existing(system)
+        with open(args.program, "r", encoding="utf-8") as f:
+            source = f.read()
+        retried, still_failed = system.retry_deadletter(source)
+        print(f"retried {retried} document(s); "
+              f"{retried - still_failed} recovered, "
+              f"{still_failed} still quarantined")
+        return 0
+    finally:
+        system.close()
+
+
 def cmd_facts(args: argparse.Namespace) -> int:
     """Browse stored facts as a table."""
     system = _build_system(args.workspace, args.builtin)
@@ -198,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record spans and a metrics snapshot to this "
                              "JSONL file (inspect with 'repro stats PATH')")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first extraction failure instead "
+                             "of retrying and quarantining poison documents")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("ingest", help="ingest a directory of .txt pages")
@@ -239,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"])
     p.set_defaults(fn=cmd_cache)
 
+    p = sub.add_parser("deadletter",
+                       help="inspect, retry, or clear quarantined documents")
+    p.add_argument("action", choices=["list", "retry", "clear"])
+    p.add_argument("--program", default=None,
+                   help="xlog program file for 'retry'")
+    p.add_argument("--limit", type=int, default=50)
+    p.set_defaults(fn=cmd_deadletter)
+
     p = sub.add_parser("stats", help="summarize a telemetry JSONL file")
     p.add_argument("telemetry_file")
     p.add_argument("--top", type=int, default=10,
@@ -249,17 +311,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Execution failures (:class:`BackendError`, :class:`TaskFailedError`)
+    print a one-line message and exit :data:`EXIT_EXECUTION_FAILURE`
+    instead of dumping a traceback — with ``--fail-fast`` this is the
+    normal way a poisoned run ends.
+    """
     args = build_parser().parse_args(argv)
-    if args.telemetry is None:
-        return args.fn(args)
-    session = telemetry.enable(jsonl_path=args.telemetry)
     try:
-        return args.fn(args)
-    finally:
-        session.finish()
-        telemetry.disable()
-        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+        if args.telemetry is None:
+            return args.fn(args)
+        session = telemetry.enable(jsonl_path=args.telemetry)
+        try:
+            return args.fn(args)
+        finally:
+            session.finish()
+            telemetry.disable()
+            print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+    except (BackendError, TaskFailedError) as exc:
+        print(f"repro: execution failed: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION_FAILURE
 
 
 if __name__ == "__main__":

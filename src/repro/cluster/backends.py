@@ -23,17 +23,33 @@ Telemetry: pool backends run every chunk under a fresh worker-local
 back into the caller's ambient registry, so metrics recorded inside
 payloads (``extraction.docs`` etc.) aggregate to identical totals on
 serial, thread, and process backends — counters are commutative, and
-snapshots are merged in submission order.
+snapshots are merged in submission order.  A failed chunk attempt never
+returns its snapshot, so retried work is counted exactly once: by the
+attempt whose results are actually used.
+
+Fault tolerance: every backend runs under a
+:class:`~repro.faults.retry.RetryPolicy`.  Failed chunks are retried for
+up to ``max_attempts`` rounds (with deterministic backoff between
+rounds); a dead process pool (``BrokenProcessPool`` after a worker
+called ``os._exit`` or segfaulted) is rebuilt and the unfinished chunks
+resubmitted.  Chunks that still fail are *isolated* — re-run one item at
+a time so a single poison payload cannot take its chunk-mates down with
+it.  A persistently failing item is routed to the caller's
+``on_item_failure(item, exc)`` callback (the executor uses this to emit
+quarantine markers) or, absent a callback, raises :class:`BackendError`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
+from repro.faults.retry import DEFAULT_RETRY, RetryPolicy
 from repro.telemetry import metrics
 
 
@@ -55,8 +71,15 @@ class ExecutionBackend(Protocol):
     max_workers: int
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-            chunk_size: int | None = None) -> list[Any]:
-        """Apply ``fn`` to every item; results in input order."""
+            chunk_size: int | None = None,
+            on_item_failure: Callable[[Any, BaseException], Any] | None = None,
+            ) -> list[Any]:
+        """Apply ``fn`` to every item; results in input order.
+
+        ``on_item_failure(item, exc)``, when given, supplies a substitute
+        result for an item that still fails after the backend's retry
+        budget; without it such an item raises :class:`BackendError`.
+        """
         ...
 
     def close(self) -> None:
@@ -97,9 +120,26 @@ class SerialBackend:
     name = "serial"
     max_workers = 1
 
+    def __init__(self, retry: RetryPolicy | None = None) -> None:
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-            chunk_size: int | None = None) -> list[Any]:
-        return [fn(item) for item in items]
+            chunk_size: int | None = None,
+            on_item_failure: Callable[[Any, BaseException], Any] | None = None,
+            ) -> list[Any]:
+        out: list[Any] = []
+        for index, item in enumerate(items):
+            try:
+                out.append(self.retry.run(lambda it=item: fn(it),
+                                          salt=f"serial:{index}"))
+            except Exception as exc:
+                if on_item_failure is None:
+                    raise BackendError(
+                        f"task failed after {self.retry.max_attempts} "
+                        f"attempt(s): {exc}"
+                    ) from exc
+                out.append(on_item_failure(item, exc))
+        return out
 
     def close(self) -> None:
         pass
@@ -122,16 +162,20 @@ class _PoolBackend:
 
     name = "pool"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
         if self.max_workers < 1:
             raise BackendError("max_workers must be >= 1")
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._pool: _FuturesExecutor | None = None
 
     # ------------------------------------------------------------------ API
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-            chunk_size: int | None = None) -> list[Any]:
+            chunk_size: int | None = None,
+            on_item_failure: Callable[[Any, BaseException], Any] | None = None,
+            ) -> list[Any]:
         items = list(items)
         if not items:
             return []
@@ -139,16 +183,29 @@ class _PoolBackend:
         if chunk_size is None:
             chunk_size = max(len(items) // (self.max_workers * 4), 1)
         chunks = _chunk(items, chunk_size)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_apply_chunk_metered, fn, chunk) for chunk in chunks
-        ]
         parent_registry = metrics.get_registry()
+        results: list[list[Any] | None] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        # Chunk-level retry rounds: resubmit failed chunks wholesale
+        # (covers transient errors and dead pools) before falling back to
+        # per-item isolation below.
+        for round_no in range(1, self.retry.max_attempts + 1):
+            pending = self._run_round(fn, chunks, results, pending,
+                                      parent_registry)
+            if not pending:
+                break
+            if round_no < self.retry.max_attempts:
+                parent_registry.inc("tasks.retried", len(pending))
+                time.sleep(self.retry.delay_for(round_no, salt=self.name))
+        # Chunks that failed every round: isolate item-by-item so one
+        # poison payload cannot sink its chunk-mates.
+        for index in pending:
+            results[index] = self._isolate_chunk(
+                fn, chunks[index], on_item_failure, parent_registry
+            )
         out: list[Any] = []
-        for future in futures:  # submission order == input order
-            results, snapshot = future.result()
-            out.extend(results)
-            parent_registry.merge(snapshot)
+        for chunk_results in results:  # chunk order == input order
+            out.extend(chunk_results or [])
         return out
 
     def close(self) -> None:
@@ -163,6 +220,95 @@ class _PoolBackend:
         self.close()
 
     # ------------------------------------------------------------ internals
+
+    def _run_round(self, fn: Callable[[Any], Any],
+                   chunks: list[Sequence[Any]],
+                   results: list[list[Any] | None],
+                   pending: list[int],
+                   parent_registry: metrics.MetricsRegistry) -> list[int]:
+        """Run one submission round; returns indices of chunks that failed.
+
+        A broken pool (worker death) fails every chunk that has not yet
+        returned a result; the pool is rebuilt so the next round — or the
+        isolation pass — runs on healthy workers.
+        """
+        pool = self._ensure_pool()
+        futures = {}
+        try:
+            for index in pending:
+                futures[index] = pool.submit(
+                    _apply_chunk_metered, fn, chunks[index]
+                )
+        except Exception:  # pool broken/shut down at submit time
+            self._rebuild_pool()
+            return list(pending)
+        failed: list[int] = []
+        broken = False
+        for index in pending:  # submission order == input order
+            try:
+                chunk_results, snapshot = futures[index].result()
+            except BrokenExecutor:
+                broken = True
+                failed.append(index)
+            except Exception:
+                failed.append(index)
+            else:
+                results[index] = chunk_results
+                parent_registry.merge(snapshot)
+        if broken:
+            self._rebuild_pool()
+        return failed
+
+    def _isolate_chunk(self, fn: Callable[[Any], Any],
+                       chunk: Sequence[Any],
+                       on_item_failure: Callable[[Any, BaseException], Any]
+                       | None,
+                       parent_registry: metrics.MetricsRegistry) -> list[Any]:
+        """Re-run a persistently failing chunk one item at a time."""
+        out: list[Any] = []
+        for item in chunk:
+            try:
+                result, snapshot = self._run_single(fn, item)
+            except Exception as exc:
+                if on_item_failure is None:
+                    raise BackendError(
+                        f"task failed after {self.retry.max_attempts} "
+                        f"attempt(s) on backend {self.name!r}: {exc}"
+                    ) from exc
+                out.append(on_item_failure(item, exc))
+            else:
+                out.append(result)
+                parent_registry.merge(snapshot)
+        return out
+
+    def _run_single(self, fn: Callable[[Any], Any],
+                    item: Any) -> tuple[Any, dict[str, Any]]:
+        """One item, with its own retry budget and pool-rebuild handling."""
+        last_exc: BaseException = BackendError("no attempt ran")
+        for attempt in range(1, self.retry.max_attempts + 1):
+            pool = self._ensure_pool()
+            try:
+                future = pool.submit(_apply_chunk_metered, fn, [item])
+                item_results, snapshot = future.result()
+                return item_results[0], snapshot
+            except Exception as exc:
+                last_exc = exc
+                if isinstance(exc, BrokenExecutor):
+                    self._rebuild_pool()
+            if attempt < self.retry.max_attempts:
+                metrics.get_registry().inc("tasks.retried")
+                time.sleep(self.retry.delay_for(attempt, salt="isolate"))
+        raise last_exc
+
+    def _rebuild_pool(self) -> None:
+        """Discard a (possibly broken) pool; next use builds a fresh one."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        metrics.get_registry().inc("backend.pool_rebuilds")
 
     def _ensure_pool(self) -> _FuturesExecutor:
         if self._pool is None:
@@ -218,7 +364,7 @@ class ProcessPoolBackend(_PoolBackend):
 
 
 _BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
-    "serial": lambda max_workers=None: SerialBackend(),
+    "serial": lambda max_workers=None, retry=None: SerialBackend(retry=retry),
     "thread": ThreadPoolBackend,
     "threads": ThreadPoolBackend,
     "process": ProcessPoolBackend,
@@ -227,7 +373,8 @@ _BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
 
 
 def make_backend(spec: "str | ExecutionBackend | None",
-                 max_workers: int | None = None) -> ExecutionBackend | None:
+                 max_workers: int | None = None,
+                 retry: RetryPolicy | None = None) -> ExecutionBackend | None:
     """Resolve a backend spec.
 
     Args:
@@ -235,6 +382,8 @@ def make_backend(spec: "str | ExecutionBackend | None",
             :class:`ExecutionBackend` instance (returned as-is), or one of
             ``"serial"``, ``"thread"``, ``"process"``.
         max_workers: pool size for thread/process backends.
+        retry: task retry policy; defaults to
+            :data:`~repro.faults.retry.DEFAULT_RETRY`.
 
     Raises:
         BackendError: unknown spec string.
@@ -248,7 +397,7 @@ def make_backend(spec: "str | ExecutionBackend | None",
                 f"unknown backend {spec!r}; expected one of "
                 f"{sorted(set(_BACKENDS))}"
             )
-        return factory(max_workers=max_workers)
+        return factory(max_workers=max_workers, retry=retry)
     if isinstance(spec, ExecutionBackend):
         return spec
     raise BackendError(f"cannot build a backend from {spec!r}")

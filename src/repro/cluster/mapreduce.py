@@ -27,6 +27,7 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.cluster.backends import ExecutionBackend
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster, Task, TaskResult
+from repro.faults.retry import RetryPolicy
 from repro.telemetry import metrics, tracing
 
 MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
@@ -171,13 +172,17 @@ def _approx_record_bytes(key: Hashable, value: Any) -> int:
 def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
                   cluster: SimulatedCluster | None = None,
                   config: ClusterConfig | None = None,
-                  backend: ExecutionBackend | None = None) -> MapReduceResult:
+                  backend: ExecutionBackend | None = None,
+                  retry: RetryPolicy | None = None) -> MapReduceResult:
     """Run a Map-Reduce job over ``items``.
 
     Provide either an existing ``cluster`` or a ``config`` (defaults to a
     4-worker cluster).  With a ``backend``, wave payloads execute on it for
     real wall-clock parallelism before the simulator schedules the (now
-    precomputed) tasks — simulated makespans are unaffected.
+    precomputed) tasks — simulated makespans are unaffected.  ``retry``
+    adds a wave-level re-run budget on top of the backend's own per-chunk
+    retries: if an entire wave fails (e.g. :class:`BackendError` after
+    the backend's budget is spent), the wave is resubmitted whole.
 
     Emits a ``mapreduce.job`` span with per-wave and per-task children,
     plus ``mapreduce.*`` metrics (task counts, shuffle records; shuffle
@@ -209,7 +214,14 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
             map_outputs: list[list[tuple[Hashable, Any]]] | None = None
             if backend is not None:
                 started = time.perf_counter()
-                map_outputs = backend.map(map_payload, splits, chunk_size=1)
+                if retry is not None:
+                    map_outputs = retry.run(
+                        lambda: backend.map(map_payload, splits, chunk_size=1),
+                        salt="mapreduce:map",
+                    )
+                else:
+                    map_outputs = backend.map(map_payload, splits,
+                                              chunk_size=1)
                 real_seconds += time.perf_counter() - started
 
             def make_map_task(index: int, split: Sequence[Any]) -> Task:
@@ -255,8 +267,15 @@ def run_mapreduce(job: MapReduceJob, items: Sequence[Any],
             reduce_outputs: list[dict[Hashable, Any]] | None = None
             if backend is not None:
                 started = time.perf_counter()
-                reduce_outputs = backend.map(reduce_payload, live_partitions,
-                                             chunk_size=1)
+                if retry is not None:
+                    reduce_outputs = retry.run(
+                        lambda: backend.map(reduce_payload, live_partitions,
+                                            chunk_size=1),
+                        salt="mapreduce:reduce",
+                    )
+                else:
+                    reduce_outputs = backend.map(reduce_payload,
+                                                 live_partitions, chunk_size=1)
                 real_seconds += time.perf_counter() - started
 
             def make_reduce_task(index: int,

@@ -13,6 +13,8 @@ from repro.cluster.simulator import ClusterConfig, SimulatedCluster
 from repro.debugger.semantic import SemanticDebugger, SystemMonitor
 from repro.docmodel.corpus import Corpus, InMemoryCorpus
 from repro.docmodel.document import Document
+from repro.faults.deadletter import DeadLetterEntry, DeadLetterStore
+from repro.faults.retry import RetryPolicy
 from repro.lang.executor import ExecutionResult, Executor
 from repro.lang.optimizer import Optimizer
 from repro.lang.parser import parse_program
@@ -77,6 +79,8 @@ class GenerationReport:
     real_parallel_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    failed_docs: int = 0
+    failed_doc_ids: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -104,6 +108,11 @@ class StructureManagementSystem:
             cache, ``generate()`` re-runs only extract documents whose
             text (or extractor configuration) changed since the cached
             run; output is byte-identical either way.
+        retry: per-document extraction retry policy (defaults to three
+            quick attempts).  Documents that still fail are quarantined
+            in the dead-letter store instead of failing the run.
+        fail_fast: abort ``generate()`` on the first extraction failure
+            (pre-PR-4 semantics) instead of retrying and quarantining.
     """
 
     workspace: str | None = None
@@ -113,6 +122,8 @@ class StructureManagementSystem:
     backend: str | ExecutionBackend | None = None
     backend_workers: int | None = None
     cache: ExtractionCache | str | None = None
+    retry: RetryPolicy | None = None
+    fail_fast: bool = False
 
     def __post_init__(self) -> None:
         if self.workspace is not None:
@@ -138,9 +149,16 @@ class StructureManagementSystem:
         self._cluster = (
             SimulatedCluster(self.cluster_config) if self.use_cluster else None
         )
+        backend_retry = RetryPolicy(max_attempts=1) if self.fail_fast \
+            else None
         self._backend = make_backend(self.backend,
-                                     max_workers=self.backend_workers)
+                                     max_workers=self.backend_workers,
+                                     retry=backend_retry)
         self._cache = make_cache(self.cache)
+        self.deadletter = DeadLetterStore(
+            os.path.join(self.workspace, "deadletter")
+            if self.workspace is not None else None
+        )
         if FACTS_TABLE not in self.db.table_names():
             self.db.create_table(facts_schema())
             self.db.create_index(FACTS_TABLE, "entity")
@@ -211,8 +229,20 @@ class StructureManagementSystem:
             if optimize:
                 plan = Optimizer(self.registry).optimize(plan, docs[:50])
             executor = Executor(self.registry, cluster=self._cluster,
-                                backend=self._backend, cache=self._cache)
+                                backend=self._backend, cache=self._cache,
+                                retry=self.retry, fail_fast=self.fail_fast)
             result: ExecutionResult = executor.execute(plan, docs)
+            if result.failed_docs:
+                self.deadletter.add_many(
+                    DeadLetterEntry(
+                        doc_id=f["doc_id"],
+                        extractor=f.get("extractor", ""),
+                        error=f.get("error", ""),
+                        error_type=f.get("error_type", ""),
+                        attempts=int(f.get("attempts", 1)),
+                    )
+                    for f in result.failed_docs
+                )
 
             rows = [r for r in result.rows if r.get("attribute")]
             if self.storage is not None:
@@ -268,6 +298,7 @@ class StructureManagementSystem:
             span.set_attribute("facts_stored", stored)
             span.set_attribute("facts_flagged", flagged_count)
             span.set_attribute("intermediate_records", len(rows))
+            span.set_attribute("failed_docs", len(result.failed_docs))
             return GenerationReport(
                 facts_stored=stored,
                 facts_flagged=flagged_count,
@@ -280,7 +311,41 @@ class StructureManagementSystem:
                 real_parallel_seconds=result.stats.real_parallel_seconds,
                 cache_hits=result.stats.cache_hits,
                 cache_misses=result.stats.cache_misses,
+                failed_docs=len(result.failed_docs),
+                failed_doc_ids=sorted(f["doc_id"]
+                                      for f in result.failed_docs),
             )
+
+    def retry_deadletter(self, program_source: str,
+                         optimize: bool = True) -> tuple[int, int]:
+        """Re-drive quarantined documents through a program.
+
+        Quarantined documents still present in the corpus are re-run
+        through ``generate()`` (over just those documents).  Documents
+        that now succeed leave the dead-letter store and their facts are
+        stored; documents that fail again are re-quarantined.  Entries
+        whose documents are no longer in the corpus are left untouched.
+
+        Returns:
+            ``(retried, still_failed)`` counts.
+        """
+        ids = set(self.deadletter.doc_ids())
+        docs = [d for d in self._corpus if d.doc_id in ids]
+        if not docs:
+            return (0, 0)
+        # generate() re-adds whatever fails again, so clear the attempted
+        # entries first — a success must not linger in quarantine.
+        self.deadletter.remove([d.doc_id for d in docs])
+        saved_corpus = self._corpus
+        subset = InMemoryCorpus()
+        for doc in docs:
+            subset.add(doc)
+        self._corpus = subset
+        try:
+            report = self.generate(program_source, optimize=optimize)
+        finally:
+            self._corpus = saved_corpus
+        return (len(docs), report.failed_docs)
 
     def _store_fact(self, row: dict[str, Any], confidence: float) -> None:
         """Store one fact (single-row path; generate() batches instead)."""

@@ -1,0 +1,28 @@
+"""Fault injection, retry policies, and poison-document quarantine.
+
+The physical layer of the paper's architecture is explicitly
+best-effort — extraction is computation-intensive and partial failure is
+the normal case.  This package holds the three shared primitives that
+let the rest of the stack bend instead of break:
+
+* :class:`FaultInjector` — deterministic, seedable fault source for
+  tests and benchmarks (error / crash / slow / corrupt modes);
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  and optional deadlines, used by backends, the executor, and mapreduce;
+* :class:`DeadLetterStore` — persistent quarantine for documents that
+  still fail after the retry budget.
+"""
+
+from repro.faults.deadletter import DeadLetterEntry, DeadLetterStore
+from repro.faults.injector import FaultInjector, FaultyExtractor, InjectedFault
+from repro.faults.retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "DeadLetterEntry",
+    "DeadLetterStore",
+    "FaultInjector",
+    "FaultyExtractor",
+    "InjectedFault",
+    "RetryPolicy",
+]

@@ -1,0 +1,153 @@
+"""Persistent dead-letter store for poison documents.
+
+A document whose extraction still fails after the retry budget is
+*quarantined* rather than allowed to fail the whole ``generate()`` run:
+the executor emits a poison marker, the system appends a
+:class:`DeadLetterEntry` here, and the run completes for every other
+document.  The store is a single JSONL file under the workspace
+(``<workspace>/deadletter/entries.jsonl``) so quarantined documents
+survive process restarts and can be inspected / re-driven later via
+``repro deadletter list|retry|clear``.
+
+The reader uses the same tolerant tail-scan contract as the WAL: a
+truncated final line (crash mid-append) is dropped silently instead of
+poisoning the poison store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Iterable
+
+from repro.telemetry import metrics
+
+_FILENAME = "entries.jsonl"
+
+
+@dataclass
+class DeadLetterEntry:
+    """One quarantined document."""
+
+    doc_id: str
+    extractor: str
+    error: str
+    error_type: str = ""
+    attempts: int = 1
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "DeadLetterEntry":
+        payload = json.loads(line)
+        return cls(
+            doc_id=payload["doc_id"],
+            extractor=payload.get("extractor", ""),
+            error=payload.get("error", ""),
+            error_type=payload.get("error_type", ""),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+
+@dataclass
+class DeadLetterStore:
+    """Append-only quarantine log, persistent when given a directory.
+
+    Args:
+        root: directory for the JSONL file; ``None`` keeps entries in
+            memory only (workspace-less systems still get quarantine,
+            just not across restarts).
+    """
+
+    root: str | None = None
+    _memory: list[DeadLetterEntry] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.root is not None:
+            os.makedirs(self.root, exist_ok=True)
+
+    @property
+    def _path(self) -> str | None:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, _FILENAME)
+
+    # --------------------------------------------------------------- writes
+
+    def add(self, entry: DeadLetterEntry) -> None:
+        self.add_many([entry])
+
+    def add_many(self, entries: Iterable[DeadLetterEntry]) -> None:
+        entries = list(entries)
+        if not entries:
+            return
+        path = self._path
+        if path is None:
+            self._memory.extend(entries)
+        else:
+            with open(path, "a", encoding="utf-8") as f:
+                for entry in entries:
+                    f.write(entry.to_json() + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+        registry = metrics.get_registry()
+        registry.inc("deadletter.quarantined", len(entries))
+        registry.set_gauge("deadletter.size", float(len(self.entries())))
+
+    def clear(self) -> int:
+        """Drop all entries; returns how many were dropped."""
+        count = len(self.entries())
+        if self._path is None:
+            self._memory.clear()
+        elif os.path.exists(self._path):
+            os.remove(self._path)
+        metrics.get_registry().set_gauge("deadletter.size", 0.0)
+        return count
+
+    def remove(self, doc_ids: Iterable[str]) -> int:
+        """Drop entries for ``doc_ids`` (used after a successful retry)."""
+        drop = set(doc_ids)
+        kept = [e for e in self.entries() if e.doc_id not in drop]
+        removed = len(self.entries()) - len(kept)
+        if removed:
+            if self._path is None:
+                self._memory = kept
+            else:
+                tmp = self._path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as f:
+                    for entry in kept:
+                        f.write(entry.to_json() + "\n")
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, self._path)
+            metrics.get_registry().set_gauge("deadletter.size", float(len(kept)))
+        return removed
+
+    # ---------------------------------------------------------------- reads
+
+    def entries(self) -> list[DeadLetterEntry]:
+        path = self._path
+        if path is None:
+            return list(self._memory)
+        if not os.path.exists(path):
+            return []
+        out: list[DeadLetterEntry] = []
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(DeadLetterEntry.from_json(line))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # Torn final append during a crash; drop it.
+                    continue
+        return out
+
+    def doc_ids(self) -> list[str]:
+        return [entry.doc_id for entry in self.entries()]
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -1,0 +1,235 @@
+"""Deterministic, seedable fault injection.
+
+Tests and benchmarks plug a :class:`FaultInjector` into extraction
+payloads, execution backends, or file stores to exercise the
+fault-tolerance machinery without any nondeterminism: whether a given
+document faults — and whether it keeps faulting on retry — is a pure
+function of ``(seed, key)``, so a faulty run is reproducible across
+serial, thread, and process backends, and the set of documents that end
+up quarantined can be predicted exactly (E18's acceptance gate).
+
+Modes:
+
+* ``error`` — raise :class:`InjectedFault` (an ordinary exception; the
+  executor's per-document retry/quarantine path handles it);
+* ``crash`` — ``os._exit(1)`` the current process (kills a pool worker;
+  the backend's broken-pool rebuild/resubmission path handles it);
+* ``slow`` — sleep ``delay`` seconds (exercises deadlines/stragglers);
+* ``corrupt`` — no-op on :meth:`check`; use :meth:`corrupt` to
+  deterministically flip a byte of data on its way to disk.
+
+Fault selection composes two triggers: *per-key* (a ``crc32``-hashed
+fraction ``rate`` of keys fault, of which ``persistent_share`` fault on
+every attempt and the rest only on their first ``fail_attempts``
+attempts) and *per-call* (``every_n`` faults every Nth ``check()``, the
+classic raise-on-Nth-call harness).  Per-key attempt counts live in
+memory; give a ``state_dir`` to persist them on disk, which is what makes
+*transient* worker crashes work — the count survives the process the
+fault just killed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from typing import Iterable
+
+from repro.docmodel.document import Document
+from repro.extraction.base import Extraction, Extractor
+from repro.telemetry import metrics
+
+_MODES = ("error", "crash", "slow", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``error``-mode injection."""
+
+
+class FaultInjector:
+    """Deterministic fault source (see module docstring).
+
+    Args:
+        mode: ``error`` / ``crash`` / ``slow`` / ``corrupt``.
+        rate: fraction of keys that fault, selected by seeded hash.
+        keys: explicit fault keys (unioned with ``rate`` selection).
+        persistent_share: fraction of *faulting* keys that fault on every
+            attempt (these are the poison documents quarantine catches).
+        fail_attempts: how many attempts a *transient* faulting key fails
+            before succeeding.
+        every_n: additionally fault every Nth :meth:`check` call (0 = off).
+        delay: sleep seconds for ``slow`` mode.
+        seed: hash seed; same seed, same faults.
+        state_dir: directory for per-key attempt counts; required for
+            transient ``crash`` faults to heal across process boundaries.
+    """
+
+    def __init__(self, mode: str = "error", rate: float = 0.0,
+                 keys: Iterable[str] = (), persistent_share: float = 0.0,
+                 fail_attempts: int = 1, every_n: int = 0,
+                 delay: float = 0.0, seed: int = 0,
+                 state_dir: str | None = None) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; one of {_MODES}")
+        if not 0.0 <= rate <= 1.0 or not 0.0 <= persistent_share <= 1.0:
+            raise ValueError("rate and persistent_share must be in [0, 1]")
+        self.mode = mode
+        self.rate = rate
+        self.keys = frozenset(keys)
+        self.persistent_share = persistent_share
+        self.fail_attempts = fail_attempts
+        self.every_n = every_n
+        self.delay = delay
+        self.seed = seed
+        self.state_dir = state_dir
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+        self.injected = 0
+        self._calls = 0
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- selection
+
+    def _score(self, salt: str, key: str) -> float:
+        token = f"{self.seed}:{salt}:{key}".encode("utf-8")
+        return (zlib.crc32(token) % 100_000) / 100_000
+
+    def selects(self, key: str) -> bool:
+        """Would this key ever fault?  Pure function of (seed, key)."""
+        if key in self.keys:
+            return True
+        return bool(self.rate) and self._score("fault", key) < self.rate
+
+    def is_persistent(self, key: str) -> bool:
+        """Does this key fault on *every* attempt (poison document)?"""
+        return self.selects(key) \
+            and self._score("persist", key) < self.persistent_share
+
+    def faulted_keys(self, keys: Iterable[str]) -> set[str]:
+        """Subset of ``keys`` that fault at least once."""
+        return {k for k in keys if self.selects(k)}
+
+    def persistent_keys(self, keys: Iterable[str]) -> set[str]:
+        """Subset of ``keys`` that fault on every attempt."""
+        return {k for k in keys if self.is_persistent(k)}
+
+    # ------------------------------------------------------------- injection
+
+    def check(self, key: str = "") -> None:
+        """Maybe inject a fault for ``key`` (call at the top of a payload).
+
+        Raises:
+            InjectedFault: ``error`` mode decided to fault.
+        """
+        with self._lock:
+            self._calls += 1
+            calls = self._calls
+        trigger = bool(self.every_n) and calls % self.every_n == 0
+        if not trigger and key and self.selects(key):
+            if self.is_persistent(key):
+                trigger = True
+            else:
+                trigger = self._next_attempt(key) <= self.fail_attempts
+        if not trigger:
+            return
+        self.injected += 1
+        registry = metrics.get_registry()
+        registry.inc("faults.injected")
+        registry.inc(f"faults.injected.{self.mode}")
+        if self.mode == "slow":
+            time.sleep(self.delay)
+            return
+        if self.mode == "crash":
+            os._exit(1)
+        if self.mode == "error":
+            raise InjectedFault(
+                f"injected fault for key {key!r} (seed {self.seed})"
+            )
+        # corrupt mode faults data, not control flow — check() is a no-op.
+
+    def corrupt(self, data: bytes, key: str = "") -> bytes:
+        """Deterministically flip one byte of ``data`` (any mode)."""
+        if not data:
+            return data
+        position = zlib.crc32(
+            f"{self.seed}:corrupt:{key}".encode("utf-8")
+        ) % len(data)
+        mutated = bytearray(data)
+        mutated[position] ^= 0xFF
+        return bytes(mutated)
+
+    # ------------------------------------------------------------- internals
+
+    def _next_attempt(self, key: str) -> int:
+        """Increment and return this key's attempt count (1-based).
+
+        With a ``state_dir`` the count is durable — it survives the very
+        process a ``crash`` fault is about to kill, which is what lets a
+        transient crash succeed when the rebuilt pool retries it.
+        """
+        if self.state_dir is None:
+            with self._lock:
+                count = self._attempts.get(key, 0) + 1
+                self._attempts[key] = count
+            return count
+        path = os.path.join(
+            self.state_dir, f"{zlib.crc32(key.encode('utf-8')):08x}.attempts"
+        )
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                count = int(f.read().strip() or 0) + 1
+        except (FileNotFoundError, ValueError):
+            count = 1
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(str(count))
+            f.flush()
+            os.fsync(f.fileno())
+        return count
+
+    # ---------------------------------------------------------- pickling etc
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # stable: feeds extractor fingerprints
+        return (f"FaultInjector(mode={self.mode!r}, rate={self.rate}, "
+                f"keys={sorted(self.keys)}, "
+                f"persistent_share={self.persistent_share}, "
+                f"fail_attempts={self.fail_attempts}, "
+                f"every_n={self.every_n}, seed={self.seed})")
+
+
+class FaultyExtractor(Extractor):
+    """Wraps an extractor with a fault-injection checkpoint per document.
+
+    Picklable as long as the inner extractor is (all shipped extractors
+    are), so it runs unchanged on thread and process backends.
+    """
+
+    def __init__(self, inner: Extractor, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.name = f"faulty:{inner.name}"
+
+    @property
+    def cost_per_char(self) -> float:  # type: ignore[override]
+        return self.inner.cost_per_char
+
+    @property
+    def version(self) -> int:  # type: ignore[override]
+        return self.inner.version
+
+    def prefilter_terms(self) -> list[list[str]] | None:
+        return self.inner.prefilter_terms()
+
+    def extract(self, doc: Document) -> list[Extraction]:
+        self.injector.check(doc.doc_id)
+        return self.inner.extract(doc)

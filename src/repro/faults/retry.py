@@ -1,0 +1,104 @@
+"""Retry with exponential backoff, deterministic jitter, and deadlines.
+
+The paper's physical layer is best-effort *by design* — "IE is computation
+intensive", so partial failure is the normal case, not the exceptional
+one.  :class:`RetryPolicy` is the one retry vocabulary every layer shares:
+execution backends resubmit crashed or failed task chunks under it, the
+executor re-attempts extraction on a poison document before quarantining
+it, and Map-Reduce waves re-run under it when a pool dies mid-wave.
+
+Jitter is *deterministic*: the backoff factor for attempt ``k`` is derived
+from ``crc32(salt:k)``, not from a live RNG, so two runs of the same
+workload sleep the same schedule and the determinism contract (identical
+output bytes across serial/thread/process backends) extends to the fault
+path.  Every performed retry bumps the ``tasks.retried`` counter in the
+ambient metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.telemetry import metrics
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a task, and how long to wait between.
+
+    Attributes:
+        max_attempts: total attempts (first try included); ``1`` disables
+            retrying entirely.
+        base_delay: backoff before the first retry, in seconds.
+        max_delay: backoff ceiling, in seconds.
+        multiplier: exponential growth factor per retry.
+        jitter: fraction of the raw delay added as deterministic jitter
+            (``0.25`` means up to +25%, derived from ``crc32``, never a
+            live RNG).
+        deadline: optional per-task wall-clock budget in seconds; a retry
+            whose backoff would overrun the deadline is not attempted and
+            the last error is raised instead.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    max_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delay_for(self, attempt: int, salt: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered.
+
+        Deterministic: the same (attempt, salt) pair always yields the
+        same delay, so retried runs remain reproducible.
+        """
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        frac = (zlib.crc32(f"{salt}:{attempt}".encode("utf-8")) % 1000) / 1000
+        return raw * (1.0 + self.jitter * frac)
+
+    def run(self, fn: Callable[[], Any], salt: str = "",
+            retry_on: tuple[type[BaseException], ...] = (Exception,),
+            sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Call ``fn`` until it succeeds or the budget is exhausted.
+
+        Args:
+            fn: zero-argument callable (close over task arguments).
+            salt: stirred into the jitter so distinct tasks don't sleep in
+                lockstep; use a task/document id.
+            retry_on: exception types worth retrying; anything else
+                propagates immediately.
+            sleep: injectable for tests.
+
+        Raises:
+            The last exception, once ``max_attempts`` or ``deadline`` is
+            exhausted.
+        """
+        started = time.monotonic()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.delay_for(attempt, salt)
+                if self.deadline is not None \
+                        and time.monotonic() - started + delay > self.deadline:
+                    raise
+                metrics.get_registry().inc("tasks.retried")
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Shared default for task execution: three quick attempts, capped backoff.
+DEFAULT_RETRY = RetryPolicy()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterator, Sequence
 
@@ -33,6 +33,7 @@ from repro.cluster.mapreduce import MapReduceJob, run_mapreduce
 from repro.cluster.simulator import SimulatedCluster
 from repro.docmodel.document import Document, Span
 from repro.extraction.base import Extraction
+from repro.faults.retry import RetryPolicy
 from repro.hi.aggregate import aggregate_majority
 from repro.hi.tasks import ValidateValueTask
 from repro.integration.entity_resolution import Mention
@@ -124,6 +125,10 @@ class ExecutionStats:
         return int(self.registry.get("cache.misses"))
 
     @property
+    def docs_failed(self) -> int:
+        return int(self.registry.get("executor.docs_failed"))
+
+    @property
     def total_chars_scanned(self) -> int:
         return int(sum(self.chars_scanned.values()))
 
@@ -174,20 +179,75 @@ def _record_extraction_metrics(rows: list[dict[str, Any]]) -> None:
     )
 
 
+#: Per-document retry budget: extraction faults are usually transient
+#: (resource hiccups, injected test faults), so three quick attempts with
+#: tightly capped backoff resolve them without visible latency.
+DEFAULT_DOC_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001,
+                                max_delay=0.02)
+
+_POISON_KEY = "__poison__"
+
+
+def _poison_row(doc_id: str, exc: BaseException, attempts: int) -> dict[str, Any]:
+    """Quarantine marker emitted in place of a failed document's rows.
+
+    Markers flow through backends and map-reduce exactly like ordinary
+    rows (picklable, mergeable), then get stripped — and recorded — by the
+    executor before results reach downstream operators.
+    """
+    return {
+        _POISON_KEY: True,
+        "doc_id": doc_id,
+        "error": str(exc),
+        "error_type": type(exc).__name__,
+        "attempts": attempts,
+    }
+
+
+def _is_poison(rows: list[Any]) -> bool:
+    """Is this per-document row list a quarantine marker?"""
+    return bool(rows) and isinstance(rows[0], dict) \
+        and bool(rows[0].get(_POISON_KEY))
+
+
 @dataclass(frozen=True)
 class _ExtractDocPayload:
     """Per-document extraction payload for execution backends.
 
     A module-level dataclass (not a lambda) so process backends can ship
     it to workers — every bundled extractor pickles cleanly.
+
+    Retrying happens *inside* the payload, in whatever worker it landed
+    on: a transient fault is healed on the spot without a round-trip
+    through the pool, and fault-injector attempt counts work unchanged on
+    process backends (the retries all see the same unpickled injector).
+    A document still failing after the budget yields a poison marker
+    instead of raising — unless ``fail_fast``, which restores
+    abort-on-first-error semantics.
     """
 
     extractor: Any  # Extractor; Any avoids a hard import cycle in hints
+    retry: RetryPolicy | None = None
+    fail_fast: bool = False
 
     def __call__(self, doc: Document) -> list[dict[str, Any]]:
-        rows = [extraction_to_tuple(e) for e in self.extractor.extract(doc)]
+        try:
+            extractions = self._attempt(doc)
+        except Exception as exc:
+            if self.fail_fast:
+                raise
+            metrics.get_registry().inc("extraction.poison_docs")
+            attempts = self.retry.max_attempts if self.retry is not None else 1
+            return [_poison_row(doc.doc_id, exc, attempts)]
+        rows = [extraction_to_tuple(e) for e in extractions]
         _record_extraction_metrics(rows)
         return rows
+
+    def _attempt(self, doc: Document) -> list[Extraction]:
+        if self.retry is None:
+            return self.extractor.extract(doc)
+        return self.retry.run(lambda: self.extractor.extract(doc),
+                              salt=doc.doc_id)
 
 
 @dataclass(frozen=True)
@@ -195,14 +255,31 @@ class _ExtractMapFn:
     """Map-function form of extraction for the Map-Reduce path."""
 
     extractor: Any
+    retry: RetryPolicy | None = None
+    fail_fast: bool = False
 
     def __call__(self, doc: Document) -> list[tuple[str, dict[str, Any]]]:
-        pairs = [
-            (e.span.doc_id, extraction_to_tuple(e))
-            for e in self.extractor.extract(doc)
-        ]
-        _record_extraction_metrics([row for _, row in pairs])
-        return pairs
+        payload = _ExtractDocPayload(self.extractor, retry=self.retry,
+                                     fail_fast=self.fail_fast)
+        return [(doc.doc_id, row) for row in payload(doc)]
+
+
+@dataclass(frozen=True)
+class _BackendFailureMarker:
+    """``on_item_failure`` callback: poison marker for a dead-worker item.
+
+    Runs caller-side, after the backend's own retry/rebuild budget is
+    spent on a document — the only failures that reach here are ones the
+    in-worker payload could not catch (the worker process died).
+    """
+
+    retry: RetryPolicy | None
+
+    def __call__(self, doc: Document,
+                 exc: BaseException) -> list[dict[str, Any]]:
+        metrics.get_registry().inc("extraction.poison_docs")
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        return [_poison_row(doc.doc_id, exc, attempts)]
 
 
 def _values_reduce(key: Any, values: list[Any]) -> list[Any]:
@@ -212,11 +289,18 @@ def _values_reduce(key: Any, values: list[Any]) -> list[Any]:
 
 @dataclass
 class ExecutionResult:
-    """Output rows plus the executed plan and its statistics."""
+    """Output rows plus the executed plan and its statistics.
+
+    ``failed_docs`` lists quarantined documents — one dict per document
+    whose extraction still failed after retries (``doc_id``, ``error``,
+    ``error_type``, ``attempts``, ``extractor``).  The run itself
+    completed; these documents simply contributed no rows.
+    """
 
     rows: list[dict[str, Any]]
     stats: ExecutionStats
     plan: LogicalPlan
+    failed_docs: list[dict[str, Any]] = field(default_factory=list)
 
 
 class Executor:
@@ -242,17 +326,33 @@ class Executor:
             ``executor.*`` work counters then measure only extraction
             actually performed, with ``cache.hits``/``cache.misses``
             recorded alongside.
+        retry: per-document retry policy for extraction faults; defaults
+            to :data:`DEFAULT_DOC_RETRY` (three quick attempts).  A
+            document that still fails is *quarantined*: it contributes no
+            rows, the run completes, and the failure is reported in
+            ``ExecutionResult.failed_docs``.
+        fail_fast: restore abort-on-first-error semantics — no retries,
+            the first extraction failure propagates.
     """
 
     def __init__(self, registry: OperatorRegistry,
                  cluster: SimulatedCluster | None = None,
                  backend: str | ExecutionBackend | None = None,
-                 cache: ExtractionCache | None = None) -> None:
+                 cache: ExtractionCache | None = None,
+                 retry: RetryPolicy | None = None,
+                 fail_fast: bool = False) -> None:
         self._registry = registry
         self._cluster = cluster
-        self._backend = make_backend(backend) if isinstance(backend, str) \
-            else backend
+        self._fail_fast = fail_fast
+        self._retry = retry if retry is not None \
+            else (None if fail_fast else DEFAULT_DOC_RETRY)
+        if isinstance(backend, str):
+            backend_retry = RetryPolicy(max_attempts=1) if fail_fast else None
+            self._backend = make_backend(backend, retry=backend_retry)
+        else:
+            self._backend = backend
         self._cache = cache
+        self._failed_docs: list[dict[str, Any]] = []
 
     def execute(self, plan: LogicalPlan,
                 corpus: Sequence[Document]) -> ExecutionResult:
@@ -264,6 +364,7 @@ class Executor:
         registry afterwards (one global snapshot sees every run).
         """
         registry = MetricsRegistry()
+        self._failed_docs = []
         stats = ExecutionStats(
             registry,
             backend_name=self._backend.name if self._backend is not None
@@ -294,7 +395,8 @@ class Executor:
         rows = streams[plan.output]
         if rows and isinstance(rows[0], Document):
             rows = [{"doc_id": d.doc_id, "chars": len(d.text)} for d in rows]
-        return ExecutionResult(rows=rows, stats=stats, plan=plan)
+        return ExecutionResult(rows=rows, stats=stats, plan=plan,
+                               failed_docs=list(self._failed_docs))
 
     # ------------------------------------------------------------ operators
 
@@ -389,6 +491,8 @@ class Executor:
         extractor = self._registry.extractor(op.extractor)
         key = f"{op.extractor}@{op.name}"
         registry = stats.registry
+        payload = _ExtractDocPayload(extractor, retry=self._retry,
+                                     fail_fast=self._fail_fast)
 
         # Partition into cache hits and misses; only misses are extracted.
         # Cached entries hold the extractor's per-document output in its
@@ -422,7 +526,8 @@ class Executor:
         if self._cluster is not None and docs:
             if miss_docs:
                 job = MapReduceJob(
-                    map_fn=_ExtractMapFn(extractor),
+                    map_fn=_ExtractMapFn(extractor, retry=self._retry,
+                                         fail_fast=self._fail_fast),
                     reduce_fn=_values_reduce,
                     split_size=max(len(miss_docs) // (len(self._cluster.worker_speeds()) * 4), 1),
                     num_reducers=1,
@@ -446,60 +551,77 @@ class Executor:
                     ]
                     self._cache_write_back(fingerprint, miss_docs,
                                            per_miss_doc)
-                    rows = [
-                        row
-                        for per_doc in self._assemble(docs, cached,
-                                                      per_miss_doc)
-                        for row in per_doc
-                    ]
+                    rows = self._flatten(docs, cached, per_miss_doc,
+                                         op.extractor)
                 else:
-                    rows = [
-                        row
-                        for values in result.output.values()
-                        for row in values
-                    ]
+                    rows = []
+                    for values in result.output.values():
+                        if _is_poison(values):
+                            self._note_failure(values[0], op.extractor)
+                            continue
+                        rows.extend(values)
             else:  # fully warm wave: every document hit the cache
-                rows = [
-                    row
-                    for per_doc in self._assemble(docs, cached, [])
-                    for row in per_doc
-                ]
+                rows = self._flatten(docs, cached, [], op.extractor)
             rows.sort(key=lambda r: (r["doc_id"], r["span_start"], r["attribute"]))
             return rows
         if self._backend is not None and miss_docs:
             started = time.perf_counter()
-            per_miss_doc = self._backend.map(_ExtractDocPayload(extractor),
-                                             miss_docs)
+            # The payload retries and quarantines internally; the backend
+            # callback covers failures the payload cannot catch in-process
+            # — a worker that died (os._exit, segfault) and kept dying on
+            # the rebuilt pool.
+            on_item_failure = None
+            if not self._fail_fast:
+                on_item_failure = _BackendFailureMarker(self._retry)
+            per_miss_doc = self._backend.map(payload, miss_docs,
+                                             on_item_failure=on_item_failure)
             registry.inc("executor.real_parallel_seconds",
                          time.perf_counter() - started)
             registry.inc("executor.wave_tasks.map", len(miss_docs))
             self._cache_write_back(fingerprint, miss_docs, per_miss_doc)
             # Input order is preserved, so flattening matches the serial
             # loop below row for row.
-            return [
-                row
-                for per_doc in self._assemble(docs, cached, per_miss_doc)
-                for row in per_doc
-            ]
-        per_miss_doc = []
-        for doc in miss_docs:
-            rows = [extraction_to_tuple(e) for e in extractor.extract(doc)]
-            _record_extraction_metrics(rows)
-            per_miss_doc.append(rows)
+            return self._flatten(docs, cached, per_miss_doc, op.extractor)
+        per_miss_doc = [payload(doc) for doc in miss_docs]
         self._cache_write_back(fingerprint, miss_docs, per_miss_doc)
-        return [
-            row
-            for per_doc in self._assemble(docs, cached, per_miss_doc)
-            for row in per_doc
-        ]
+        return self._flatten(docs, cached, per_miss_doc, op.extractor)
+
+    def _flatten(self, docs: list[Document],
+                 cached: dict[int, list[dict[str, Any]]],
+                 per_miss_doc: list[list[dict[str, Any]]],
+                 extractor_name: str) -> list[dict[str, Any]]:
+        """Flatten per-document row lists, diverting quarantine markers."""
+        out: list[dict[str, Any]] = []
+        for per_doc in self._assemble(docs, cached, per_miss_doc):
+            if _is_poison(per_doc):
+                self._note_failure(per_doc[0], extractor_name)
+            else:
+                out.extend(per_doc)
+        return out
+
+    def _note_failure(self, marker: dict[str, Any],
+                      extractor_name: str) -> None:
+        """Record one quarantined document from its poison marker."""
+        self._failed_docs.append({
+            "doc_id": marker.get("doc_id", ""),
+            "error": marker.get("error", ""),
+            "error_type": marker.get("error_type", ""),
+            "attempts": int(marker.get("attempts", 1)),
+            "extractor": extractor_name,
+        })
+        metrics.get_registry().inc("executor.docs_failed")
 
     def _cache_write_back(self, fingerprint: str, miss_docs: list[Document],
                           per_doc_rows: list[list[dict[str, Any]]]) -> None:
         """Store freshly extracted rows (empty lists included — an
-        unchanged document that yields nothing must also hit next time)."""
+        unchanged document that yields nothing must also hit next time;
+        quarantine markers excluded — a failed document must be retried,
+        not remembered as empty)."""
         if self._cache is None or not fingerprint:
             return
         for doc, rows in zip(miss_docs, per_doc_rows):
+            if _is_poison(rows):
+                continue
             self._cache.put(document_key(doc), fingerprint, rows)
 
     @staticmethod
@@ -575,7 +697,9 @@ def run_program(source: str, corpus: Sequence[Document],
                 registry: OperatorRegistry, optimize: bool = True,
                 cluster: SimulatedCluster | None = None,
                 backend: str | ExecutionBackend | None = None,
-                cache: ExtractionCache | None = None) -> ExecutionResult:
+                cache: ExtractionCache | None = None,
+                retry: RetryPolicy | None = None,
+                fail_fast: bool = False) -> ExecutionResult:
     """Parse, (optionally) optimize, and execute an xlog program."""
     ops, output = parse_program(source)
     plan = LogicalPlan.from_ops(ops, output)
@@ -584,4 +708,5 @@ def run_program(source: str, corpus: Sequence[Document],
         # materialize the whole (possibly lazily streamed) corpus for it.
         plan = Optimizer(registry).optimize(plan, list(islice(corpus, 50)))
     return Executor(registry, cluster=cluster, backend=backend,
-                    cache=cache).execute(plan, corpus)
+                    cache=cache, retry=retry,
+                    fail_fast=fail_fast).execute(plan, corpus)

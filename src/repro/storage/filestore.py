@@ -38,11 +38,28 @@ class RecordFileStore:
     Record IDs are monotonically increasing across segments.
     """
 
-    def __init__(self, root: str, segment_max_records: int = 10_000) -> None:
+    def __init__(self, root: str, segment_max_records: int = 10_000,
+                 tolerant: bool = False) -> None:
+        """Create or reopen a store at ``root``.
+
+        Args:
+            root: segment directory.
+            segment_max_records: records per segment before rotation.
+            tolerant: skip unparseable or id-less segment lines during
+                scans instead of raising (invalid UTF-8 bytes are
+                decoded with replacement characters first, so flipped
+                bytes surface as JSON errors rather than aborting the
+                read), counting them in :attr:`corrupt_lines` — the
+                count from the most recent complete scan.  Crash-safe
+                readers — the extraction cache — opt in; the strict
+                default keeps silent data loss impossible elsewhere.
+        """
         if segment_max_records < 1:
             raise ValueError("segment_max_records must be >= 1")
         self._root = root
         self._segment_max = segment_max_records
+        self._tolerant = tolerant
+        self.corrupt_lines = 0
         os.makedirs(root, exist_ok=True)
         self._next_id, self._active_segment, self._active_count = self._recover()
 
@@ -142,12 +159,28 @@ class RecordFileStore:
         return os.path.join(self._root, f"seg-{index:04d}.jsonl")
 
     def _scan_lines(self) -> Iterator[dict[str, Any]]:
+        errors = "replace" if self._tolerant else "strict"
+        corrupt = 0
         for name in self._segment_names():
-            with open(os.path.join(self._root, name), "r", encoding="utf-8") as f:
+            with open(os.path.join(self._root, name), "r", encoding="utf-8",
+                      errors=errors) as f:
                 for raw in f:
                     raw = raw.strip()
-                    if raw:
+                    if not raw:
+                        continue
+                    if not self._tolerant:
                         yield json.loads(raw)
+                        continue
+                    try:
+                        line = json.loads(raw)
+                    except json.JSONDecodeError:
+                        corrupt += 1
+                        continue
+                    if not isinstance(line, dict) or "id" not in line:
+                        corrupt += 1
+                        continue
+                    yield line
+        self.corrupt_lines = corrupt
 
     def _write_line(self, obj: dict[str, Any]) -> None:
         if self._active_count >= self._segment_max:
@@ -167,6 +200,8 @@ class RecordFileStore:
         for line in self._scan_lines():
             max_id = max(max_id, line["id"])
         last_index = int(names[-1][4:-6])
-        with open(os.path.join(self._root, names[-1]), "r", encoding="utf-8") as f:
+        errors = "replace" if self._tolerant else "strict"
+        with open(os.path.join(self._root, names[-1]), "r", encoding="utf-8",
+                  errors=errors) as f:
             last_count = sum(1 for raw in f if raw.strip())
         return max_id + 1, last_index, last_count

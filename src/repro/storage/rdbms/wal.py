@@ -94,9 +94,13 @@ class WriteAheadLog:
     def records(self) -> Iterator[LogRecord]:
         """Replay all records currently on disk, in LSN order.
 
-        A torn final record (crash mid-append) is tolerated and dropped —
-        it belongs to a transaction that cannot have committed.  Corruption
-        *followed by* valid records indicates real damage and raises.
+        A corrupt *suffix* — one or more unparseable trailing records, as
+        a crash mid-append or a partially synced page leaves behind — is
+        tolerated: the bad tail is dropped (it cannot contain a committed
+        transaction's commit record followed by valid data) and counted
+        in the ``recovery.truncated_records`` telemetry counter.
+        Corruption *followed by* valid records indicates real damage and
+        raises.
 
         Raises:
             ValueError: corrupted record in the middle of the log.
@@ -106,15 +110,26 @@ class WriteAheadLog:
         with open(self._path, "r", encoding="utf-8") as f:
             lines = [l.strip() for l in f]
         non_empty = [l for l in lines if l]
+        parsed: list[LogRecord] = []
+        bad_from: int | None = None  # start of the (candidate) corrupt suffix
         for index, line in enumerate(non_empty):
             try:
-                yield LogRecord.from_json(line)
+                record = LogRecord.from_json(line)
             except (json.JSONDecodeError, KeyError) as exc:
-                if index == len(non_empty) - 1:
-                    return  # torn tail: safe to ignore
-                raise ValueError(
-                    f"corrupted WAL record at position {index}"
-                ) from exc
+                if bad_from is None:
+                    bad_from = index
+                last_error = exc
+            else:
+                if bad_from is not None:
+                    raise ValueError(
+                        f"corrupted WAL record at position {bad_from}"
+                    ) from last_error
+                parsed.append(record)
+        if bad_from is not None:
+            truncated = len(non_empty) - bad_from
+            metrics.get_registry().inc("recovery.truncated_records",
+                                       truncated)
+        yield from parsed
 
     def write_checkpoint(self, state: dict[str, Any]) -> None:
         """Dump a consistent snapshot and truncate the log.

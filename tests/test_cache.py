@@ -166,6 +166,55 @@ def test_disk_cache_refuses_rows_that_json_would_mangle(tmp_path):
     assert cache.get("k1", "fp") is None  # skipped, not silently stored
 
 
+def test_disk_cache_skips_corrupt_segment_lines(tmp_path):
+    """Flipped bytes in a segment must not abort cache open — the damaged
+    entries become misses, counted in cache.corrupt_entries."""
+    import os
+
+    root = str(tmp_path / "cache")
+    cache = DiskExtractionCache(root)
+    cache.put("k1", "fp", [{"doc_id": "d1", "value": 1}])
+    cache.put("k2", "fp", [{"doc_id": "d2", "value": 2}])
+    cache.put("k3", "fp", [{"doc_id": "d3", "value": 3}])
+    cache.close()
+
+    segment = os.path.join(root, sorted(os.listdir(root))[0])
+    with open(segment, "rb") as f:
+        data = bytearray(f.read())
+    # flip bytes inside the middle record's JSON structure
+    lines = data.split(b"\n")
+    lines[1] = bytes(b ^ 0xFF for b in lines[1])
+    with open(segment, "wb") as f:
+        f.write(b"\n".join(lines))
+
+    registry = MetricsRegistry()
+    with metrics.use_registry(registry):
+        reopened = DiskExtractionCache(root)
+    assert reopened.get("k1", "fp") == [{"doc_id": "d1", "value": 1}]
+    assert reopened.get("k2", "fp") is None  # damaged -> miss
+    assert reopened.get("k3", "fp") == [{"doc_id": "d3", "value": 3}]
+    assert reopened.corrupt_entries == 1
+    assert reopened.stats()["corrupt_entries"] == 1
+    assert registry.get("cache.corrupt_entries") == 1
+
+
+def test_disk_cache_tolerates_torn_final_append(tmp_path):
+    """A crash mid-put leaves a truncated last line; reopen drops it."""
+    import os
+
+    root = str(tmp_path / "cache")
+    cache = DiskExtractionCache(root)
+    cache.put("k1", "fp", [{"doc_id": "d1", "value": 1}])
+    cache.close()
+    segment = os.path.join(root, sorted(os.listdir(root))[0])
+    with open(segment, "a", encoding="utf-8") as f:
+        f.write('{"id": 1, "doc": "k2", "ext": "fp", "rows": [{"trunc')
+    reopened = DiskExtractionCache(root)
+    assert reopened.get("k1", "fp") == [{"doc_id": "d1", "value": 1}]
+    assert reopened.get("k2", "fp") is None
+    assert reopened.corrupt_entries == 1
+
+
 def test_make_cache_specs(tmp_path):
     assert make_cache(None) is None
     assert isinstance(make_cache("memory"), LRUExtractionCache)

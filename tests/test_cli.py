@@ -103,3 +103,86 @@ def test_reingest_versions_snapshots(capsys, pages_dir, workspace):
     assert store.latest_version("madison") == 1
     assert "new paragraph" in store.checkout("madison").text
     assert "new paragraph" not in store.checkout("madison", 0).text
+
+
+# --------------------------------------------------------- fault tolerance
+
+
+def _program_file(tmp_path):
+    program = tmp_path / "p.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    return str(program)
+
+
+def test_generate_quarantines_and_deadletter_roundtrip(
+        capsys, pages_dir, workspace, tmp_path, monkeypatch):
+    from repro.extraction.infobox import InfoboxExtractor
+
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    program = _program_file(tmp_path)
+
+    original = InfoboxExtractor.extract
+
+    def poisoned(self, doc):
+        if doc.doc_id == "madison":
+            raise RuntimeError("synthetic poison")
+        return original(self, doc)
+
+    monkeypatch.setattr(InfoboxExtractor, "extract", poisoned)
+    code, out = _run(capsys, "--workspace", workspace, "generate", program)
+    assert code == 0
+    assert "quarantined 1 document(s)" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "deadletter", "list")
+    assert code == 0 and "madison" in out and "RuntimeError" in out
+
+    # the document "heals" (extractor fixed); retry re-drives it
+    monkeypatch.setattr(InfoboxExtractor, "extract", original)
+    code, out = _run(capsys, "--workspace", workspace, "deadletter",
+                     "retry", "--program", program)
+    assert code == 0
+    assert "retried 1 document(s); 1 recovered, 0 still quarantined" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "deadletter", "list")
+    assert "dead-letter store is empty" in out
+
+
+def test_deadletter_retry_requires_program(capsys, workspace):
+    code = main(["--workspace", workspace, "deadletter", "retry"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--program" in captured.err
+
+
+def test_deadletter_clear(capsys, pages_dir, workspace, tmp_path,
+                          monkeypatch):
+    from repro.extraction.infobox import InfoboxExtractor
+
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+
+    def boom(self, doc):
+        raise RuntimeError("always")
+
+    monkeypatch.setattr(InfoboxExtractor, "extract", boom)
+    _run(capsys, "--workspace", workspace, "generate",
+         _program_file(tmp_path))
+    code, out = _run(capsys, "--workspace", workspace, "deadletter", "clear")
+    assert code == 0 and "cleared 2 dead-letter entries" in out
+
+
+def test_fail_fast_exits_with_execution_failure_code(
+        capsys, pages_dir, workspace, tmp_path, monkeypatch):
+    from repro.cli import EXIT_EXECUTION_FAILURE
+    from repro.extraction.infobox import InfoboxExtractor
+
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+
+    def boom(self, doc):
+        raise RuntimeError("poison page")
+
+    monkeypatch.setattr(InfoboxExtractor, "extract", boom)
+    code = main(["--workspace", workspace, "--backend", "serial",
+                 "--fail-fast", "generate", _program_file(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == EXIT_EXECUTION_FAILURE == 3
+    assert "repro: execution failed:" in captured.err

@@ -160,6 +160,29 @@ def test_torn_final_record_is_tolerated(tmp_path):
     assert recovered.table_size("t") == 2
 
 
+def test_multi_record_corrupt_suffix_is_tolerated(tmp_path):
+    """A crash during a multi-record append burst can corrupt several
+    trailing lines; recovery drops the whole suffix and counts it."""
+    from repro.telemetry.metrics import MetricsRegistry, use_registry
+
+    db = Database(str(tmp_path))
+    db.create_table(_schema())
+    with db.begin() as txn:
+        txn.insert("t", {"id": 1, "value": "committed"})
+    db.close()
+    wal_path = tmp_path / "wal.jsonl"
+    with open(wal_path, "a", encoding="utf-8") as f:
+        f.write("GARBAGE NOT JSON\n")
+        f.write('{"no_lsn_key": true}\n')
+        f.write('{"lsn": 999, "txn": 9, "type": "ins')  # torn final write
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        recovered = Database(str(tmp_path))
+    rows = recovered.run(lambda t: t.scan("t"))
+    assert [r.values["id"] for r in rows] == [1]
+    assert registry.get("recovery.truncated_records") == 3
+
+
 def test_midlog_corruption_raises(tmp_path):
     db = Database(str(tmp_path))
     db.create_table(_schema())
