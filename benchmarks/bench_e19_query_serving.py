@@ -1,0 +1,266 @@
+"""E19 — query serving: cost-based planner + result cache vs naive execution.
+
+The serving-path claim of the PR: with table statistics, secondary
+indexes, and a commit-invalidated result cache, the structured store
+answers the exploration-session workload (point lookups, range scans,
+selective joins, top-k) far faster than the naive interpreter — while
+returning *identical* rows in *identical* order for every query.
+
+Checked invariants:
+  * every planner-executed bench query is row-identical to the naive
+    (``use_planner=False``) run of the same SQL;
+  * at 100k rows the planner is >= 5x faster on the selective join and
+    >= 3x on the 2% range scan (min-of-N wall-clock);
+  * a warm result-cache hit is >= 10x faster than the cold execution it
+    memoizes, and a commit drops the cached entry (no stale reads).
+
+Run standalone (writes ``results/BENCH_e19.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_e19_query_serving.py
+    PYTHONPATH=src python benchmarks/bench_e19_query_serving.py --smoke
+
+or via pytest: ``pytest benchmarks/bench_e19_query_serving.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from _tables import write_table
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.qcache import QueryResultCache
+from repro.storage.rdbms.sql import execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_e19.json")
+
+NUM_CATEGORIES = 100
+SCORE_MAX = 1_000_000
+
+
+def build_db(num_items: int, seed: int = 19) -> Database:
+    """items (indexed category/score) + a 100-row dims table."""
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(TableSchema(
+        "items",
+        (Column("item_id", ColumnType.INT, nullable=False),
+         Column("category", ColumnType.TEXT),
+         Column("score", ColumnType.INT),
+         Column("value", ColumnType.FLOAT)),
+        primary_key="item_id",
+    ))
+    db.create_table(TableSchema(
+        "dims",
+        (Column("category", ColumnType.TEXT, nullable=False),
+         Column("label", ColumnType.TEXT)),
+        primary_key="category",
+    ))
+
+    def load(txn):
+        for i in range(num_items):
+            txn.insert("items", {
+                "item_id": i,
+                "category": f"cat_{rng.randrange(NUM_CATEGORIES)}",
+                "score": rng.randrange(SCORE_MAX),
+                "value": rng.random(),
+            })
+        for c in range(NUM_CATEGORIES):
+            txn.insert("dims", {"category": f"cat_{c}",
+                                "label": f"label_{c % 10}"})
+    db.run(load)
+    db.create_index("items", "category", "hash")
+    db.create_index("items", "score", "sorted")
+    db.create_index("dims", "category", "hash")
+    db.statistics().analyze("items")
+    db.statistics().analyze("dims")
+    return db
+
+
+def workloads(num_items: int) -> list[dict]:
+    """The bench queries; ``gate`` is the minimum planner speedup."""
+    lo = SCORE_MAX // 2
+    hi = lo + SCORE_MAX // 50  # ~2% of the score domain
+    return [
+        {"name": "point lookup",
+         "sql": "SELECT * FROM items WHERE category = 'cat_42'",
+         "gate": None},
+        {"name": "range scan (~2%)",
+         "sql": f"SELECT * FROM items WHERE score >= {lo} AND score < {hi}",
+         "gate": 3.0},
+        {"name": "selective join",
+         "sql": "SELECT items.item_id, dims.label FROM items "
+                "JOIN dims ON items.category = dims.category "
+                "WHERE label = 'label_7' AND score < 50000",
+         "gate": 5.0},
+        {"name": "top-k",
+         "sql": "SELECT item_id, score FROM items "
+                "ORDER BY score DESC LIMIT 10",
+         "gate": None},
+    ]
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_planner(db: Database, num_items: int, repeats: int) -> list[dict]:
+    """Planner vs naive wall-clock per workload; identity asserted."""
+    out = []
+    for w in workloads(num_items):
+        sql = w["sql"]
+        planned = execute_sql(db, sql)
+        naive = execute_sql(db, sql, use_planner=False)
+        assert planned == naive, f"planner rows differ on: {sql}"
+        planner_s = _time(lambda: execute_sql(db, sql), repeats)
+        naive_s = _time(
+            lambda: execute_sql(db, sql, use_planner=False), repeats)
+        plan = "\n".join(
+            r["plan"] for r in execute_sql(db, f"EXPLAIN {sql}"))
+        out.append({
+            "name": w["name"],
+            "sql": sql,
+            "rows": len(planned),
+            "gate": w["gate"],
+            "naive_seconds": naive_s,
+            "planner_seconds": planner_s,
+            "speedup": naive_s / planner_s if planner_s > 0
+            else float("inf"),
+            "plan": plan,
+        })
+    return out
+
+
+def bench_result_cache(db: Database, num_items: int, repeats: int) -> dict:
+    """Cold vs warm through the result cache, plus invalidation check."""
+    cache = QueryResultCache(db)
+    lo = SCORE_MAX // 2
+    sql = (f"SELECT * FROM items WHERE score >= {lo} "
+           f"AND score < {lo + SCORE_MAX // 50}")
+
+    cold_times, warm_times = [], []
+    for _ in range(repeats):
+        cache.clear()
+        cold_times.append(_time(lambda: cache.execute(sql), 1))
+        warm_times.append(_time(lambda: cache.execute(sql), 1))
+    cold_s, warm_s = min(cold_times), min(warm_times)
+
+    # No stale reads: a commit to items must evict and recompute.
+    before = cache.execute("SELECT COUNT(*) AS n FROM items")[0]["n"]
+    execute_sql(db, f"INSERT INTO items (item_id, category, score, value) "
+                    f"VALUES ({num_items + 1}, 'cat_0', 1, 0.5)")
+    after = cache.execute("SELECT COUNT(*) AS n FROM items")[0]["n"]
+    assert after == before + 1, "result cache served a stale row count"
+    execute_sql(db, f"DELETE FROM items WHERE item_id = {num_items + 1}")
+
+    return {
+        "sql": sql,
+        "repeats": repeats,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "invalidation_correct": True,
+    }
+
+
+def run_bench(num_items: int = 100_000, repeats: int = 3,
+              smoke: bool = False) -> dict:
+    db = build_db(num_items)
+    queries = bench_planner(db, num_items, repeats)
+    cache = bench_result_cache(db, num_items, repeats)
+
+    write_table(
+        "e19_query_serving",
+        f"E19: planner vs naive execution ({num_items} items, "
+        f"min of {repeats})",
+        ["workload", "rows", "naive s", "planner s", "speedup", "gate"],
+        [[q["name"], q["rows"], q["naive_seconds"], q["planner_seconds"],
+          q["speedup"], q["gate"] or "-"] for q in queries],
+    )
+    write_table(
+        "e19_result_cache",
+        f"E19: result cache cold vs warm ({num_items} items)",
+        ["variant", "seconds", "speedup"],
+        [["cold (plan + execute)", cache["cold_seconds"], 1.0],
+         ["warm (cache hit)", cache["warm_seconds"], cache["speedup"]]],
+    )
+
+    payload = {
+        "experiment": "e19_query_serving",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "num_items": num_items,
+        "queries": queries,
+        "result_cache": cache,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"\nwrote {JSON_PATH}")
+
+    if not smoke:
+        for q in queries:
+            if q["gate"] is not None:
+                assert q["speedup"] >= q["gate"], (
+                    f"{q['name']} is only {q['speedup']:.2f}x over naive; "
+                    f"the bar is {q['gate']:.1f}x"
+                )
+        assert cache["speedup"] >= 10.0, (
+            f"warm result-cache hit is only {cache['speedup']:.2f}x over "
+            f"cold; the bar is 10x"
+        )
+    return payload
+
+
+# --------------------------------------------------------------- pytest
+
+
+def test_e19_smoke():
+    """Small-scale E19: identity + invalidation invariants; no timing gate."""
+    payload = run_bench(num_items=2000, repeats=1, smoke=True)
+    assert all(q["rows"] >= 0 for q in payload["queries"])
+    assert payload["result_cache"]["invalidation_correct"]
+    joins = [q for q in payload["queries"] if q["name"] == "selective join"]
+    assert "IndexNestedLoopJoin" in joins[0]["plan"] \
+        or "HashJoin" in joins[0]["plan"]
+
+
+# ----------------------------------------------------------------- main
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=100_000,
+                        help="rows in the items table")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (min is reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload, no timing assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.items = min(args.items, 2000)
+        args.repeats = 1
+    payload = run_bench(num_items=args.items, repeats=args.repeats,
+                        smoke=args.smoke)
+    for q in payload["queries"]:
+        print(f"{q['name']}: {q['speedup']:.1f}x over naive "
+              f"({q['rows']} rows)")
+    print(f"result cache warm hit: "
+          f"{payload['result_cache']['speedup']:.1f}x over cold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

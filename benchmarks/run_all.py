@@ -9,7 +9,11 @@ than cold and warm work exactly matches the churned text), runs the full
 fault-tolerance bench (E18: fails unless output under 1/5/10% injected
 faults is byte-identical to the fault-free run minus quarantined
 documents, fault-free retry overhead is < 5%, and crash recovery loses no
-committed transactions), and then confirms the whole repo is still
+committed transactions), runs the full query-serving bench (E19: fails
+unless the cost-based planner beats naive execution by >= 5x on the
+selective join and >= 3x on the range scan at 100k rows, a warm
+result-cache hit is >= 10x over cold, and every planner query is
+row-identical to naive), and then confirms the whole repo is still
 green::
 
     python benchmarks/run_all.py
@@ -54,6 +58,10 @@ def main() -> int:
          [sys.executable,
           os.path.join(REPO_ROOT, "benchmarks",
                        "bench_e18_fault_tolerance.py")]),
+        ("E19 query-serving bench (planner speedup + cache gates)",
+         [sys.executable,
+          os.path.join(REPO_ROOT, "benchmarks",
+                       "bench_e19_query_serving.py")]),
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]

@@ -14,6 +14,7 @@ Subcommands operate on a workspace directory (created on first use):
 * ``sql "<query>"`` — structured querying over the derived facts;
 * ``search "<keywords>"`` — keyword search over the raw pages;
 * ``suggest "<keywords>"`` — show structured reformulation candidates;
+* ``explain "<select>"`` — the planner's physical plan for a query;
 * ``explain <entity> <attribute>`` — provenance of stored facts.
 
 The ``--builtin`` extractor set registers the generic wiki extractors
@@ -140,9 +141,17 @@ def cmd_suggest(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    """Print the provenance of facts about (entity, attribute)."""
+    """With one argument, print the planner's physical plan for a SELECT;
+    with two, print the provenance of facts about (entity, attribute)."""
+    if len(args.target) > 2:
+        print("explain takes a SQL query or an entity + attribute pair",
+              file=sys.stderr)
+        return 2
     system = _build_system(args.workspace, args.builtin)
-    print(system.explain(args.entity, args.attribute))
+    if len(args.target) == 1:
+        print(system.explain_sql(args.target[0]))
+    else:
+        print(system.explain(args.target[0], args.target[1]))
     system.close()
     return 0
 
@@ -280,9 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=5)
     p.set_defaults(fn=cmd_suggest)
 
-    p = sub.add_parser("explain", help="provenance of facts")
-    p.add_argument("entity")
-    p.add_argument("attribute")
+    p = sub.add_parser(
+        "explain",
+        help="query plan for a SELECT, or provenance of facts",
+    )
+    p.add_argument(
+        "target", nargs="+", metavar="SQL | ENTITY ATTRIBUTE",
+        help="one arg: a SELECT to plan; two args: entity + attribute",
+    )
     p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("facts", help="browse stored facts")

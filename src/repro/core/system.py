@@ -22,8 +22,14 @@ from repro.lang.plan import LogicalPlan
 from repro.lang.registry import OperatorRegistry
 from repro.storage.manager import StorageManager
 from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.qcache import QueryResultCache
 from repro.storage.rdbms.sql import execute_sql
-from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.storage.rdbms.types import (
+    Column,
+    ColumnType,
+    SchemaError,
+    TableSchema,
+)
 from repro.telemetry import metrics
 from repro.telemetry.tracing import get_tracer
 from repro.uncertainty.provenance import ProvenanceGraph
@@ -140,6 +146,11 @@ class StructureManagementSystem:
         self.forms = FormCatalog()
         register_builtin_forms(self.forms, table=FACTS_TABLE)
         self.monitoring = ContinuousQueryManager(self.db)
+        # Serving-path result cache: SELECTs repeated between commits are
+        # answered from memory; any commit or schema change to a table a
+        # cached statement reads evicts it (same listener stream as the
+        # planner's statistics).
+        self.query_cache = QueryResultCache(self.db)
         # Standing queries fire on *any* committed write to the facts
         # table — including direct db.run(insert_many)/run_batch writes
         # that never pass through generate()/contribute().
@@ -164,7 +175,15 @@ class StructureManagementSystem:
             self.db.create_index(FACTS_TABLE, "entity")
             self.db.create_index(FACTS_TABLE, "attribute")
         else:
-            # reopened workspace: continue fact ids after the stored max
+            # Reopened workspace: secondary indexes are in-memory only
+            # (recovery replays rows, not indexes), so rebuild the facts
+            # indexes the planner relies on before serving queries.
+            for column in ("entity", "attribute"):
+                try:
+                    self.db.create_index(FACTS_TABLE, column)
+                except SchemaError:
+                    pass  # already present (in-memory reuse of the engine)
+            # continue fact ids after the stored max
             existing = self.query(
                 f"SELECT MAX(fact_id) AS m FROM {FACTS_TABLE}"
             )[0]["m"]
@@ -395,12 +414,31 @@ class StructureManagementSystem:
     # ------------------------------------------------------------- queries
 
     def query(self, sql: str) -> list[dict[str, Any]]:
-        """Structured querying (sophisticated-user path)."""
+        """Structured querying (sophisticated-user path).
+
+        SELECTs are served through the commit-invalidated result cache;
+        everything else executes directly (and, by committing, evicts
+        whatever it invalidates).
+        """
         with get_tracer().span("system.query") as span:
-            rows = execute_sql(self.db, sql)
+            rows = self.query_cache.execute(sql)
             metrics.get_registry().inc("system.queries")
             span.set_attribute("rows", len(rows))
             return rows
+
+    def explain_sql(self, sql: str) -> str:
+        """The planner's physical plan for a SELECT, as text.
+
+        Accepts either ``EXPLAIN SELECT ...`` or a bare ``SELECT ...``.
+
+        Raises:
+            SqlError: on parse errors or non-SELECT input.
+        """
+        stripped = sql.lstrip()
+        if not stripped.lower().startswith("explain"):
+            sql = f"EXPLAIN {sql}"
+        rows = execute_sql(self.db, sql)
+        return "\n".join(r["plan"] for r in rows)
 
     def keyword(self, query: str, k: int = 5):
         """Keyword search over pages (ordinary-user starting point)."""
@@ -436,7 +474,7 @@ class StructureManagementSystem:
         """Start an iterative exploration session."""
         return ExplorationSession(
             search=self.search, translator=self.translator(), db=self.db,
-            user=user,
+            user=user, cache=self.query_cache,
         )
 
     def explain(self, entity: str, attribute: str) -> str:

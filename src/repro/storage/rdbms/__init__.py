@@ -10,8 +10,12 @@ This subpackage is that device: a small but real relational engine with
   (:mod:`repro.storage.rdbms.wal`),
 * strict two-phase locking with waits-for deadlock detection
   (:mod:`repro.storage.rdbms.lockmgr`),
-* the engine facade (:mod:`repro.storage.rdbms.engine`), and
-* a SQL subset used by the user layer (:mod:`repro.storage.rdbms.sql`).
+* the engine facade (:mod:`repro.storage.rdbms.engine`),
+* a SQL subset used by the user layer (:mod:`repro.storage.rdbms.sql`),
+* per-table statistics (:mod:`repro.storage.rdbms.stats`) feeding the
+  cost-based planner (:mod:`repro.storage.rdbms.planner`), and
+* a commit-invalidated query-result cache
+  (:mod:`repro.storage.rdbms.qcache`).
 """
 
 from repro.storage.rdbms.types import Column, ColumnType, TableSchema, SchemaError
@@ -19,7 +23,9 @@ from repro.storage.rdbms.table import HeapTable, Row
 from repro.storage.rdbms.index import HashIndex, SortedIndex
 from repro.storage.rdbms.engine import Database, Transaction, TransactionAborted
 from repro.storage.rdbms.lockmgr import DeadlockError, LockManager, LockMode
-from repro.storage.rdbms.sql import SqlError, execute_sql
+from repro.storage.rdbms.sql import SqlError, execute_sql, normalize_sql
+from repro.storage.rdbms.stats import StatisticsManager
+from repro.storage.rdbms.qcache import QueryResultCache
 
 __all__ = [
     "Column",
@@ -38,4 +44,7 @@ __all__ = [
     "DeadlockError",
     "SqlError",
     "execute_sql",
+    "normalize_sql",
+    "StatisticsManager",
+    "QueryResultCache",
 ]

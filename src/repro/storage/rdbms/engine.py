@@ -220,6 +220,42 @@ class Transaction:
         registry.inc("rdbms.index.rows_fetched", len(rows))
         return rows
 
+    def range_lookup(self, table: str, column: str, low: Any = None,
+                     high: Any = None, include_low: bool = True,
+                     include_high: bool = True) -> list[Row]:
+        """Sorted-index range lookup; rows are returned in rid order (the
+        same order a filtered scan would produce).  Falls back to a scan
+        when no sorted index exists on the column."""
+        self._check_active()
+        db = self._db
+        index = db.sorted_index(table, column)
+        registry = metrics.get_registry()
+        if index is None:
+            registry.inc("rdbms.index.scan_fallbacks")
+
+            def in_range(values: dict[str, Any]) -> bool:
+                value = values.get(column)
+                if value is None:
+                    return False
+                if low is not None and (
+                        value < low if include_low else value <= low):
+                    return False
+                if high is not None and (
+                        value > high if include_high else value >= high):
+                    return False
+                return True
+
+            return self.scan_where(table, in_range)
+        db._locks.acquire(self.txn_id, (table, None), LockMode.INTENTION_SHARED)
+        rids = sorted(index.range(low, high, include_low, include_high))
+        rows: list[Row] = []
+        for rid in rids:
+            db._locks.acquire(self.txn_id, (table, rid), LockMode.SHARED)
+            rows.append(db._table(table).get(rid))
+        registry.inc("rdbms.index.range_scans")
+        registry.inc("rdbms.index.rows_fetched", len(rows))
+        return rows
+
     # ---------------------------------------------------------- internals
 
     def _check_active(self) -> None:
@@ -247,6 +283,7 @@ class Database:
         self._txn_counter = 0
         self._txn_lock = threading.Lock()
         self._commit_listeners: list[Callable[[frozenset[str]], None]] = []
+        self._stats_manager = None
         self._wal: WriteAheadLog | None = None
         if directory is not None:
             self._wal = WriteAheadLog(directory, sync=sync_wal)
@@ -256,12 +293,15 @@ class Database:
 
     def add_commit_listener(
             self, listener: Callable[[frozenset[str]], None]) -> None:
-        """Call ``listener(tables_written)`` after every data-writing commit.
+        """Call ``listener(tables_written)`` after every data-writing commit
+        and after every schema change (create/drop/alter table).
 
         This is how standing-query evaluation hooks the *batched* write
         paths (``insert_many`` / ``run_batch``) as well as single-row
         stores: any committed transaction that touched rows notifies,
-        whatever API produced the writes.  Listeners run outside all
+        whatever API produced the writes.  The statistics manager and the
+        query-result cache key their versions off the same stream, which
+        is why schema changes notify too.  Listeners run outside all
         engine locks and must not raise.
         """
         self._commit_listeners.append(listener)
@@ -283,6 +323,7 @@ class Database:
                 raise SchemaError(f"table {schema.name!r} already exists")
             self._tables[schema.name] = HeapTable(schema)
             self._log(0, "create_table", schema=schema.to_dict())
+        self._notify_commit(frozenset({schema.name}))
 
     def drop_table(self, name: str) -> None:
         """Drop a table and its indexes."""
@@ -293,6 +334,7 @@ class Database:
             for key in [k for k in self._indexes if k[0] == name]:
                 del self._indexes[key]
             self._log(0, "drop_table", table=name)
+        self._notify_commit(frozenset({name}))
 
     def alter_table(self, name: str, new_schema: TableSchema,
                     migrate: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
@@ -312,6 +354,7 @@ class Database:
                     self._rebuild_index(name, column)
                 else:
                     del self._indexes[key]
+        self._notify_commit(frozenset({name}))
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
@@ -339,13 +382,24 @@ class Database:
             else:
                 raise ValueError(f"unknown index kind {kind!r}")
             self._indexes[(table, column)] = index
-            for row in self._table(table).scan():
-                index.insert(row.values.get(column), row.rid)
+            index.bulk_load((row.values.get(column), row.rid)
+                            for row in self._table(table).scan())
 
     def sorted_index(self, table: str, column: str) -> SortedIndex | None:
         """The sorted index on (table, column) if one exists."""
         index = self._indexes.get((table, column))
         return index if isinstance(index, SortedIndex) else None
+
+    # ---------------------------------------------------------- statistics
+
+    def statistics(self):
+        """The database's :class:`~repro.storage.rdbms.stats.StatisticsManager`
+        (created lazily; one per database, versioned off the commit stream)."""
+        if self._stats_manager is None:
+            from repro.storage.rdbms.stats import StatisticsManager
+
+            self._stats_manager = StatisticsManager(self)
+        return self._stats_manager
 
     # --------------------------------------------------------- transactions
 
@@ -443,8 +497,8 @@ class Database:
             SortedIndex(table, column) if isinstance(old, SortedIndex)
             else HashIndex(table, column)
         )
-        for row in self._table(table).scan():
-            new.insert(row.values.get(column), row.rid)
+        new.bulk_load((row.values.get(column), row.rid)
+                      for row in self._table(table).scan())
         self._indexes[(table, column)] = new
 
     def _index_insert(self, table: str, row: Row) -> None:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import bisect
 from abc import ABC, abstractmethod
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 
 class Index(ABC):
@@ -37,6 +37,15 @@ class Index(ABC):
             return
         self.remove(old_value, rid)
         self.insert(new_value, rid)
+
+    def bulk_load(self, pairs: "Iterable[tuple[Any, int]]") -> None:
+        """Load many (value, rid) pairs into an empty index at once.
+
+        Subclasses override with a sort-once fast path; per-pair
+        :meth:`insert` into a large sorted structure is quadratic.
+        """
+        for value, rid in pairs:
+            self.insert(value, rid)
 
 
 class HashIndex(Index):
@@ -75,6 +84,15 @@ class HashIndex(Index):
     def lookup(self, value: Any) -> list[int]:
         return list(self._buckets.get(value, ()))
 
+    def bulk_load(self, pairs: Iterable[tuple[Any, int]]) -> None:
+        buckets = self._buckets
+        for value, rid in pairs:
+            if value is None:
+                continue
+            buckets.setdefault(value, []).append(rid)
+        for bucket in buckets.values():
+            bucket.sort()
+
     def keys(self) -> list[Any]:
         return list(self._buckets)
 
@@ -104,6 +122,10 @@ class SortedIndex(Index):
         pos = bisect.bisect_left(self._pairs, (value, rid))
         if pos < len(self._pairs) and self._pairs[pos] == (value, rid):
             self._pairs.pop(pos)
+
+    def bulk_load(self, pairs: Iterable[tuple[Any, int]]) -> None:
+        self._pairs.extend((v, r) for v, r in pairs if v is not None)
+        self._pairs.sort()
 
     def lookup(self, value: Any) -> list[int]:
         lo = bisect.bisect_left(self._pairs, (value, -1))

@@ -1,0 +1,776 @@
+"""Cost-based physical planner for the SQL serving path (DESIGN.md §11).
+
+The naive interpreter in :mod:`repro.storage.rdbms.sql` materializes the
+full join of both tables before applying WHERE and only exploits an index
+for one top-level equality.  This module plans a *physical* tree instead:
+
+* access paths — :class:`IndexLookup` (any equality conjunct of the AND
+  with an index), :class:`RangeScan` (``<``/``<=``/``>``/``>=`` bounds
+  over a sorted index), :class:`FullScan`;
+* joins — :class:`HashJoin` with statistics-driven build-side selection,
+  :class:`IndexNestedLoopJoin` when a join column is indexed and the
+  other side is small;
+* predicate pushdown — WHERE conjuncts split per join side and applied
+  *before* the join, with a residual :class:`Filter` on top;
+* a selectivity-based cost model fed by
+  :class:`~repro.storage.rdbms.stats.StatisticsManager`.
+
+Every operator preserves the naive interpreter's row *order* (rid order
+for scans, left-rid-major for joins), so planner output is row-identical
+to the naive path — the E19 bench and the differential property tests
+gate exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.storage.rdbms.engine import Database, Transaction
+from repro.storage.rdbms.index import HashIndex, SortedIndex
+from repro.storage.rdbms.sql import (
+    Aggregate,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    LikePredicate,
+    Literal,
+    NullPredicate,
+    SelectStatement,
+    SqlError,
+    eval_predicate,
+)
+from repro.telemetry import metrics
+
+#: Fixed per-probe overhead charged to index operations, so a lookup is
+#: never free and a full scan wins on tiny tables.
+_PROBE_COST = 1.0
+
+
+# --------------------------------------------------------- conjunct algebra
+
+
+def split_conjuncts(node: Any) -> list[Any]:
+    """Flatten a predicate's top-level AND tree into its conjuncts."""
+    if node is None:
+        return []
+    if isinstance(node, BoolOp) and node.op == "and":
+        out: list[Any] = []
+        for operand in node.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [node]
+
+
+def conjoin(conjuncts: list[Any]) -> Any:
+    """Rebuild a predicate from conjuncts (None / single / AND)."""
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BoolOp("and", tuple(conjuncts))
+
+
+def column_refs(node: Any) -> list[ColumnRef]:
+    """Every column reference appearing anywhere in a predicate."""
+    if isinstance(node, ColumnRef):
+        return [node]
+    if isinstance(node, Comparison):
+        return column_refs(node.left) + column_refs(node.right)
+    if isinstance(node, (LikePredicate, NullPredicate, InPredicate)):
+        return [node.column]
+    if isinstance(node, BoolOp):
+        out: list[ColumnRef] = []
+        for operand in node.operands:
+            out.extend(column_refs(operand))
+        return out
+    return []
+
+
+def _eq_conjunct(node: Any) -> tuple[ColumnRef, Any] | None:
+    """``col = literal`` (either orientation) → (ref, value), else None."""
+    if isinstance(node, Comparison) and node.op == "=":
+        if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+            return node.left, node.right.value
+        if isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+            return node.right, node.left.value
+    return None
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _range_conjunct(node: Any) -> tuple[ColumnRef, str, Any] | None:
+    """``col <op> literal`` for an ordering op → (ref, op, value)."""
+    if not isinstance(node, Comparison) or node.op not in _FLIPPED_OP:
+        return None
+    if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+        return node.left, node.op, node.right.value
+    if isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+        return node.right, _FLIPPED_OP[node.op], node.left.value
+    return None
+
+
+def _remove(conjuncts: list[Any], consumed: list[Any]) -> list[Any]:
+    """Conjuncts minus the consumed *instances* (identity, not equality)."""
+    return [c for c in conjuncts if not any(c is used for used in consumed)]
+
+
+# ------------------------------------------------------ predicate rendering
+
+
+def _render_operand(operand: Any) -> str:
+    if isinstance(operand, ColumnRef):
+        return operand.key()
+    if isinstance(operand, Literal):
+        value = operand.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        return str(value)
+    return repr(operand)
+
+
+def render_predicate(node: Any) -> str:
+    """SQL-ish text for a predicate AST (used by EXPLAIN output)."""
+    if node is None:
+        return "TRUE"
+    if isinstance(node, Comparison):
+        return (f"{_render_operand(node.left)} {node.op} "
+                f"{_render_operand(node.right)}")
+    if isinstance(node, LikePredicate):
+        keyword = "NOT LIKE" if node.negated else "LIKE"
+        pattern = node.pattern.replace("'", "''")
+        return f"{node.column.key()} {keyword} '{pattern}'"
+    if isinstance(node, NullPredicate):
+        return f"{node.column.key()} IS {'NOT ' if node.negated else ''}NULL"
+    if isinstance(node, InPredicate):
+        keyword = "NOT IN" if node.negated else "IN"
+        values = ", ".join(_render_operand(Literal(v)) for v in node.values)
+        return f"{node.column.key()} {keyword} ({values})"
+    if isinstance(node, BoolOp):
+        if node.op == "not":
+            return f"NOT ({render_predicate(node.operands[0])})"
+        parts = [
+            f"({render_predicate(op)})" if isinstance(op, BoolOp)
+            else render_predicate(op)
+            for op in node.operands
+        ]
+        return f" {node.op.upper()} ".join(parts)
+    return repr(node)
+
+
+# --------------------------------------------------------- physical plan
+
+
+class PlanNode:
+    """A physical operator: ``execute(txn)`` returns row dicts (each
+    carrying ``__rid__``), ``render()`` the EXPLAIN subtree."""
+
+    est_rows: float = 0.0
+    cost: float = 0.0
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def render(self, indent: int = 0) -> list[str]:
+        lines = [
+            "  " * indent
+            + f"{self.label()}  [rows~{max(round(self.est_rows), 0)} "
+            + f"cost~{max(round(self.cost), 0)}]"
+        ]
+        for child in self.children():
+            lines.extend(child.render(indent + 1))
+        return lines
+
+
+def _row_dict(row) -> dict[str, Any]:
+    values = dict(row.values)
+    values["__rid__"] = row.rid
+    return values
+
+
+class FullScan(PlanNode):
+    """Read every row of a heap table (rid order)."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return [_row_dict(r) for r in txn.scan(self.table)]
+
+    def label(self) -> str:
+        return f"FullScan({self.table})"
+
+
+class IndexLookup(PlanNode):
+    """Equality probe of a secondary index (rows come back in rid order)."""
+
+    def __init__(self, table: str, column: str, value: Any,
+                 kind: str) -> None:
+        self.table = table
+        self.column = column
+        self.value = value
+        self.kind = kind
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return [_row_dict(r)
+                for r in txn.lookup(self.table, self.column, self.value)]
+
+    def label(self) -> str:
+        rendered = _render_operand(Literal(self.value))
+        return (f"IndexLookup({self.table}.{self.column} = {rendered} "
+                f"via {self.kind} index)")
+
+
+class RangeScan(PlanNode):
+    """Bounded scan of a sorted index; rows re-sorted to rid order so the
+    output order matches a filtered full scan exactly."""
+
+    def __init__(self, table: str, column: str, low: Any, high: Any,
+                 include_low: bool, include_high: bool) -> None:
+        self.table = table
+        self.column = column
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        try:
+            rows = txn.range_lookup(self.table, self.column, self.low,
+                                    self.high, self.include_low,
+                                    self.include_high)
+        except TypeError as exc:
+            # Same surface as the naive evaluator comparing incomparable
+            # operands row by row.
+            raise SqlError(
+                f"type error in range scan on {self.table}.{self.column}"
+            ) from exc
+        return [_row_dict(r) for r in rows]
+
+    def label(self) -> str:
+        lo = "(-inf" if self.low is None else \
+            ("[" if self.include_low else "(") + _render_operand(Literal(self.low))
+        hi = "+inf)" if self.high is None else \
+            _render_operand(Literal(self.high)) + ("]" if self.include_high else ")")
+        return (f"RangeScan({self.table}.{self.column} in {lo}, {hi} "
+                f"via sorted index)")
+
+
+class Filter(PlanNode):
+    """Apply a (residual or pushed) predicate to the child's rows."""
+
+    def __init__(self, predicate: Any, child: PlanNode,
+                 role: str = "filter") -> None:
+        self.predicate = predicate
+        self.child = child
+        self.role = role  # 'filter' (residual) | 'pushed'
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return [r for r in self.child.execute(txn)
+                if eval_predicate(self.predicate, r)]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        name = "Filter" if self.role == "filter" else "PushedFilter"
+        return f"{name}({render_predicate(self.predicate)})"
+
+
+def _combine(left_table: str, lrow: dict[str, Any],
+             right_table: str, rrow: dict[str, Any]) -> dict[str, Any]:
+    """Joined row shaped exactly like the naive interpreter's: qualified
+    keys plus unqualified (left wins on collision), ``__rid__`` = left."""
+    row: dict[str, Any] = {}
+    for k, v in lrow.items():
+        if k == "__rid__":
+            continue
+        row[f"{left_table}.{k}"] = v
+        row.setdefault(k, v)
+    for k, v in rrow.items():
+        if k == "__rid__":
+            continue
+        row[f"{right_table}.{k}"] = v
+        row.setdefault(k, v)
+    row["__rid__"] = lrow["__rid__"]
+    return row
+
+
+class HashJoin(PlanNode):
+    """Equi-join building a hash table on the cheaper side.
+
+    Output is always in (left rid, right rid) order — when the build
+    side is the left input the probe-order output is re-sorted, so the
+    build-side choice is invisible in results.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode, left_table: str,
+                 right_table: str, left_col: str, right_col: str,
+                 build: str) -> None:
+        self.left = left
+        self.right = right
+        self.left_table = left_table
+        self.right_table = right_table
+        self.left_col = left_col
+        self.right_col = right_col
+        self.build = build  # 'left' | 'right'
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        left_rows = self.left.execute(txn)
+        right_rows = self.right.execute(txn)
+        buckets: dict[Any, list[dict[str, Any]]] = {}
+        if self.build == "right":
+            for rrow in right_rows:
+                buckets.setdefault(rrow.get(self.right_col), []).append(rrow)
+            out: list[dict[str, Any]] = []
+            for lrow in left_rows:
+                key = lrow.get(self.left_col)
+                if key is None:
+                    continue
+                for rrow in buckets.get(key, ()):
+                    out.append(_combine(self.left_table, lrow,
+                                        self.right_table, rrow))
+            return out
+        for lrow in left_rows:
+            buckets.setdefault(lrow.get(self.left_col), []).append(lrow)
+        pairs: list[tuple[tuple[int, int], dict[str, Any]]] = []
+        for rrow in right_rows:
+            key = rrow.get(self.right_col)
+            if key is None:
+                continue
+            for lrow in buckets.get(key, ()):
+                pairs.append(
+                    ((lrow["__rid__"], rrow["__rid__"]),
+                     _combine(self.left_table, lrow, self.right_table, rrow))
+                )
+        pairs.sort(key=lambda p: p[0])
+        return [row for _, row in pairs]
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return (f"HashJoin({self.left_table}.{self.left_col} = "
+                f"{self.right_table}.{self.right_col}, build={self.build})")
+
+
+class IndexNestedLoopJoin(PlanNode):
+    """Probe the inner table's index once per outer row.
+
+    The inner side has no access-path subtree — the probe *is* its
+    access path; any conjuncts pushed to the inner side are applied to
+    each fetched row (``inner_filter``).  Output is re-sorted into
+    (left rid, right rid) order when the outer side is the right input.
+    """
+
+    def __init__(self, outer: PlanNode, outer_col: str, inner_table: str,
+                 inner_col: str, inner_filter: Any, outer_side: str,
+                 left_table: str, right_table: str, kind: str) -> None:
+        self.outer = outer
+        self.outer_col = outer_col
+        self.inner_table = inner_table
+        self.inner_col = inner_col
+        self.inner_filter = inner_filter
+        self.outer_side = outer_side  # 'left' | 'right'
+        self.left_table = left_table
+        self.right_table = right_table
+        self.kind = kind
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        pairs: list[tuple[tuple[int, int], dict[str, Any]]] = []
+        out: list[dict[str, Any]] = []
+        for orow in self.outer.execute(txn):
+            key = orow.get(self.outer_col)
+            if key is None:
+                continue
+            for inner in txn.lookup(self.inner_table, self.inner_col, key):
+                irow = _row_dict(inner)
+                if self.inner_filter is not None \
+                        and not eval_predicate(self.inner_filter, irow):
+                    continue
+                if self.outer_side == "left":
+                    out.append(_combine(self.left_table, orow,
+                                        self.right_table, irow))
+                else:
+                    combined = _combine(self.left_table, irow,
+                                        self.right_table, orow)
+                    pairs.append(((irow["__rid__"], orow["__rid__"]), combined))
+        if self.outer_side == "left":
+            return out
+        pairs.sort(key=lambda p: p[0])
+        return [row for _, row in pairs]
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer]
+
+    def label(self) -> str:
+        outer_table = self.left_table if self.outer_side == "left" \
+            else self.right_table
+        label = (f"IndexNestedLoopJoin({outer_table}.{self.outer_col} = "
+                 f"{self.inner_table}.{self.inner_col}, "
+                 f"inner={self.inner_table} via {self.kind} index")
+        if self.inner_filter is not None:
+            label += f", inner filter: {render_predicate(self.inner_filter)}"
+        return label + ")"
+
+
+class SelectPlan:
+    """A planned SELECT: the executable ``source`` (scan/join + filters,
+    WHERE fully applied) plus the metadata ``sql._select`` needs for the
+    aggregate/projection/order stages and EXPLAIN for rendering."""
+
+    def __init__(self, source: PlanNode, stmt: SelectStatement,
+                 use_topk: bool) -> None:
+        self.source = source
+        self.stmt = stmt
+        self.use_topk = use_topk
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return self.source.execute(txn)
+
+    def render(self) -> list[str]:
+        stmt = self.stmt
+        lines: list[str] = []
+        depth = 0
+
+        def push(text: str) -> None:
+            nonlocal depth
+            lines.append("  " * depth + text)
+            depth += 1
+
+        if self.use_topk:
+            direction = "desc" if stmt.order_desc else "asc"
+            push(f"TopK(key={stmt.order_by.key()}, {direction}, "
+                 f"k={stmt.limit})")
+        else:
+            if stmt.limit is not None:
+                push(f"Limit({stmt.limit})")
+            if stmt.order_by is not None:
+                direction = "desc" if stmt.order_desc else "asc"
+                push(f"Sort(key={stmt.order_by.key()}, {direction})")
+        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        if stmt.group_by or has_aggregates:
+            keys = ", ".join(g.key() for g in stmt.group_by) or "()"
+            items = ", ".join(i.key() for i in stmt.items) or "*"
+            push(f"Aggregate(group_by=[{keys}], items=[{items}])")
+        else:
+            items = "*" if stmt.star else ", ".join(i.key() for i in stmt.items)
+            push(f"Project({items})")
+        lines.extend(self.source.render(depth))
+        return lines
+
+
+# --------------------------------------------------------------- planner
+
+
+class _AccessChoice:
+    """One candidate access path while costing a table."""
+
+    __slots__ = ("node", "consumed", "est_rows", "cost", "rank")
+
+    def __init__(self, node: PlanNode, consumed: list[Any], est_rows: float,
+                 cost: float, rank: int) -> None:
+        self.node = node
+        self.consumed = consumed
+        self.est_rows = est_rows
+        self.cost = cost
+        self.rank = rank  # tie-break: lower rank preferred
+
+
+class Planner:
+    """Builds physical plans for SELECT sourcing and DML row matching."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._stats = db.statistics()
+
+    # -------------------------------------------------------- selectivity
+
+    def _conjunct_selectivity(self, table: str, conjunct: Any) -> float:
+        """Rough selectivity of one conjunct against ``table``."""
+        eq = _eq_conjunct(conjunct)
+        if eq is not None and eq[1] is not None:
+            return self._stats.eq_selectivity(table, eq[0].name)
+        rng = _range_conjunct(conjunct)
+        if rng is not None and rng[2] is not None:
+            ref, op, value = rng
+            if op in ("<", "<="):
+                return self._stats.range_selectivity(
+                    table, ref.name, None, value, True, op == "<=")
+            return self._stats.range_selectivity(
+                table, ref.name, value, None, op == ">=", True)
+        if isinstance(conjunct, InPredicate) and not conjunct.negated:
+            per_value = self._stats.eq_selectivity(
+                table, conjunct.column.name)
+            return min(per_value * max(len(conjunct.values), 1), 1.0)
+        return 0.5
+
+    def _filtered_estimate(self, table: str, base_rows: float,
+                           conjuncts: Iterable[Any]) -> float:
+        est = base_rows
+        for conjunct in conjuncts:
+            est *= self._conjunct_selectivity(table, conjunct)
+        return max(est, 0.0)
+
+    # -------------------------------------------------------- access paths
+
+    def plan_access(self, table: str,
+                    conjuncts: list[Any]) -> tuple[PlanNode, list[Any]]:
+        """Cheapest access path for ``table`` under the given conjuncts.
+
+        Returns ``(node, residual_conjuncts)`` — the node produces a
+        superset of the matching rows in rid order, the residual still
+        needs a filter.
+
+        Raises:
+            KeyError: unknown table.
+        """
+        n = float(self._db.table_size(table))
+        registry = metrics.get_registry()
+        choices: list[_AccessChoice] = [
+            _AccessChoice(FullScan(table), [], n, n, rank=2)
+        ]
+        for conjunct in conjuncts:
+            eq = _eq_conjunct(conjunct)
+            if eq is None or eq[1] is None:
+                continue
+            column = eq[0].name
+            index = self._db._find_index(table, column)
+            if index is None:
+                continue
+            kind = "sorted" if isinstance(index, SortedIndex) else "hash"
+            selectivity = self._stats.eq_selectivity(table, column)
+            est = max(n * selectivity, 0.0)
+            choices.append(_AccessChoice(
+                IndexLookup(table, column, eq[1], kind), [conjunct],
+                est, est + _PROBE_COST, rank=0,
+            ))
+        for column, bounds in self._range_bounds(conjuncts).items():
+            index = self._db.sorted_index(table, column)
+            if index is None:
+                continue
+            low, high, include_low, include_high, consumed = bounds
+            selectivity = self._stats.range_selectivity(
+                table, column, low, high, include_low, include_high)
+            est = max(n * selectivity, 0.0)
+            choices.append(_AccessChoice(
+                RangeScan(table, column, low, high, include_low, include_high),
+                consumed, est, est + _PROBE_COST + math.log2(n + 2), rank=1,
+            ))
+        best = min(choices, key=lambda c: (c.cost, c.rank))
+        best.node.est_rows = best.est_rows
+        best.node.cost = best.cost
+        if isinstance(best.node, FullScan):
+            registry.inc("planner.plans.full_scan")
+        elif isinstance(best.node, IndexLookup):
+            registry.inc("planner.plans.index_lookup")
+        else:
+            registry.inc("planner.plans.range_scan")
+        return best.node, _remove(conjuncts, best.consumed)
+
+    @staticmethod
+    def _range_bounds(
+        conjuncts: list[Any],
+    ) -> dict[str, tuple[Any, Any, bool, bool, list[Any]]]:
+        """Combined (low, high, incl_low, incl_high, consumed) per column
+        with at least one range conjunct; columns whose bounds cannot be
+        combined (mixed incomparable literal types) are dropped."""
+        grouped: dict[str, list[tuple[str, Any, Any]]] = {}
+        for conjunct in conjuncts:
+            rng = _range_conjunct(conjunct)
+            if rng is None or rng[2] is None:
+                continue
+            grouped.setdefault(rng[0].name, []).append(
+                (rng[1], rng[2], conjunct))
+        out: dict[str, tuple[Any, Any, bool, bool, list[Any]]] = {}
+        for column, entries in grouped.items():
+            low: Any = None
+            high: Any = None
+            include_low = include_high = True
+            consumed: list[Any] = []
+            try:
+                for op, value, conjunct in entries:
+                    if op in (">", ">="):
+                        inclusive = op == ">="
+                        if low is None or value > low or (
+                                value == low and include_low and not inclusive):
+                            low, include_low = value, inclusive
+                    else:
+                        inclusive = op == "<="
+                        if high is None or value < high or (
+                                value == high and include_high and not inclusive):
+                            high, include_high = value, inclusive
+                    consumed.append(conjunct)
+            except TypeError:
+                continue  # incomparable bounds: leave it all to the filter
+            out[column] = (low, high, include_low, include_high, consumed)
+        return out
+
+    # --------------------------------------------------------------- joins
+
+    def _side_of(self, conjunct: Any, stmt: SelectStatement) -> str | None:
+        """'left' / 'right' when every column reference in the conjunct
+        resolves to that one join input (matching the naive resolver's
+        left-wins rule for ambiguous unqualified names), else None."""
+        refs = column_refs(conjunct)
+        if not refs:
+            return None
+        left_schema = self._db.schema(stmt.table)
+        right_schema = self._db.schema(stmt.join_table)
+        sides: set[str] = set()
+        for ref in refs:
+            if ref.table == stmt.table:
+                side = "left"
+            elif ref.table == stmt.join_table:
+                side = "right"
+            elif ref.table is not None:
+                return None
+            elif left_schema.has_column(ref.name):
+                side = "left"
+            elif right_schema.has_column(ref.name):
+                side = "right"
+            else:
+                return None
+            sides.add(side)
+        return sides.pop() if len(sides) == 1 else None
+
+    @staticmethod
+    def join_columns(stmt: SelectStatement) -> tuple[str, str]:
+        """(left column, right column) of the ON clause, normalizing the
+        user writing the sides in either order (same rule as naive)."""
+        left, right = stmt.join_left, stmt.join_right
+        if left.table == stmt.join_table or right.table == stmt.table:
+            left, right = right, left
+        return left.name, right.name
+
+    def _plan_join(self, stmt: SelectStatement,
+                   conjuncts: list[Any]) -> tuple[PlanNode, list[Any]]:
+        registry = metrics.get_registry()
+        left_table, right_table = stmt.table, stmt.join_table
+        left_col, right_col = self.join_columns(stmt)
+
+        left_conjuncts: list[Any] = []
+        right_conjuncts: list[Any] = []
+        residual: list[Any] = []
+        for conjunct in conjuncts:
+            side = self._side_of(conjunct, stmt)
+            if side == "left":
+                left_conjuncts.append(conjunct)
+            elif side == "right":
+                right_conjuncts.append(conjunct)
+            else:
+                residual.append(conjunct)
+        registry.inc("planner.conjuncts.pushed",
+                     len(left_conjuncts) + len(right_conjuncts))
+
+        def side_node(table: str, side_conjuncts: list[Any]) \
+                -> tuple[PlanNode, float]:
+            node, side_residual = self.plan_access(table, side_conjuncts)
+            est = self._filtered_estimate(table, node.est_rows, side_residual)
+            if side_residual:
+                node = Filter(conjoin(side_residual), node, role="pushed")
+                node.est_rows, node.cost = est, node.child.cost
+            return node, max(est, 0.0)
+
+        left_node, left_est = side_node(left_table, left_conjuncts)
+        right_node, right_est = side_node(right_table, right_conjuncts)
+
+        build = "right" if right_est <= left_est else "left"
+        hash_cost = left_node.cost + right_node.cost + left_est + right_est
+        hash_join = HashJoin(left_node, right_node, left_table, right_table,
+                             left_col, right_col, build)
+        out_est = self._join_cardinality(left_table, left_col, left_est,
+                                         right_table, right_col, right_est)
+        hash_join.est_rows, hash_join.cost = out_est, hash_cost
+
+        best: PlanNode = hash_join
+        inlj_right = self._inlj_candidate(
+            stmt, outer=left_node, outer_est=left_est, outer_col=left_col,
+            outer_side="left", inner_table=right_table, inner_col=right_col,
+            inner_conjuncts=right_conjuncts, out_est=out_est)
+        inlj_left = self._inlj_candidate(
+            stmt, outer=right_node, outer_est=right_est, outer_col=right_col,
+            outer_side="right", inner_table=left_table, inner_col=left_col,
+            inner_conjuncts=left_conjuncts, out_est=out_est)
+        for candidate in (inlj_right, inlj_left):
+            if candidate is not None and candidate.cost < best.cost:
+                best = candidate
+        if isinstance(best, HashJoin):
+            registry.inc("planner.plans.hash_join")
+        else:
+            registry.inc("planner.plans.index_nested_loop_join")
+        return best, residual
+
+    def _join_cardinality(self, left_table: str, left_col: str,
+                          left_est: float, right_table: str, right_col: str,
+                          right_est: float) -> float:
+        """Standard equi-join estimate: |L| * |R| / max(ndv(l), ndv(r))."""
+        ndv = max(
+            self._ndv(left_table, left_col),
+            self._ndv(right_table, right_col),
+            1,
+        )
+        return left_est * right_est / ndv
+
+    def _ndv(self, table: str, column: str) -> int:
+        column_stats = self._stats.stats(table).column(column)
+        return column_stats.distinct if column_stats is not None else 0
+
+    def _inlj_candidate(self, stmt: SelectStatement, outer: PlanNode,
+                        outer_est: float, outer_col: str, outer_side: str,
+                        inner_table: str, inner_col: str,
+                        inner_conjuncts: list[Any],
+                        out_est: float) -> IndexNestedLoopJoin | None:
+        index = self._db._find_index(inner_table, inner_col)
+        if index is None:
+            return None
+        kind = "sorted" if isinstance(index, SortedIndex) else "hash"
+        inner_rows = float(self._db.table_size(inner_table))
+        bucket = inner_rows / max(self._ndv(inner_table, inner_col), 1)
+        node = IndexNestedLoopJoin(
+            outer, outer_col, inner_table, inner_col,
+            conjoin(inner_conjuncts), outer_side,
+            left_table=stmt.table, right_table=stmt.join_table, kind=kind)
+        node.est_rows = out_est
+        node.cost = outer.cost + outer_est * (_PROBE_COST + bucket)
+        return node
+
+    # -------------------------------------------------------------- SELECT
+
+    def plan_select(self, stmt: SelectStatement) -> SelectPlan:
+        """Physical plan for a SELECT's row-sourcing (and EXPLAIN tree)."""
+        registry = metrics.get_registry()
+        conjuncts = split_conjuncts(stmt.where)
+        if stmt.join_table is None:
+            node, residual = self.plan_access(stmt.table, conjuncts)
+        else:
+            node, residual = self._plan_join(stmt, conjuncts)
+        if residual:
+            est = node.est_rows
+            if stmt.join_table is None:
+                est = self._filtered_estimate(stmt.table, est, residual)
+            node = Filter(conjoin(residual), node)
+            node.est_rows, node.cost = est, node.child.cost
+        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        use_topk = (
+            stmt.order_by is not None and stmt.limit is not None
+            and not stmt.group_by and not has_aggregates
+        )
+        if use_topk:
+            registry.inc("planner.plans.topk")
+        return SelectPlan(node, stmt, use_topk)
+
+    def explain(self, stmt: SelectStatement) -> list[str]:
+        """EXPLAIN text lines for a SELECT (plans, does not execute)."""
+        return self.plan_select(stmt).render()

@@ -1,0 +1,120 @@
+"""Commit-invalidated query-result cache for the SQL serving path.
+
+Serving traffic (form submissions, the query translator, dashboards)
+re-runs a small set of SELECT statements far more often than the facts
+table changes.  :class:`QueryResultCache` memoizes SELECT results keyed
+by the *normalized* statement text plus the version of every table the
+statement reads; versions come from the same commit-listener stream that
+drives statistics maintenance (:mod:`repro.storage.rdbms.stats`), so any
+committed write or schema change to a referenced table makes the cached
+entry unreachable and a listener evicts it eagerly.
+
+Only SELECTs are cached; every other statement (DML, DDL, EXPLAIN)
+passes straight through to the executor.  Rows are defensively copied in
+both directions, so callers may mutate what they get back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.storage.rdbms.engine import Database
+from repro.telemetry import metrics
+
+
+class QueryResultCache:
+    """An LRU of SELECT results, invalidated by table version.
+
+    Args:
+        db: the database whose commit stream versions the entries.
+        capacity: maximum number of cached statements (LRU eviction).
+    """
+
+    def __init__(self, db: Database, capacity: int = 128) -> None:
+        self._db = db
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        # normalized sql -> (tables, {table: version}, rows)
+        self._entries: OrderedDict[
+            str, tuple[tuple[str, ...], dict[str, int], list[dict[str, Any]]]
+        ] = OrderedDict()
+        # Ensure the statistics manager registers its listener first, so
+        # versions are already bumped when our eviction listener runs.
+        self._stats = db.statistics()
+        db.add_commit_listener(self._on_commit)
+
+    # ------------------------------------------------------------- serving
+
+    def execute(self, sql: str) -> list[dict[str, Any]]:
+        """Run one statement, serving SELECTs from cache when fresh.
+
+        Raises:
+            SqlError: on parse or execution errors.
+        """
+        from repro.storage.rdbms import sql as sqlmod
+
+        stmt = sqlmod.parse_sql(sql)
+        if not isinstance(stmt, sqlmod.SelectStatement):
+            return sqlmod.execute_statement(self._db, stmt)
+        registry = metrics.get_registry()
+        key = sqlmod.normalize_sql(sql)
+        tables = tuple(
+            t for t in (stmt.table, stmt.join_table) if t is not None)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                _, versions, rows = entry
+                if all(self._stats.version(t) == v
+                       for t, v in versions.items()):
+                    self._entries.move_to_end(key)
+                    registry.inc("planner.cache.hits")
+                    return [dict(r) for r in rows]
+                del self._entries[key]
+        registry.inc("planner.cache.misses")
+        # Snapshot versions *before* executing: a commit racing with the
+        # query makes the stored entry immediately stale (extra miss),
+        # never silently wrong.
+        versions = {t: self._stats.version(t) for t in tables}
+        rows = sqlmod.execute_statement(self._db, stmt)
+        with self._lock:
+            self._entries[key] = (tables, versions, [dict(r) for r in rows])
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return [dict(r) for r in rows]
+
+    # -------------------------------------------------------- invalidation
+
+    def _on_commit(self, changed: frozenset[str]) -> None:
+        evicted = 0
+        with self._lock:
+            stale = [key for key, (tables, _, _) in self._entries.items()
+                     if any(t in changed for t in tables)]
+            for key in stale:
+                del self._entries[key]
+                evicted += 1
+        if evicted:
+            metrics.get_registry().inc("planner.cache.invalidations", evicted)
+
+    # ------------------------------------------------------------ plumbing
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Current hit/miss/invalidation counters plus entry count."""
+        registry = metrics.get_registry()
+        return {
+            "entries": len(self),
+            "hits": int(registry.get("planner.cache.hits")),
+            "misses": int(registry.get("planner.cache.misses")),
+            "invalidations": int(
+                registry.get("planner.cache.invalidations")),
+        }

@@ -11,22 +11,30 @@ Supported statements (enough for the paper's exploitation scenarios — the
   with aggregates COUNT(*), COUNT(c), SUM(c), AVG(c), MIN(c), MAX(c)
 * ``UPDATE t SET c = v [, ...] [WHERE <pred>]``
 * ``DELETE FROM t [WHERE <pred>]``
+* ``EXPLAIN <select>`` — returns the chosen physical plan as rows
 
 Predicates: comparisons (=, !=, <>, <, <=, >, >=), AND/OR/NOT, ``LIKE`` with
 ``%``/``_`` wildcards, ``IS [NOT] NULL``, ``IN (v1, v2, ...)``, parentheses.
 
-Execution uses index lookups for top-level equality predicates on indexed
-columns, otherwise scans.  All statements run inside a transaction.
+Execution goes through the cost-based planner in
+:mod:`repro.storage.rdbms.planner` by default (index lookups, range
+scans, pushed-down join predicates, statistics-driven join choice); pass
+``use_planner=False`` to get the original naive interpreter, which the
+differential tests treat as the semantics oracle.  All statements run
+inside a transaction.
 """
 
 from __future__ import annotations
 
+import functools
+import heapq
 import re
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.storage.rdbms.engine import Database, Transaction
 from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.telemetry.tracing import get_tracer
 
 
 class SqlError(Exception):
@@ -53,7 +61,7 @@ _KEYWORDS = frozenset(
         "not", "like", "is", "null", "in", "insert", "into", "values", "update",
         "set", "delete", "create", "table", "primary", "key", "asc", "desc",
         "join", "on", "count", "sum", "avg", "min", "max", "true", "false",
-        "distinct", "as", "having",
+        "distinct", "as", "having", "explain",
     }
 )
 
@@ -237,6 +245,13 @@ class CreateTableStatement:
     schema: TableSchema
 
 
+@dataclass
+class ExplainStatement:
+    """An EXPLAIN wrapping a SELECT: plan, don't execute."""
+
+    select: SelectStatement
+
+
 # -------------------------------------------------------------------- parser
 
 _TYPE_MAP = {
@@ -308,9 +323,17 @@ class _Parser:
             return self._parse_delete()
         if token.value == "create":
             return self._parse_create()
+        if token.value == "explain":
+            return self._parse_explain()
         raise SqlError(f"unsupported statement {token.text!r}")
 
     # -- statements
+
+    def _parse_explain(self) -> ExplainStatement:
+        self._expect_keyword("explain")
+        if not self._at_keyword("select"):
+            raise SqlError("EXPLAIN supports SELECT statements only")
+        return ExplainStatement(self._parse_select())
 
     def _parse_select(self) -> SelectStatement:
         self._expect_keyword("select")
@@ -587,6 +610,29 @@ def parse_sql(sql: str):
     return _Parser(sql).parse()
 
 
+def normalize_sql(sql: str) -> str:
+    """Canonical text for a statement: whitespace collapsed, keywords
+    uppercased, literals re-rendered.  Two statements that tokenize the
+    same normalize the same — this is the result cache's key.
+
+    Raises:
+        SqlError: on lexing errors.
+    """
+    parts: list[str] = []
+    for token in _lex(sql):
+        if token.kind == "eof":
+            break
+        if token.kind == "keyword":
+            parts.append(token.value.upper())
+        elif token.kind == "string":
+            parts.append("'" + str(token.value).replace("'", "''") + "'")
+        elif token.kind == "number":
+            parts.append(repr(token.value))
+        else:
+            parts.append(token.text)
+    return " ".join(parts)
+
+
 # ----------------------------------------------------------------- evaluator
 
 
@@ -603,6 +649,7 @@ def _resolve(row: dict[str, Any], ref: ColumnRef) -> Any:
     raise SqlError(f"unknown column {ref.key()!r}")
 
 
+@functools.lru_cache(maxsize=256)
 def _like_to_regex(pattern: str) -> re.Pattern:
     out = []
     for ch in pattern:
@@ -686,13 +733,17 @@ def _equality_lookup(node: Any) -> tuple[str, Any] | None:
 
 
 class _Executor:
-    def __init__(self, db: Database, txn: Transaction) -> None:
+    def __init__(self, db: Database, txn: Transaction,
+                 use_planner: bool = True) -> None:
         self._db = db
         self._txn = txn
+        self._use_planner = use_planner
 
     def execute(self, stmt) -> list[dict[str, Any]]:
         if isinstance(stmt, SelectStatement):
             return self._select(stmt)
+        if isinstance(stmt, ExplainStatement):
+            return _explain_rows(self._db, stmt)
         if isinstance(stmt, InsertStatement):
             count = 0
             for row in stmt.rows:
@@ -719,6 +770,20 @@ class _Executor:
     # -- row production
 
     def _matching_rows(self, table: str, where) -> list[dict[str, Any]]:
+        """Rows of ``table`` satisfying ``where`` (with ``__rid__``).
+
+        With the planner enabled, the access path (index lookup, range
+        scan, or full scan) is chosen by cost; the full predicate is
+        still re-checked on every candidate, so a stale plan can only
+        cost time, never rows.
+        """
+        if self._use_planner and where is not None:
+            from repro.storage.rdbms import planner as _planner
+
+            conjuncts = _planner.split_conjuncts(where)
+            node, _ = _planner.Planner(self._db).plan_access(table, conjuncts)
+            candidates = node.execute(self._txn)
+            return [row for row in candidates if eval_predicate(where, row)]
         lookup = _equality_lookup(where) if where is not None else None
         if lookup is not None and self._db._find_index(table, lookup[0]) is not None:
             candidates = self._txn.lookup(table, lookup[0], lookup[1])
@@ -733,8 +798,18 @@ class _Executor:
         return rows
 
     def _select(self, stmt: SelectStatement) -> list[dict[str, Any]]:
-        rows = self._source_rows(stmt)
-        rows = [r for r in rows if eval_predicate(stmt.where, r)]
+        if self._use_planner:
+            from repro.storage.rdbms import planner as _planner
+
+            tracer = get_tracer()
+            with tracer.span("rdbms.plan"):
+                plan = _planner.Planner(self._db).plan_select(stmt)
+            with tracer.span("rdbms.exec") as span:
+                rows = plan.execute(self._txn)
+                span.set_attribute("rows", len(rows))
+        else:
+            rows = self._source_rows(stmt)
+            rows = [r for r in rows if eval_predicate(stmt.where, r)]
         has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
         if stmt.group_by or has_aggregates:
             result = self._aggregate(stmt, rows)
@@ -751,12 +826,24 @@ class _Executor:
                 {item.key(): _resolve(r, item.expr) for item in stmt.items}
                 for r in rows
             ]
+        return self._order_and_limit(stmt, result)
+
+    def _order_and_limit(self, stmt: SelectStatement,
+                         result: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Apply ORDER BY and LIMIT.  ``ORDER BY … LIMIT k`` with k below
+        the row count runs as a heap top-k (``heapq.nsmallest`` /
+        ``nlargest`` are stable and row-identical to full-sort-then-slice)
+        instead of sorting everything."""
         if stmt.order_by is not None:
             key_name = self._order_key(stmt)
-            result.sort(
-                key=lambda r: (r.get(key_name) is None, r.get(key_name)),
-                reverse=stmt.order_desc,
-            )
+
+            def sort_key(r: dict[str, Any]) -> tuple:
+                return (r.get(key_name) is None, r.get(key_name))
+
+            if stmt.limit is not None and stmt.limit < len(result):
+                pick = heapq.nlargest if stmt.order_desc else heapq.nsmallest
+                return pick(stmt.limit, result, key=sort_key)
+            result.sort(key=sort_key, reverse=stmt.order_desc)
         if stmt.limit is not None:
             result = result[: stmt.limit]
         return result
@@ -857,21 +944,40 @@ class _Executor:
         raise SqlError(f"unknown aggregate {agg.func!r}")
 
 
-def execute_sql(db: Database, sql: str,
-                txn: Transaction | None = None) -> list[dict[str, Any]]:
+def _explain_rows(db: Database, stmt: ExplainStatement) -> list[dict[str, Any]]:
+    from repro.storage.rdbms import planner as _planner
+
+    lines = _planner.Planner(db).explain(stmt.select)
+    return [{"plan": line} for line in lines]
+
+
+def execute_statement(db: Database, stmt, txn: Transaction | None = None,
+                      use_planner: bool = True) -> list[dict[str, Any]]:
+    """Execute one already-parsed statement (see :func:`execute_sql`)."""
+    if isinstance(stmt, CreateTableStatement):
+        db.create_table(stmt.schema)
+        return [{"created": stmt.schema.name}]
+    if isinstance(stmt, ExplainStatement):
+        return _explain_rows(db, stmt)
+    if txn is not None:
+        return _Executor(db, txn, use_planner).execute(stmt)
+    return db.run(lambda t: _Executor(db, t, use_planner).execute(stmt))
+
+
+def execute_sql(db: Database, sql: str, txn: Transaction | None = None,
+                use_planner: bool = True) -> list[dict[str, Any]]:
     """Parse and execute one SQL statement.
 
     If ``txn`` is None, the statement runs in its own transaction (with
     deadlock retry).  Returns result rows as a list of dicts; DML returns a
-    one-row summary (e.g. ``[{"updated": 3}]``).
+    one-row summary (e.g. ``[{"updated": 3}]``), ``EXPLAIN <select>`` one
+    ``{"plan": line}`` row per plan-tree line.
+
+    ``use_planner=False`` bypasses the cost-based planner and runs the
+    naive interpreter — the reference semantics the planner is tested
+    against.
 
     Raises:
         SqlError: on parse or execution errors.
     """
-    stmt = parse_sql(sql)
-    if txn is not None:
-        return _Executor(db, txn).execute(stmt)
-    if isinstance(stmt, CreateTableStatement):
-        db.create_table(stmt.schema)
-        return [{"created": stmt.schema.name}]
-    return db.run(lambda t: _Executor(db, t).execute(stmt))
+    return execute_statement(db, parse_sql(sql), txn, use_planner)

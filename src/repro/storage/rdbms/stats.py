@@ -1,0 +1,245 @@
+"""Table statistics for the cost-based planner (DESIGN.md §11).
+
+The planner's cost model needs three things per table: how many rows it
+has, how selective an equality predicate on a column is (≈ 1 / distinct
+values), and how selective a range predicate is (read off a small
+equal-depth histogram).  :class:`StatisticsManager` owns those numbers
+for one :class:`~repro.storage.rdbms.engine.Database`:
+
+* a **version counter** per table, bumped by a commit listener on every
+  data-writing commit and schema change — this is what invalidates both
+  stale statistics and the query-result cache;
+* **incremental maintenance**: when a table has drifted only a little
+  since the last full pass, the (always exact) live row count is folded
+  in and the distributions are kept — no scan;
+* a **full ANALYZE fallback**: once the drift exceeds
+  ``staleness_fraction`` of the analyzed row count (or the table was
+  never analyzed), one full scan rebuilds distinct counts, min/max, and
+  the histograms.
+
+Statistics are advisory: plans stay *correct* on arbitrarily stale
+numbers (residual filters re-check every predicate), only their cost
+ranking degrades.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry import metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> stats)
+    from repro.storage.rdbms.engine import Database
+
+#: Equal-depth histogram resolution (quantile points per column).
+HISTOGRAM_BUCKETS = 16
+
+#: Fallback selectivities when a column has no usable statistics.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+
+#: Floor so no estimate ever reaches exactly zero rows (a zero-cost plan
+#: would win every comparison regardless of reality).
+MIN_SELECTIVITY = 1e-4
+
+
+@dataclass
+class ColumnStats:
+    """Distribution summary for one column.
+
+    ``histogram`` holds ``HISTOGRAM_BUCKETS + 1`` quantile points of the
+    sorted non-null values (an equal-depth sketch): the fraction of
+    values ``<= x`` is approximated by where ``x`` lands among the
+    points.
+    """
+
+    distinct: int = 0
+    null_count: int = 0
+    total: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    histogram: tuple = ()
+
+    @property
+    def non_null_fraction(self) -> float:
+        if self.total <= 0:
+            return 1.0
+        return (self.total - self.null_count) / self.total
+
+    def eq_selectivity(self) -> float:
+        """Estimated fraction of rows matching ``col = literal``."""
+        if self.distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return max(self.non_null_fraction / self.distinct, MIN_SELECTIVITY)
+
+    def le_fraction(self, value: Any, inclusive: bool) -> float:
+        """Estimated fraction of non-null values ``<= value`` (or ``<``)."""
+        if not self.histogram:
+            return DEFAULT_RANGE_SELECTIVITY
+        points = self.histogram
+        try:
+            if inclusive:
+                pos = bisect.bisect_right(points, value)
+            else:
+                pos = bisect.bisect_left(points, value)
+        except TypeError:
+            return DEFAULT_RANGE_SELECTIVITY
+        return pos / len(points)
+
+    def range_selectivity(self, low: Any, high: Any,
+                          include_low: bool, include_high: bool) -> float:
+        """Estimated fraction of rows in the given (half-open) bounds."""
+        if not self.histogram:
+            return DEFAULT_RANGE_SELECTIVITY
+        hi_frac = 1.0 if high is None else self.le_fraction(high, include_high)
+        lo_frac = 0.0 if low is None else self.le_fraction(low, not include_low)
+        frac = (hi_frac - lo_frac) * self.non_null_fraction
+        return min(max(frac, MIN_SELECTIVITY), 1.0)
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table at one analyzed point in time."""
+
+    table: str
+    row_count: int = 0
+    analyzed_rows: int = 0
+    version: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+
+def _build_column_stats(values: list[Any]) -> ColumnStats:
+    """Summarize one column's values (including ``None`` entries)."""
+    total = len(values)
+    non_null = [v for v in values if v is not None]
+    stats = ColumnStats(total=total, null_count=total - len(non_null))
+    if not non_null:
+        return stats
+    stats.distinct = len(set(non_null))
+    try:
+        ordered = sorted(non_null)
+    except TypeError:
+        # Mixed incomparable types: keep the distinct count, skip the
+        # order statistics (range estimates fall back to the default).
+        return stats
+    stats.min_value = ordered[0]
+    stats.max_value = ordered[-1]
+    n = len(ordered)
+    points = tuple(
+        ordered[min(round(i * (n - 1) / HISTOGRAM_BUCKETS), n - 1)]
+        for i in range(HISTOGRAM_BUCKETS + 1)
+    )
+    stats.histogram = points
+    return stats
+
+
+class StatisticsManager:
+    """Per-table statistics, versioned by the commit-listener stream.
+
+    Obtained via :meth:`Database.statistics`; one instance per database.
+    Thread-safe: the version map and the stats cache are guarded by one
+    lock, and ANALYZE scans copy rows under the engine's mutate lock.
+    """
+
+    def __init__(self, db: "Database",
+                 staleness_fraction: float = 0.25) -> None:
+        self._db = db
+        self._staleness = staleness_fraction
+        self._lock = threading.Lock()
+        self._versions: dict[str, int] = {}
+        self._stats: dict[str, TableStats] = {}
+        db.add_commit_listener(self._on_commit)
+
+    # ------------------------------------------------------------ versions
+
+    def _on_commit(self, tables: frozenset[str]) -> None:
+        with self._lock:
+            for table in tables:
+                self._versions[table] = self._versions.get(table, 0) + 1
+
+    def version(self, table: str) -> int:
+        """Monotone counter: bumps on every commit/schema change of
+        ``table``.  The result cache keys on this."""
+        with self._lock:
+            return self._versions.get(table, 0)
+
+    # --------------------------------------------------------------- stats
+
+    def analyze(self, table: str) -> TableStats:
+        """Full statistics pass: one scan building every column summary.
+
+        Raises:
+            KeyError: unknown table.
+        """
+        db = self._db
+        with self._lock:
+            version = self._versions.get(table, 0)
+        with db._mutate_lock:
+            schema = db.schema(table)
+            columns: dict[str, list[Any]] = {c: [] for c in schema.column_names}
+            count = 0
+            for row in db._table(table).scan():
+                count += 1
+                for name in columns:
+                    columns[name].append(row.values.get(name))
+        stats = TableStats(
+            table=table, row_count=count, analyzed_rows=count, version=version,
+            columns={name: _build_column_stats(vals)
+                     for name, vals in columns.items()},
+        )
+        with self._lock:
+            self._stats[table] = stats
+        metrics.get_registry().inc("planner.analyze.full")
+        return stats
+
+    def stats(self, table: str) -> TableStats:
+        """Current statistics, refreshed as cheaply as staleness allows.
+
+        Unchanged version → cached as-is.  Small drift → exact live row
+        count folded in, distributions reused (incremental path).  Large
+        drift or never analyzed → full :meth:`analyze`.
+
+        Raises:
+            KeyError: unknown table.
+        """
+        with self._lock:
+            version = self._versions.get(table, 0)
+            cached = self._stats.get(table)
+        if cached is not None and cached.version == version:
+            return cached
+        live_rows = self._db.table_size(table)
+        if cached is not None and cached.analyzed_rows > 0:
+            drift = abs(live_rows - cached.analyzed_rows)
+            if drift <= self._staleness * cached.analyzed_rows:
+                with self._lock:
+                    cached.row_count = live_rows
+                    cached.version = version
+                metrics.get_registry().inc("planner.analyze.incremental")
+                return cached
+        return self.analyze(table)
+
+    # --------------------------------------------------------- estimation
+
+    def row_count(self, table: str) -> int:
+        """Exact live row count (always current, never estimated)."""
+        return self._db.table_size(table)
+
+    def eq_selectivity(self, table: str, column: str) -> float:
+        column_stats = self.stats(table).column(column)
+        if column_stats is None or column_stats.total == 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return column_stats.eq_selectivity()
+
+    def range_selectivity(self, table: str, column: str, low: Any, high: Any,
+                          include_low: bool, include_high: bool) -> float:
+        column_stats = self.stats(table).column(column)
+        if column_stats is None or column_stats.total == 0:
+            return DEFAULT_RANGE_SELECTIVITY
+        return column_stats.range_selectivity(low, high,
+                                              include_low, include_high)

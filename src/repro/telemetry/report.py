@@ -23,6 +23,7 @@ LAYER_BY_PREFIX = {
     "cache": "storage",
     "mapreduce": "cluster",
     "rdbms": "storage",
+    "planner": "storage",
 }
 
 
@@ -125,6 +126,18 @@ def render_report(summary: dict[str, Any],
                 f"extraction cache: cache.hits={hits:.0f} "
                 f"cache.misses={all_counters.get('cache.misses', 0.0):.0f} "
                 f"({100.0 * hits / lookups:.1f}% hit rate)",
+            ]
+        query_lookups = all_counters.get("planner.cache.hits", 0.0) \
+            + all_counters.get("planner.cache.misses", 0.0)
+        if query_lookups:
+            query_hits = all_counters.get("planner.cache.hits", 0.0)
+            lines += [
+                "",
+                f"query result cache: hits={query_hits:.0f} "
+                f"misses={all_counters.get('planner.cache.misses', 0.0):.0f} "
+                f"invalidations="
+                f"{all_counters.get('planner.cache.invalidations', 0.0):.0f} "
+                f"({100.0 * query_hits / query_lookups:.1f}% hit rate)",
             ]
         lines += ["", "metrics (counters):"]
         for name, value in counters[:max_metrics]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.qcache import QueryResultCache
 from repro.storage.rdbms.sql import execute_sql
 from repro.userlayer.search import DocumentResult, KeywordSearchEngine
 from repro.userlayer.translate import QueryTranslator, TranslationCandidate
@@ -39,15 +40,24 @@ class ExplorationSession:
         search: keyword-search service.
         translator: keyword→structured translation service.
         db: the final structured store (for running chosen queries).
+        cache: optional shared result cache — when set, the session's
+            SELECTs are served through it (repeated exploration steps
+            between commits hit memory).
     """
 
     search: KeywordSearchEngine
     translator: QueryTranslator
     db: Database
     user: str = "anonymous"
+    cache: QueryResultCache | None = None
     history: list[SessionStep] = field(default_factory=list)
     _last_candidates: list[TranslationCandidate] = field(default_factory=list)
     _last_sql: str | None = None
+
+    def _run_sql(self, sql: str) -> list[dict[str, Any]]:
+        if self.cache is not None:
+            return self.cache.execute(sql)
+        return execute_sql(self.db, sql)
 
     # -------------------------------------------------------------- modes
 
@@ -82,7 +92,7 @@ class ExplorationSession:
 
     def structured(self, sql: str) -> list[dict[str, Any]]:
         """Structured-query mode (sophisticated users come here directly)."""
-        rows = execute_sql(self.db, sql)
+        rows = self._run_sql(sql)
         self._last_sql = sql
         self.history.append(
             SessionStep("structured", sql, f"{len(rows)} rows")
@@ -114,7 +124,7 @@ class ExplorationSession:
 
     def browse(self, table: str, limit: int = 20) -> list[dict[str, Any]]:
         """Browsing mode: peek at the derived structure."""
-        rows = execute_sql(self.db, f"SELECT * FROM {table} LIMIT {limit}")
+        rows = self._run_sql(f"SELECT * FROM {table} LIMIT {limit}")
         self.history.append(
             SessionStep("browse", table, f"{len(rows)} rows")
         )
@@ -128,7 +138,7 @@ class ExplorationSession:
         """
         from repro.userlayer.visualize import bar_chart
 
-        rows = execute_sql(self.db, sql)
+        rows = self._run_sql(sql)
         chart = bar_chart(rows, label_key, value_key)
         self._last_sql = sql
         self.history.append(

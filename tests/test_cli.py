@@ -186,3 +186,26 @@ def test_fail_fast_exits_with_execution_failure_code(
     captured = capsys.readouterr()
     assert code == EXIT_EXECUTION_FAILURE == 3
     assert "repro: execution failed:" in captured.err
+
+
+def test_explain_sql_plan(capsys, pages_dir, workspace, tmp_path):
+    _run(capsys, "--workspace", workspace, "ingest", pages_dir)
+    program = tmp_path / "p.xlog"
+    program.write_text('p = docs()\nf = extract(p, "infobox")\noutput f\n')
+    _run(capsys, "--workspace", workspace, "generate", str(program))
+
+    # one argument: SQL query-plan form (EXPLAIN prefix added if missing)
+    code, out = _run(capsys, "--workspace", workspace, "explain",
+                     "SELECT entity FROM facts WHERE attribute = 'sep_temp'")
+    assert code == 0
+    assert "Project(entity)" in out
+    assert "IndexLookup(facts.attribute = 'sep_temp' via hash index)" in out
+
+    code, out = _run(capsys, "--workspace", workspace, "explain",
+                     "EXPLAIN SELECT entity FROM facts LIMIT 2")
+    assert code == 0 and "FullScan(facts)" in out
+
+    # three arguments is neither form
+    code, _ = _run(capsys, "--workspace", workspace, "explain",
+                   "a", "b", "c")
+    assert code == 2

@@ -1,0 +1,193 @@
+"""Differential property tests: planner vs naive interpreter.
+
+The naive path (``use_planner=False``) is the oracle: for every generated
+query the planner must return the *identical* row list — same rows, same
+order — with and without indexes present.  Predicates are generated
+well-typed over valid columns (evaluation-order differences on ill-typed
+predicates are out of contract, as in any real DBMS).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.sql import execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+_NAMES = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(_NAMES),
+        st.integers(min_value=-50, max_value=50),
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False,
+                  allow_infinity=False),
+    ),
+    min_size=0, max_size=30,
+)
+
+dim_strategy = st.lists(
+    st.tuples(st.sampled_from(_NAMES), st.integers(0, 9)),
+    min_size=0, max_size=8, unique_by=lambda t: t[0],
+)
+
+predicate_strategy = st.sampled_from([
+    "qty = {n}",
+    "qty >= {n}",
+    "qty < {n}",
+    "qty > {n} AND qty <= {m}",
+    "name = '{name}'",
+    "name = '{name}' AND qty >= {n}",
+    "name != '{name}'",
+    "name LIKE '{prefix}%'",
+    "qty IN ({n}, {m}, 0)",
+    "name IS NOT NULL AND qty = {n}",
+    "name = '{name}' OR qty = {n}",
+])
+
+tail_strategy = st.sampled_from([
+    "",
+    " ORDER BY qty",
+    " ORDER BY qty DESC",
+    " ORDER BY name LIMIT 5",
+    " ORDER BY qty DESC LIMIT 3",
+    " LIMIT 4",
+])
+
+
+def _load(rows, with_indexes):
+    db = Database()
+    db.create_table(TableSchema(
+        "t",
+        (Column("rid", ColumnType.INT, nullable=False),
+         Column("name", ColumnType.TEXT),
+         Column("qty", ColumnType.INT),
+         Column("score", ColumnType.FLOAT)),
+        primary_key="rid",
+    ))
+    def insert_all(txn):
+        for i, (name, qty, score) in enumerate(rows):
+            txn.insert("t", {"rid": i, "name": name, "qty": qty,
+                             "score": score})
+    db.run(insert_all)
+    if with_indexes:
+        db.create_index("t", "name", "hash")
+        db.create_index("t", "qty", "sorted")
+    return db
+
+
+def _load_dims(db, dims, with_indexes):
+    db.create_table(TableSchema(
+        "d",
+        (Column("name", ColumnType.TEXT, nullable=False),
+         Column("grp", ColumnType.INT)),
+        primary_key="name",
+    ))
+    def insert_all(txn):
+        for name, grp in dims:
+            txn.insert("d", {"name": name, "grp": grp})
+    db.run(insert_all)
+    if with_indexes:
+        db.create_index("d", "name", "hash")
+    return db
+
+
+@given(
+    rows=rows_strategy,
+    template=predicate_strategy,
+    tail=tail_strategy,
+    n=st.integers(-50, 50),
+    m=st.integers(-50, 50),
+    name=st.sampled_from(_NAMES),
+    prefix=st.sampled_from(["al", "b", "gam", "z"]),
+    with_indexes=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_table_planner_matches_naive(rows, template, tail, n, m,
+                                            name, prefix, with_indexes):
+    db = _load(rows, with_indexes)
+    where = template.format(n=n, m=m, name=name, prefix=prefix)
+    sql = f"SELECT * FROM t WHERE {where}{tail}"
+    assert execute_sql(db, sql) == execute_sql(db, sql, use_planner=False), sql
+
+
+@given(
+    rows=rows_strategy,
+    tail=tail_strategy,
+    with_indexes=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_projection_and_aggregates_match_naive(rows, tail, with_indexes):
+    db = _load(rows, with_indexes)
+    for sql in [
+        f"SELECT name, qty FROM t{tail}",
+        "SELECT COUNT(*) AS n, MIN(qty) AS lo, MAX(qty) AS hi FROM t",
+        "SELECT name, COUNT(*) AS n, SUM(qty) AS total FROM t GROUP BY name",
+    ]:
+        assert execute_sql(db, sql) == \
+            execute_sql(db, sql, use_planner=False), sql
+
+
+@given(
+    rows=rows_strategy,
+    dims=dim_strategy,
+    template=st.sampled_from([
+        "",
+        " WHERE qty >= {n}",
+        " WHERE grp = {g}",
+        " WHERE grp = {g} AND qty < {n}",
+        " WHERE t.name = '{name}'",
+    ]),
+    tail=st.sampled_from(["", " ORDER BY qty LIMIT 5", " ORDER BY rid DESC"]),
+    n=st.integers(-50, 50),
+    g=st.integers(0, 9),
+    name=st.sampled_from(_NAMES),
+    with_indexes=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_join_planner_matches_naive(rows, dims, template, tail, n, g, name,
+                                    with_indexes):
+    db = _load(rows, with_indexes)
+    _load_dims(db, dims, with_indexes)
+    where = template.format(n=n, g=g, name=name)
+    sql = (f"SELECT rid, t.name, grp FROM t "
+           f"JOIN d ON t.name = d.name{where}{tail}")
+    assert execute_sql(db, sql) == execute_sql(db, sql, use_planner=False), sql
+
+
+@given(
+    rows=rows_strategy,
+    dims=dim_strategy,
+    with_indexes=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_join_aggregate_matches_naive(rows, dims, with_indexes):
+    db = _load(rows, with_indexes)
+    _load_dims(db, dims, with_indexes)
+    sql = ("SELECT grp, COUNT(*) AS n FROM t "
+           "JOIN d ON t.name = d.name GROUP BY grp ORDER BY grp")
+    assert execute_sql(db, sql) == execute_sql(db, sql, use_planner=False)
+
+
+@given(
+    rows=rows_strategy,
+    template=st.sampled_from([
+        "UPDATE t SET score = 0.0 WHERE name = '{name}'",
+        "UPDATE t SET qty = 99 WHERE qty < {n}",
+        "DELETE FROM t WHERE name = '{name}' AND qty >= {n}",
+        "DELETE FROM t WHERE qty IN ({n}, 0)",
+    ]),
+    n=st.integers(-50, 50),
+    name=st.sampled_from(_NAMES),
+    with_indexes=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dml_planner_matches_naive(rows, template, n, name, with_indexes):
+    sql = template.format(n=n, name=name)
+    planner_db = _load(rows, with_indexes)
+    naive_db = _load(rows, False)
+    assert execute_sql(planner_db, sql) == \
+        execute_sql(naive_db, sql, use_planner=False)
+    final = "SELECT * FROM t ORDER BY rid"
+    assert execute_sql(planner_db, final) == \
+        execute_sql(naive_db, final, use_planner=False)

@@ -197,3 +197,34 @@ def test_sql_within_explicit_transaction(db):
 def test_comparison_type_error_raises(db):
     with pytest.raises(SqlError):
         execute_sql(db, "SELECT name FROM city WHERE name > 5")
+
+
+def test_explain_returns_plan_rows(db):
+    rows = execute_sql(db, "EXPLAIN SELECT name FROM city WHERE state = 'WI'")
+    assert rows and all(set(r) == {"plan"} for r in rows)
+    assert rows[0]["plan"].startswith("Project(name)")
+    assert any("Scan" in r["plan"] or "Lookup" in r["plan"] for r in rows)
+
+
+def test_explain_reflects_available_indexes(db):
+    db.create_index("city", "state", kind="hash")
+    rows = execute_sql(db, "EXPLAIN SELECT name FROM city WHERE state = 'WI'")
+    plan = "\n".join(r["plan"] for r in rows)
+    assert "IndexLookup(city.state = 'WI' via hash index)" in plan
+
+
+def test_explain_non_select_raises(db):
+    with pytest.raises(SqlError):
+        execute_sql(db, "EXPLAIN INSERT INTO city (name) VALUES ('x')")
+
+
+def test_planner_off_oracle_matches(db):
+    db.create_index("city", "state", kind="hash")
+    db.create_index("city", "pop", kind="sorted")
+    for sql in [
+        "SELECT name FROM city WHERE state = 'WI' AND pop > 300000",
+        "SELECT name, pop FROM city WHERE pop >= 500000 ORDER BY pop DESC LIMIT 2",
+        "SELECT state, COUNT(*) AS n FROM city GROUP BY state",
+    ]:
+        assert execute_sql(db, sql) == \
+            execute_sql(db, sql, use_planner=False), sql

@@ -1,0 +1,131 @@
+"""Tests for table statistics (repro.storage.rdbms.stats)."""
+
+import pytest
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.sql import execute_sql
+from repro.storage.rdbms.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    HISTOGRAM_BUCKETS,
+    _build_column_stats,
+)
+from repro.telemetry import metrics
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    execute_sql(
+        database,
+        "CREATE TABLE item (item_id INT PRIMARY KEY, cat TEXT, score INT)",
+    )
+    rows = ", ".join(
+        f"({i}, 'cat{i % 4}', {i * 10})" for i in range(100)
+    )
+    execute_sql(
+        database,
+        f"INSERT INTO item (item_id, cat, score) VALUES {rows}",
+    )
+    return database
+
+
+def test_analyze_row_count_and_distinct(db):
+    stats = db.statistics().analyze("item")
+    assert stats.row_count == 100
+    assert stats.columns["cat"].distinct == 4
+    assert stats.columns["item_id"].distinct == 100
+    assert stats.columns["score"].min_value == 0
+    assert stats.columns["score"].max_value == 990
+
+
+def test_eq_selectivity_uses_distinct(db):
+    manager = db.statistics()
+    assert manager.eq_selectivity("item", "cat") == pytest.approx(0.25)
+    assert manager.eq_selectivity("item", "item_id") == pytest.approx(0.01)
+
+
+def test_range_selectivity_from_histogram(db):
+    manager = db.statistics()
+    # score is uniform over 0..990; the bottom tenth should estimate ~0.1
+    frac = manager.range_selectivity("item", "score", None, 100, True, False)
+    assert 0.03 < frac < 0.25
+    full = manager.range_selectivity("item", "score", 0, 990, True, True)
+    assert full > 0.9
+
+
+def test_unknown_column_falls_back_to_defaults(db):
+    manager = db.statistics()
+    assert manager.eq_selectivity("item", "nope") == DEFAULT_EQ_SELECTIVITY
+    assert manager.range_selectivity(
+        "item", "nope", 0, 1, True, True) == DEFAULT_RANGE_SELECTIVITY
+
+
+def test_version_bumps_on_commit_and_ddl(db):
+    manager = db.statistics()
+    before = manager.version("item")
+    execute_sql(db, "INSERT INTO item (item_id, cat, score) "
+                    "VALUES (1000, 'cat0', 1)")
+    assert manager.version("item") == before + 1
+    execute_sql(db, "CREATE TABLE other (x INT PRIMARY KEY)")
+    assert manager.version("other") >= 1  # DDL notifies too
+    db.drop_table("other")
+    assert manager.version("other") >= 2
+
+
+def test_incremental_refresh_under_small_drift(db):
+    manager = db.statistics()
+    manager.analyze("item")
+    registry = metrics.get_registry()
+    full_before = registry.get("planner.analyze.full")
+    execute_sql(db, "INSERT INTO item (item_id, cat, score) "
+                    "VALUES (2000, 'cat1', 5)")
+    stats = manager.stats("item")  # 1% drift: row count folded in, no scan
+    assert stats.row_count == 101
+    assert registry.get("planner.analyze.full") == full_before
+    assert registry.get("planner.analyze.incremental") >= 1
+
+
+def test_full_reanalyze_on_large_drift(db):
+    manager = db.statistics()
+    manager.analyze("item")
+    registry = metrics.get_registry()
+    full_before = registry.get("planner.analyze.full")
+    rows = ", ".join(f"({i}, 'catX', 7)" for i in range(5000, 5040))
+    execute_sql(db, f"INSERT INTO item (item_id, cat, score) VALUES {rows}")
+    stats = manager.stats("item")  # 40% drift: full analyze
+    assert registry.get("planner.analyze.full") == full_before + 1
+    assert stats.columns["cat"].distinct == 5  # picked up catX
+
+
+def test_stats_cached_while_version_unchanged(db):
+    manager = db.statistics()
+    first = manager.stats("item")
+    assert manager.stats("item") is first
+
+
+def test_column_stats_nulls_and_histogram_shape():
+    stats = _build_column_stats([None, 1, 2, 3, 4, None])
+    assert stats.total == 6
+    assert stats.null_count == 2
+    assert stats.distinct == 4
+    assert stats.non_null_fraction == pytest.approx(4 / 6)
+    assert len(stats.histogram) == HISTOGRAM_BUCKETS + 1
+    assert stats.histogram[0] == 1 and stats.histogram[-1] == 4
+
+
+def test_column_stats_mixed_types_keep_distinct_only():
+    stats = _build_column_stats(["a", 1, "b"])
+    assert stats.distinct == 3
+    assert stats.histogram == ()
+    assert stats.range_selectivity(0, 10, True, True) \
+        == DEFAULT_RANGE_SELECTIVITY
+
+
+def test_empty_table_stats():
+    db = Database()
+    execute_sql(db, "CREATE TABLE empty (x INT PRIMARY KEY)")
+    stats = db.statistics().stats("empty")
+    assert stats.row_count == 0
+    assert db.statistics().eq_selectivity("empty", "x") \
+        == DEFAULT_EQ_SELECTIVITY
