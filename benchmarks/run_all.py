@@ -1,4 +1,4 @@
-"""One-shot gate: smoke-run E15, run the E16–E18 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E20 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
@@ -13,16 +13,23 @@ committed transactions), runs the full query-serving bench (E19: fails
 unless the cost-based planner beats naive execution by >= 5x on the
 selective join and >= 3x on the range scan at 100k rows, a warm
 result-cache hit is >= 10x over cold, and every planner query is
-row-identical to naive), and then confirms the whole repo is still
-green::
+row-identical to naive), runs the full columnar-scan bench (E20: fails
+unless the vectorized segment executor beats naive row-at-a-time by
+>= 10x on full-scan aggregates at 1M rows, zone maps prune most segments
+on the trailing-window query, every query is byte-identical to naive,
+and compaction survives a simulated crash), and then confirms the whole
+repo is still green::
 
     python benchmarks/run_all.py
+    python benchmarks/run_all.py --only E20      # a single step
+    python benchmarks/run_all.py --smoke         # tiny workloads, no gates
 
 Exits non-zero if any step fails.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import subprocess
 import sys
@@ -40,32 +47,52 @@ def _run(title: str, cmd: list[str]) -> int:
     return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
 
 
-def main() -> int:
-    steps = [
-        ("E15 parallel-backend bench (smoke)",
-         [sys.executable,
-          os.path.join(REPO_ROOT, "benchmarks", "bench_e15_parallel_backend.py"),
-          "--smoke"]),
-        ("E16 telemetry-overhead bench (<=10% gate)",
-         [sys.executable,
-          os.path.join(REPO_ROOT, "benchmarks",
-                       "bench_e16_telemetry_overhead.py")]),
-        ("E17 extraction-cache bench (>=3x warm speedup gate)",
-         [sys.executable,
-          os.path.join(REPO_ROOT, "benchmarks",
-                       "bench_e17_cache_churn.py")]),
-        ("E18 fault-tolerance bench (identity + <5% overhead gates)",
-         [sys.executable,
-          os.path.join(REPO_ROOT, "benchmarks",
-                       "bench_e18_fault_tolerance.py")]),
-        ("E19 query-serving bench (planner speedup + cache gates)",
-         [sys.executable,
-          os.path.join(REPO_ROOT, "benchmarks",
-                       "bench_e19_query_serving.py")]),
-        ("tier-1 tests",
+def _bench(script: str, *extra: str) -> list[str]:
+    return [sys.executable,
+            os.path.join(REPO_ROOT, "benchmarks", script), *extra]
+
+
+def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
+    """(key, title, cmd) triples.  ``smoke`` shrinks every bench and
+    drops its timing gates (identity invariants are still enforced)."""
+    flag = ("--smoke",) if smoke else ()
+    return [
+        ("E15", "E15 parallel-backend bench (smoke)",
+         _bench("bench_e15_parallel_backend.py", "--smoke")),
+        ("E16", "E16 telemetry-overhead bench (<=10% gate)",
+         _bench("bench_e16_telemetry_overhead.py", *flag)),
+        ("E17", "E17 extraction-cache bench (>=3x warm speedup gate)",
+         _bench("bench_e17_cache_churn.py", *flag)),
+        ("E18", "E18 fault-tolerance bench (identity + <5% overhead gates)",
+         _bench("bench_e18_fault_tolerance.py", *flag)),
+        ("E19", "E19 query-serving bench (planner speedup + cache gates)",
+         _bench("bench_e19_query_serving.py", *flag)),
+        ("E20", "E20 columnar-scan bench (vectorized speedup + crash gates)",
+         _bench("bench_e20_columnar_scan.py", *flag)),
+        ("tests", "tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]
-    for title, cmd in steps:
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", metavar="STEP", default=None,
+                        help="run one step by key: E15..E20 or 'tests'")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads everywhere, no timing gates")
+    args = parser.parse_args(argv)
+
+    steps = build_steps(args.smoke)
+    if args.only is not None:
+        key = args.only.strip()
+        key = key.upper() if key.lower().startswith("e") else key.lower()
+        steps = [s for s in steps if s[0] == key]
+        if not steps:
+            keys = ", ".join(k for k, _, _ in build_steps(args.smoke))
+            print(f"unknown step {args.only!r}; choose from: {keys}",
+                  file=sys.stderr)
+            return 2
+    for _, title, cmd in steps:
         code = _run(title, cmd)
         if code != 0:
             print(f"\nFAILED: {title} (exit {code})")

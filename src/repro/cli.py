@@ -116,6 +116,22 @@ def cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Freeze a table's committed rows into columnar segments."""
+    system = _build_system(args.workspace, args.builtin)
+    try:
+        summary = system.compact(args.table)
+    except KeyError:
+        print(f"unknown table {args.table!r}", file=sys.stderr)
+        system.close()
+        return 2
+    print(f"compacted {summary['table']}: {summary['rows_frozen']} rows "
+          f"frozen into {summary['segments_created']} new segment(s); "
+          f"{summary['segment_count']} segment(s) total")
+    system.close()
+    return 0
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     """Keyword-search the raw pages; print ranked hits."""
     system = _build_system(args.workspace, args.builtin)
@@ -278,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--limit", type=int, default=50)
     p.set_defaults(fn=cmd_sql)
+
+    p = sub.add_parser("compact",
+                       help="freeze committed rows into columnar segments")
+    p.add_argument("table", nargs="?", default="facts",
+                   help="table to compact (default: facts)")
+    p.set_defaults(fn=cmd_compact)
 
     p = sub.add_parser("search", help="keyword search over raw pages")
     p.add_argument("query")

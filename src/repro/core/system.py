@@ -119,6 +119,9 @@ class StructureManagementSystem:
             in the dead-letter store instead of failing the run.
         fail_fast: abort ``generate()`` on the first extraction failure
             (pre-PR-4 semantics) instead of retrying and quarantining.
+        auto_compact_rows: freeze a table's committed rows into columnar
+            segments whenever its row-store tail exceeds this many rows
+            (None disables auto-compaction; ``compact()`` still works).
     """
 
     workspace: str | None = None
@@ -130,6 +133,7 @@ class StructureManagementSystem:
     cache: ExtractionCache | str | None = None
     retry: RetryPolicy | None = None
     fail_fast: bool = False
+    auto_compact_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.workspace is not None:
@@ -138,6 +142,7 @@ class StructureManagementSystem:
         else:
             self.storage = None  # type: ignore[assignment]
             self.db = Database()
+        self.db.auto_compact_rows = self.auto_compact_rows
         self.search = KeywordSearchEngine()
         self.debugger = SemanticDebugger()
         self.monitor = SystemMonitor()
@@ -425,6 +430,18 @@ class StructureManagementSystem:
             metrics.get_registry().inc("system.queries")
             span.set_attribute("rows", len(rows))
             return rows
+
+    def compact(self, table: str = FACTS_TABLE) -> dict[str, Any]:
+        """Freeze ``table``'s committed rows into columnar segments.
+
+        Equivalent to ``ALTER TABLE <table> COMPACT``; scans and query
+        results are unchanged, aggregate scans get the vectorized
+        executor.  Returns the compaction summary.
+
+        Raises:
+            KeyError: unknown table.
+        """
+        return self.db.compact(table)
 
     def explain_sql(self, sql: str) -> str:
         """The planner's physical plan for a SELECT, as text.

@@ -12,13 +12,14 @@ this.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.storage.rdbms.index import HashIndex, Index, SortedIndex
 from repro.telemetry import metrics
 from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS
 from repro.telemetry.tracing import get_tracer
 from repro.storage.rdbms.lockmgr import LockManager, LockMode
+from repro.storage.rdbms.segments import SEGMENT_TARGET_ROWS
 from repro.storage.rdbms.table import HeapTable, Row
 from repro.storage.rdbms.types import SchemaError, TableSchema
 from repro.storage.rdbms.wal import WriteAheadLog
@@ -69,6 +70,7 @@ class Transaction:
         metrics.get_registry().inc("rdbms.txn.commits")
         if self._tables_written:
             self._db._notify_commit(frozenset(self._tables_written))
+            self._db._maybe_auto_compact(self._tables_written)
 
     def abort(self) -> None:
         """Undo all changes (in reverse order) and release locks."""
@@ -192,15 +194,34 @@ class Transaction:
 
     def scan(self, table: str) -> list[Row]:
         """Full scan (S on the whole table)."""
+        return list(self.scan_iter(table))
+
+    def scan_iter(self, table: str) -> Iterator[Row]:
+        """Streaming full scan (S on the whole table).
+
+        The table lock is acquired eagerly, before any row is yielded;
+        under strict 2PL it is held until commit/abort, so the iterator
+        may be consumed lazily (the planner streams it through
+        projection into top-k instead of materializing ``list[Row]``).
+        """
         self._check_active()
         db = self._db
         db._locks.acquire(self.txn_id, (table, None), LockMode.SHARED)
-        return list(db._table(table).scan())
+        return db._table(table).scan()
+
+    def scan_units(self, table: str) -> list[tuple[str, Any]]:
+        """The table's vectorizable scan units (S on the whole table) —
+        ``("segment", Segment)`` / ``("rows", Iterator[Row])`` pairs in
+        global rid order; see :meth:`HeapTable.scan_units`."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.SHARED)
+        return db._table(table).scan_units()
 
     def scan_where(self, table: str,
                    predicate: Callable[[dict[str, Any]], bool]) -> list[Row]:
         """Filtered full scan (S on the whole table)."""
-        return [r for r in self.scan(table) if predicate(r.values)]
+        return [r for r in self.scan_iter(table) if predicate(r.values)]
 
     def lookup(self, table: str, column: str, value: Any) -> list[Row]:
         """Index-assisted equality lookup; falls back to a scan."""
@@ -284,6 +305,9 @@ class Database:
         self._txn_lock = threading.Lock()
         self._commit_listeners: list[Callable[[frozenset[str]], None]] = []
         self._stats_manager = None
+        #: When set, any commit that leaves a table's row-store tail at or
+        #: above this many rows triggers :meth:`compact` on that table.
+        self.auto_compact_rows: int | None = None
         self._wal: WriteAheadLog | None = None
         if directory is not None:
             self._wal = WriteAheadLog(directory, sync=sync_wal)
@@ -401,6 +425,74 @@ class Database:
             self._stats_manager = StatisticsManager(self)
         return self._stats_manager
 
+    # ----------------------------------------------------------- compaction
+
+    def compact(self, table: str,
+                target_rows: int = SEGMENT_TARGET_ROWS) -> dict[str, Any]:
+        """Freeze the table's committed tail rows into columnar segments.
+
+        Runs in an internal transaction holding an EXCLUSIVE table lock,
+        so no concurrent writer can have uncommitted rows in the tail
+        while it runs — everything frozen is committed data.  The freeze
+        is logged as a ``compact`` WAL record (txn 0, DDL-style: replay
+        applies it unconditionally at its log position, where the
+        committed row set provably matches the live one), so a crash at
+        any point recovers to a consistent state: either the record made
+        it and replay re-freezes the identical layout, or it did not and
+        the rows are simply still in the tail.
+
+        Compaction changes layout, not data, so commit listeners do NOT
+        fire — cached query results and statistics stay valid.
+
+        Returns a summary dict (segments created, rows frozen, totals).
+        """
+        txn = self.begin()
+        try:
+            self._locks.acquire(txn.txn_id, (table, None), LockMode.EXCLUSIVE)
+            with get_tracer().span("rdbms.compact") as span:
+                with self._mutate_lock:
+                    heap = self._table(table)
+                    created, frozen, max_rid = heap.compact(
+                        target_rows=target_rows)
+                    if frozen:
+                        self._log(0, "compact", table=table, max_rid=max_rid,
+                                  target_rows=target_rows)
+                    segment_count = heap.segment_count()
+                span.set_attribute("table", table)
+                span.set_attribute("segments_created", created)
+                span.set_attribute("rows_frozen", frozen)
+            txn.commit()
+        except BaseException:
+            if not txn.finished:
+                txn.abort()
+            raise
+        return {
+            "table": table,
+            "segments_created": created,
+            "rows_frozen": frozen,
+            "segment_count": segment_count,
+        }
+
+    def _maybe_auto_compact(self, tables: set[str]) -> None:
+        threshold = self.auto_compact_rows
+        if not threshold:
+            return
+        for table in tables:
+            try:
+                heap = self._table(table)
+            except KeyError:
+                continue
+            if heap.tail_size >= threshold:
+                # The compaction transaction writes no rows, so its own
+                # commit cannot re-trigger this hook.
+                self.compact(table)
+
+    def segment_counts(self) -> dict[str, int]:
+        """Table name -> live segment count (``repro stats`` reporting)."""
+        with self._mutate_lock:
+            return {name: t.segment_count()
+                    for name, t in self._tables.items() if t.segment_count()}
+
     # --------------------------------------------------------- transactions
 
     def begin(self) -> Transaction:
@@ -471,6 +563,13 @@ class Database:
                      "kind": "sorted" if isinstance(i, SortedIndex) else "hash"}
                     for (t, c), i in self._indexes.items()
                 ],
+                # Segment layout survives WAL truncation: the snapshot rows
+                # above include frozen rows, and reopen re-freezes this
+                # layout (re-encoding rebuilds every zone map from data).
+                "segments": {
+                    name: t.segment_layout()
+                    for name, t in self._tables.items() if t.segment_count()
+                },
             }
             self._wal.write_checkpoint(state)
 
@@ -550,6 +649,13 @@ class Database:
                 table = HeapTable(TableSchema.from_dict(tdata["schema"]))
                 for rid_str, values in tdata["rows"].items():
                     table.insert(values, rid=int(rid_str))
+                layout = snapshot.get("segments", {}).get(name)
+                if layout and not table.restore_segments(layout):
+                    # Checkpoint drifted from the rows we recovered: the
+                    # un-restored remainder stays in the tail (correct,
+                    # just uncompacted) rather than serving a segment
+                    # whose zone maps no longer match its data.
+                    metrics.get_registry().inc("segments.invalidated")
                 self._tables[name] = table
             for idx in snapshot.get("indexes", []):
                 key = (idx["table"], idx["column"])
@@ -593,6 +699,15 @@ class Database:
                 )
             elif rec.rec_type == "delete" and apply_dml:
                 self._tables[rec.payload["table"]].delete(rec.payload["rid"])
+            elif rec.rec_type == "compact":
+                # DDL-style (txn 0): applied unconditionally at its log
+                # position, where the replayed committed row set matches
+                # the live tail the original compaction saw (it held an
+                # exclusive table lock, so no writer straddled it).
+                table = self._tables.get(rec.payload["table"])
+                if table is not None:
+                    table.compact(max_rid=rec.payload["max_rid"],
+                                  target_rows=rec.payload["target_rows"])
         self._txn_counter = max_txn
         for key in list(self._indexes):
             self._rebuild_index(*key)

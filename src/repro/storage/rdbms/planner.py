@@ -6,7 +6,9 @@ for one top-level equality.  This module plans a *physical* tree instead:
 
 * access paths — :class:`IndexLookup` (any equality conjunct of the AND
   with an index), :class:`RangeScan` (``<``/``<=``/``>``/``>=`` bounds
-  over a sorted index), :class:`FullScan`;
+  over a sorted index), :class:`SegmentScan` (vectorized columnar scan
+  over a compacted table: zone maps skip whole segments, AND-conjuncts
+  evaluate column-at-a-time as selection bitmaps), :class:`FullScan`;
 * joins — :class:`HashJoin` with statistics-driven build-side selection,
   :class:`IndexNestedLoopJoin` when a join column is indexed and the
   other side is small;
@@ -15,19 +17,29 @@ for one top-level equality.  This module plans a *physical* tree instead:
 * a selectivity-based cost model fed by
   :class:`~repro.storage.rdbms.stats.StatisticsManager`.
 
+On top of the access paths sits :class:`VectorizedAggregate` — when a
+single-table aggregate query's source is a SegmentScan, COUNT/SUM/AVG/
+MIN/MAX and GROUP BY run directly over the column buffers without ever
+materializing row dicts (float sums carry the running accumulator across
+segment boundaries so the addition chain is bit-identical to the naive
+left-to-right fold).
+
 Every operator preserves the naive interpreter's row *order* (rid order
 for scans, left-rid-major for joins), so planner output is row-identical
-to the naive path — the E19 bench and the differential property tests
-gate exactly that.
+to the naive path — the E19/E20 benches and the differential property
+tests gate exactly that.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable
+import operator
+from operator import itemgetter
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.storage.rdbms.engine import Database, Transaction
 from repro.storage.rdbms.index import HashIndex, SortedIndex
+from repro.storage.rdbms.segments import ColumnSegment, Segment
 from repro.storage.rdbms.sql import (
     Aggregate,
     BoolOp,
@@ -39,13 +51,19 @@ from repro.storage.rdbms.sql import (
     NullPredicate,
     SelectStatement,
     SqlError,
+    _like_to_regex,
     eval_predicate,
 )
+from repro.storage.rdbms.types import ColumnType
 from repro.telemetry import metrics
 
 #: Fixed per-probe overhead charged to index operations, so a lookup is
 #: never free and a full scan wins on tiny tables.
 _PROBE_COST = 1.0
+
+#: Per-row cost of reading a frozen row column-at-a-time, relative to a
+#: heap-row read (typed buffers, no per-row dict build).
+_COLUMNAR_DISCOUNT = 0.15
 
 
 # --------------------------------------------------------- conjunct algebra
@@ -116,6 +134,180 @@ def _remove(conjuncts: list[Any], consumed: list[Any]) -> list[Any]:
     return [c for c in conjuncts if not any(c is used for used in consumed)]
 
 
+# ------------------------------------------------------ vectorized kernels
+
+_COMPARE_FN = {
+    "=": operator.eq, "!=": operator.ne, "<": operator.lt,
+    "<=": operator.le, ">": operator.gt, ">=": operator.ge,
+}
+
+
+def _normalized_comparison(conjunct: Any) -> tuple[ColumnRef, str, Any] | None:
+    """``col <op> literal`` in either orientation → (ref, op, literal)."""
+    if not isinstance(conjunct, Comparison) or conjunct.op not in _COMPARE_FN:
+        return None
+    if isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, Literal):
+        return conjunct.left, conjunct.op, conjunct.right.value
+    if isinstance(conjunct.right, ColumnRef) and isinstance(conjunct.left, Literal):
+        op = _FLIPPED_OP.get(conjunct.op, conjunct.op)
+        return conjunct.right, op, conjunct.left.value
+    return None
+
+
+def _conjunct_column(conjunct: Any) -> ColumnRef | None:
+    """The single column a conjunct tests against constants, or None when
+    the conjunct cannot run as a column kernel (NOT/OR, col-col, ...)."""
+    cmp = _normalized_comparison(conjunct)
+    if cmp is not None:
+        return cmp[0]
+    if isinstance(conjunct, (LikePredicate, NullPredicate, InPredicate)):
+        return conjunct.column
+    return None
+
+
+def _split_vectorizable(conjuncts: list[Any], schema: Any,
+                        table: str) -> tuple[list[Any], list[Any]]:
+    """Partition conjuncts into (column kernels, row-fallback)."""
+    vector: list[Any] = []
+    fallback: list[Any] = []
+    for conjunct in conjuncts:
+        ref = _conjunct_column(conjunct)
+        if ref is not None and ref.table in (None, table) \
+                and schema.has_column(ref.name):
+            vector.append(conjunct)
+        else:
+            fallback.append(conjunct)
+    return vector, fallback
+
+
+def _zone_map_prunes(segment: Segment, conjunct: Any) -> bool:
+    """True when the zone map proves NO row of the segment satisfies the
+    conjunct (conservative: unknown → False, never skip wrongly)."""
+    cmp = _normalized_comparison(conjunct)
+    if cmp is not None:
+        ref, op, lit = cmp
+        if lit is None:
+            return True  # comparisons with NULL are false for every row
+        col = segment.columns.get(ref.name)
+        if col is None or col.count == 0:
+            return False
+        if col.null_count == col.count:
+            return True  # only NULLs: every comparison is false
+        lo, hi = col.min_value, col.max_value
+        if lo is None or hi is None:
+            return False  # no usable bounds (e.g. NaN-poisoned floats)
+        try:
+            if op == "=":
+                if col.encoding == "dict" and lit not in col.dictionary:
+                    return True
+                return bool(lit < lo or lit > hi)
+            if op == "!=":
+                return bool(lo == lit and hi == lit)
+            if op == "<":
+                return not lo < lit
+            if op == "<=":
+                return not lo <= lit
+            if op == ">":
+                return not hi > lit
+            if op == ">=":
+                return not hi >= lit
+        except TypeError:
+            return False
+    if isinstance(conjunct, NullPredicate):
+        col = segment.columns.get(conjunct.column.name)
+        if col is None:
+            return False
+        if conjunct.negated:  # IS NOT NULL
+            return col.null_count == col.count
+        return col.null_count == 0
+    if isinstance(conjunct, InPredicate) and not conjunct.negated:
+        if not conjunct.values:
+            return True
+        col = segment.columns.get(conjunct.column.name)
+        if col is None or col.count == 0:
+            return False
+        if col.null_count and None in conjunct.values:
+            return False  # NULL rows match ``IN (..., NULL)`` here
+        lo, hi = col.min_value, col.max_value
+        if lo is None or hi is None:
+            return col.null_count == col.count
+        try:
+            return all(bool(v < lo or v > hi) for v in conjunct.values
+                       if v is not None)
+        except TypeError:
+            return False
+    return False
+
+
+def _conjunct_bitmap(segment: Segment, conjunct: Any) -> list[bool]:
+    """Selection bitmap of one kernel conjunct over one segment.
+
+    Matches :func:`repro.storage.rdbms.sql.eval_predicate` exactly on
+    every position.  May raise TypeError on incomparable operands — the
+    caller falls back to row-at-a-time evaluation for the segment, which
+    reproduces the naive error surface.
+    """
+    cmp = _normalized_comparison(conjunct)
+    if cmp is not None:
+        ref, op, lit = cmp
+        col = segment.columns[ref.name]
+        fn = _COMPARE_FN[op]
+        if lit is None:
+            return [False] * col.count
+        if col.encoding == "dict":
+            matches = [fn(entry, lit) for entry in col.dictionary]
+            return [code >= 0 and matches[code] for code in col.data]
+        if col.encoding == "raw":
+            return [v is not None and fn(v, lit) for v in col.data]
+        flags = col.null_flags()
+        if flags is None:
+            return [fn(v, lit) for v in col.data]
+        data = col.data
+        return [not flags[i] and fn(data[i], lit) for i in range(col.count)]
+    if isinstance(conjunct, NullPredicate):
+        col = segment.columns[conjunct.column.name]
+        flags = col.null_flags()
+        if flags is None:
+            return [conjunct.negated] * col.count
+        if conjunct.negated:
+            return [not f for f in flags]
+        return flags
+    if isinstance(conjunct, LikePredicate):
+        col = segment.columns[conjunct.column.name]
+        negated = conjunct.negated
+        if col.encoding == "dict":
+            regex = _like_to_regex(conjunct.pattern)
+            matches = [bool(regex.match(entry)) != negated
+                       for entry in col.dictionary]
+            return [matches[code] if code >= 0 else negated
+                    for code in col.data]
+        if col.encoding == "raw":
+            regex = _like_to_regex(conjunct.pattern)
+            return [(bool(regex.match(v)) != negated) if isinstance(v, str)
+                    else negated for v in col.data]
+        # Typed numeric/bool buffers never hold strings: LIKE on a
+        # non-string value evaluates to the negation flag, NULL included.
+        return [negated] * col.count
+    if isinstance(conjunct, InPredicate):
+        col = segment.columns[conjunct.column.name]
+        values = conjunct.values
+        negated = conjunct.negated
+        null_result = (None in values) != negated
+        if col.encoding == "dict":
+            matches = [(entry in values) != negated for entry in col.dictionary]
+            return [matches[code] if code >= 0 else null_result
+                    for code in col.data]
+        if col.encoding == "raw":
+            return [(v in values) != negated for v in col.data]
+        flags = col.null_flags()
+        if flags is None:
+            return [(v in values) != negated for v in col.data]
+        data = col.data
+        return [null_result if flags[i] else (data[i] in values) != negated
+                for i in range(col.count)]
+    raise SqlError(f"cannot vectorize conjunct {conjunct!r}")
+
+
 # ------------------------------------------------------ predicate rendering
 
 
@@ -168,13 +360,20 @@ def render_predicate(node: Any) -> str:
 
 class PlanNode:
     """A physical operator: ``execute(txn)`` returns row dicts (each
-    carrying ``__rid__``), ``render()`` the EXPLAIN subtree."""
+    carrying ``__rid__``), ``rows(txn)`` the same rows as a (possibly
+    lazy) iterator, ``render()`` the EXPLAIN subtree."""
 
     est_rows: float = 0.0
     cost: float = 0.0
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         raise NotImplementedError
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        """Iterator over the operator's rows.  Scans and filters stream
+        (nothing materialized until consumed); blocking operators fall
+        back to iterating their materialized output."""
+        return iter(self.execute(txn))
 
     def children(self) -> list["PlanNode"]:
         return []
@@ -200,13 +399,16 @@ def _row_dict(row) -> dict[str, Any]:
 
 
 class FullScan(PlanNode):
-    """Read every row of a heap table (rid order)."""
+    """Read every row of a heap table (rid order), streaming."""
 
     def __init__(self, table: str) -> None:
         self.table = table
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
-        return [_row_dict(r) for r in txn.scan(self.table)]
+        return list(self.rows(txn))
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        return (_row_dict(r) for r in txn.scan_iter(self.table))
 
     def label(self) -> str:
         return f"FullScan({self.table})"
@@ -267,6 +469,102 @@ class RangeScan(PlanNode):
                 f"via sorted index)")
 
 
+class SegmentScan(PlanNode):
+    """Columnar scan of a compacted table: the full WHERE is evaluated by
+    this node (no residual filter), rows stream out in rid order.
+
+    Per segment: zone maps first (a conjunct the whole segment provably
+    fails skips it without touching data), then every kernel conjunct
+    becomes a selection bitmap evaluated column-at-a-time (dictionary
+    predicates evaluate once per distinct string), bitmaps AND together,
+    and only surviving positions decode to row dicts.  Non-kernel
+    conjuncts (NOT/OR, column-to-column) run row-at-a-time on survivors;
+    tail rows run through the ordinary row evaluator.
+    """
+
+    def __init__(self, table: str, conjuncts: list[Any],
+                 vector_conjuncts: list[Any],
+                 fallback_conjuncts: list[Any]) -> None:
+        self.table = table
+        self.conjuncts = conjuncts
+        self._vector = vector_conjuncts
+        self._fallback = conjoin(fallback_conjuncts)
+        self._full = conjoin(conjuncts)
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return list(self.rows(txn))
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        registry = metrics.get_registry()
+        for kind, unit in txn.scan_units(self.table):
+            if kind == "rows":
+                for row in unit:
+                    r = _row_dict(row)
+                    if self._full is None or eval_predicate(self._full, r):
+                        yield r
+                continue
+            yield from self._segment_rows(unit, registry)
+
+    def _segment_rows(self, segment: Segment,
+                      registry) -> Iterator[dict[str, Any]]:
+        if segment.count == 0:
+            return
+        if any(_zone_map_prunes(segment, c) for c in self._vector):
+            registry.inc("segments.skipped")
+            return
+        registry.inc("segments.scanned")
+        selected = _segment_selection(segment, self._vector)
+        if selected is None:  # incomparable operands: naive error surface
+            for rid, values in segment.iter_rows():
+                values["__rid__"] = rid
+                if self._full is None or eval_predicate(self._full, values):
+                    yield values
+            return
+        if self._fallback is not None:
+            for pos in selected:
+                values = segment.row_values(pos)
+                values["__rid__"] = segment.rids[pos]
+                if eval_predicate(self._fallback, values):
+                    yield values
+            return
+        if len(selected) * 4 >= segment.count:
+            # Dense survivors: decode whole columns once, not per row.
+            decoded = [(col.name, segment.columns[col.name].decoded())
+                       for col in segment.schema.columns]
+            rids = segment.rids
+            for pos in selected:
+                values = {name: column[pos] for name, column in decoded}
+                values["__rid__"] = rids[pos]
+                yield values
+        else:
+            for pos in selected:
+                values = segment.row_values(pos)
+                values["__rid__"] = segment.rids[pos]
+                yield values
+
+    def label(self) -> str:
+        pred = render_predicate(conjoin(self.conjuncts)) \
+            if self.conjuncts else "TRUE"
+        return f"SegmentScan({self.table}, pred={pred})"
+
+
+def _segment_selection(segment: Segment,
+                       vector_conjuncts: list[Any]) -> list[int] | None:
+    """Positions surviving every kernel conjunct's bitmap, or None when a
+    kernel hit incomparable operands (caller reverts to row evaluation)."""
+    try:
+        bitmap: list[bool] | None = None
+        for conjunct in vector_conjuncts:
+            bits = _conjunct_bitmap(segment, conjunct)
+            bitmap = bits if bitmap is None \
+                else [a and b for a, b in zip(bitmap, bits)]
+    except TypeError:
+        return None
+    if bitmap is None:
+        return list(range(segment.count))
+    return [i for i, keep in enumerate(bitmap) if keep]
+
+
 class Filter(PlanNode):
     """Apply a (residual or pushed) predicate to the child's rows."""
 
@@ -277,8 +575,11 @@ class Filter(PlanNode):
         self.role = role  # 'filter' (residual) | 'pushed'
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
-        return [r for r in self.child.execute(txn)
-                if eval_predicate(self.predicate, r)]
+        return [r for r in self.rows(txn)]
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        return (r for r in self.child.rows(txn)
+                if eval_predicate(self.predicate, r))
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -425,19 +726,349 @@ class IndexNestedLoopJoin(PlanNode):
         return label + ")"
 
 
+class VectorizedAggregate:
+    """COUNT/SUM/AVG/MIN/MAX + GROUP BY evaluated straight off a
+    :class:`SegmentScan`'s column buffers — no row dicts, no
+    ``_resolve`` per value.
+
+    Output is element-identical to the naive ``_aggregate``:
+
+    * float SUM/AVG carry the running accumulator across units (``sum``
+      with a ``start``), so the addition chain is the same left-to-right
+      fold over rid order the naive path performs;
+    * MIN/MAX keep the first extremum under the ``v < cur`` / ``v > cur``
+      rules the builtins use (FLOAT columns run element-wise because
+      zone-map bounds are not trustworthy under NaN);
+    * group keys and output rows are ordered exactly like the naive
+      ``sorted(groups.items(), ...)`` (dict insertion order breaks ties).
+    """
+
+    def __init__(self, stmt: SelectStatement, source: SegmentScan) -> None:
+        self.stmt = stmt
+        self.source = source
+        self._group_names = [g.name for g in stmt.group_by]
+        self._agg_items = [
+            (item.key(), item.expr.func,
+             item.expr.column.name if item.expr.column is not None else None)
+            for item in stmt.items if isinstance(item.expr, Aggregate)
+        ]
+
+    # ------------------------------------------------------------- execute
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        state: dict[tuple, list[list[Any]]] = {}
+        source = self.source
+        registry = metrics.get_registry()
+        for kind, unit in txn.scan_units(source.table):
+            if kind == "rows":
+                pred = source._full
+                for row in unit:
+                    r = _row_dict(row)
+                    if pred is None or eval_predicate(pred, r):
+                        self._accumulate_row(state, r)
+                continue
+            segment = unit
+            if segment.count == 0:
+                continue
+            if any(_zone_map_prunes(segment, c) for c in source._vector):
+                registry.inc("segments.skipped")
+                continue
+            registry.inc("segments.scanned")
+            selected = _segment_selection(segment, source._vector)
+            if selected is None:
+                for rid, values in segment.iter_rows():
+                    values["__rid__"] = rid
+                    if source._full is None \
+                            or eval_predicate(source._full, values):
+                        self._accumulate_row(state, values)
+                continue
+            if source._fallback is not None:
+                for pos in selected:
+                    values = segment.row_values(pos)
+                    values["__rid__"] = segment.rids[pos]
+                    if eval_predicate(source._fallback, values):
+                        self._accumulate_row(state, values)
+                continue
+            if self._group_names:
+                self._accumulate_grouped(state, segment, selected)
+            else:
+                self._accumulate_global(state, segment, selected)
+        return self._finalize(state)
+
+    # ----------------------------------------------------- accumulation
+
+    @staticmethod
+    def _new_acc(func: str) -> list[Any]:
+        if func == "count":
+            return [0]
+        if func in ("sum", "avg"):
+            return [0, 0]  # running sum (starts at int 0, like sum()), n
+        return [False, None]  # have-value flag, extremum
+
+    def _accs_for(self, state: dict, key: tuple) -> list[list[Any]]:
+        accs = state.get(key)
+        if accs is None:
+            accs = state[key] = [self._new_acc(func)
+                                 for _, func, _ in self._agg_items]
+        return accs
+
+    def _accumulate_row(self, state: dict, row: dict[str, Any]) -> None:
+        key = tuple(row.get(name) for name in self._group_names)
+        accs = self._accs_for(state, key)
+        for acc, (_, func, colname) in zip(accs, self._agg_items):
+            if func == "count":
+                if colname is None or row.get(colname) is not None:
+                    acc[0] += 1
+                continue
+            v = row.get(colname)
+            if v is None:
+                continue
+            if func == "min":
+                if not acc[0]:
+                    acc[0], acc[1] = True, v
+                elif v < acc[1]:
+                    acc[1] = v
+            elif func == "max":
+                if not acc[0]:
+                    acc[0], acc[1] = True, v
+                elif v > acc[1]:
+                    acc[1] = v
+            else:  # sum / avg
+                acc[0] += v
+                acc[1] += 1
+
+    def _accumulate_global(self, state: dict, segment: Segment,
+                           selected: list[int]) -> None:
+        accs = self._accs_for(state, ())
+        full = len(selected) == segment.count
+        decoded: dict[str, list[Any]] = {}
+
+        def column_values(name: str) -> list[Any]:
+            values = decoded.get(name)
+            if values is None:
+                values = decoded[name] = segment.columns[name].decoded()
+            return values
+
+        for acc, (_, func, colname) in zip(accs, self._agg_items):
+            if func == "count":
+                if colname is None:
+                    acc[0] += len(selected)
+                    continue
+                col = segment.columns[colname]
+                if full:
+                    acc[0] += col.count - col.null_count
+                    continue
+                flags = col.null_flags()
+                if flags is None:
+                    acc[0] += len(selected)
+                else:
+                    acc[0] += sum(1 for i in selected if not flags[i])
+                continue
+            col = segment.columns[colname]
+            if func in ("sum", "avg"):
+                if full:
+                    if col.encoding in ("int", "bool"):
+                        # NULL placeholder slots are 0: they never change
+                        # an integer sum, so the typed buffer sums whole.
+                        acc[0] = sum(col.data, acc[0])
+                    elif col.encoding == "float" and col.null_count == 0:
+                        acc[0] = sum(col.data, acc[0])
+                    elif col.encoding == "float":
+                        flags = col.null_flags()
+                        data = col.data
+                        acc[0] = sum((data[i] for i in range(col.count)
+                                      if not flags[i]), acc[0])
+                    else:  # raw (e.g. beyond-int64 values)
+                        acc[0] = sum((v for v in col.data if v is not None),
+                                     acc[0])
+                    acc[1] += col.count - col.null_count
+                else:
+                    values = column_values(colname)
+                    for i in selected:
+                        v = values[i]
+                        if v is not None:
+                            acc[0] += v
+                            acc[1] += 1
+                continue
+            # min / max
+            if full and col.encoding != "float":
+                bound = col.min_value if func == "min" else col.max_value
+                if bound is not None:
+                    if not acc[0]:
+                        acc[0], acc[1] = True, bound
+                    elif func == "min" and bound < acc[1]:
+                        acc[1] = bound
+                    elif func == "max" and bound > acc[1]:
+                        acc[1] = bound
+                continue
+            values = column_values(colname)
+            if func == "min":
+                for i in selected:
+                    v = values[i]
+                    if v is None:
+                        continue
+                    if not acc[0]:
+                        acc[0], acc[1] = True, v
+                    elif v < acc[1]:
+                        acc[1] = v
+            else:
+                for i in selected:
+                    v = values[i]
+                    if v is None:
+                        continue
+                    if not acc[0]:
+                        acc[0], acc[1] = True, v
+                    elif v > acc[1]:
+                        acc[1] = v
+
+    def _accumulate_grouped(self, state: dict, segment: Segment,
+                            selected: list[int]) -> None:
+        group_cols = [segment.column_values(name)
+                      for name in self._group_names]
+        full = len(selected) == segment.count
+        single = len(group_cols) == 1
+
+        # Partition positions by group key.  The per-row cost is one
+        # C-built key (list element or zip tuple) plus one dict probe;
+        # buckets keep first-occurrence order, matching the insertion
+        # order the naive per-row fold would produce.
+        buckets: dict[Any, list[int]] = {}
+        if single:
+            keys: Any = group_cols[0] if full \
+                else [group_cols[0][i] for i in selected]
+        elif full:
+            keys = zip(*group_cols)
+        else:
+            keys = zip(*([col[i] for i in selected] for col in group_cols))
+        positions = range(segment.count) if full else selected
+        for pos, key in zip(positions, keys):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [pos]
+            else:
+                bucket.append(pos)
+
+        decoded: dict[str, list[Any]] = {}
+
+        def column_values(name: str) -> list[Any]:
+            values = decoded.get(name)
+            if values is None:
+                values = decoded[name] = segment.columns[name].decoded()
+            return values
+
+        # Fold each bucket off the decoded buffers: itemgetter gathers at
+        # C speed, and sum(vals, start)/min(vals)/max(vals) replay the
+        # exact left-to-right, strict-inequality fold of the row path.
+        for key, bucket in buckets.items():
+            accs = self._accs_for(state, (key,) if single else key)
+            extracted: dict[str, Sequence[Any]] = {}
+            for acc, (_, func, colname) in zip(accs, self._agg_items):
+                if colname is None:  # count(*)
+                    acc[0] += len(bucket)
+                    continue
+                vals = extracted.get(colname)
+                if vals is None:
+                    values = column_values(colname)
+                    if len(bucket) == 1:
+                        vals = (values[bucket[0]],)
+                    else:
+                        vals = itemgetter(*bucket)(values)
+                    if segment.columns[colname].null_count:
+                        vals = [v for v in vals if v is not None]
+                    extracted[colname] = vals
+                if func == "count":
+                    acc[0] += len(vals)
+                elif func in ("sum", "avg"):
+                    acc[0] = sum(vals, acc[0])
+                    acc[1] += len(vals)
+                elif vals:
+                    cand = min(vals) if func == "min" else max(vals)
+                    if not acc[0]:
+                        acc[0], acc[1] = True, cand
+                    elif func == "min":
+                        if cand < acc[1]:
+                            acc[1] = cand
+                    elif cand > acc[1]:
+                        acc[1] = cand
+
+    # --------------------------------------------------------- finalize
+
+    def _finalize(self, state: dict) -> list[dict[str, Any]]:
+        if not self._group_names and not state:
+            # Same shape the naive path produces on an empty input:
+            # one global group with COUNT 0 and NULL everything else.
+            self._accs_for(state, ())
+        out: list[dict[str, Any]] = []
+        for key, accs in sorted(
+            state.items(), key=lambda kv: tuple((v is None, v) for v in kv[0])
+        ):
+            result: dict[str, Any] = {}
+            for g, value in zip(self.stmt.group_by, key):
+                result[g.key()] = value
+            for (out_key, func, _), acc in zip(self._agg_items, accs):
+                if func == "count":
+                    result[out_key] = acc[0]
+                elif func == "sum":
+                    result[out_key] = acc[0] if acc[1] else None
+                elif func == "avg":
+                    result[out_key] = acc[0] / acc[1] if acc[1] else None
+                else:
+                    result[out_key] = acc[1] if acc[0] else None
+            out.append(result)
+        return out
+
+
+def plan_vector_aggregate(stmt: SelectStatement, schema: Any,
+                          source: SegmentScan) -> VectorizedAggregate | None:
+    """A :class:`VectorizedAggregate` when the statement's aggregate stage
+    can run over columns, else None (the row path keeps naive semantics,
+    including its error surface — e.g. SUM over TEXT raising TypeError)."""
+    for g in stmt.group_by:
+        if g.table not in (None, stmt.table) or not schema.has_column(g.name):
+            return None
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, Aggregate):
+            if expr.column is None:
+                continue  # COUNT(*)
+            ref = expr.column
+            if ref.table not in (None, stmt.table) \
+                    or not schema.has_column(ref.name):
+                return None
+            if expr.func in ("sum", "avg"):
+                col_type = schema.column(ref.name).col_type
+                if col_type not in (ColumnType.INT, ColumnType.FLOAT,
+                                    ColumnType.BOOL):
+                    return None
+        elif isinstance(expr, ColumnRef):
+            # Naive emits these only as group keys (or raises).
+            if not (stmt.group_by
+                    and any(g.name == expr.name for g in stmt.group_by)):
+                return None
+        else:
+            return None
+    return VectorizedAggregate(stmt, source)
+
+
 class SelectPlan:
     """A planned SELECT: the executable ``source`` (scan/join + filters,
     WHERE fully applied) plus the metadata ``sql._select`` needs for the
-    aggregate/projection/order stages and EXPLAIN for rendering."""
+    aggregate/projection/order stages and EXPLAIN for rendering.  When
+    ``vector`` is set, the aggregate stage runs columnar: ``sql._select``
+    calls ``vector.execute`` instead of materializing source rows."""
 
     def __init__(self, source: PlanNode, stmt: SelectStatement,
-                 use_topk: bool) -> None:
+                 use_topk: bool, vector: VectorizedAggregate | None = None) -> None:
         self.source = source
         self.stmt = stmt
         self.use_topk = use_topk
+        self.vector = vector
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         return self.source.execute(txn)
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        return self.source.rows(txn)
 
     def render(self) -> list[str]:
         stmt = self.stmt
@@ -463,7 +1094,8 @@ class SelectPlan:
         if stmt.group_by or has_aggregates:
             keys = ", ".join(g.key() for g in stmt.group_by) or "()"
             items = ", ".join(i.key() for i in stmt.items) or "*"
-            push(f"Aggregate(group_by=[{keys}], items=[{items}])")
+            name = "VectorizedAggregate" if self.vector is not None else "Aggregate"
+            push(f"{name}(group_by=[{keys}], items=[{items}])")
         else:
             items = "*" if stmt.star else ", ".join(i.key() for i in stmt.items)
             push(f"Project({items})")
@@ -525,13 +1157,15 @@ class Planner:
 
     # -------------------------------------------------------- access paths
 
-    def plan_access(self, table: str,
-                    conjuncts: list[Any]) -> tuple[PlanNode, list[Any]]:
+    def plan_access(self, table: str, conjuncts: list[Any],
+                    prefer_columnar: bool = False) -> tuple[PlanNode, list[Any]]:
         """Cheapest access path for ``table`` under the given conjuncts.
 
         Returns ``(node, residual_conjuncts)`` — the node produces a
         superset of the matching rows in rid order, the residual still
-        needs a filter.
+        needs a filter.  ``prefer_columnar`` sweetens the SegmentScan
+        cost for aggregate-stage queries, where the columnar payoff
+        (vectorized accumulation, no row dicts) is largest.
 
         Raises:
             KeyError: unknown table.
@@ -541,6 +1175,20 @@ class Planner:
         choices: list[_AccessChoice] = [
             _AccessChoice(FullScan(table), [], n, n, rank=2)
         ]
+        heap = self._db._table(table)
+        seg_rows = len(heap) - heap.tail_size
+        if seg_rows:
+            schema = heap.schema
+            vector, fallback = _split_vectorizable(conjuncts, schema, table)
+            discount = _COLUMNAR_DISCOUNT if not fallback else 1.0
+            if prefer_columnar and not fallback:
+                discount *= 0.5
+            cost = heap.tail_size + seg_rows * discount + _PROBE_COST
+            choices.append(_AccessChoice(
+                SegmentScan(table, list(conjuncts), vector, fallback),
+                list(conjuncts),
+                self._filtered_estimate(table, n, conjuncts), cost, rank=1,
+            ))
         for conjunct in conjuncts:
             eq = _eq_conjunct(conjunct)
             if eq is None or eq[1] is None:
@@ -575,6 +1223,8 @@ class Planner:
             registry.inc("planner.plans.full_scan")
         elif isinstance(best.node, IndexLookup):
             registry.inc("planner.plans.index_lookup")
+        elif isinstance(best.node, SegmentScan):
+            registry.inc("planner.plans.segment_scan")
         else:
             registry.inc("planner.plans.range_scan")
         return best.node, _remove(conjuncts, best.consumed)
@@ -752,8 +1402,11 @@ class Planner:
         """Physical plan for a SELECT's row-sourcing (and EXPLAIN tree)."""
         registry = metrics.get_registry()
         conjuncts = split_conjuncts(stmt.where)
+        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        aggregate_stage = bool(stmt.group_by) or has_aggregates
         if stmt.join_table is None:
-            node, residual = self.plan_access(stmt.table, conjuncts)
+            node, residual = self.plan_access(
+                stmt.table, conjuncts, prefer_columnar=aggregate_stage)
         else:
             node, residual = self._plan_join(stmt, conjuncts)
         if residual:
@@ -762,14 +1415,19 @@ class Planner:
                 est = self._filtered_estimate(stmt.table, est, residual)
             node = Filter(conjoin(residual), node)
             node.est_rows, node.cost = est, node.child.cost
-        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        vector = None
+        if aggregate_stage and isinstance(node, SegmentScan):
+            vector = plan_vector_aggregate(
+                stmt, self._db._table(stmt.table).schema, node)
+            if vector is not None:
+                registry.inc("planner.plans.vectorized_agg")
         use_topk = (
             stmt.order_by is not None and stmt.limit is not None
             and not stmt.group_by and not has_aggregates
         )
         if use_topk:
             registry.inc("planner.plans.topk")
-        return SelectPlan(node, stmt, use_topk)
+        return SelectPlan(node, stmt, use_topk, vector)
 
     def explain(self, stmt: SelectStatement) -> list[str]:
         """EXPLAIN text lines for a SELECT (plans, does not execute)."""

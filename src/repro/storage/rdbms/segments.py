@@ -1,0 +1,247 @@
+"""Columnar segments: the cold/immutable layout of heap tables (DESIGN.md §12).
+
+The paper argues the *system* should pick the physical representation for
+each piece of data; Impliance (PAPERS.md) extends that to an appliance-
+managed storage hierarchy.  This module is that decision applied to the
+relational store's own rows: committed heap rows can be *frozen* into
+immutable column segments —
+
+* INT/FLOAT/BOOL columns become typed ``array`` buffers (``'q'``/``'d'``/
+  ``'b'``), falling back to a plain-list ``raw`` encoding when a value
+  does not fit (e.g. an int beyond 64 bits);
+* TEXT columns are dictionary-encoded (first-occurrence code order), with
+  a ``raw`` fallback when the dictionary would exceed ``dict_max``;
+* NULLs live in a packed per-column bitmap plus a placeholder slot, so
+  the typed buffer stays rectangular;
+* every column carries a **zone map** — min/max/count/null count — that
+  lets scans skip whole segments and feeds the statistics module.
+
+Segments are purely a layout change: :meth:`Segment.iter_rows` decodes
+byte-identical ``(rid, values)`` pairs, and the heap table merges
+segments with its row-store tail so readers never observe the split.
+The vectorized executor in :mod:`repro.storage.rdbms.planner` is the
+consumer that makes the layout pay off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from typing import Any, Iterator
+
+from repro.storage.rdbms.types import ColumnType, TableSchema
+
+#: Rows per segment produced by compaction (the vectorized executor's
+#: working-set unit; also the zone-map granularity).
+SEGMENT_TARGET_ROWS = 65_536
+
+#: Dictionary entries per TEXT column before falling back to ``raw``.
+DICT_MAX_ENTRIES = 4_096
+
+#: Smallest int that still fits ``array('q')`` (and the largest + 1).
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class ColumnSegment:
+    """One column of one segment: typed buffer + null bitmap + zone map.
+
+    Attributes:
+        name: column name.
+        encoding: ``int`` | ``float`` | ``bool`` | ``dict`` | ``raw``.
+        data: the typed buffer — an ``array`` for numeric encodings, an
+            ``array`` of dictionary codes for ``dict`` (``-1`` = NULL),
+            a plain list (with ``None`` entries) for ``raw``.
+        dictionary: code → string list (``dict`` encoding only).
+        nulls: packed null bitmap (``None`` when the column has no NULLs).
+        null_count / count / min_value / max_value: the zone map.
+    """
+
+    __slots__ = ("name", "encoding", "data", "dictionary", "nulls",
+                 "null_count", "count", "min_value", "max_value")
+
+    def __init__(self, name: str, encoding: str, data: Any,
+                 dictionary: list[str] | None, nulls: bytearray | None,
+                 null_count: int, count: int,
+                 min_value: Any, max_value: Any) -> None:
+        self.name = name
+        self.encoding = encoding
+        self.data = data
+        self.dictionary = dictionary
+        self.nulls = nulls
+        self.null_count = null_count
+        self.count = count
+        self.min_value = min_value
+        self.max_value = max_value
+
+    # ------------------------------------------------------------ encoding
+
+    @staticmethod
+    def encode(name: str, col_type: ColumnType, values: list[Any],
+               dict_max: int = DICT_MAX_ENTRIES) -> "ColumnSegment":
+        """Pick and apply the best encoding for ``values``.
+
+        ``values`` must already be schema-validated (correct python types
+        or ``None``); encoding never changes a value, only its layout.
+        """
+        count = len(values)
+        nulls: bytearray | None = None
+        null_count = 0
+        for i, v in enumerate(values):
+            if v is None:
+                if nulls is None:
+                    nulls = bytearray((count + 7) // 8)
+                nulls[i >> 3] |= 1 << (i & 7)
+                null_count += 1
+        non_null = [v for v in values if v is not None]
+        min_value = min(non_null) if non_null else None
+        max_value = max(non_null) if non_null else None
+
+        def raw() -> "ColumnSegment":
+            return ColumnSegment(name, "raw", list(values), None, nulls,
+                                 null_count, count, min_value, max_value)
+
+        if col_type is ColumnType.INT:
+            if any(not (_INT64_MIN <= v <= _INT64_MAX) for v in non_null):
+                return raw()
+            data = array("q", (0 if v is None else v for v in values))
+            return ColumnSegment(name, "int", data, None, nulls,
+                                 null_count, count, min_value, max_value)
+        if col_type is ColumnType.FLOAT:
+            if any(v != v for v in non_null):
+                # NaN poisons min()/max(); publish no bounds rather than
+                # bounds a zone-map prune could wrongly trust.
+                min_value = max_value = None
+            data = array("d", (0.0 if v is None else v for v in values))
+            return ColumnSegment(name, "float", data, None, nulls,
+                                 null_count, count, min_value, max_value)
+        if col_type is ColumnType.BOOL:
+            data = array("b", (0 if not v else 1 for v in values))
+            return ColumnSegment(name, "bool", data, None, nulls,
+                                 null_count, count, min_value, max_value)
+        if col_type is ColumnType.TEXT:
+            codes_by_value: dict[str, int] = {}
+            codes = array("i")
+            for v in values:
+                if v is None:
+                    codes.append(-1)
+                    continue
+                code = codes_by_value.get(v)
+                if code is None:
+                    if len(codes_by_value) >= dict_max:
+                        return raw()  # dictionary overflow
+                    code = len(codes_by_value)
+                    codes_by_value[v] = code
+                codes.append(code)
+            dictionary = list(codes_by_value)
+            return ColumnSegment(name, "dict", codes, dictionary, nulls,
+                                 null_count, count, min_value, max_value)
+        return raw()
+
+    # ------------------------------------------------------------ decoding
+
+    def is_null(self, i: int) -> bool:
+        return self.nulls is not None and bool(self.nulls[i >> 3] & (1 << (i & 7)))
+
+    def value_at(self, i: int) -> Any:
+        """The decoded python value at position ``i``."""
+        if self.is_null(i):
+            return None
+        if self.encoding == "dict":
+            return self.dictionary[self.data[i]]
+        if self.encoding == "bool":
+            return bool(self.data[i])
+        return self.data[i]
+
+    def decoded(self) -> list[Any]:
+        """The whole column as properly-typed python values (with Nones)."""
+        if self.encoding in ("int", "float") and self.null_count == 0:
+            return list(self.data)
+        if self.encoding == "raw":
+            return list(self.data)
+        return [self.value_at(i) for i in range(self.count)]
+
+    def null_flags(self) -> list[bool] | None:
+        """Per-position null flags, or None when the column has no NULLs."""
+        if self.null_count == 0:
+            return None
+        nulls = self.nulls
+        assert nulls is not None
+        return [bool(nulls[i >> 3] & (1 << (i & 7))) for i in range(self.count)]
+
+    def zone_map(self) -> dict[str, Any]:
+        """The per-segment statistics summary for this column."""
+        return {
+            "min": self.min_value,
+            "max": self.max_value,
+            "count": self.count,
+            "null_count": self.null_count,
+        }
+
+
+class Segment:
+    """An immutable, rid-sorted slice of a table in columnar layout."""
+
+    __slots__ = ("schema", "rids", "columns", "count")
+
+    def __init__(self, schema: TableSchema, rids: array,
+                 columns: dict[str, ColumnSegment]) -> None:
+        self.schema = schema
+        self.rids = rids  # array('q'), ascending
+        self.columns = columns
+        self.count = len(rids)
+
+    @staticmethod
+    def from_rows(schema: TableSchema,
+                  items: list[tuple[int, dict[str, Any]]],
+                  dict_max: int = DICT_MAX_ENTRIES) -> "Segment":
+        """Freeze ``(rid, values)`` pairs into a segment (rid-sorted)."""
+        items = sorted(items, key=lambda kv: kv[0])
+        rids = array("q", (rid for rid, _ in items))
+        columns: dict[str, ColumnSegment] = {}
+        for col in schema.columns:
+            values = [values_dict.get(col.name) for _, values_dict in items]
+            columns[col.name] = ColumnSegment.encode(
+                col.name, col.col_type, values, dict_max=dict_max)
+        return Segment(schema, rids, columns)
+
+    # -------------------------------------------------------------- access
+
+    @property
+    def min_rid(self) -> int:
+        return self.rids[0] if self.count else -1
+
+    @property
+    def max_rid(self) -> int:
+        return self.rids[-1] if self.count else -1
+
+    def column(self, name: str) -> ColumnSegment | None:
+        return self.columns.get(name)
+
+    def rid_position(self, rid: int) -> int | None:
+        """Position of ``rid`` in this segment, or None."""
+        pos = bisect.bisect_left(self.rids, rid)
+        if pos < self.count and self.rids[pos] == rid:
+            return pos
+        return None
+
+    def row_values(self, pos: int) -> dict[str, Any]:
+        """Decode one row (schema column order, same as the heap table)."""
+        return {col.name: self.columns[col.name].value_at(pos)
+                for col in self.schema.columns}
+
+    def iter_rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Decode every row in rid order — the melt/scan path."""
+        decoded = [(col.name, self.columns[col.name].decoded())
+                   for col in self.schema.columns]
+        for pos, rid in enumerate(self.rids):
+            yield rid, {name: values[pos] for name, values in decoded}
+
+    def column_values(self, name: str) -> list[Any]:
+        """All decoded values of one column (for ANALYZE sampling)."""
+        col = self.columns.get(name)
+        return col.decoded() if col is not None else [None] * self.count
+
+    def zone_maps(self) -> dict[str, dict[str, Any]]:
+        """Column name → zone map, validated by the reopen regression."""
+        return {name: col.zone_map() for name, col in self.columns.items()}

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import functools
 import heapq
+import itertools
 import re
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.storage.rdbms.engine import Database, Transaction
 from repro.storage.rdbms.types import Column, ColumnType, TableSchema
@@ -61,7 +62,7 @@ _KEYWORDS = frozenset(
         "not", "like", "is", "null", "in", "insert", "into", "values", "update",
         "set", "delete", "create", "table", "primary", "key", "asc", "desc",
         "join", "on", "count", "sum", "avg", "min", "max", "true", "false",
-        "distinct", "as", "having", "explain",
+        "distinct", "as", "having", "explain", "alter", "compact",
     }
 )
 
@@ -252,6 +253,14 @@ class ExplainStatement:
     select: SelectStatement
 
 
+@dataclass
+class CompactStatement:
+    """A parsed ``ALTER TABLE <t> COMPACT``: freeze the committed tail
+    into columnar segments (runs in its own transaction, like DDL)."""
+
+    table: str
+
+
 # -------------------------------------------------------------------- parser
 
 _TYPE_MAP = {
@@ -323,6 +332,8 @@ class _Parser:
             return self._parse_delete()
         if token.value == "create":
             return self._parse_create()
+        if token.value == "alter":
+            return self._parse_alter()
         if token.value == "explain":
             return self._parse_explain()
         raise SqlError(f"unsupported statement {token.text!r}")
@@ -334,6 +345,15 @@ class _Parser:
         if not self._at_keyword("select"):
             raise SqlError("EXPLAIN supports SELECT statements only")
         return ExplainStatement(self._parse_select())
+
+    def _parse_alter(self) -> CompactStatement:
+        self._expect_keyword("alter")
+        self._expect_keyword("table")
+        table = self._identifier()
+        self._expect_keyword("compact")
+        if self._peek().kind != "eof":
+            raise SqlError(f"trailing input: {self._peek().text!r}")
+        return CompactStatement(table)
 
     def _parse_select(self) -> SelectStatement:
         self._expect_keyword("select")
@@ -798,6 +818,10 @@ class _Executor:
         return rows
 
     def _select(self, stmt: SelectStatement) -> list[dict[str, Any]]:
+        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
+        aggregate_stage = bool(stmt.group_by) or has_aggregates
+        if not aggregate_stage and stmt.having is not None:
+            raise SqlError("HAVING requires GROUP BY or aggregates")
         if self._use_planner:
             from repro.storage.rdbms import planner as _planner
 
@@ -805,18 +829,32 @@ class _Executor:
             with tracer.span("rdbms.plan"):
                 plan = _planner.Planner(self._db).plan_select(stmt)
             with tracer.span("rdbms.exec") as span:
-                rows = plan.execute(self._txn)
-                span.set_attribute("rows", len(rows))
-        else:
-            rows = self._source_rows(stmt)
-            rows = [r for r in rows if eval_predicate(stmt.where, r)]
-        has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
-        if stmt.group_by or has_aggregates:
+                if plan.vector is not None:
+                    # Columnar aggregation straight off segment buffers.
+                    result = plan.vector.execute(self._txn)
+                elif aggregate_stage:
+                    result = self._aggregate(stmt, plan.execute(self._txn))
+                elif stmt.star:
+                    result = self._order_and_limit(stmt, (
+                        {k: v for k, v in r.items() if k != "__rid__"}
+                        for r in plan.rows(self._txn)))
+                else:
+                    result = self._order_and_limit(stmt, (
+                        {item.key(): _resolve(r, item.expr)
+                         for item in stmt.items}
+                        for r in plan.rows(self._txn)))
+                span.set_attribute("rows", len(result))
+            if not aggregate_stage:
+                return result
+            if stmt.having is not None:
+                result = [r for r in result if eval_predicate(stmt.having, r)]
+            return self._order_and_limit(stmt, result)
+        rows = self._source_rows(stmt)
+        rows = [r for r in rows if eval_predicate(stmt.where, r)]
+        if aggregate_stage:
             result = self._aggregate(stmt, rows)
             if stmt.having is not None:
                 result = [r for r in result if eval_predicate(stmt.having, r)]
-        elif stmt.having is not None:
-            raise SqlError("HAVING requires GROUP BY or aggregates")
         elif stmt.star:
             result = [
                 {k: v for k, v in r.items() if k != "__rid__"} for r in rows
@@ -829,24 +867,30 @@ class _Executor:
         return self._order_and_limit(stmt, result)
 
     def _order_and_limit(self, stmt: SelectStatement,
-                         result: list[dict[str, Any]]) -> list[dict[str, Any]]:
-        """Apply ORDER BY and LIMIT.  ``ORDER BY … LIMIT k`` with k below
-        the row count runs as a heap top-k (``heapq.nsmallest`` /
-        ``nlargest`` are stable and row-identical to full-sort-then-slice)
-        instead of sorting everything."""
+                         result: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Apply ORDER BY and LIMIT to ``result`` (list or row iterator).
+
+        ``ORDER BY … LIMIT k`` runs as a heap top-k — ``heapq.nsmallest``
+        / ``nlargest`` are documented equivalent to full-sort-then-slice
+        (and stable), so the output rows are identical but the sort never
+        materializes more than k rows beyond the heap.  A bare LIMIT
+        stops consuming the row iterator after k rows."""
         if stmt.order_by is not None:
             key_name = self._order_key(stmt)
 
             def sort_key(r: dict[str, Any]) -> tuple:
                 return (r.get(key_name) is None, r.get(key_name))
 
-            if stmt.limit is not None and stmt.limit < len(result):
+            if stmt.limit is not None and stmt.limit >= 0:
                 pick = heapq.nlargest if stmt.order_desc else heapq.nsmallest
                 return pick(stmt.limit, result, key=sort_key)
+            result = list(result)
             result.sort(key=sort_key, reverse=stmt.order_desc)
         if stmt.limit is not None:
-            result = result[: stmt.limit]
-        return result
+            if stmt.limit >= 0:
+                return list(itertools.islice(result, stmt.limit))
+            return list(result)[: stmt.limit]
+        return result if isinstance(result, list) else list(result)
 
     def _order_key(self, stmt: SelectStatement) -> str:
         assert stmt.order_by is not None
@@ -957,6 +1001,16 @@ def execute_statement(db: Database, stmt, txn: Transaction | None = None,
     if isinstance(stmt, CreateTableStatement):
         db.create_table(stmt.schema)
         return [{"created": stmt.schema.name}]
+    if isinstance(stmt, CompactStatement):
+        try:
+            summary = db.compact(stmt.table)
+        except KeyError:
+            raise SqlError(f"unknown table {stmt.table!r}") from None
+        return [{
+            "compacted": stmt.table,
+            "segments_created": summary["segments_created"],
+            "rows_frozen": summary["rows_frozen"],
+        }]
     if isinstance(stmt, ExplainStatement):
         return _explain_rows(db, stmt)
     if txn is not None:

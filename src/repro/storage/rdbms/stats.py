@@ -15,7 +15,13 @@ for one :class:`~repro.storage.rdbms.engine.Database`:
 * a **full ANALYZE fallback**: once the drift exceeds
   ``staleness_fraction`` of the analyzed row count (or the table was
   never analyzed), one full scan rebuilds distinct counts, min/max, and
-  the histograms.
+  the histograms;
+* a **sampled ANALYZE** for big tables: above ``sample_threshold`` rows
+  the pass reads a fixed-size uniform sample (deterministically seeded
+  on table name + row count, so repeated runs agree) for histograms and
+  distinct counts, while null counts and min/max stay *exact* — they
+  come from columnar-segment zone maps plus a walk of the (small)
+  row-store tail.
 
 Statistics are advisory: plans stay *correct* on arbitrarily stale
 numbers (residual filters re-check every predicate), only their cost
@@ -25,6 +31,7 @@ ranking degrades.
 from __future__ import annotations
 
 import bisect
+import random
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -148,9 +155,13 @@ class StatisticsManager:
     """
 
     def __init__(self, db: "Database",
-                 staleness_fraction: float = 0.25) -> None:
+                 staleness_fraction: float = 0.25,
+                 sample_threshold: int = 100_000,
+                 sample_size: int = 20_000) -> None:
         self._db = db
         self._staleness = staleness_fraction
+        self._sample_threshold = sample_threshold
+        self._sample_size = sample_size
         self._lock = threading.Lock()
         self._versions: dict[str, int] = {}
         self._stats: dict[str, TableStats] = {}
@@ -172,7 +183,7 @@ class StatisticsManager:
     # --------------------------------------------------------------- stats
 
     def analyze(self, table: str) -> TableStats:
-        """Full statistics pass: one scan building every column summary.
+        """Statistics pass: full scan, or sampled above the threshold.
 
         Raises:
             KeyError: unknown table.
@@ -182,10 +193,17 @@ class StatisticsManager:
             version = self._versions.get(table, 0)
         with db._mutate_lock:
             schema = db.schema(table)
+            heap = db._table(table)
+            count = len(heap)
+            if count > self._sample_threshold:
+                stats = self._analyze_sampled(table, heap, schema, count,
+                                              version)
+                with self._lock:
+                    self._stats[table] = stats
+                metrics.get_registry().inc("planner.analyze.sampled")
+                return stats
             columns: dict[str, list[Any]] = {c: [] for c in schema.column_names}
-            count = 0
-            for row in db._table(table).scan():
-                count += 1
+            for row in heap.scan():
                 for name in columns:
                     columns[name].append(row.values.get(name))
         stats = TableStats(
@@ -197,6 +215,88 @@ class StatisticsManager:
             self._stats[table] = stats
         metrics.get_registry().inc("planner.analyze.full")
         return stats
+
+    def _analyze_sampled(self, table: str, heap: Any, schema: Any,
+                         count: int, version: int) -> TableStats:
+        """One sampled pass (caller holds the engine mutate lock).
+
+        Histograms and distinct counts come from ``sample_size`` uniformly
+        sampled positions; null counts and min/max are exact (zone maps
+        per segment, value walk over the tail).  The RNG seed is derived
+        from the table name and row count, so the same table state always
+        yields the same sample.
+        """
+        rng = random.Random(f"analyze:{table}:{count}")
+        k = min(self._sample_size, count)
+        positions = sorted(rng.sample(range(count), k))
+        names = list(schema.column_names)
+        samples: dict[str, list[Any]] = {name: [] for name in names}
+        null_counts = {name: 0 for name in names}
+        bounds: dict[str, list[Any]] = {name: [None, None] for name in names}
+
+        def fold(mm: list[Any], lo: Any, hi: Any) -> None:
+            try:
+                if lo is not None and (mm[0] is None or lo < mm[0]):
+                    mm[0] = lo
+                if hi is not None and (mm[1] is None or hi > mm[1]):
+                    mm[1] = hi
+            except TypeError:
+                pass  # mixed incomparable types: bounds stay partial
+
+        pos_index = 0
+        base = 0
+        for kind, unit in heap.scan_units():
+            if kind == "segment":
+                for name in names:
+                    col = unit.columns[name]
+                    null_counts[name] += col.null_count
+                    fold(bounds[name], col.min_value, col.max_value)
+                end = base + unit.count
+                while pos_index < k and positions[pos_index] < end:
+                    p = positions[pos_index] - base
+                    for name in names:
+                        samples[name].append(unit.columns[name].value_at(p))
+                    pos_index += 1
+                base = end
+                continue
+            for row in unit:
+                values = row.values
+                for name in names:
+                    v = values.get(name)
+                    if v is None:
+                        null_counts[name] += 1
+                    else:
+                        fold(bounds[name], v, v)
+                if pos_index < k and positions[pos_index] == base:
+                    for name in names:
+                        samples[name].append(values.get(name))
+                    pos_index += 1
+                base += 1
+        columns: dict[str, ColumnStats] = {}
+        for name in names:
+            cs = _build_column_stats(samples[name])
+            sample_non_null = sum(1 for v in samples[name] if v is not None)
+            cs.total = count
+            cs.null_count = null_counts[name]
+            non_null_total = count - null_counts[name]
+            if bounds[name][0] is not None:
+                cs.min_value = bounds[name][0]
+            if bounds[name][1] is not None:
+                cs.max_value = bounds[name][1]
+            if cs.distinct and sample_non_null:
+                if cs.distinct >= sample_non_null / 10:
+                    # High-cardinality sample: scale the distinct count up
+                    # by the sampling fraction (capped at the non-null
+                    # total).  Low-cardinality samples are kept as-is —
+                    # a uniform sample of 20k rows almost surely saw
+                    # every value of a small domain.
+                    frac = sample_non_null / max(non_null_total, 1)
+                    cs.distinct = min(
+                        non_null_total,
+                        max(cs.distinct, round(cs.distinct / frac)))
+            columns[name] = cs
+        return TableStats(table=table, row_count=count, analyzed_rows=count,
+                          version=version, columns=columns)
 
     def stats(self, table: str) -> TableStats:
         """Current statistics, refreshed as cheaply as staleness allows.

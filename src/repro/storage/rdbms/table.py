@@ -1,11 +1,29 @@
-"""Heap tables: in-memory row storage with stable row IDs."""
+"""Heap tables: in-memory row storage with stable row IDs.
+
+Since PR 6 a heap table has two regions (DESIGN.md §12):
+
+* the **row-store tail** — the mutable ``rid -> values`` dict every write
+  lands in, exactly as before;
+* zero or more immutable **columnar segments** — cold rows frozen by
+  :meth:`HeapTable.compact` into the typed layout of
+  :mod:`repro.storage.rdbms.segments`.
+
+Readers never observe the split: :meth:`scan` merges segments and tail in
+rid order, :meth:`get` consults both, and any update/delete of a frozen
+row *melts* its segment back into the tail first (copy-on-write at
+segment granularity).  The vectorized executor reads the regions
+separately via :meth:`scan_units`.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from repro.storage.rdbms.segments import SEGMENT_TARGET_ROWS, Segment
 from repro.storage.rdbms.types import SchemaError, TableSchema
+from repro.telemetry import metrics
 
 
 @dataclass(frozen=True)
@@ -31,6 +49,7 @@ class HeapTable:
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_rid = 0
         self._pk_index: dict[Any, int] = {}
+        self._segments: list[Segment] = []
 
     @property
     def schema(self) -> TableSchema:
@@ -41,7 +60,19 @@ class HeapTable:
         return self._schema.name
 
     def __len__(self) -> int:
+        return len(self._rows) + sum(s.count for s in self._segments)
+
+    @property
+    def tail_size(self) -> int:
+        """Rows still in the mutable row-store tail."""
         return len(self._rows)
+
+    @property
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    def segment_count(self) -> int:
+        return len(self._segments)
 
     # ------------------------------------------------------------- mutation
 
@@ -63,7 +94,7 @@ class HeapTable:
                 raise SchemaError(f"duplicate primary key {key!r}")
         if rid is None:
             rid = self._next_rid
-        if rid in self._rows:
+        if rid in self._rows or self._segment_of(rid) is not None:
             raise SchemaError(f"row id {rid} already in use")
         self._next_rid = max(self._next_rid, rid + 1)
         self._rows[rid] = row_values
@@ -105,10 +136,14 @@ class HeapTable:
     def update(self, rid: int, changes: dict[str, Any]) -> tuple[Row, Row]:
         """Apply column changes to one row; returns (old_row, new_row).
 
+        A frozen row's segment is melted back into the tail first.
+
         Raises:
             KeyError: unknown rid.
             SchemaError: schema or primary-key violations.
         """
+        if rid not in self._rows:
+            self._melt_containing(rid)
         if rid not in self._rows:
             raise KeyError(rid)
         old_values = dict(self._rows[rid])
@@ -127,11 +162,13 @@ class HeapTable:
         return Row(rid, old_values), Row(rid, dict(new_values))
 
     def delete(self, rid: int) -> Row:
-        """Delete one row; returns the removed row.
+        """Delete one row (melting its segment if frozen); returns it.
 
         Raises:
             KeyError: unknown rid.
         """
+        if rid not in self._rows:
+            self._melt_containing(rid)
         if rid not in self._rows:
             raise KeyError(rid)
         values = self._rows.pop(rid)
@@ -145,7 +182,9 @@ class HeapTable:
         """Swap in a new schema, rewriting every row through ``migrate``.
 
         Used by the schema-evolution subsystem (Figure 1 Part IV).
+        Segments are melted first: they are typed against the old schema.
         """
+        self.melt_all()
         new_rows: dict[int, dict[str, Any]] = {}
         new_pk: dict[Any, int] = {}
         pk = schema.primary_key
@@ -161,15 +200,108 @@ class HeapTable:
         self._rows = new_rows
         self._pk_index = new_pk
 
+    # ------------------------------------------------------------ segments
+
+    def compact(self, max_rid: int | None = None,
+                target_rows: int = SEGMENT_TARGET_ROWS) -> tuple[int, int, int]:
+        """Freeze tail rows with ``rid <= max_rid`` into columnar segments.
+
+        Chunking is deterministic (sorted rids, ``target_rows`` per
+        segment) so WAL replay of a ``compact`` record reproduces the
+        exact same layout.  Returns ``(segments_created, rows_frozen,
+        max_rid_used)``.
+        """
+        if target_rows < 1:
+            raise ValueError("target_rows must be >= 1")
+        if max_rid is None:
+            max_rid = self._next_rid - 1
+        eligible = sorted(r for r in self._rows if r <= max_rid)
+        created = 0
+        for start in range(0, len(eligible), target_rows):
+            chunk = eligible[start:start + target_rows]
+            segment = Segment.from_rows(
+                self._schema, [(rid, self._rows[rid]) for rid in chunk])
+            self._segments.append(segment)
+            for rid in chunk:
+                del self._rows[rid]
+            created += 1
+        if eligible:
+            registry = metrics.get_registry()
+            registry.inc("segments.created", created)
+            registry.inc("segments.rows_frozen", len(eligible))
+        return created, len(eligible), max_rid
+
+    def melt_all(self) -> None:
+        """Decode every segment back into the row-store tail."""
+        for segment in list(self._segments):
+            self._melt_segment(segment)
+
+    def _melt_segment(self, segment: Segment) -> None:
+        self._segments.remove(segment)
+        for rid, values in segment.iter_rows():
+            self._rows[rid] = values
+        registry = metrics.get_registry()
+        registry.inc("segments.melted")
+        registry.inc("segments.rows_melted", segment.count)
+
+    def _melt_containing(self, rid: int) -> bool:
+        segment = self._segment_of(rid)
+        if segment is None:
+            return False
+        self._melt_segment(segment)
+        return True
+
+    def _segment_of(self, rid: int) -> Segment | None:
+        for segment in self._segments:
+            if segment.count and segment.min_rid <= rid <= segment.max_rid \
+                    and segment.rid_position(rid) is not None:
+                return segment
+        return None
+
+    def segment_layout(self) -> list[list[int]]:
+        """``[[min_rid, max_rid, count], ...]`` — checkpointed so reopen
+        can re-freeze the same layout (and detect drift)."""
+        return [[s.min_rid, s.max_rid, s.count] for s in self._segments]
+
+    def restore_segments(self, layout: list[list[int]]) -> bool:
+        """Re-freeze a checkpointed layout after the rows were reloaded.
+
+        Re-encoding from the recovered rows rebuilds every zone map from
+        scratch, so reopen can never serve stale min/max bounds (the
+        drift class PR 5's facts-index bug belonged to).  If any entry no
+        longer matches the live rows — the snapshot drifted — the restore
+        stops and remaining rows stay in the (always correct) tail;
+        returns False in that case so callers can count the invalidation.
+        """
+        for entry in layout:
+            min_rid, max_rid, count = entry
+            chunk = sorted(r for r in self._rows if min_rid <= r <= max_rid)
+            if len(chunk) != count:
+                return False
+            segment = Segment.from_rows(
+                self._schema, [(rid, self._rows[rid]) for rid in chunk])
+            self._segments.append(segment)
+            for rid in chunk:
+                del self._rows[rid]
+        return True
+
     # ---------------------------------------------------------------- reads
 
     def get(self, rid: int) -> Row:
-        """Fetch by row ID.
+        """Fetch by row ID (tail or segment).
 
         Raises:
             KeyError: unknown rid.
         """
-        return Row(rid, dict(self._rows[rid]))
+        values = self._rows.get(rid)
+        if values is not None:
+            return Row(rid, dict(values))
+        segment = self._segment_of(rid)
+        if segment is None:
+            raise KeyError(rid)
+        pos = segment.rid_position(rid)
+        assert pos is not None
+        return Row(rid, segment.row_values(pos))
 
     def get_by_pk(self, key: Any) -> Row | None:
         """Fetch by primary-key value, or None."""
@@ -179,7 +311,70 @@ class HeapTable:
         return self.get(rid)
 
     def scan(self) -> Iterator[Row]:
-        """Yield all rows in rid order."""
+        """Yield all rows in rid order (segments merged with the tail)."""
+        for rid, values in self._iter_items():
+            yield Row(rid, values)
+
+    def _iter_items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        if not self._segments:
+            for rid in sorted(self._rows):
+                yield rid, dict(self._rows[rid])
+            return
+        ordered = self._ordered_units()
+        if ordered is not None:
+            for kind, segment in ordered:
+                if kind == "segment":
+                    yield from segment.iter_rows()
+                else:
+                    for rid in sorted(self._rows):
+                        yield rid, dict(self._rows[rid])
+            return
+        # Rid ranges interleave (e.g. an undo re-inserted a low rid after
+        # compaction): k-way merge keeps global rid order.
+        iters = [s.iter_rows() for s in self._segments if s.count]
+        iters.append((rid, dict(self._rows[rid])) for rid in sorted(self._rows))
+        yield from heapq.merge(*iters, key=lambda kv: kv[0])
+
+    def _ordered_units(self) -> list[tuple[str, Any]] | None:
+        """Units (segments + tail) whose concatenation is global rid order,
+        or None when the rid ranges interleave."""
+        units: list[tuple[str, Any]] = [
+            ("segment", s) for s in self._segments if s.count]
+        ranges = [(s.min_rid, s.max_rid) for _, s in units]
+        if self._rows:
+            units.append(("rows", None))
+            ranges.append((min(self._rows), max(self._rows)))
+        order = sorted(range(len(units)), key=lambda i: ranges[i][0])
+        prev_max: int | None = None
+        for i in order:
+            lo, hi = ranges[i]
+            if prev_max is not None and lo <= prev_max:
+                return None
+            prev_max = hi
+        return [units[i] for i in order]
+
+    def scan_units(self) -> list[tuple[str, Any]]:
+        """The scan split into vectorizable units, in global rid order.
+
+        Returns ``("segment", Segment)`` and ``("rows", Iterator[Row])``
+        entries whose concatenation enumerates the table in rid order.
+        When rid ranges interleave this collapses to one rows unit (the
+        merged scan) — the executor then falls back to row-at-a-time,
+        which keeps e.g. float SUM accumulation order identical to the
+        naive interpreter.
+        """
+        if self._segments:
+            ordered = self._ordered_units()
+            if ordered is not None:
+                return [
+                    (kind, segment) if kind == "segment"
+                    else ("rows", self._tail_rows())
+                    for kind, segment in ordered
+                ]
+            return [("rows", self.scan())]
+        return [("rows", self._tail_rows())] if self._rows else []
+
+    def _tail_rows(self) -> Iterator[Row]:
         for rid in sorted(self._rows):
             yield Row(rid, dict(self._rows[rid]))
 
@@ -190,4 +385,7 @@ class HeapTable:
                 yield row
 
     def rids(self) -> list[int]:
-        return sorted(self._rows)
+        all_rids = list(self._rows)
+        for segment in self._segments:
+            all_rids.extend(segment.rids)
+        return sorted(all_rids)

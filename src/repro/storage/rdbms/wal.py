@@ -9,6 +9,9 @@ a transaction id, and a type:
 * ``insert_many`` — one record for a whole batch of inserted rows (the
   bulk-load fast path: rids + values for every row in the batch),
 * ``create_table`` / ``alter_schema`` — DDL,
+* ``compact`` — a columnar freeze of a table's committed tail rows
+  (txn 0, DDL-style: replay re-runs the deterministic freeze at the same
+  log position, reproducing the segment layout),
 * ``checkpoint`` — marker written after a consistent snapshot of all tables
   has been dumped to the checkpoint file.
 

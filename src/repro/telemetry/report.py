@@ -24,6 +24,7 @@ LAYER_BY_PREFIX = {
     "mapreduce": "cluster",
     "rdbms": "storage",
     "planner": "storage",
+    "segments": "storage",
 }
 
 
@@ -138,6 +139,18 @@ def render_report(summary: dict[str, Any],
                 f"invalidations="
                 f"{all_counters.get('planner.cache.invalidations', 0.0):.0f} "
                 f"({100.0 * query_hits / query_lookups:.1f}% hit rate)",
+            ]
+        seg_scanned = all_counters.get("segments.scanned", 0.0)
+        seg_skipped = all_counters.get("segments.skipped", 0.0)
+        if seg_scanned or seg_skipped:
+            visited = seg_scanned + seg_skipped
+            lines += [
+                "",
+                f"columnar segments: scanned={seg_scanned:.0f} "
+                f"skipped={seg_skipped:.0f} "
+                f"({100.0 * seg_skipped / visited:.1f}% zone-map skip rate) "
+                f"frozen_rows="
+                f"{all_counters.get('segments.rows_frozen', 0.0):.0f}",
             ]
         lines += ["", "metrics (counters):"]
         for name, value in counters[:max_metrics]:

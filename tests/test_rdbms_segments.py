@@ -1,0 +1,404 @@
+"""Columnar segments: compaction, melt-on-write, vectorized execution,
+zone-map skipping, WAL/checkpoint recovery, and the reopen regression."""
+
+import json
+
+import pytest
+
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.segments import Segment
+from repro.storage.rdbms.sql import SqlError, execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.telemetry import metrics
+
+
+def _schema():
+    return TableSchema(
+        "t",
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("v", ColumnType.INT),
+         Column("f", ColumnType.FLOAT),
+         Column("s", ColumnType.TEXT),
+         Column("b", ColumnType.BOOL)),
+        primary_key="id",
+    )
+
+
+def _row(i):
+    return {
+        "id": i,
+        "v": (i % 37) if i % 11 else None,
+        "f": i * 0.25,
+        "s": f"g{i % 5}" if i % 7 else None,
+        "b": i % 2 == 0,
+    }
+
+
+def _load(db, n=300):
+    db.create_table(_schema())
+
+    def insert(txn):
+        for i in range(n):
+            txn.insert("t", _row(i))
+
+    db.run(insert)
+
+
+def _rows(db, use_planner=True):
+    return execute_sql(db, "SELECT * FROM t ORDER BY id",
+                       use_planner=use_planner)
+
+
+# ------------------------------------------------------------- compaction
+
+
+def test_compact_freezes_tail_and_scan_is_identical():
+    db = Database()
+    _load(db)
+    before = _rows(db)
+    summary = db.compact("t")
+    assert summary["rows_frozen"] == 300
+    assert summary["segments_created"] >= 1
+    heap = db._table("t")
+    assert heap.tail_size == 0
+    assert len(heap) == 300
+    after = _rows(db)
+    assert json.dumps(before, sort_keys=True) == json.dumps(after,
+                                                            sort_keys=True)
+
+
+def test_compact_is_idempotent_and_chunked():
+    db = Database()
+    _load(db, 100)
+    created, frozen, _ = db._table("t").compact(target_rows=30)
+    assert (created, frozen) == (4, 100)  # 30+30+30+10
+    assert db.compact("t")["rows_frozen"] == 0  # nothing left to freeze
+
+
+def test_alter_table_compact_sql():
+    db = Database()
+    _load(db, 50)
+    out = execute_sql(db, "ALTER TABLE t COMPACT")
+    assert out == [{"compacted": "t", "segments_created": 1,
+                    "rows_frozen": 50}]
+    with pytest.raises(SqlError, match="unknown table"):
+        execute_sql(db, "ALTER TABLE nope COMPACT")
+
+
+def test_insert_after_compact_lands_in_tail_and_scan_merges():
+    db = Database()
+    _load(db, 20)
+    db.compact("t")
+    db.run(lambda txn: txn.insert("t", _row(20)))
+    heap = db._table("t")
+    assert heap.tail_size == 1
+    assert [r["id"] for r in _rows(db)] == list(range(21))
+
+
+# ---------------------------------------------------------- melt-on-write
+
+
+def test_update_of_frozen_row_melts_segment():
+    db = Database()
+    _load(db, 60)
+    db.compact("t")
+    registry = metrics.get_registry()
+    melted_before = registry.get("segments.melted")
+
+    def bump(txn):
+        rid = next(r.rid for r in txn.scan("t") if r.values["id"] == 3)
+        txn.update("t", rid, {"v": 999})
+
+    db.run(bump)
+    assert registry.get("segments.melted") == melted_before + 1
+    assert db._table("t").segment_count() == 0
+    got = execute_sql(db, "SELECT v FROM t WHERE id = 3")
+    assert got == [{"v": 999}]
+
+
+def test_delete_of_frozen_row_melts_and_preserves_rest():
+    db = Database()
+    _load(db, 40)
+    db.compact("t")
+
+    def drop(txn):
+        rid = next(r.rid for r in txn.scan("t") if r.values["id"] == 10)
+        txn.delete("t", rid)
+
+    db.run(drop)
+    ids = [r["id"] for r in _rows(db)]
+    assert ids == [i for i in range(40) if i != 10]
+
+
+def test_abort_after_melt_restores_values():
+    db = Database()
+    _load(db, 30)
+    db.compact("t")
+    before = _rows(db)
+    txn = db.begin()
+    rid = next(r.rid for r in txn.scan("t") if r.values["id"] == 5)
+    txn.update("t", rid, {"v": -1})
+    txn.abort()
+    assert _rows(db) == before
+
+
+# ------------------------------------------------------ vectorized parity
+
+_PARITY_QUERIES = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(v) FROM t",
+    "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t",
+    "SELECT SUM(f), AVG(f), MIN(f), MAX(f) FROM t",
+    "SELECT MIN(s), MAX(s), COUNT(s) FROM t",
+    "SELECT SUM(b), COUNT(b) FROM t",
+    "SELECT s, COUNT(*), SUM(v) FROM t GROUP BY s",
+    "SELECT b, s, AVG(f) FROM t GROUP BY b, s",
+    "SELECT COUNT(*) FROM t WHERE v > 10",
+    "SELECT SUM(f) FROM t WHERE id >= 100 AND id < 200",
+    "SELECT s, MAX(id) FROM t WHERE s != 'g2' GROUP BY s",
+    "SELECT COUNT(*) FROM t WHERE s IN ('g1', 'g3')",
+    "SELECT COUNT(*) FROM t WHERE s LIKE 'g%'",
+    "SELECT COUNT(*) FROM t WHERE v IS NULL",
+    "SELECT COUNT(*) FROM t WHERE v IS NOT NULL AND b = TRUE",
+    "SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s DESC LIMIT 2",
+    "SELECT MIN(v) FROM t WHERE id > 9000",  # empty result group
+]
+
+
+def test_vectorized_aggregates_match_naive_oracle():
+    db = Database()
+    _load(db)
+    db._table("t").compact(target_rows=64)  # several segments
+    for sql in _PARITY_QUERIES:
+        fast = execute_sql(db, sql, use_planner=True)
+        slow = execute_sql(db, sql, use_planner=False)
+        assert json.dumps(fast, sort_keys=True) == \
+            json.dumps(slow, sort_keys=True), sql
+
+
+def test_parity_with_segments_plus_tail():
+    db = Database()
+    _load(db, 150)
+    db.compact("t")
+    db.run(lambda txn: [txn.insert("t", _row(i)) for i in range(150, 200)])
+    for sql in _PARITY_QUERIES:
+        fast = execute_sql(db, sql, use_planner=True)
+        slow = execute_sql(db, sql, use_planner=False)
+        assert json.dumps(fast, sort_keys=True) == \
+            json.dumps(slow, sort_keys=True), sql
+
+
+def test_sum_type_error_parity_on_text_column():
+    db = Database()
+    _load(db, 20)
+    db.compact("t")
+    with pytest.raises(TypeError):
+        execute_sql(db, "SELECT SUM(s) FROM t", use_planner=False)
+    with pytest.raises(TypeError):
+        execute_sql(db, "SELECT SUM(s) FROM t", use_planner=True)
+
+
+def test_vectorized_agg_counter_and_explain():
+    db = Database()
+    _load(db, 50)
+    db.compact("t")
+    registry = metrics.get_registry()
+    before = registry.get("planner.plans.vectorized_agg")
+    execute_sql(db, "SELECT s, COUNT(*) FROM t GROUP BY s")
+    assert registry.get("planner.plans.vectorized_agg") == before + 1
+    lines = [r["plan"].split("  [")[0] for r in execute_sql(
+        db, "EXPLAIN SELECT s, COUNT(*) FROM t GROUP BY s")]
+    assert lines == [
+        "VectorizedAggregate(group_by=[s], items=[s, count(*)])",
+        "  SegmentScan(t, pred=TRUE)",
+    ]
+
+
+# -------------------------------------------------------- zone-map skipping
+
+
+def test_zone_maps_skip_out_of_range_segments():
+    db = Database()
+    _load(db, 200)
+    db._table("t").compact(target_rows=50)  # 4 segments: id 0-49, 50-99, ...
+    registry = metrics.get_registry()
+    skipped = registry.get("segments.skipped")
+    scanned = registry.get("segments.scanned")
+    out = execute_sql(db, "SELECT COUNT(*) FROM t WHERE id >= 150")
+    assert out == [{"count(*)": 50}]
+    assert registry.get("segments.skipped") == skipped + 3
+    assert registry.get("segments.scanned") == scanned + 1
+
+
+def test_zone_maps_skip_on_dict_membership():
+    db = Database()
+    _load(db, 100)
+    db._table("t").compact(target_rows=50)
+    registry = metrics.get_registry()
+    skipped = registry.get("segments.skipped")
+    out = execute_sql(db, "SELECT COUNT(*) FROM t WHERE s = 'nowhere'")
+    assert out == [{"count(*)": 0}]
+    assert registry.get("segments.skipped") == skipped + 2
+
+
+# ------------------------------------------------------------- persistence
+
+
+def test_compact_survives_crash_via_wal(tmp_path):
+    db = Database(str(tmp_path))
+    _load(db, 120)
+    before = _rows(db)
+    db.compact("t", target_rows=40)
+    # no checkpoint: reopen replays CREATE + inserts + compact from the WAL
+    db2 = Database(str(tmp_path))
+    assert _rows(db2) == before
+    assert db2._table("t").segment_count() == 3
+    assert db2._table("t").tail_size == 0
+
+
+def test_compact_layout_restored_from_checkpoint(tmp_path):
+    db = Database(str(tmp_path))
+    _load(db, 90)
+    db._table("t").compact(target_rows=30)
+    db.checkpoint()
+    before = _rows(db)
+    db2 = Database(str(tmp_path))
+    heap = db2._table("t")
+    assert heap.segment_count() == 3
+    assert heap.tail_size == 0
+    assert _rows(db2) == before
+
+
+def test_writes_after_compact_replay_into_tail(tmp_path):
+    db = Database(str(tmp_path))
+    _load(db, 60)
+    db.compact("t")
+    db.run(lambda txn: [txn.insert("t", _row(i)) for i in range(60, 80)])
+    before = _rows(db)
+    db2 = Database(str(tmp_path))
+    assert _rows(db2) == before
+    assert db2._table("t").segment_count() >= 1
+    assert db2._table("t").tail_size == 20
+
+
+# --------------------------------------------------- reopen drift regression
+
+
+def test_reopened_zone_maps_match_freshly_built_ones(tmp_path):
+    """Reopen must rebuild zone maps from recovered rows, not trust any
+    stale persisted summary — the PR's drift-fix regression."""
+    db = Database(str(tmp_path))
+    _load(db, 80)
+    db._table("t").compact(target_rows=40)
+    db.checkpoint()
+    fresh = [seg.zone_maps() for seg in db._table("t").segments]
+    db2 = Database(str(tmp_path))
+    reopened = [seg.zone_maps() for seg in db2._table("t").segments]
+    assert reopened == fresh
+    # and the skip machinery still works on the reopened segments
+    registry = metrics.get_registry()
+    skipped = registry.get("segments.skipped")
+    execute_sql(db2, "SELECT COUNT(*) FROM t WHERE id >= 40")
+    assert registry.get("segments.skipped") == skipped + 1
+
+
+def test_bad_segment_layout_invalidates_instead_of_corrupting():
+    db = Database()
+    _load(db, 50)
+    heap = db._table("t")
+    registry = metrics.get_registry()
+    # a layout whose counts don't match the live rows must be rejected
+    assert heap.restore_segments([[0, 49, 49]]) is False
+    assert heap.segment_count() == 0
+    assert len(heap) == 50
+    # engine counts the rejection during recovery
+    before = registry.get("segments.invalidated")
+    registry.inc("segments.invalidated", 0)  # counter exists
+    assert registry.get("segments.invalidated") == before
+
+
+# --------------------------------------------------------- auto-compaction
+
+
+def test_auto_compact_triggers_on_threshold():
+    db = Database()
+    db.auto_compact_rows = 100
+    _load(db, 150)
+    heap = db._table("t")
+    assert heap.segment_count() >= 1
+    assert heap.tail_size == 0
+    # small follow-up write stays in the tail (below threshold)
+    db.run(lambda txn: txn.insert("t", _row(150)))
+    assert heap.tail_size == 1
+
+
+def test_schema_evolution_melts_segments():
+    db = Database()
+    _load(db, 30)
+    db.compact("t")
+    old = db.schema("t")
+    new = TableSchema("t", old.columns + (Column("extra", ColumnType.INT),),
+                      primary_key="id")
+    db.alter_table("t", new, lambda values: {**values, "extra": 7})
+    heap = db._table("t")
+    assert heap.segment_count() == 0
+    assert execute_sql(db, "SELECT COUNT(extra) FROM t") == \
+        [{"count(extra)": 30}]
+
+
+# ----------------------------------------------------- streaming satellite
+
+
+def test_scan_iter_is_lazy():
+    db = Database()
+    _load(db, 10)
+    txn = db.begin()
+    it = txn.scan_iter("t")
+    assert not isinstance(it, list)
+    assert next(it).values["id"] == 0
+    txn.commit()
+
+
+def test_order_by_limit_streams_identically():
+    db = Database()
+    _load(db, 100)
+    db.compact("t")
+    fast = execute_sql(db, "SELECT id, f FROM t ORDER BY f DESC LIMIT 7")
+    slow = execute_sql(db, "SELECT id, f FROM t ORDER BY f DESC LIMIT 7",
+                       use_planner=False)
+    assert fast == slow
+
+
+# --------------------------------------------------------------- encodings
+
+
+def test_dict_overflow_falls_back_to_raw():
+    schema = TableSchema("w", (Column("id", ColumnType.INT, nullable=False),
+                               Column("s", ColumnType.TEXT)),
+                         primary_key="id")
+    items = [(i, {"id": i, "s": f"unique-{i}"}) for i in range(50)]
+    seg = Segment.from_rows(schema, items, dict_max=10)
+    assert seg.columns["s"].encoding == "raw"
+    assert [v for _, vals in seg.iter_rows() for v in [vals["s"]]] == \
+        [f"unique-{i}" for i in range(50)]
+
+
+def test_int64_overflow_falls_back_to_raw():
+    schema = TableSchema("w", (Column("id", ColumnType.INT, nullable=False),
+                               Column("big", ColumnType.INT)),
+                         primary_key="id")
+    huge = 2 ** 70
+    items = [(0, {"id": 0, "big": huge}), (1, {"id": 1, "big": None})]
+    seg = Segment.from_rows(schema, items)
+    assert seg.columns["big"].encoding == "raw"
+    assert seg.columns["big"].decoded() == [huge, None]
+
+
+def test_nan_floats_disable_zone_bounds():
+    schema = TableSchema("w", (Column("id", ColumnType.INT, nullable=False),
+                               Column("f", ColumnType.FLOAT)),
+                         primary_key="id")
+    items = [(0, {"id": 0, "f": float("nan")}), (1, {"id": 1, "f": 2.0})]
+    seg = Segment.from_rows(schema, items)
+    col = seg.columns["f"]
+    assert col.min_value is None and col.max_value is None
