@@ -1,0 +1,375 @@
+"""E21 — observability: EXPLAIN ANALYZE accuracy, overhead, slowlog, feedback.
+
+The observability claim of the PR: per-operator profiling, the
+slow-query log, and cardinality feedback are *free when off* and cheap
+when on — and the numbers they report are exact, not approximations of
+row flow.
+
+Checked invariants:
+  * EXPLAIN ANALYZE actual row counts match the naive-interpreter oracle
+    exactly on the E19 query mix (both the annotated top operator and the
+    Execution summary line);
+  * running the mix with the slow-query log attached (threshold high
+    enough that nothing captures) costs < 2% over running it with
+    observability off entirely (min-of-N wall-clock);
+  * EXPLAIN ANALYZE (full per-operator instrumentation) costs < 15%
+    over the plain planned execution of the same statements;
+  * with the threshold at 0 the slow-query log captures 100% of issued
+    statements; with it effectively infinite it captures none;
+  * a deliberately stale-stats misestimation (> 4x q-error) produces a
+    feedback entry, triggers a targeted re-ANALYZE of the offending
+    column, and the re-planned estimate lands within 2x of the actual.
+
+Run standalone (writes ``results/BENCH_e21.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_e21_observability.py
+    PYTHONPATH=src python benchmarks/bench_e21_observability.py --smoke
+
+or via pytest: ``pytest benchmarks/bench_e21_observability.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import re
+import sys
+import time
+
+from _tables import write_table
+
+from bench_e19_query_serving import SCORE_MAX, build_db, workloads
+from repro.storage.rdbms.qcache import QueryResultCache
+from repro.storage.rdbms.sql import execute_sql
+from repro.telemetry.feedback import q_error
+from repro.telemetry.slowlog import SlowQueryLog
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_e21.json")
+
+OFF_OVERHEAD_GATE = 0.02     # slowlog attached, nothing capturing
+ANALYZE_OVERHEAD_GATE = 0.15  # full per-operator instrumentation
+FEEDBACK_RATIO_GATE = 4.0    # misestimate that must trigger feedback
+CORRECTED_WITHIN = 2.0       # post-feedback q-error bar
+
+_ACTUAL_ROWS = re.compile(r"actual rows=(\d+)")
+_EXECUTION = re.compile(r"^Execution: (\d+) rows")
+
+
+def bench_mix(num_items: int) -> list[str]:
+    """The E19 query mix plus an aggregate (stage-profile coverage)."""
+    return [w["sql"] for w in workloads(num_items)] + [
+        "SELECT category, COUNT(*) AS n, SUM(value) AS total FROM items "
+        f"WHERE score < {SCORE_MAX // 4} GROUP BY category",
+    ]
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ----------------------------------------------------- ANALYZE accuracy
+
+
+def check_analyze_accuracy(db, mix: list[str]) -> list[dict]:
+    """EXPLAIN ANALYZE actuals vs the naive interpreter, per query."""
+    out = []
+    for sql in mix:
+        oracle = execute_sql(db, sql, use_planner=False)
+        plan_rows = execute_sql(db, f"EXPLAIN ANALYZE {sql}")
+        lines = [r["plan"] for r in plan_rows]
+        top_actual = None
+        for line in lines:
+            m = _ACTUAL_ROWS.search(line)
+            if m:
+                top_actual = int(m.group(1))
+                break
+        summary = None
+        for line in lines:
+            m = _EXECUTION.match(line)
+            if m:
+                summary = int(m.group(1))
+        assert top_actual is not None, f"no actuals in plan for: {sql}"
+        assert summary is not None, f"no Execution line for: {sql}"
+        assert top_actual == len(oracle), (
+            f"top operator reported {top_actual} rows, oracle returned "
+            f"{len(oracle)} for: {sql}"
+        )
+        assert summary == len(oracle), (
+            f"Execution line reported {summary} rows, oracle returned "
+            f"{len(oracle)} for: {sql}"
+        )
+        out.append({"sql": sql, "rows": len(oracle),
+                    "plan": "\n".join(lines)})
+    return out
+
+
+# ------------------------------------------------------------- overhead
+
+
+def bench_overhead(db, mix: list[str], repeats: int) -> dict:
+    """Observability-off vs slowlog-attached vs EXPLAIN ANALYZE.
+
+    Per-(variant, query) *floors* — the min over interleaved rounds with
+    GC paused — are the comparison basis: a query's best-case time is a
+    stable property of the code path, where whole-mix wall clocks on a
+    shared machine jitter by more than the gates under test.
+    """
+    plain_cache = QueryResultCache(db)
+    watched_cache = QueryResultCache(
+        db, slowlog=SlowQueryLog(threshold_seconds=1e9))
+
+    def clear_caches():
+        plain_cache.clear()   # measure execution, not cache hits
+        watched_cache.clear()
+
+    variants = {
+        "off": lambda sql: plain_cache.execute(sql),
+        "watched": lambda sql: watched_cache.execute(sql),
+        "plain": lambda sql: execute_sql(db, sql),
+        "analyze": lambda sql: execute_sql(db, f"EXPLAIN ANALYZE {sql}"),
+    }
+    floors = {name: [float("inf")] * len(mix) for name in variants}
+    # one untimed warm-up pass per variant
+    for fn in variants.values():
+        for sql in mix:
+            clear_caches()
+            fn(sql)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for i, sql in enumerate(mix):
+                for name, fn in variants.items():
+                    clear_caches()
+                    started = time.perf_counter()
+                    fn(sql)
+                    elapsed = time.perf_counter() - started
+                    if elapsed < floors[name][i]:
+                        floors[name][i] = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    off_s = sum(floors["off"])
+    watched_s = sum(floors["watched"])
+    plain_s = sum(floors["plain"])
+    analyze_s = sum(floors["analyze"])
+    return {
+        "off_seconds": off_s,
+        "watched_seconds": watched_s,
+        "watched_overhead": (watched_s - off_s) / off_s if off_s else 0.0,
+        "plain_seconds": plain_s,
+        "analyze_seconds": analyze_s,
+        "analyze_overhead": (analyze_s - plain_s) / plain_s
+        if plain_s else 0.0,
+    }
+
+
+# -------------------------------------------------------------- slowlog
+
+
+def check_slowlog(db, mix: list[str]) -> dict:
+    """Threshold 0 captures everything; effectively-inf captures nothing."""
+    capture_all = SlowQueryLog(threshold_seconds=0.0, annotate=False)
+    capture_none = SlowQueryLog(threshold_seconds=1e9, annotate=False)
+    all_cache = QueryResultCache(db, slowlog=capture_all)
+    none_cache = QueryResultCache(db, slowlog=capture_none)
+    for sql in mix:
+        all_cache.execute(sql)
+        none_cache.execute(sql)
+    captured = len(capture_all.entries())
+    missed = len(capture_none.entries())
+    assert captured == len(mix), (
+        f"slow-query log captured {captured} of {len(mix)} statements "
+        f"at threshold 0"
+    )
+    assert missed == 0, (
+        f"slow-query log captured {missed} statements below threshold"
+    )
+    # One annotated capture: the entry must carry an ANALYZE plan.
+    annotated = SlowQueryLog(threshold_seconds=0.0)
+    annotated.observe(db, mix[0], seconds=1.0, rows=0)
+    entry = annotated.entries()[-1]
+    assert "plan" in entry and any(
+        "actual rows=" in line for line in entry["plan"]
+    ), "annotated slowlog entry is missing its ANALYZE plan"
+    return {"issued": len(mix), "captured_at_zero": captured,
+            "captured_below_threshold": missed, "annotated": True}
+
+
+# ------------------------------------------------------------- feedback
+
+
+def check_feedback() -> dict:
+    """Stale stats -> misestimate -> targeted re-ANALYZE -> corrected."""
+    from repro.storage.rdbms.engine import Database
+    from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+
+    fdb = Database()
+    fdb.create_table(TableSchema(
+        "events",
+        (Column("event_id", ColumnType.INT, nullable=False),
+         Column("kind", ColumnType.TEXT),
+         Column("val", ColumnType.FLOAT)),
+        primary_key="event_id",
+    ))
+    # Uniform base: 5000 rows over 100 kinds, then ANALYZE...
+    fdb.run(lambda t: t.insert_many("events", [
+        {"event_id": i, "kind": f"k{i % 100}", "val": float(i)}
+        for i in range(5000)
+    ]))
+    stats = fdb.statistics()
+    stats.analyze("events")
+    # ...then a skewed tail small enough (20%) to dodge drift refresh.
+    fdb.run(lambda t: t.insert_many("events", [
+        {"event_id": 5000 + i, "kind": "hot", "val": 1.0}
+        for i in range(1000)
+    ]))
+
+    def hot_estimate() -> float:
+        rows = execute_sql(
+            fdb, "EXPLAIN SELECT COUNT(*) AS n FROM events "
+                 "WHERE kind = 'hot'")
+        for r in rows:
+            m = re.search(r"rows~(\d+)", r["plan"])
+            if m:
+                return float(m.group(1))
+        raise AssertionError("no row estimate in plan")
+
+    est_before = hot_estimate()
+    actual = execute_sql(
+        fdb, "SELECT COUNT(*) AS n FROM events WHERE kind = 'hot'"
+    )[0]["n"]
+    ratio_before = q_error(est_before, actual)
+    assert ratio_before > FEEDBACK_RATIO_GATE, (
+        f"scenario failed to misestimate: q-error {ratio_before:.1f} "
+        f"<= {FEEDBACK_RATIO_GATE}"
+    )
+    entries = [e.as_dict() for e in stats.feedback.entries()]
+    assert any(e["column"] == "kind" and e["misestimates"] >= 1
+               for e in entries), "no feedback entry recorded"
+    est_after = hot_estimate()  # stats() saw the pending column, re-analyzed
+    ratio_after = q_error(est_after, actual)
+    assert ratio_after <= CORRECTED_WITHIN, (
+        f"estimate still off {ratio_after:.1f}x after targeted "
+        f"re-ANALYZE (was {ratio_before:.1f}x)"
+    )
+    return {
+        "actual_rows": actual,
+        "estimate_before": est_before,
+        "estimate_after": est_after,
+        "q_error_before": ratio_before,
+        "q_error_after": ratio_after,
+        "feedback_entries": entries,
+    }
+
+
+# ------------------------------------------------------------------ run
+
+
+def run_bench(num_items: int = 20_000, repeats: int = 5,
+              smoke: bool = False) -> dict:
+    db = build_db(num_items)
+    mix = bench_mix(num_items)
+
+    accuracy = check_analyze_accuracy(db, mix)
+    overhead = bench_overhead(db, mix, repeats)
+    slowlog = check_slowlog(db, mix)
+    feedback = check_feedback()
+
+    write_table(
+        "e21_observability",
+        f"E21: observability overhead ({num_items} items, "
+        f"min of {repeats})",
+        ["variant", "seconds", "overhead"],
+        [["observability off", overhead["off_seconds"], "-"],
+         ["slowlog attached", overhead["watched_seconds"],
+          f"{100 * overhead['watched_overhead']:.2f}%"],
+         ["plain planned", overhead["plain_seconds"], "-"],
+         ["EXPLAIN ANALYZE", overhead["analyze_seconds"],
+          f"{100 * overhead['analyze_overhead']:.2f}%"]],
+    )
+
+    payload = {
+        "experiment": "e21_observability",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "num_items": num_items,
+        "accuracy": [{"sql": a["sql"], "rows": a["rows"]}
+                     for a in accuracy],
+        "overhead": overhead,
+        "slowlog": slowlog,
+        "feedback": {k: v for k, v in feedback.items()
+                     if k != "feedback_entries"},
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(JSON_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"\nwrote {JSON_PATH}")
+
+    if not smoke:
+        assert overhead["watched_overhead"] < OFF_OVERHEAD_GATE, (
+            f"slow-query log adds "
+            f"{100 * overhead['watched_overhead']:.2f}% with nothing "
+            f"capturing; the bar is {100 * OFF_OVERHEAD_GATE:.0f}%"
+        )
+        assert overhead["analyze_overhead"] < ANALYZE_OVERHEAD_GATE, (
+            f"EXPLAIN ANALYZE adds "
+            f"{100 * overhead['analyze_overhead']:.2f}%; the bar is "
+            f"{100 * ANALYZE_OVERHEAD_GATE:.0f}%"
+        )
+    return payload
+
+
+# --------------------------------------------------------------- pytest
+
+
+def test_e21_smoke():
+    """Small-scale E21: accuracy/slowlog/feedback invariants, no gates."""
+    payload = run_bench(num_items=2000, repeats=1, smoke=True)
+    assert payload["slowlog"]["captured_at_zero"] == \
+        payload["slowlog"]["issued"]
+    assert payload["slowlog"]["captured_below_threshold"] == 0
+    assert payload["feedback"]["q_error_before"] > FEEDBACK_RATIO_GATE
+    assert payload["feedback"]["q_error_after"] <= CORRECTED_WITHIN
+
+
+# ----------------------------------------------------------------- main
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=20_000,
+                        help="rows in the items table")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats (min is reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload, no timing assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.items = min(args.items, 2000)
+        args.repeats = 1
+    payload = run_bench(num_items=args.items, repeats=args.repeats,
+                        smoke=args.smoke)
+    o = payload["overhead"]
+    print(f"slowlog attached (nothing capturing): "
+          f"{100 * o['watched_overhead']:+.2f}%")
+    print(f"EXPLAIN ANALYZE instrumentation: "
+          f"{100 * o['analyze_overhead']:+.2f}%")
+    f = payload["feedback"]
+    print(f"feedback: estimate {f['estimate_before']:.0f} -> "
+          f"{f['estimate_after']:.0f} (actual {f['actual_rows']}, "
+          f"q-error {f['q_error_before']:.1f} -> "
+          f"{f['q_error_after']:.1f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

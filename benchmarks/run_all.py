@@ -1,4 +1,4 @@
-"""One-shot gate: smoke-run E15, run the E16–E20 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E21 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
@@ -17,11 +17,16 @@ row-identical to naive), runs the full columnar-scan bench (E20: fails
 unless the vectorized segment executor beats naive row-at-a-time by
 >= 10x on full-scan aggregates at 1M rows, zone maps prune most segments
 on the trailing-window query, every query is byte-identical to naive,
-and compaction survives a simulated crash), and then confirms the whole
-repo is still green::
+and compaction survives a simulated crash), runs the full observability
+bench (E21: fails unless EXPLAIN ANALYZE actuals match the naive oracle
+exactly, the slow-query log captures 100% above / 0% below threshold,
+an attached-but-idle slow-query log costs < 2%, full EXPLAIN ANALYZE
+instrumentation costs < 15%, and a stale-stats misestimate feeds back
+into a targeted re-ANALYZE that corrects the estimate), and then
+confirms the whole repo is still green::
 
     python benchmarks/run_all.py
-    python benchmarks/run_all.py --only E20      # a single step
+    python benchmarks/run_all.py --only E21      # a single step
     python benchmarks/run_all.py --smoke         # tiny workloads, no gates
 
 Exits non-zero if any step fails.
@@ -69,6 +74,8 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
          _bench("bench_e19_query_serving.py", *flag)),
         ("E20", "E20 columnar-scan bench (vectorized speedup + crash gates)",
          _bench("bench_e20_columnar_scan.py", *flag)),
+        ("E21", "E21 observability bench (accuracy + overhead gates)",
+         _bench("bench_e21_observability.py", *flag)),
         ("tests", "tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]
@@ -77,7 +84,7 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", metavar="STEP", default=None,
-                        help="run one step by key: E15..E20 or 'tests'")
+                        help="run one step by key: E15..E21 or 'tests'")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads everywhere, no timing gates")
     args = parser.parse_args(argv)

@@ -14,8 +14,14 @@ Subcommands operate on a workspace directory (created on first use):
 * ``sql "<query>"`` — structured querying over the derived facts;
 * ``search "<keywords>"`` — keyword search over the raw pages;
 * ``suggest "<keywords>"`` — show structured reformulation candidates;
-* ``explain "<select>"`` — the planner's physical plan for a query;
-* ``explain <entity> <attribute>`` — provenance of stored facts.
+* ``explain "<select>"`` — the planner's physical plan for a query
+  (``EXPLAIN ANALYZE SELECT ...`` via ``sql`` adds per-operator actuals);
+* ``explain <entity> <attribute>`` — provenance of stored facts;
+* ``slowlog list|show|clear`` — the workspace's slow-query log;
+* ``top <telemetry.jsonl>`` — periodic operations view (qps, cache hit
+  rates, WAL throughput, lock waits, slow-query tail);
+* ``stats <telemetry.jsonl> [--prom|--json]`` — trace/metrics report,
+  Prometheus text exposition, or the raw merged snapshot.
 
 The ``--builtin`` extractor set registers the generic wiki extractors
 (infobox, tables, links), which cover the common case of wiki-flavoured
@@ -25,8 +31,10 @@ corpora without any code.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import Sequence
 
 from repro import telemetry
@@ -37,8 +45,9 @@ from repro.core.system import FACTS_TABLE, StructureManagementSystem
 from repro.docmodel.corpus import DirectoryCorpus
 from repro.extraction.infobox import InfoboxExtractor
 from repro.extraction.links import LinkExtractor
-from repro.telemetry.report import load_telemetry, render_report, \
-    summarize_trace
+from repro.telemetry.report import load_telemetry, render_prometheus, \
+    render_report, render_top, summarize_trace
+from repro.telemetry.slowlog import SlowQueryLog
 from repro.userlayer.visualize import table
 
 #: Exit code for execution failures (dead backend, exhausted retries, a
@@ -173,12 +182,110 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize a telemetry JSONL file (spans + metrics snapshot)."""
+    """Summarize a telemetry JSONL file (spans + metrics snapshot).
+
+    ``--prom`` renders the merged metrics snapshot as Prometheus text
+    exposition; ``--json`` dumps it raw for scripts.
+    """
     spans, snapshot = load_telemetry(args.telemetry_file)
+    if args.prom:
+        sys.stdout.write(render_prometheus(snapshot))
+        return 0
+    if args.json:
+        print(json.dumps(snapshot or {}, indent=2, sort_keys=True))
+        return 0
     if not spans and snapshot is None:
         print(f"no telemetry records in {args.telemetry_file}")
         return 1
     print(render_report(summarize_trace(spans, top_k=args.top), snapshot))
+    return 0
+
+
+def _workspace_slowlog(workspace: str) -> SlowQueryLog:
+    """A read-only handle on the workspace's slow-query log file."""
+    return SlowQueryLog(path=os.path.join(workspace, "slowlog.jsonl"))
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    """Inspect or clear the workspace's slow-query log."""
+    log = _workspace_slowlog(args.workspace)
+    try:
+        if args.action == "clear":
+            dropped = log.clear()
+            print(f"cleared {dropped} slow-query entr"
+                  f"{'y' if dropped == 1 else 'ies'}")
+            return 0
+        entries = log.entries()
+        if not entries:
+            print("slow-query log is empty")
+            return 0
+        if args.action == "list":
+            print(table([
+                {"#": i, "seconds": f"{e.get('seconds', 0.0):.3f}",
+                 "rows": e.get("rows", 0),
+                 "sql": e.get("sql", "?")[:60]}
+                for i, e in enumerate(entries)
+            ], limit=args.limit))
+            return 0
+        # show: one full entry, annotated plan included
+        index = args.index if args.index is not None else len(entries) - 1
+        if not 0 <= index < len(entries):
+            print(f"no slow-query entry {index} "
+                  f"(log has {len(entries)})", file=sys.stderr)
+            return 2
+        entry = dict(entries[index])
+        plan = entry.pop("plan", None)
+        metrics_delta = entry.pop("metrics_delta", None)
+        for key in ("ts", "sql", "seconds", "rows", "threshold"):
+            if key in entry:
+                print(f"{key:<14} {entry[key]}")
+        versions = entry.get("stats_versions")
+        if versions:
+            print(f"{'stats':<14} " + " ".join(
+                f"{t}=v{v}" for t, v in sorted(versions.items())))
+        if plan:
+            print("plan:")
+            for line in plan:
+                print(f"  {line}")
+        if metrics_delta:
+            print("metrics delta during capture:")
+            for name, value in sorted(metrics_delta.items()):
+                print(f"  {name:<40} {value:.0f}")
+        return 0
+    finally:
+        log.close()
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Periodic operations view over a telemetry JSONL file.
+
+    Each frame re-reads the file's merged metrics snapshot and shows the
+    delta since the previous frame (first frame: cumulative totals).
+    With a workspace slow-query log present, the tail rides along.
+    """
+    previous = None
+    slowlog_path = os.path.join(args.workspace, "slowlog.jsonl")
+    for frame in range(args.count):
+        if frame:
+            time.sleep(args.interval)
+        try:
+            _, snapshot = load_telemetry(args.telemetry_file)
+        except FileNotFoundError:
+            print(f"no telemetry file at {args.telemetry_file}",
+                  file=sys.stderr)
+            return 1
+        snapshot = snapshot or {}
+        slow_entries = None
+        if os.path.exists(slowlog_path):
+            log = SlowQueryLog(path=slowlog_path)
+            slow_entries = log.tail(limit=5)
+            log.close()
+        print(render_top(previous, snapshot,
+                         interval_seconds=args.interval if frame else None,
+                         slow_entries=slow_entries))
+        if frame != args.count - 1:
+            print()
+        previous = snapshot
     return 0
 
 
@@ -341,7 +448,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("telemetry_file")
     p.add_argument("--top", type=int, default=10,
                    help="how many slowest spans to show")
+    p.add_argument("--prom", action="store_true",
+                   help="render the metrics snapshot as Prometheus text "
+                        "exposition instead of the report")
+    p.add_argument("--json", action="store_true",
+                   help="dump the merged metrics snapshot as JSON")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("slowlog",
+                       help="inspect or clear the slow-query log")
+    p.add_argument("action", choices=["list", "show", "clear"])
+    p.add_argument("index", nargs="?", type=int, default=None,
+                   help="entry number for 'show' (default: latest)")
+    p.add_argument("--limit", type=int, default=50)
+    p.set_defaults(fn=cmd_slowlog)
+
+    p = sub.add_parser("top",
+                       help="periodic operations view over telemetry")
+    p.add_argument("telemetry_file")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between frames (default 2)")
+    p.add_argument("--count", type=int, default=1,
+                   help="frames to print before exiting (default 1)")
+    p.set_defaults(fn=cmd_top)
 
     return parser
 

@@ -30,7 +30,8 @@ from repro.storage.rdbms.types import (
     SchemaError,
     TableSchema,
 )
-from repro.telemetry import metrics
+from repro.telemetry import current_session, metrics
+from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.tracing import get_tracer
 from repro.uncertainty.provenance import ProvenanceGraph
 from repro.userlayer.accounts import UserManager
@@ -122,6 +123,11 @@ class StructureManagementSystem:
         auto_compact_rows: freeze a table's committed rows into columnar
             segments whenever its row-store tail exceeds this many rows
             (None disables auto-compaction; ``compact()`` still works).
+        slow_query_seconds: statements taking at least this long (wall
+            time, cache hits included) are captured in the slow-query
+            log — persisted to ``<workspace>/slowlog.jsonl`` when a
+            workspace is configured, in memory otherwise.  None disables
+            slow-query logging entirely (no timing on the query path).
     """
 
     workspace: str | None = None
@@ -134,6 +140,7 @@ class StructureManagementSystem:
     retry: RetryPolicy | None = None
     fail_fast: bool = False
     auto_compact_rows: int | None = None
+    slow_query_seconds: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.workspace is not None:
@@ -154,8 +161,18 @@ class StructureManagementSystem:
         # Serving-path result cache: SELECTs repeated between commits are
         # answered from memory; any commit or schema change to a table a
         # cached statement reads evicts it (same listener stream as the
-        # planner's statistics).
-        self.query_cache = QueryResultCache(self.db)
+        # planner's statistics).  The cache is also the observability
+        # funnel: the slow-query log times every statement flowing
+        # through it (None disables timing entirely).
+        if self.slow_query_seconds is not None:
+            self.slowlog: SlowQueryLog | None = SlowQueryLog(
+                path=os.path.join(self.workspace, "slowlog.jsonl")
+                if self.workspace is not None else None,
+                threshold_seconds=self.slow_query_seconds,
+            )
+        else:
+            self.slowlog = None
+        self.query_cache = QueryResultCache(self.db, slowlog=self.slowlog)
         # Standing queries fire on *any* committed write to the facts
         # table — including direct db.run(insert_many)/run_batch writes
         # that never pass through generate()/contribute().
@@ -457,6 +474,16 @@ class StructureManagementSystem:
         rows = execute_sql(self.db, sql)
         return "\n".join(r["plan"] for r in rows)
 
+    def slow_queries(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Captured slow-query entries, oldest first.
+
+        Empty when slow-query logging is disabled
+        (``slow_query_seconds=None``) or nothing crossed the threshold.
+        """
+        if self.slowlog is None:
+            return []
+        return self.slowlog.entries(limit=limit)
+
     def keyword(self, query: str, k: int = 5):
         """Keyword search over pages (ordinary-user starting point)."""
         return self.search.search(query, k=k)
@@ -626,6 +653,11 @@ class StructureManagementSystem:
             self._backend.close()
         if self._cache is not None:
             self._cache.close()
+        if self.slowlog is not None:
+            self.slowlog.close()
+        session = current_session()
+        if session is not None:
+            session.flush()
         if self.storage is not None:
             self.provenance.save(self._provenance_path())
             self.storage.close()

@@ -35,11 +35,13 @@ from __future__ import annotations
 import math
 import operator
 from operator import itemgetter
-from typing import Any, Iterable, Iterator, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.storage.rdbms.engine import Database, Transaction
 from repro.storage.rdbms.index import HashIndex, SortedIndex
 from repro.storage.rdbms.segments import ColumnSegment, Segment
+from repro.storage.rdbms.stats import MIN_SELECTIVITY
 from repro.storage.rdbms.sql import (
     Aggregate,
     BoolOp,
@@ -355,6 +357,126 @@ def render_predicate(node: Any) -> str:
     return repr(node)
 
 
+# ------------------------------------------------------ operator profiling
+
+
+class OperatorProfile:
+    """Per-operator actuals collected under ``EXPLAIN ANALYZE``.
+
+    Blocking operators (index probes, joins, aggregates) record one
+    exact ``perf_counter`` pair around ``execute``; streaming operators
+    (scans, filters) count every row exactly but time only every 16th
+    ``next()`` and scale, so ANALYZE stays cheap on million-row flows.
+    Times are inclusive of children, like the estimates they sit next to.
+    """
+
+    __slots__ = ("rows", "loops", "seconds", "sample_seconds", "sample_rows",
+                 "segments_scanned", "segments_skipped", "index_probes")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.loops = 0
+        self.seconds = 0.0
+        self.sample_seconds = 0.0
+        self.sample_rows = 0
+        self.segments_scanned = 0
+        self.segments_skipped = 0
+        self.index_probes = 0
+
+    def actual_seconds(self) -> float:
+        """Wall time: exact when timed whole, scaled when sampled."""
+        if self.seconds:
+            return self.seconds
+        if self.sample_rows:
+            return self.sample_seconds * (self.rows / self.sample_rows)
+        return self.sample_seconds
+
+    def describe(self) -> str:
+        if self.loops == 0 and self.rows == 0 and self.seconds == 0.0:
+            return "never executed"
+        parts = [f"actual rows={self.rows}", f"loops={self.loops}",
+                 f"time={self.actual_seconds() * 1000.0:.2f}ms"]
+        if self.index_probes:
+            parts.append(f"probes={self.index_probes}")
+        if self.segments_scanned or self.segments_skipped:
+            parts.append(f"segments={self.segments_scanned} "
+                         f"pruned={self.segments_skipped}")
+        return " ".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rows": self.rows,
+            "loops": self.loops,
+            "seconds": self.actual_seconds(),
+            "segments_scanned": self.segments_scanned,
+            "segments_skipped": self.segments_skipped,
+            "index_probes": self.index_probes,
+        }
+
+
+def _profiled_rows(inner: Callable[..., Iterator[dict[str, Any]]],
+                   prof: OperatorProfile) -> Callable[..., Iterator[dict[str, Any]]]:
+    """Wrap a streaming ``rows`` method: exact row counts, sampled timing."""
+
+    def rows(txn: Transaction) -> Iterator[dict[str, Any]]:
+        prof.loops += 1
+        it = iter(inner(txn))
+        timer = perf_counter
+        while True:
+            if prof.sample_rows * 16 <= prof.rows:
+                t0 = timer()
+                try:
+                    row = next(it)
+                except StopIteration:
+                    prof.sample_seconds += timer() - t0
+                    return
+                prof.sample_seconds += timer() - t0
+                prof.sample_rows += 1
+            else:
+                try:
+                    row = next(it)
+                except StopIteration:
+                    return
+            prof.rows += 1
+            yield row
+
+    return rows
+
+
+def _profiled_execute(inner: Callable[..., list],
+                      prof: OperatorProfile) -> Callable[..., list]:
+    """Wrap a blocking ``execute`` method with one exact timer pair."""
+
+    def execute(txn: Transaction) -> list:
+        prof.loops += 1
+        t0 = perf_counter()
+        out = inner(txn)
+        prof.seconds += perf_counter() - t0
+        prof.rows += len(out)
+        return out
+
+    return execute
+
+
+def attach_profiles(node: "PlanNode") -> None:
+    """Instrument a plan subtree in place for EXPLAIN ANALYZE.
+
+    Profiling wrappers are installed as *instance* attributes shadowing
+    the class methods, so un-analyzed plans carry zero instrumentation —
+    not even an if-check — on the hot path.  Streaming operators wrap
+    ``rows`` (their ``execute`` delegates to it); blocking operators
+    wrap ``execute`` (their default ``rows`` delegates back).
+    """
+    prof = OperatorProfile()
+    node.profile = prof
+    if isinstance(node, (FullScan, SegmentScan, Filter)):
+        node.rows = _profiled_rows(node.rows, prof)  # type: ignore[method-assign]
+    else:
+        node.execute = _profiled_execute(node.execute, prof)  # type: ignore[method-assign]
+    for child in node.children():
+        attach_profiles(child)
+
+
 # --------------------------------------------------------- physical plan
 
 
@@ -365,6 +487,8 @@ class PlanNode:
 
     est_rows: float = 0.0
     cost: float = 0.0
+    #: set per-instance by :func:`attach_profiles` under EXPLAIN ANALYZE
+    profile: OperatorProfile | None = None
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         raise NotImplementedError
@@ -382,11 +506,11 @@ class PlanNode:
         raise NotImplementedError
 
     def render(self, indent: int = 0) -> list[str]:
-        lines = [
-            "  " * indent
-            + f"{self.label()}  [rows~{max(round(self.est_rows), 0)} "
-            + f"cost~{max(round(self.cost), 0)}]"
-        ]
+        text = (f"{self.label()}  [rows~{max(round(self.est_rows), 0)} "
+                f"cost~{max(round(self.cost), 0)}]")
+        if self.profile is not None:
+            text += f"  ({self.profile.describe()})"
+        lines = ["  " * indent + text]
         for child in self.children():
             lines.extend(child.render(indent + 1))
         return lines
@@ -509,10 +633,15 @@ class SegmentScan(PlanNode):
                       registry) -> Iterator[dict[str, Any]]:
         if segment.count == 0:
             return
+        prof = self.profile
         if any(_zone_map_prunes(segment, c) for c in self._vector):
             registry.inc("segments.skipped")
+            if prof is not None:
+                prof.segments_skipped += 1
             return
         registry.inc("segments.scanned")
+        if prof is not None:
+            prof.segments_scanned += 1
         selected = _segment_selection(segment, self._vector)
         if selected is None:  # incomparable operands: naive error surface
             for rid, values in segment.iter_rows():
@@ -691,10 +820,13 @@ class IndexNestedLoopJoin(PlanNode):
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         pairs: list[tuple[tuple[int, int], dict[str, Any]]] = []
         out: list[dict[str, Any]] = []
+        prof = self.profile
         for orow in self.outer.execute(txn):
             key = orow.get(self.outer_col)
             if key is None:
                 continue
+            if prof is not None:
+                prof.index_probes += 1
             for inner in txn.lookup(self.inner_table, self.inner_col, key):
                 irow = _row_dict(inner)
                 if self.inner_filter is not None \
@@ -743,6 +875,9 @@ class VectorizedAggregate:
       ``sorted(groups.items(), ...)`` (dict insertion order breaks ties).
     """
 
+    #: set per-instance by ``SelectPlan.enable_profiling``
+    profile: OperatorProfile | None = None
+
     def __init__(self, stmt: SelectStatement, source: SegmentScan) -> None:
         self.stmt = stmt
         self.source = source
@@ -759,6 +894,7 @@ class VectorizedAggregate:
         state: dict[tuple, list[list[Any]]] = {}
         source = self.source
         registry = metrics.get_registry()
+        prof = self.profile
         for kind, unit in txn.scan_units(source.table):
             if kind == "rows":
                 pred = source._full
@@ -772,8 +908,12 @@ class VectorizedAggregate:
                 continue
             if any(_zone_map_prunes(segment, c) for c in source._vector):
                 registry.inc("segments.skipped")
+                if prof is not None:
+                    prof.segments_skipped += 1
                 continue
             registry.inc("segments.scanned")
+            if prof is not None:
+                prof.segments_scanned += 1
             selected = _segment_selection(segment, source._vector)
             if selected is None:
                 for rid, values in segment.iter_rows():
@@ -1063,6 +1203,26 @@ class SelectPlan:
         self.stmt = stmt
         self.use_topk = use_topk
         self.vector = vector
+        #: non-None only under EXPLAIN ANALYZE: profiles of the pseudo
+        #: stages (``"output"`` = projection/order/limit, ``"Aggregate"``)
+        self.stage_profiles: dict[str, OperatorProfile] | None = None
+
+    def enable_profiling(self) -> "SelectPlan":
+        """Instrument the whole plan for EXPLAIN ANALYZE (in place)."""
+        self.stage_profiles = {}
+        attach_profiles(self.source)
+        if self.vector is not None:
+            prof = OperatorProfile()
+            self.vector.profile = prof
+            self.vector.execute = _profiled_execute(  # type: ignore[method-assign]
+                self.vector.execute, prof)
+        return self
+
+    def stage_profile(self, name: str) -> OperatorProfile | None:
+        """The profile ``sql._select`` fills for a pseudo stage, if any."""
+        if self.stage_profiles is None:
+            return None
+        return self.stage_profiles.setdefault(name, OperatorProfile())
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         return self.source.execute(txn)
@@ -1074,31 +1234,47 @@ class SelectPlan:
         stmt = self.stmt
         lines: list[str] = []
         depth = 0
+        profs = self.stage_profiles or {}
+        # The "output" stage times projection + order/limit together; its
+        # actuals annotate the topmost pseudo stage only.
+        out_prof: OperatorProfile | None = profs.get("output")
 
-        def push(text: str) -> None:
+        def push(text: str, prof: OperatorProfile | None = None) -> None:
             nonlocal depth
+            if prof is not None:
+                text += f"  ({prof.describe()})"
             lines.append("  " * depth + text)
             depth += 1
+
+        def take_output() -> OperatorProfile | None:
+            nonlocal out_prof
+            prof, out_prof = out_prof, None
+            return prof
 
         if self.use_topk:
             direction = "desc" if stmt.order_desc else "asc"
             push(f"TopK(key={stmt.order_by.key()}, {direction}, "
-                 f"k={stmt.limit})")
+                 f"k={stmt.limit})", take_output())
         else:
             if stmt.limit is not None:
-                push(f"Limit({stmt.limit})")
+                push(f"Limit({stmt.limit})", take_output())
             if stmt.order_by is not None:
                 direction = "desc" if stmt.order_desc else "asc"
-                push(f"Sort(key={stmt.order_by.key()}, {direction})")
+                push(f"Sort(key={stmt.order_by.key()}, {direction})",
+                     take_output())
         has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
         if stmt.group_by or has_aggregates:
             keys = ", ".join(g.key() for g in stmt.group_by) or "()"
             items = ", ".join(i.key() for i in stmt.items) or "*"
-            name = "VectorizedAggregate" if self.vector is not None else "Aggregate"
-            push(f"{name}(group_by=[{keys}], items=[{items}])")
+            if self.vector is not None:
+                push(f"VectorizedAggregate(group_by=[{keys}], "
+                     f"items=[{items}])", self.vector.profile)
+            else:
+                push(f"Aggregate(group_by=[{keys}], items=[{items}])",
+                     profs.get("Aggregate"))
         else:
             items = "*" if stmt.star else ", ".join(i.key() for i in stmt.items)
-            push(f"Project({items})")
+            push(f"Project({items})", take_output())
         lines.extend(self.source.render(depth))
         return lines
 
@@ -1133,7 +1309,7 @@ class Planner:
         """Rough selectivity of one conjunct against ``table``."""
         eq = _eq_conjunct(conjunct)
         if eq is not None and eq[1] is not None:
-            return self._stats.eq_selectivity(table, eq[0].name)
+            return self._stats.eq_selectivity(table, eq[0].name, eq[1])
         rng = _range_conjunct(conjunct)
         if rng is not None and rng[2] is not None:
             ref, op, value = rng
@@ -1143,9 +1319,11 @@ class Planner:
             return self._stats.range_selectivity(
                 table, ref.name, value, None, op == ">=", True)
         if isinstance(conjunct, InPredicate) and not conjunct.negated:
-            per_value = self._stats.eq_selectivity(
-                table, conjunct.column.name)
-            return min(per_value * max(len(conjunct.values), 1), 1.0)
+            total = sum(
+                self._stats.eq_selectivity(table, conjunct.column.name, v)
+                for v in conjunct.values
+            )
+            return min(max(total, MIN_SELECTIVITY), 1.0)
         return 0.5
 
     def _filtered_estimate(self, table: str, base_rows: float,
@@ -1198,7 +1376,7 @@ class Planner:
             if index is None:
                 continue
             kind = "sorted" if isinstance(index, SortedIndex) else "hash"
-            selectivity = self._stats.eq_selectivity(table, column)
+            selectivity = self._stats.eq_selectivity(table, column, eq[1])
             est = max(n * selectivity, 0.0)
             choices.append(_AccessChoice(
                 IndexLookup(table, column, eq[1], kind), [conjunct],

@@ -12,12 +12,19 @@ entry unreachable and a listener evicts it eagerly.
 Only SELECTs are cached; every other statement (DML, DDL, EXPLAIN)
 passes straight through to the executor.  Rows are defensively copied in
 both directions, so callers may mutate what they get back.
+
+This is also the observability funnel: every ``system.query`` and
+exploration-session statement flows through :meth:`execute`, so when a
+:class:`~repro.telemetry.slowlog.SlowQueryLog` is attached, one
+``perf_counter`` pair around the statement decides slow-query capture —
+cache hits included (a slow *hit* is an operator signal too).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any
 
 from repro.storage.rdbms.engine import Database
@@ -30,11 +37,15 @@ class QueryResultCache:
     Args:
         db: the database whose commit stream versions the entries.
         capacity: maximum number of cached statements (LRU eviction).
+        slowlog: optional slow-query log observing every statement's
+            wall time; None keeps the pre-observability fast path.
     """
 
-    def __init__(self, db: Database, capacity: int = 128) -> None:
+    def __init__(self, db: Database, capacity: int = 128,
+                 slowlog: Any = None) -> None:
         self._db = db
         self._capacity = capacity
+        self.slowlog = slowlog
         self._lock = threading.Lock()
         # normalized sql -> (tables, {table: version}, rows)
         self._entries: OrderedDict[
@@ -53,6 +64,14 @@ class QueryResultCache:
         Raises:
             SqlError: on parse or execution errors.
         """
+        if self.slowlog is None:
+            return self._execute(sql)
+        t0 = perf_counter()
+        rows = self._execute(sql)
+        self.slowlog.observe(self._db, sql, perf_counter() - t0, len(rows))
+        return rows
+
+    def _execute(self, sql: str) -> list[dict[str, Any]]:
         from repro.storage.rdbms import sql as sqlmod
 
         stmt = sqlmod.parse_sql(sql)

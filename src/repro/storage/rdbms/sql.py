@@ -12,6 +12,9 @@ Supported statements (enough for the paper's exploitation scenarios — the
 * ``UPDATE t SET c = v [, ...] [WHERE <pred>]``
 * ``DELETE FROM t [WHERE <pred>]``
 * ``EXPLAIN <select>`` — returns the chosen physical plan as rows
+* ``EXPLAIN ANALYZE <select>`` — executes the plan with per-operator
+  instrumentation and returns the plan annotated with actuals (rows,
+  loops, wall time, zone-map pruning) plus an execution summary line
 
 Predicates: comparisons (=, !=, <>, <, <=, >, >=), AND/OR/NOT, ``LIKE`` with
 ``%``/``_`` wildcards, ``IS [NOT] NULL``, ``IN (v1, v2, ...)``, parentheses.
@@ -31,6 +34,7 @@ import heapq
 import itertools
 import re
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable
 
 from repro.storage.rdbms.engine import Database, Transaction
@@ -62,7 +66,7 @@ _KEYWORDS = frozenset(
         "not", "like", "is", "null", "in", "insert", "into", "values", "update",
         "set", "delete", "create", "table", "primary", "key", "asc", "desc",
         "join", "on", "count", "sum", "avg", "min", "max", "true", "false",
-        "distinct", "as", "having", "explain", "alter", "compact",
+        "distinct", "as", "having", "explain", "analyze", "alter", "compact",
     }
 )
 
@@ -248,9 +252,12 @@ class CreateTableStatement:
 
 @dataclass
 class ExplainStatement:
-    """An EXPLAIN wrapping a SELECT: plan, don't execute."""
+    """An EXPLAIN wrapping a SELECT: plan, don't execute — unless
+    ``analyze`` is set, in which case the plan runs instrumented and the
+    rendered tree carries per-operator actuals."""
 
     select: SelectStatement
+    analyze: bool = False
 
 
 @dataclass
@@ -342,9 +349,13 @@ class _Parser:
 
     def _parse_explain(self) -> ExplainStatement:
         self._expect_keyword("explain")
+        analyze = False
+        if self._at_keyword("analyze"):
+            self._next()
+            analyze = True
         if not self._at_keyword("select"):
             raise SqlError("EXPLAIN supports SELECT statements only")
-        return ExplainStatement(self._parse_select())
+        return ExplainStatement(self._parse_select(), analyze=analyze)
 
     def _parse_alter(self) -> CompactStatement:
         self._expect_keyword("alter")
@@ -736,6 +747,41 @@ def _operand_value(operand: Any, row: dict[str, Any]) -> Any:
     raise SqlError(f"bad operand {operand!r}")
 
 
+def _feedback_keys(where: Any) -> list[tuple[str, str]]:
+    """(column, predicate shape) pairs for cardinality feedback.
+
+    Flattens the top-level AND; OR/NOT subtrees and column-to-column
+    comparisons get no per-column attribution (re-analyzing one column's
+    histogram could not fix them anyway)."""
+    keys: list[tuple[str, str]] = []
+    stack = [where]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, BoolOp):
+            if node.op == "and":
+                stack.extend(node.operands)
+            continue
+        if isinstance(node, Comparison):
+            if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+                ref = node.left
+            elif isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+                ref = node.right
+            else:
+                continue
+            shape = "eq" if node.op == "=" else (
+                "neq" if node.op == "!=" else "range")
+            keys.append((ref.name, shape))
+        elif isinstance(node, LikePredicate):
+            keys.append((node.column.name, "like"))
+        elif isinstance(node, NullPredicate):
+            keys.append((node.column.name, "null"))
+        elif isinstance(node, InPredicate):
+            keys.append((node.column.name, "in"))
+    return keys
+
+
 def _equality_lookup(node: Any) -> tuple[str, Any] | None:
     """If the predicate is a top-level ``col = literal`` (possibly inside an
     AND), return (column, value) for index-assisted execution."""
@@ -763,6 +809,8 @@ class _Executor:
         if isinstance(stmt, SelectStatement):
             return self._select(stmt)
         if isinstance(stmt, ExplainStatement):
+            if stmt.analyze:
+                return _analyze_rows(self._db, stmt, self._txn)
             return _explain_rows(self._db, stmt)
         if isinstance(stmt, InsertStatement):
             count = 0
@@ -803,6 +851,10 @@ class _Executor:
             conjuncts = _planner.split_conjuncts(where)
             node, _ = _planner.Planner(self._db).plan_access(table, conjuncts)
             candidates = node.execute(self._txn)
+            keys = _feedback_keys(where)
+            if keys:
+                self._db.statistics().record_predicate_feedback(
+                    table, keys, node.est_rows, len(candidates))
             return [row for row in candidates if eval_predicate(where, row)]
         lookup = _equality_lookup(where) if where is not None else None
         if lookup is not None and self._db._find_index(table, lookup[0]) is not None:
@@ -817,7 +869,8 @@ class _Executor:
                 rows.append(row)
         return rows
 
-    def _select(self, stmt: SelectStatement) -> list[dict[str, Any]]:
+    def _select(self, stmt: SelectStatement,
+                plan: Any = None) -> list[dict[str, Any]]:
         has_aggregates = any(isinstance(i.expr, Aggregate) for i in stmt.items)
         aggregate_stage = bool(stmt.group_by) or has_aggregates
         if not aggregate_stage and stmt.having is not None:
@@ -826,29 +879,45 @@ class _Executor:
             from repro.storage.rdbms import planner as _planner
 
             tracer = get_tracer()
-            with tracer.span("rdbms.plan"):
-                plan = _planner.Planner(self._db).plan_select(stmt)
+            if plan is None:
+                with tracer.span("rdbms.plan"):
+                    plan = _planner.Planner(self._db).plan_select(stmt)
             with tracer.span("rdbms.exec") as span:
+                source_count: int | None = None
                 if plan.vector is not None:
                     # Columnar aggregation straight off segment buffers.
                     result = plan.vector.execute(self._txn)
                 elif aggregate_stage:
-                    result = self._aggregate(stmt, plan.execute(self._txn))
+                    src = plan.execute(self._txn)
+                    source_count = len(src)
+                    result = self._run_stage(
+                        plan, "Aggregate", lambda: self._aggregate(stmt, src))
                 elif stmt.star:
-                    result = self._order_and_limit(stmt, (
+                    rows_iter = (
                         {k: v for k, v in r.items() if k != "__rid__"}
-                        for r in plan.rows(self._txn)))
+                        for r in plan.rows(self._txn))
+                    result = self._run_stage(
+                        plan, "output",
+                        lambda: self._order_and_limit(stmt, rows_iter))
                 else:
-                    result = self._order_and_limit(stmt, (
+                    rows_iter = (
                         {item.key(): _resolve(r, item.expr)
                          for item in stmt.items}
-                        for r in plan.rows(self._txn)))
+                        for r in plan.rows(self._txn))
+                    result = self._run_stage(
+                        plan, "output",
+                        lambda: self._order_and_limit(stmt, rows_iter))
                 span.set_attribute("rows", len(result))
             if not aggregate_stage:
+                if source_count is None and stmt.limit is None:
+                    source_count = len(result)
+                self._record_feedback(stmt, plan, source_count)
                 return result
+            self._record_feedback(stmt, plan, source_count)
             if stmt.having is not None:
                 result = [r for r in result if eval_predicate(stmt.having, r)]
-            return self._order_and_limit(stmt, result)
+            return self._run_stage(
+                plan, "output", lambda: self._order_and_limit(stmt, result))
         rows = self._source_rows(stmt)
         rows = [r for r in rows if eval_predicate(stmt.where, r)]
         if aggregate_stage:
@@ -865,6 +934,69 @@ class _Executor:
                 for r in rows
             ]
         return self._order_and_limit(stmt, result)
+
+    @staticmethod
+    def _run_stage(plan, name: str, fn):
+        """Run one pseudo stage (projection/order/aggregate), timing it
+        into the plan's stage profile when EXPLAIN ANALYZE is active."""
+        prof = plan.stage_profile(name)
+        if prof is None:
+            return fn()
+        prof.loops += 1
+        t0 = perf_counter()
+        out = fn()
+        prof.seconds += perf_counter() - t0
+        prof.rows += len(out)
+        return out
+
+    def _record_feedback(self, stmt: SelectStatement, plan,
+                         source_count: int | None) -> None:
+        """Feed estimated-vs-actual source cardinality to the statistics
+        manager.  Single-table plans compare the source root's estimate
+        against the rows it actually produced (exact from the operator
+        profile under ANALYZE, otherwise derived from the result when no
+        LIMIT truncated it); join plans contribute per-access-path
+        observations only when profiled."""
+        if stmt.join_table is not None:
+            if plan.stage_profiles is not None:
+                self._record_operator_feedback(plan.source)
+            return
+        src = plan.source
+        prof = src.profile
+        if prof is not None and prof.loops:
+            if stmt.limit is not None and stmt.order_by is None:
+                return  # bare LIMIT stopped the scan early: truncated actuals
+            source_count = prof.rows
+        if source_count is None or stmt.where is None:
+            return
+        keys = _feedback_keys(stmt.where)
+        if keys:
+            self._db.statistics().record_predicate_feedback(
+                stmt.table, keys, src.est_rows, source_count)
+
+    def _record_operator_feedback(self, node) -> None:
+        """Per-access-path feedback for profiled join subtrees."""
+        from repro.storage.rdbms import planner as _planner
+
+        mgr = self._db.statistics()
+        prof = node.profile
+        if prof is not None and prof.loops:
+            if isinstance(node, _planner.IndexLookup):
+                mgr.record_predicate_feedback(
+                    node.table, [(node.column, "eq")],
+                    node.est_rows, prof.rows)
+            elif isinstance(node, _planner.RangeScan):
+                mgr.record_predicate_feedback(
+                    node.table, [(node.column, "range")],
+                    node.est_rows, prof.rows)
+            elif isinstance(node, _planner.SegmentScan) and node.conjuncts:
+                keys = [key for c in node.conjuncts
+                        for key in _feedback_keys(c)]
+                if keys:
+                    mgr.record_predicate_feedback(
+                        node.table, keys, node.est_rows, prof.rows)
+        for child in node.children():
+            self._record_operator_feedback(child)
 
     def _order_and_limit(self, stmt: SelectStatement,
                          result: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -995,6 +1127,28 @@ def _explain_rows(db: Database, stmt: ExplainStatement) -> list[dict[str, Any]]:
     return [{"plan": line} for line in lines]
 
 
+def _analyze_rows(db: Database, stmt: ExplainStatement,
+                  txn: Transaction) -> list[dict[str, Any]]:
+    """EXPLAIN ANALYZE: run the planned SELECT instrumented, render the
+    plan annotated with per-operator actuals plus a summary line."""
+    from repro.storage.rdbms import planner as _planner
+    from repro.telemetry import metrics as _metrics
+
+    select = stmt.select
+    tracer = get_tracer()
+    with tracer.span("rdbms.plan"):
+        plan = _planner.Planner(db).plan_select(select)
+    plan.enable_profiling()
+    executor = _Executor(db, txn, use_planner=True)
+    t0 = perf_counter()
+    rows = executor._select(select, plan=plan)
+    total = perf_counter() - t0
+    _metrics.get_registry().inc("planner.explain_analyze")
+    lines = plan.render()
+    lines.append(f"Execution: {len(rows)} rows in {total * 1000.0:.2f} ms")
+    return [{"plan": line} for line in lines]
+
+
 def execute_statement(db: Database, stmt, txn: Transaction | None = None,
                       use_planner: bool = True) -> list[dict[str, Any]]:
     """Execute one already-parsed statement (see :func:`execute_sql`)."""
@@ -1012,7 +1166,11 @@ def execute_statement(db: Database, stmt, txn: Transaction | None = None,
             "rows_frozen": summary["rows_frozen"],
         }]
     if isinstance(stmt, ExplainStatement):
-        return _explain_rows(db, stmt)
+        if not stmt.analyze:
+            return _explain_rows(db, stmt)
+        if txn is not None:
+            return _analyze_rows(db, stmt, txn)
+        return db.run(lambda t: _analyze_rows(db, stmt, t))
     if txn is not None:
         return _Executor(db, txn, use_planner).execute(stmt)
     return db.run(lambda t: _Executor(db, t, use_planner).execute(stmt))

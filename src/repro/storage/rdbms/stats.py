@@ -23,6 +23,15 @@ for one :class:`~repro.storage.rdbms.engine.Database`:
   come from columnar-segment zone maps plus a walk of the (small)
   row-store tail.
 
+* **cardinality feedback**: the SQL layer reports estimated-vs-actual
+  row counts after planned executions (exact per-operator actuals under
+  ``EXPLAIN ANALYZE``, cheap result-derived counts otherwise) through
+  :meth:`StatisticsManager.record_predicate_feedback`; a misestimate
+  beyond the feedback ratio marks the offending columns pending, and the
+  next ``stats()`` call runs a *targeted* re-ANALYZE of just those
+  columns — the optimizer heals itself from its own telemetry without
+  waiting for drift.
+
 Statistics are advisory: plans stay *correct* on arbitrarily stale
 numbers (residual filters re-check every predicate), only their cost
 ranking degrades.
@@ -33,16 +42,23 @@ from __future__ import annotations
 import bisect
 import random
 import threading
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.telemetry import metrics
+from repro.telemetry.feedback import CardinalityFeedback
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> stats)
     from repro.storage.rdbms.engine import Database
 
 #: Equal-depth histogram resolution (quantile points per column).
 HISTOGRAM_BUCKETS = 16
+
+#: Most-common-value entries kept per column.  Only values that are more
+#: frequent than a uniform distribution would predict are stored, so a
+#: uniform column keeps an empty MCV list and the 1/distinct estimate.
+MCV_ENTRIES = 8
 
 #: Fallback selectivities when a column has no usable statistics.
 DEFAULT_EQ_SELECTIVITY = 0.1
@@ -69,6 +85,12 @@ class ColumnStats:
     min_value: Any = None
     max_value: Any = None
     histogram: tuple = ()
+    #: ((value, fraction-of-total), ...) for over-represented values —
+    #: what lets an equality estimate see skew the 1/distinct model
+    #: cannot (the cardinality-feedback loop relies on this: a targeted
+    #: re-ANALYZE rebuilds the MCV list and the next plan's estimate for
+    #: the hot literal corrects).
+    mcv: tuple = ()
 
     @property
     def non_null_fraction(self) -> float:
@@ -76,10 +98,25 @@ class ColumnStats:
             return 1.0
         return (self.total - self.null_count) / self.total
 
-    def eq_selectivity(self) -> float:
-        """Estimated fraction of rows matching ``col = literal``."""
+    def eq_selectivity(self, value: Any = None) -> float:
+        """Estimated fraction of rows matching ``col = literal``.
+
+        With a known ``value``, the MCV list answers exactly for hot
+        values, and the remaining mass spread over the remaining
+        distinct values answers for everything else.  Without one
+        (``None`` never appears as an equality literal), the uniform
+        ``1/distinct`` estimate applies.
+        """
         if self.distinct <= 0:
             return DEFAULT_EQ_SELECTIVITY
+        if value is not None and self.mcv:
+            for mcv_value, fraction in self.mcv:
+                if mcv_value == value:
+                    return max(fraction, MIN_SELECTIVITY)
+            rest = self.non_null_fraction - sum(f for _, f in self.mcv)
+            rest_distinct = self.distinct - len(self.mcv)
+            if rest_distinct > 0:
+                return max(rest / rest_distinct, MIN_SELECTIVITY)
         return max(self.non_null_fraction / self.distinct, MIN_SELECTIVITY)
 
     def le_fraction(self, value: Any, inclusive: bool) -> float:
@@ -128,7 +165,20 @@ def _build_column_stats(values: list[Any]) -> ColumnStats:
     stats = ColumnStats(total=total, null_count=total - len(non_null))
     if not non_null:
         return stats
-    stats.distinct = len(set(non_null))
+    try:
+        counts = Counter(non_null)
+    except TypeError:
+        stats.distinct = len({repr(v) for v in non_null})
+        return stats
+    stats.distinct = len(counts)
+    # Keep only values over-represented vs uniform: count * distinct >
+    # non-null total means the value is more frequent than 1/distinct.
+    n_non_null = len(non_null)
+    stats.mcv = tuple(
+        (value, count / total)
+        for value, count in counts.most_common(MCV_ENTRIES)
+        if count * stats.distinct > n_non_null
+    )
     try:
         ordered = sorted(non_null)
     except TypeError:
@@ -157,11 +207,13 @@ class StatisticsManager:
     def __init__(self, db: "Database",
                  staleness_fraction: float = 0.25,
                  sample_threshold: int = 100_000,
-                 sample_size: int = 20_000) -> None:
+                 sample_size: int = 20_000,
+                 feedback_ratio: float = 4.0) -> None:
         self._db = db
         self._staleness = staleness_fraction
         self._sample_threshold = sample_threshold
         self._sample_size = sample_size
+        self.feedback = CardinalityFeedback(ratio_threshold=feedback_ratio)
         self._lock = threading.Lock()
         self._versions: dict[str, int] = {}
         self._stats: dict[str, TableStats] = {}
@@ -308,6 +360,11 @@ class StatisticsManager:
         Raises:
             KeyError: unknown table.
         """
+        pending = self.feedback.pending(table)
+        if pending:
+            refreshed = self._feedback_reanalyze(table, pending)
+            if refreshed is not None:
+                return refreshed
         with self._lock:
             version = self._versions.get(table, 0)
             cached = self._stats.get(table)
@@ -324,17 +381,85 @@ class StatisticsManager:
                 return cached
         return self.analyze(table)
 
+    # ------------------------------------------------------------ feedback
+
+    def record_predicate_feedback(self, table: str,
+                                  keys: list[tuple[str, str]],
+                                  est_rows: float, actual_rows: int) -> None:
+        """Report one planned execution's estimated-vs-actual source
+        cardinality, attributed to the (column, shape) pairs of the
+        predicate.  Crossing the feedback ratio marks the columns
+        pending; the next ``stats()`` call re-analyzes just them."""
+        with self._lock:
+            version = self._versions.get(table, 0)
+        registry = metrics.get_registry()
+        for column, shape in keys:
+            if self.feedback.record(table, column, shape,
+                                    est_rows, actual_rows, version):
+                registry.inc("planner.feedback.misestimates")
+        registry.inc("planner.feedback.observations")
+
+    def _feedback_reanalyze(self, table: str,
+                            pending: tuple[str, ...]) -> TableStats | None:
+        """Targeted re-ANALYZE of the pending columns of ``table``.
+
+        One scan collects only the offending columns and splices their
+        rebuilt :class:`ColumnStats` into the cached table statistics
+        (other columns keep their distributions).  Returns None when a
+        full ANALYZE is the right tool instead — never-analyzed table,
+        unknown table, or no pending column actually in the schema —
+        after clearing the pending marks so ``stats()`` proceeds.
+        """
+        db = self._db
+        with self._lock:
+            version = self._versions.get(table, 0)
+            cached = self._stats.get(table)
+        try:
+            schema = db.schema(table)
+        except KeyError:
+            self.feedback.resolve(table, pending, version)
+            return None
+        targets = [c for c in pending if schema.has_column(c)]
+        if cached is None or not targets:
+            self.feedback.resolve(table, pending, version)
+            return None
+        with db._mutate_lock:
+            heap = db._table(table)
+            count = len(heap)
+            collected: dict[str, list[Any]] = {c: [] for c in targets}
+            for row in heap.scan():
+                values = row.values
+                for name in targets:
+                    collected[name].append(values.get(name))
+        rebuilt = {name: _build_column_stats(vals)
+                   for name, vals in collected.items()}
+        with self._lock:
+            cached = self._stats.get(table)
+            if cached is None:
+                stats = None
+            else:
+                columns = dict(cached.columns)
+                columns.update(rebuilt)
+                stats = TableStats(table=table, row_count=count,
+                                   analyzed_rows=count, version=version,
+                                   columns=columns)
+                self._stats[table] = stats
+        self.feedback.resolve(table, pending, version)
+        metrics.get_registry().inc("planner.analyze.feedback")
+        return stats
+
     # --------------------------------------------------------- estimation
 
     def row_count(self, table: str) -> int:
         """Exact live row count (always current, never estimated)."""
         return self._db.table_size(table)
 
-    def eq_selectivity(self, table: str, column: str) -> float:
+    def eq_selectivity(self, table: str, column: str,
+                       value: Any = None) -> float:
         column_stats = self.stats(table).column(column)
         if column_stats is None or column_stats.total == 0:
             return DEFAULT_EQ_SELECTIVITY
-        return column_stats.eq_selectivity()
+        return column_stats.eq_selectivity(value)
 
     def range_selectivity(self, table: str, column: str, low: Any, high: Any,
                           include_low: bool, include_high: bool) -> float:

@@ -73,6 +73,11 @@ class TelemetrySession:
         """Spans finished so far in this session."""
         return list(self.memory.spans)
 
+    def flush(self) -> None:
+        """Flush the JSONL exporter (no-op for in-memory only sessions)."""
+        if self.jsonl is not None:
+            self.jsonl.flush()
+
     def finish(self) -> dict[str, Any]:
         """Snapshot the metrics registry, append it to the JSONL file (if
         any), close the file, and return the snapshot."""

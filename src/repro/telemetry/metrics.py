@@ -208,6 +208,14 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    # ---------------------------------------------------------------- export
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the current registry state."""
+        from repro.telemetry.report import render_prometheus
+
+        return render_prometheus(self.snapshot())
+
 
 # --------------------------------------------------------- ambient registry
 

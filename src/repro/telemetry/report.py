@@ -10,6 +10,7 @@ executor/RDBMS time it merely contains.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Iterable
 
 from repro.telemetry.tracing import Span
@@ -116,39 +117,52 @@ def render_report(summary: dict[str, Any],
         counters = sorted(snapshot.get("counters", {}).items(),
                           key=lambda kv: kv[1], reverse=True)
         all_counters = snapshot.get("counters", {})
-        lookups = all_counters.get("cache.hits", 0.0) \
-            + all_counters.get("cache.misses", 0.0)
-        if lookups:
+
+        def family_present(prefix: str) -> bool:
+            """A counter family exists even when its lookups are zero
+            (e.g. only evictions or invalidations incremented) — the
+            line must then print ``n/a``, never divide by zero."""
+            return any(name == prefix or name.startswith(prefix + ".")
+                       for name in all_counters)
+
+        if family_present("cache"):
             # Dedicated line: the hit rate is the number a caching session
             # is judged by, and the counters may not crack the top list.
             hits = all_counters.get("cache.hits", 0.0)
+            lookups = hits + all_counters.get("cache.misses", 0.0)
+            rate = (f"{100.0 * hits / lookups:.1f}% hit rate"
+                    if lookups else "hit rate n/a")
             lines += [
                 "",
                 f"extraction cache: cache.hits={hits:.0f} "
                 f"cache.misses={all_counters.get('cache.misses', 0.0):.0f} "
-                f"({100.0 * hits / lookups:.1f}% hit rate)",
+                f"({rate})",
             ]
-        query_lookups = all_counters.get("planner.cache.hits", 0.0) \
-            + all_counters.get("planner.cache.misses", 0.0)
-        if query_lookups:
+        if family_present("planner.cache"):
             query_hits = all_counters.get("planner.cache.hits", 0.0)
+            query_lookups = query_hits \
+                + all_counters.get("planner.cache.misses", 0.0)
+            rate = (f"{100.0 * query_hits / query_lookups:.1f}% hit rate"
+                    if query_lookups else "hit rate n/a")
             lines += [
                 "",
                 f"query result cache: hits={query_hits:.0f} "
                 f"misses={all_counters.get('planner.cache.misses', 0.0):.0f} "
                 f"invalidations="
                 f"{all_counters.get('planner.cache.invalidations', 0.0):.0f} "
-                f"({100.0 * query_hits / query_lookups:.1f}% hit rate)",
+                f"({rate})",
             ]
-        seg_scanned = all_counters.get("segments.scanned", 0.0)
-        seg_skipped = all_counters.get("segments.skipped", 0.0)
-        if seg_scanned or seg_skipped:
+        if family_present("segments"):
+            seg_scanned = all_counters.get("segments.scanned", 0.0)
+            seg_skipped = all_counters.get("segments.skipped", 0.0)
             visited = seg_scanned + seg_skipped
+            rate = (f"{100.0 * seg_skipped / visited:.1f}% zone-map skip rate"
+                    if visited else "zone-map skip rate n/a")
             lines += [
                 "",
                 f"columnar segments: scanned={seg_scanned:.0f} "
                 f"skipped={seg_skipped:.0f} "
-                f"({100.0 * seg_skipped / visited:.1f}% zone-map skip rate) "
+                f"({rate}) "
                 f"frozen_rows="
                 f"{all_counters.get('segments.rows_frozen', 0.0):.0f}",
             ]
@@ -166,6 +180,111 @@ def render_report(summary: dict[str, Any],
                     f"  {name:<40} count={h['count']} sum={h['sum']:.1f} "
                     f"min={h['min']} max={h['max']}"
                 )
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name -> Prometheus-legal metric name."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict[str, Any] | None) -> str:
+    """Prometheus text exposition (version 0.0.4) for a registry snapshot.
+
+    Counters add a ``_total`` suffix, histograms emit cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, matching what a
+    scrape endpoint would serve.  Accepts None/empty snapshots (renders
+    nothing but stays valid exposition text).
+    """
+    snapshot = snapshot or {}
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(h["buckets"], h["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(float(bound))}"}} '
+                f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{metric}_sum {_prom_value(h['sum'])}")
+        lines.append(f"{metric}_count {h['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_top(previous: dict[str, Any] | None, current: dict[str, Any],
+               interval_seconds: float | None = None,
+               slow_entries: list[dict[str, Any]] | None = None) -> str:
+    """One frame of ``repro top``: a snapshot-diff operations view.
+
+    With a ``previous`` snapshot and the seconds between the two, lines
+    show per-second rates over the interval; without one, cumulative
+    totals.  ``slow_entries`` (from the slow-query log) render as the
+    current slow-query tail.
+    """
+    cur = current.get("counters", {})
+    prev = (previous or {}).get("counters", {})
+
+    def delta(name: str) -> float:
+        return cur.get(name, 0.0) - prev.get(name, 0.0)
+
+    def rate(value: float) -> str:
+        if interval_seconds and interval_seconds > 0:
+            return f"{value / interval_seconds:10.1f}/s"
+        return f"{value:10.0f}"
+
+    def hit_line(label: str, hits: float, misses: float) -> str:
+        lookups = hits + misses
+        pct = (f"{100.0 * hits / lookups:5.1f}%" if lookups else "  n/a ")
+        return (f"  {label:<18} {pct}  "
+                f"(hits {hits:.0f} / misses {misses:.0f})")
+
+    mode = (f"delta over {interval_seconds:.1f}s"
+            if previous is not None and interval_seconds else "cumulative")
+    lines = [f"repro top — {mode}"]
+    lines.append(f"  {'queries':<18} {rate(delta('system.queries'))}")
+    lines.append(hit_line("result cache",
+                          delta("planner.cache.hits"),
+                          delta("planner.cache.misses")))
+    lines.append(hit_line("extraction cache",
+                          delta("cache.hits"), delta("cache.misses")))
+    wal_bytes = delta("rdbms.wal.bytes")
+    lines.append(f"  {'WAL':<18} {rate(wal_bytes)} bytes  "
+                 f"({delta('rdbms.wal.records'):.0f} records)")
+    lines.append(f"  {'lock waits':<18} {delta('rdbms.lock.waits'):10.0f}  "
+                 f"({delta('rdbms.lock.wait_seconds'):.3f}s waited)")
+    seg_scanned = delta("segments.scanned")
+    seg_skipped = delta("segments.skipped")
+    if seg_scanned or seg_skipped:
+        lines.append(f"  {'segments':<18} scanned {seg_scanned:.0f} / "
+                     f"pruned {seg_skipped:.0f}")
+    captured = delta("slowlog.captured")
+    lines.append(f"  {'slow queries':<18} {captured:10.0f}")
+    if slow_entries:
+        lines.append("  slow-query tail:")
+        for entry in slow_entries:
+            sql = entry.get("sql", "?")
+            if len(sql) > 60:
+                sql = sql[:57] + "..."
+            lines.append(f"    {entry.get('seconds', 0.0):8.3f}s  {sql}")
     return "\n".join(lines)
 
 

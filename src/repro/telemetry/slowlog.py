@@ -1,0 +1,193 @@
+"""Persistent slow-query log.
+
+``SlowQueryLog`` sits behind ``QueryResultCache.execute`` — the single
+funnel both ``system.query`` and exploration sessions go through — and
+captures every statement whose wall time meets ``threshold_seconds``.
+The capture decision is a single float comparison, so the check adds
+one ``perf_counter`` pair per query and nothing else; when no log is
+attached the cache skips even that.
+
+Each captured entry is one JSON object:
+
+    {"ts": ..., "sql": <normalized>, "seconds": ..., "rows": ...,
+     "threshold": ..., "stats_versions": {table: version},
+     "plan": [...ANALYZE-annotated lines...],
+     "metrics_delta": {counter: delta-over-the-analyze-rerun}}
+
+For SELECTs the plan is obtained by re-running the statement under
+``EXPLAIN ANALYZE`` at capture time — slow queries are rare and SELECTs
+side-effect free, so the re-run buys exact per-operator actuals and a
+per-query telemetry counter delta without taxing the fast path.  DML
+statements are logged without a plan.
+
+Entries append to ``<workspace>/slowlog.jsonl`` when a path is given
+(surviving reopen) and to memory otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.telemetry import metrics
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Threshold-gated persistent log of slow statements."""
+
+    def __init__(self, path: str | None = None,
+                 threshold_seconds: float = 1.0,
+                 annotate: bool = True) -> None:
+        self.path = path
+        self.threshold_seconds = float(threshold_seconds)
+        self.annotate = annotate
+        self._lock = threading.Lock()
+        self._memory: list[dict] = []
+        self._fh = None
+        if path is not None:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # capture path
+
+    def observe(self, db, sql: str, seconds: float, rows: int) -> bool:
+        """Called for every statement; captures iff over threshold."""
+        if seconds < self.threshold_seconds:
+            return False
+        self.capture(db, sql, seconds, rows)
+        return True
+
+    def capture(self, db, sql: str, seconds: float, rows: int) -> dict:
+        """Build and append an entry for one known-slow statement."""
+        from repro.storage.rdbms import sql as _sql
+
+        registry = metrics.get_registry()
+        try:
+            normalized = _sql.normalize_sql(sql)
+        except Exception:
+            normalized = " ".join(sql.split())
+        entry = {
+            "ts": time.time(),
+            "sql": normalized,
+            "seconds": seconds,
+            "rows": rows,
+            "threshold": self.threshold_seconds,
+        }
+        stmt = None
+        try:
+            stmt = _sql.parse_sql(sql)
+        except Exception:
+            pass
+        if stmt is not None:
+            entry["stats_versions"] = self._stats_versions(db, stmt)
+            if self.annotate and isinstance(stmt, _sql.SelectStatement):
+                plan, delta = self._annotated_plan(db, stmt, registry)
+                if plan is not None:
+                    entry["plan"] = plan
+                    entry["metrics_delta"] = delta
+        self._append(entry)
+        registry.inc("slowlog.captured")
+        return entry
+
+    @staticmethod
+    def _stats_versions(db, stmt) -> dict:
+        tables = []
+        table = getattr(stmt, "table", None)
+        if table:
+            tables.append(table)
+        join = getattr(stmt, "join_table", None)
+        if join:
+            tables.append(join)
+        versions = {}
+        for name in tables:
+            try:
+                versions[name] = db.statistics().version(name)
+            except Exception:
+                versions[name] = None
+        return versions
+
+    @staticmethod
+    def _annotated_plan(db, stmt, registry):
+        """Re-run the SELECT under EXPLAIN ANALYZE; return (lines, delta)."""
+        from repro.storage.rdbms import sql as _sql
+
+        before = registry.snapshot()["counters"]
+        try:
+            rows = _sql.execute_statement(
+                db, _sql.ExplainStatement(select=stmt, analyze=True))
+        except Exception:
+            return None, None
+        after = registry.snapshot()["counters"]
+        delta = {
+            name: after[name] - before.get(name, 0)
+            for name in after
+            if after[name] != before.get(name, 0)
+        }
+        return [r["plan"] for r in rows], delta
+
+    # ------------------------------------------------------------------
+    # storage
+
+    def _append(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._memory.append(entry)
+            if self.path is not None:
+                if self._fh is None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                self._fh.write(line + "\n")
+                self._fh.flush()
+
+    def entries(self, limit: int | None = None) -> list[dict]:
+        """All captured entries, oldest first (tail ``limit`` if given)."""
+        if self.path is not None and os.path.exists(self.path):
+            out = []
+            with self._lock:
+                if self._fh is not None:
+                    self._fh.flush()
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        out.append(json.loads(raw))
+                    except (ValueError, UnicodeDecodeError):
+                        continue
+        else:
+            with self._lock:
+                out = list(self._memory)
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def tail(self, limit: int = 5) -> list[dict]:
+        """Most recent ``limit`` entries, slowest-last order preserved."""
+        return self.entries(limit=limit)
+
+    def clear(self) -> int:
+        """Drop all entries; returns how many were removed."""
+        removed = len(self.entries())
+        with self._lock:
+            self._memory.clear()
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            if self.path is not None and os.path.exists(self.path):
+                os.remove(self.path)
+        return removed
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None

@@ -124,6 +124,12 @@ class JsonlSpanExporter:
     def export_metrics(self, snapshot: dict[str, Any]) -> None:
         self._write({"kind": "metrics", "snapshot": snapshot})
 
+    def flush(self) -> None:
+        """Push buffered records to the OS (safe on a closed file)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+
     def close(self) -> None:
         with self._lock:
             if not self._file.closed:
