@@ -1,0 +1,103 @@
+"""Validate every ``results/BENCH_*.json`` against its declared gates.
+
+Benchmarks that make pass/fail claims record them as a ``gates`` list::
+
+    "gates": [
+      {"name": "speedup:count(*)", "actual": 26.3,
+       "op": ">=", "threshold": 3.0, "pass": true},
+      ...
+    ]
+
+This checker re-evaluates each gate from its ``actual``/``op``/
+``threshold`` fields and fails loudly if any gate does not hold or if a
+recorded ``pass`` disagrees with the recomputation — so a regression
+(or a bench writing stale verdicts) surfaces in one place regardless of
+which bench produced it.  Result files without a ``gates`` key are
+listed but not judged.
+
+Usage::
+
+    python benchmarks/check_gates.py            # check all result files
+    python benchmarks/check_gates.py --strict   # also fail if no gated
+                                                # result files exist
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_OPS = {
+    ">=": lambda a, t: a >= t,
+    "<=": lambda a, t: a <= t,
+    ">": lambda a, t: a > t,
+    "<": lambda a, t: a < t,
+    "==": lambda a, t: a == t,
+}
+
+
+def check_file(path: str) -> tuple[list[str], bool]:
+    """(problems, declares_gates) for one result file."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    gates = payload.get("gates")
+    name = os.path.basename(path)
+    if gates is None:
+        print(f"  {name}: no gates declared")
+        return [], False
+    problems = []
+    for gate in gates:
+        op = _OPS.get(gate.get("op"))
+        if op is None:
+            problems.append(f"{name}: gate {gate.get('name')!r} has "
+                            f"unknown op {gate.get('op')!r}")
+            continue
+        holds = op(gate["actual"], gate["threshold"])
+        verdict = "ok" if holds else "FAIL"
+        print(f"  {name}: {gate['name']}: {gate['actual']:.3f} "
+              f"{gate['op']} {gate['threshold']} ... {verdict}")
+        if not holds:
+            problems.append(
+                f"{name}: gate {gate['name']!r} violated: "
+                f"{gate['actual']:.3f} not {gate['op']} {gate['threshold']}")
+        if bool(gate.get("pass")) != holds:
+            problems.append(
+                f"{name}: gate {gate['name']!r} records pass="
+                f"{gate.get('pass')} but recomputes to {holds}")
+    return problems, True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--strict", action="store_true",
+                        help="fail when no gated result files exist")
+    args = parser.parse_args(argv)
+    paths = sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json result files found")
+        return 1 if args.strict else 0
+    problems = []
+    gated = 0
+    for path in paths:
+        found, declares = check_file(path)
+        problems.extend(found)
+        gated += declares
+    if args.strict and not gated:
+        problems.append("no result file declares gates")
+    if problems:
+        print("\ngate check FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"\nall declared gates hold "
+          f"({gated} gated of {len(paths)} result files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""One-shot gate: smoke-run E15, run the E16–E21 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E22 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
@@ -22,11 +22,18 @@ bench (E21: fails unless EXPLAIN ANALYZE actuals match the naive oracle
 exactly, the slow-query log captures 100% above / 0% below threshold,
 an attached-but-idle slow-query log costs < 2%, full EXPLAIN ANALYZE
 instrumentation costs < 15%, and a stale-stats misestimate feeds back
-into a targeted re-ANALYZE that corrects the estimate), and then
-confirms the whole repo is still green::
+into a targeted re-ANALYZE that corrects the estimate), runs the full
+sharded-execution bench (E22: fails unless parallel scans/aggregates
+over a hash-sharded table beat naive execution by >= 3x with 4 process
+workers at 150k rows, every query is byte-identical to the unsharded
+oracle, a shard-key point predicate prunes >= 50% of the shards, and
+the pruned point query is <= 1.2x the index path), re-validates every
+``results/BENCH_*.json`` against its declared gates in one place
+(``check_gates.py``), and then confirms the whole repo is still
+green::
 
     python benchmarks/run_all.py
-    python benchmarks/run_all.py --only E21      # a single step
+    python benchmarks/run_all.py --only E22      # a single step
     python benchmarks/run_all.py --smoke         # tiny workloads, no gates
 
 Exits non-zero if any step fails.
@@ -76,6 +83,10 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
          _bench("bench_e20_columnar_scan.py", *flag)),
         ("E21", "E21 observability bench (accuracy + overhead gates)",
          _bench("bench_e21_observability.py", *flag)),
+        ("E22", "E22 sharded-execution bench (speedup + pruning gates)",
+         _bench("bench_e22_sharded_parallel.py", *flag)),
+        ("gates", "declared-gate re-validation (check_gates.py)",
+         _bench("check_gates.py")),
         ("tests", "tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]
@@ -84,7 +95,8 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", metavar="STEP", default=None,
-                        help="run one step by key: E15..E21 or 'tests'")
+                        help="run one step by key: E15..E22, 'gates', "
+                             "or 'tests'")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads everywhere, no timing gates")
     args = parser.parse_args(argv)

@@ -44,10 +44,11 @@ from __future__ import annotations
 import os
 import pickle
 import time
+from collections import deque
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.faults.retry import DEFAULT_RETRY, RetryPolicy
 from repro.telemetry import metrics
@@ -141,6 +142,27 @@ class SerialBackend:
                 out.append(on_item_failure(item, exc))
         return out
 
+    def map_stream(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                   window: int | None = None,
+                   ) -> "Iterator[Any]":
+        """Lazy :meth:`map`: items run only as results are consumed.
+
+        The serial backend is fully demand-driven — an abandoned iterator
+        (e.g. a LIMIT that stopped early) never executes the remaining
+        items.  ``window`` is accepted for interface parity.
+        """
+        def gen() -> "Iterator[Any]":
+            for index, item in enumerate(items):
+                try:
+                    yield self.retry.run(lambda it=item: fn(it),
+                                         salt=f"serial:{index}")
+                except Exception as exc:
+                    raise BackendError(
+                        f"task failed after {self.retry.max_attempts} "
+                        f"attempt(s): {exc}"
+                    ) from exc
+        return gen()
+
     def close(self) -> None:
         pass
 
@@ -207,6 +229,68 @@ class _PoolBackend:
         for chunk_results in results:  # chunk order == input order
             out.extend(chunk_results or [])
         return out
+
+    def map_stream(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                   window: int | None = None,
+                   ) -> "Iterator[Any]":
+        """Streaming :meth:`map` with a bounded submit-ahead window.
+
+        At most ``window`` tasks (default ``2 * max_workers``) are in
+        flight or buffered at once; results are yielded in input order as
+        they are consumed, and abandoning the iterator (LIMIT early-exit)
+        stops further submission.  One item per task — callers pass
+        coarse chunk payloads.  Failed tasks fall back to the per-item
+        retry/rebuild path; worker metric snapshots merge into the
+        caller's registry in consumption order.
+        """
+        items = list(items)
+        parent_registry = metrics.get_registry()
+
+        def gen() -> "Iterator[Any]":
+            if not items:
+                return
+            self._check_payload(fn, items[0])
+            in_flight = max(window or 2 * self.max_workers, 1)
+            pending: deque[tuple[int, Any]] = deque()
+            indices = iter(range(len(items)))
+
+            def submit_next() -> bool:
+                try:
+                    index = next(indices)
+                except StopIteration:
+                    return False
+                try:
+                    future = self._ensure_pool().submit(
+                        _apply_chunk_metered, fn, [items[index]])
+                except Exception:  # pool broken at submit time
+                    future = None
+                pending.append((index, future))
+                return True
+
+            for _ in range(in_flight):
+                if not submit_next():
+                    break
+            while pending:
+                index, future = pending.popleft()
+                try:
+                    if future is None:
+                        raise BrokenExecutor("submit failed")
+                    item_results, snapshot = future.result()
+                    result = item_results[0]
+                except Exception:
+                    if future is None:
+                        self._rebuild_pool()
+                    try:
+                        result, snapshot = self._run_single(fn, items[index])
+                    except Exception as exc:
+                        raise BackendError(
+                            f"task failed after {self.retry.max_attempts} "
+                            f"attempt(s) on backend {self.name!r}: {exc}"
+                        ) from exc
+                parent_registry.merge(snapshot)
+                submit_next()
+                yield result
+        return gen()
 
     def close(self) -> None:
         if self._pool is not None:

@@ -20,6 +20,7 @@ from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS
 from repro.telemetry.tracing import get_tracer
 from repro.storage.rdbms.lockmgr import LockManager, LockMode
 from repro.storage.rdbms.segments import SEGMENT_TARGET_ROWS
+from repro.storage.rdbms.sharding import ShardSpec
 from repro.storage.rdbms.table import HeapTable, Row
 from repro.storage.rdbms.types import SchemaError, TableSchema
 from repro.storage.rdbms.wal import WriteAheadLog
@@ -218,6 +219,14 @@ class Transaction:
         db._locks.acquire(self.txn_id, (table, None), LockMode.SHARED)
         return db._table(table).scan_units()
 
+    def sharded_scan_units(self, table: str) -> list[list[tuple[str, Any]]]:
+        """Per-shard vectorizable units (S on the whole table) for
+        parallel plans; see :meth:`HeapTable.sharded_scan_units`."""
+        self._check_active()
+        db = self._db
+        db._locks.acquire(self.txn_id, (table, None), LockMode.SHARED)
+        return db._table(table).sharded_scan_units()
+
     def scan_where(self, table: str,
                    predicate: Callable[[dict[str, Any]], bool]) -> list[Row]:
         """Filtered full scan (S on the whole table)."""
@@ -308,6 +317,11 @@ class Database:
         #: When set, any commit that leaves a table's row-store tail at or
         #: above this many rows triggers :meth:`compact` on that table.
         self.auto_compact_rows: int | None = None
+        #: Execution backend for parallel plans (DESIGN.md §14).  When set
+        #: (an :mod:`repro.cluster.backends` backend), the planner fans
+        #: scans/aggregates/joins over sharded tables out as per-shard
+        #: tasks; when ``None`` every plan stays single-threaded.
+        self.exec_backend: Any = None
         self._wal: WriteAheadLog | None = None
         if directory is not None:
             self._wal = WriteAheadLog(directory, sync=sync_wal)
@@ -336,17 +350,28 @@ class Database:
 
     # -------------------------------------------------------------- schema
 
-    def create_table(self, schema: TableSchema) -> None:
-        """Create a table.
+    def create_table(self, schema: TableSchema, shard_key: str | None = None,
+                     shard_count: int = 1) -> None:
+        """Create a table, optionally hash-sharded on ``shard_key``.
 
         Raises:
-            SchemaError: if the table already exists.
+            SchemaError: if the table already exists, or the shard key is
+                not one of its columns.
         """
+        spec: ShardSpec | None = None
+        if shard_key is not None:
+            spec = ShardSpec(shard_key, shard_count)
+        elif shard_count != 1:
+            raise SchemaError("SHARDS requires a shard key")
         with self._mutate_lock:
             if schema.name in self._tables:
                 raise SchemaError(f"table {schema.name!r} already exists")
-            self._tables[schema.name] = HeapTable(schema)
-            self._log(0, "create_table", schema=schema.to_dict())
+            self._tables[schema.name] = HeapTable(schema, shard_spec=spec)
+            payload: dict[str, Any] = {"schema": schema.to_dict()}
+            if spec is not None:
+                payload["shard_key"] = spec.key
+                payload["shard_count"] = spec.count
+            self._log(0, "create_table", **payload)
         self._notify_commit(frozenset({schema.name}))
 
     def drop_table(self, name: str) -> None:
@@ -371,7 +396,14 @@ class Database:
             table = self._table(name)
             table.replace_schema(new_schema, migrate)
             rows = {str(r.rid): r.values for r in table.scan()}
-            self._log(0, "alter_schema", schema=new_schema.to_dict(), rows=rows)
+            extra: dict[str, Any] = {}
+            if table.shard_spec is not None:
+                # replace_schema re-routed (or dropped) the shard spec;
+                # log the surviving one so replay rebuilds the same layout.
+                extra["shard_key"] = table.shard_spec.key
+                extra["shard_count"] = table.shard_spec.count
+            self._log(0, "alter_schema", schema=new_schema.to_dict(),
+                      rows=rows, **extra)
             for key in [k for k in self._indexes if k[0] == name]:
                 column = key[1]
                 if new_schema.has_column(column):
@@ -473,6 +505,55 @@ class Database:
             "segment_count": segment_count,
         }
 
+    def reshard(self, table: str, shard_key: str | None,
+                shard_count: int = 1) -> dict[str, Any]:
+        """Re-partition an existing table (``shard_key=None`` unshards).
+
+        Like :meth:`compact` this is a layout-only change run under an
+        EXCLUSIVE table lock and covered by a txn-0 DDL-style ``reshard``
+        WAL record: replay applies it unconditionally at its log
+        position, where routing (seed-stable, see
+        :mod:`repro.storage.rdbms.sharding`) reproduces the identical
+        shard membership.  Existing segments are melted — re-compact to
+        freeze per-shard segments.  Commit listeners do NOT fire: row
+        data is untouched, so cached results and statistics stay valid.
+
+        Returns a summary dict.
+        """
+        spec = ShardSpec(shard_key, shard_count) if shard_key is not None \
+            else None
+        txn = self.begin()
+        try:
+            self._locks.acquire(txn.txn_id, (table, None), LockMode.EXCLUSIVE)
+            with get_tracer().span("rdbms.reshard") as span:
+                with self._mutate_lock:
+                    heap = self._table(table)
+                    heap.set_shard_spec(spec)
+                    self._log(0, "reshard", table=table, shard_key=shard_key,
+                              shard_count=spec.count if spec else 1)
+                    rows = len(heap)
+                span.set_attribute("table", table)
+                span.set_attribute("shard_count", spec.count if spec else 1)
+            txn.commit()
+        except BaseException:
+            if not txn.finished:
+                txn.abort()
+            raise
+        metrics.get_registry().inc("rdbms.resharded")
+        return {
+            "table": table,
+            "shard_key": shard_key,
+            "shard_count": spec.count if spec else 1,
+            "rows": rows,
+        }
+
+    def shard_specs(self) -> dict[str, dict[str, Any]]:
+        """Table name -> shard spec dict (``repro stats`` reporting)."""
+        with self._mutate_lock:
+            return {name: t.shard_spec.to_dict()
+                    for name, t in self._tables.items()
+                    if t.shard_spec is not None}
+
     def _maybe_auto_compact(self, tables: set[str]) -> None:
         threshold = self.auto_compact_rows
         if not threshold:
@@ -570,6 +651,13 @@ class Database:
                     name: t.segment_layout()
                     for name, t in self._tables.items() if t.segment_count()
                 },
+                # Shard specs must be restored BEFORE segment layouts:
+                # 4-entry layout rows are selected by shard membership.
+                "shards": {
+                    name: t.shard_spec.to_dict()
+                    for name, t in self._tables.items()
+                    if t.shard_spec is not None
+                },
             }
             self._wal.write_checkpoint(state)
 
@@ -649,6 +737,9 @@ class Database:
                 table = HeapTable(TableSchema.from_dict(tdata["schema"]))
                 for rid_str, values in tdata["rows"].items():
                     table.insert(values, rid=int(rid_str))
+                spec_data = snapshot.get("shards", {}).get(name)
+                if spec_data is not None:
+                    table.set_shard_spec(ShardSpec.from_dict(spec_data))
                 layout = snapshot.get("segments", {}).get(name)
                 if layout and not table.restore_segments(layout):
                     # Checkpoint drifted from the rows we recovered: the
@@ -676,7 +767,12 @@ class Database:
             if rec.rec_type == "create_table":
                 schema = TableSchema.from_dict(rec.payload["schema"])
                 if schema.name not in self._tables:
-                    self._tables[schema.name] = HeapTable(schema)
+                    spec = None
+                    if rec.payload.get("shard_key") is not None:
+                        spec = ShardSpec(rec.payload["shard_key"],
+                                         rec.payload.get("shard_count", 1))
+                    self._tables[schema.name] = HeapTable(
+                        schema, shard_spec=spec)
             elif rec.rec_type == "drop_table":
                 self._tables.pop(rec.payload["table"], None)
             elif rec.rec_type == "alter_schema":
@@ -684,6 +780,10 @@ class Database:
                 table = HeapTable(schema)
                 for rid_str, values in rec.payload["rows"].items():
                     table.insert(values, rid=int(rid_str))
+                if rec.payload.get("shard_key") is not None:
+                    table.set_shard_spec(
+                        ShardSpec(rec.payload["shard_key"],
+                                  rec.payload.get("shard_count", 1)))
                 self._tables[schema.name] = table
             elif rec.rec_type == "insert" and apply_dml:
                 self._tables[rec.payload["table"]].insert(
@@ -708,6 +808,15 @@ class Database:
                 if table is not None:
                     table.compact(max_rid=rec.payload["max_rid"],
                                   target_rows=rec.payload["target_rows"])
+            elif rec.rec_type == "reshard":
+                # DDL-style like compact: routing is seed-stable, so
+                # re-applying the spec reproduces shard membership exactly.
+                table = self._tables.get(rec.payload["table"])
+                if table is not None:
+                    key = rec.payload.get("shard_key")
+                    table.set_shard_spec(
+                        ShardSpec(key, rec.payload.get("shard_count", 1))
+                        if key is not None else None)
         self._txn_counter = max_txn
         for key in list(self._indexes):
             self._rebuild_index(*key)

@@ -1,0 +1,824 @@
+"""Parallel shard execution over the cluster backends (DESIGN.md §14).
+
+When a table is sharded (``CREATE TABLE ... SHARD BY (col) SHARDS n``)
+and the database carries an execution backend (``Database.exec_backend``),
+the planner swaps its chosen scan for the operators in this module:
+
+* :class:`ParallelScan` — fans the scan out as one task per shard chunk
+  on the backend, prunes shards a shard-key equality/IN predicate pins
+  away, and heap-merges the rid-sorted per-shard streams so the output
+  is byte-identical to the single-shard plan;
+* :class:`ParallelAggregate` — partial aggregation per shard, merged
+  coordinator-side (type-gated so the merged fold is exact: FLOAT sums
+  and FLOAT group keys fall back to the serial path);
+* :class:`ParallelHashJoin` — shard-local hash join when both sides are
+  co-partitioned on the join key, else broadcast of the
+  statistics-smaller side to every shard of the fanned side.
+
+Workers are module-level functions over picklable tasks (segments,
+conjunct ASTs and row dicts all pickle), so the same code runs on the
+serial, thread and process backends.  Each operator preserves the naive
+interpreter's row order exactly — the sharded differential suite and the
+E22 bench gate that invariant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from itertools import zip_longest
+from time import perf_counter
+from typing import Any, Iterator
+
+from repro.storage.rdbms import planner as _planner
+from repro.storage.rdbms.engine import Transaction
+from repro.storage.rdbms.sharding import ShardSpec
+from repro.storage.rdbms.sql import (
+    Aggregate,
+    InPredicate,
+    SelectStatement,
+    eval_predicate,
+)
+from repro.storage.rdbms.types import ColumnType
+from repro.telemetry import metrics
+from repro.telemetry.tracing import get_tracer
+
+#: Rough per-task row budget: segments stay whole (they are already
+#: frozen units), tail row lists are sliced, small units coalesce.
+CHUNK_TARGET_ROWS = 16_384
+
+
+# ---------------------------------------------------------- shard pruning
+
+
+def _conjunct_shards(conjunct: Any, spec: ShardSpec,
+                     table: str) -> set[int] | None:
+    """Shards that can hold rows satisfying one conjunct, or None when
+    the conjunct does not constrain the shard key."""
+    eq = _planner._eq_conjunct(conjunct)
+    if eq is not None:
+        ref, value = eq
+        if ref.table in (None, table) and ref.name == spec.key:
+            if value is None:
+                return set()  # ``col = NULL`` matches no row
+            return {spec.shard_of(value)}
+        return None
+    if isinstance(conjunct, InPredicate) and not conjunct.negated:
+        ref = conjunct.column
+        if ref.table in (None, table) and ref.name == spec.key:
+            # NULL in the value list matches NULL-keyed rows here (the
+            # evaluator's ``value in values``), and those rows live in
+            # shard_of(None) — which the comprehension already includes.
+            return {spec.shard_of(v) for v in conjunct.values}
+    return None
+
+
+def allowed_shards(conjuncts: list[Any], spec: ShardSpec,
+                   table: str) -> list[int]:
+    """Shards that can contain matching rows (ascending); conjuncts that
+    do not pin the shard key leave the set untouched."""
+    allowed = set(range(spec.count))
+    for conjunct in conjuncts:
+        shards = _conjunct_shards(conjunct, spec, table)
+        if shards is not None:
+            allowed &= shards
+    return sorted(allowed)
+
+
+# ------------------------------------------------------------ scan worker
+
+
+@dataclass
+class ScanChunkTask:
+    """One worker unit: a slice of one shard's scan."""
+
+    table: str
+    shard: int
+    units: list[tuple[str, Any]]
+    conjuncts: list[Any]
+    vector: list[Any]
+    fallback: list[Any]
+
+
+def _scan_units(units: list[tuple[str, Any]], conjuncts: list[Any],
+                vector: list[Any], fallback: list[Any],
+                registry) -> tuple[list[dict[str, Any]], int, int]:
+    """Evaluate scan units exactly like :class:`SegmentScan` would:
+    zone-map prune, bitmap selection, fallback re-check, dense decode.
+    Returns ``(rows, segments_scanned, segments_skipped)``."""
+    full = _planner.conjoin(conjuncts)
+    fallback_pred = _planner.conjoin(fallback)
+    rows: list[dict[str, Any]] = []
+    scanned = skipped = 0
+    for kind, unit in units:
+        if kind == "rows":
+            for rid, values in unit:
+                r = dict(values)
+                r["__rid__"] = rid
+                if full is None or eval_predicate(full, r):
+                    rows.append(r)
+            continue
+        segment = unit
+        if segment.count == 0:
+            continue
+        if any(_planner._zone_map_prunes(segment, c) for c in vector):
+            registry.inc("segments.skipped")
+            skipped += 1
+            continue
+        registry.inc("segments.scanned")
+        scanned += 1
+        selected = _planner._segment_selection(segment, vector)
+        if selected is None:  # incomparable operands: naive error surface
+            for rid, values in segment.iter_rows():
+                values["__rid__"] = rid
+                if full is None or eval_predicate(full, values):
+                    rows.append(values)
+            continue
+        if fallback_pred is not None:
+            for pos in selected:
+                values = segment.row_values(pos)
+                values["__rid__"] = segment.rids[pos]
+                if eval_predicate(fallback_pred, values):
+                    rows.append(values)
+            continue
+        if len(selected) * 4 >= segment.count:
+            decoded = [(col.name, segment.columns[col.name].decoded())
+                       for col in segment.schema.columns]
+            rids = segment.rids
+            for pos in selected:
+                values = {name: column[pos] for name, column in decoded}
+                values["__rid__"] = rids[pos]
+                rows.append(values)
+        else:
+            for pos in selected:
+                values = segment.row_values(pos)
+                values["__rid__"] = segment.rids[pos]
+                rows.append(values)
+    return rows, scanned, skipped
+
+
+def _preprune_units(units: list[tuple[str, Any]], vector: list[Any],
+                    registry) -> tuple[list[tuple[str, Any]], int]:
+    """Coordinator-side zone-map prune before tasks are built.
+
+    Workers prune too (:func:`_scan_units`), but by then the segment has
+    already been pickled across the process boundary.  Dropping provably
+    empty segments here keeps them out of the task payloads entirely,
+    which is what makes a shard-pruned point query competitive with the
+    index path.  Returns ``(kept_units, segments_skipped)``.
+    """
+    if not vector:
+        return units, 0
+    kept: list[tuple[str, Any]] = []
+    skipped = 0
+    for kind, unit in units:
+        if kind == "segment" and unit.count and any(
+                _planner._zone_map_prunes(unit, c) for c in vector):
+            skipped += 1
+            continue
+        kept.append((kind, unit))
+    if skipped:
+        registry.inc("segments.skipped", skipped)
+    return kept, skipped
+
+
+def run_scan_chunk(task: ScanChunkTask) -> dict[str, Any]:
+    """Worker: scan one chunk of one shard, applying the full predicate."""
+    t0 = perf_counter()
+    rows, scanned, skipped = _scan_units(
+        task.units, task.conjuncts, task.vector, task.fallback,
+        metrics.get_registry())
+    return {"shard": task.shard, "rows": rows,
+            "seconds": perf_counter() - t0,
+            "scanned": scanned, "skipped": skipped}
+
+
+# ------------------------------------------------------------- operators
+
+
+class ShardScan(_planner.PlanNode):
+    """Pseudo-child rendering the fanned-out per-shard work.
+
+    Fanned operators execute N worker tasks but must render ONE plan
+    line, so the coordinator sums worker actuals into this node's
+    profile (rows summed, loops = shards that executed, time = summed
+    worker seconds).  ``profiled_manual`` keeps :func:`attach_profiles`
+    from wrapping it — a fully pruned fan-out leaves the profile
+    untouched, which describe() renders as ``never executed``.
+    """
+
+    profiled_manual = True
+
+    def __init__(self, table: str, total: int, live: int,
+                 side: str | None = None) -> None:
+        self.table = table
+        self.total = total
+        self.live = live
+        self.side = side  # join fan sides label which input fans out
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return []  # only ever executed through its parent's fan-out
+
+    def absorb(self, result: dict[str, Any], new_shard: bool,
+               rows_key: str = "rows") -> None:
+        """Fold one worker result's actuals into this node's profile."""
+        prof = self.profile
+        if prof is None:
+            return
+        if new_shard:
+            prof.loops += 1
+        rows = result[rows_key]
+        prof.rows += rows if isinstance(rows, int) else len(rows)
+        prof.seconds += result["seconds"]
+        prof.segments_scanned += result["scanned"]
+        prof.segments_skipped += result["skipped"]
+
+    def absorb_prepruned(self, skipped: int) -> None:
+        """Count coordinator-pruned segments as skipped in the actuals."""
+        if self.profile is not None and skipped:
+            self.profile.segments_skipped += skipped
+
+    def label(self) -> str:
+        prefix = f"ShardScan({self.table}" if self.side is None \
+            else f"ShardScan({self.side}={self.table}"
+        return (f"{prefix}, shards={self.live}/{self.total} "
+                f"pruned={self.total - self.live})")
+
+
+def _chunk_shard_units(units: list[tuple[str, Any]]) \
+        -> list[list[tuple[str, Any]]]:
+    """Split one shard's unit list into ~CHUNK_TARGET_ROWS-row tasks,
+    preserving unit order (per-shard rid order)."""
+    chunks: list[list[tuple[str, Any]]] = []
+    cur: list[tuple[str, Any]] = []
+    cur_rows = 0
+    for kind, unit in units:
+        n = unit.count if kind == "segment" else len(unit)
+        if cur and cur_rows + n > CHUNK_TARGET_ROWS:
+            chunks.append(cur)
+            cur, cur_rows = [], 0
+        if kind == "rows" and n > CHUNK_TARGET_ROWS:
+            if cur:
+                chunks.append(cur)
+                cur, cur_rows = [], 0
+            for i in range(0, n, CHUNK_TARGET_ROWS):
+                chunks.append([("rows", unit[i:i + CHUNK_TARGET_ROWS])])
+            continue
+        cur.append((kind, unit))
+        cur_rows += n
+    if cur:
+        chunks.append(cur)
+    return chunks
+
+
+def _backend_stream(backend: Any, fn, tasks: list) -> Iterator[Any]:
+    """Stream task results through the backend, inline when it cannot."""
+    stream = getattr(backend, "map_stream", None)
+    if stream is not None:
+        return stream(fn, tasks)
+    return map(fn, tasks)
+
+
+def _should_inline(tasks: list, total_rows: int) -> bool:
+    """Tiny fan-outs run inline at the coordinator.
+
+    A single task has no parallelism to win, and for a handful of rows
+    the pool's pickle + dispatch latency dominates the work itself —
+    exactly the shape of a shard-pruned point query.  Inline execution
+    uses a lazy ``map``, so streaming and LIMIT early-exit behave the
+    same as the backend path.
+    """
+    return len(tasks) == 1 or total_rows * 2 <= CHUNK_TARGET_ROWS
+
+
+class ParallelScan(_planner.PlanNode):
+    """Fan a sharded table's scan out on the execution backend.
+
+    Plan-time shard pruning drops shards a shard-key equality or IN
+    conjunct proves empty; the rest fan out as per-shard chunk tasks,
+    interleaved round-robin so every shard makes progress under the
+    backend's bounded submit-ahead window.  Each shard's chunks arrive
+    in rid order, and a ``heapq.merge`` over the per-shard streams
+    restores global rid order — row- and byte-identical to the serial
+    scan.  Streaming end to end: chunks buffer per shard (bounded by
+    the backend window), so a LIMIT abandons the merge without
+    materializing the table.
+    """
+
+    profiled_streaming = True
+
+    def __init__(self, table: str, conjuncts: list[Any],
+                 vector: list[Any], fallback: list[Any],
+                 spec: ShardSpec, shards: list[int]) -> None:
+        self.table = table
+        self.conjuncts = conjuncts
+        self._vector = vector
+        self._fallback = fallback
+        self.spec = spec
+        self.shards = shards  # live (un-pruned) shards, ascending
+        self.shard_scan = ShardScan(table, spec.count, len(shards))
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        return list(self.rows(txn))
+
+    def rows(self, txn: Transaction) -> Iterator[dict[str, Any]]:
+        registry = metrics.get_registry()
+        pruned = self.spec.count - len(self.shards)
+        registry.inc("parallel.shards.scanned", len(self.shards))
+        registry.inc("parallel.shards.pruned", pruned)
+        prof = self.profile
+        if prof is not None:
+            prof.shards_total += self.spec.count
+            prof.shards_pruned += pruned
+        if not self.shards:
+            return iter(())
+        units_by_shard = txn.sharded_scan_units(self.table)
+        shard_tasks: dict[int, list[ScanChunkTask]] = {}
+        total_rows = 0
+        for shard in self.shards:
+            units, skipped = _preprune_units(units_by_shard[shard],
+                                             self._vector, registry)
+            self.shard_scan.absorb_prepruned(skipped)
+            total_rows += sum(u.count if kind == "segment" else len(u)
+                              for kind, u in units)
+            chunks = _chunk_shard_units(units)
+            if chunks:
+                shard_tasks[shard] = [
+                    ScanChunkTask(self.table, shard, chunk, self.conjuncts,
+                                  self._vector, self._fallback)
+                    for chunk in chunks
+                ]
+        if not shard_tasks:
+            return iter(())
+        # Round-robin interleave so the bounded in-flight window serves
+        # every shard — the merge needs each shard's head chunk early.
+        ordered = [shard_tasks[s] for s in sorted(shard_tasks)]
+        flat = [t for group in zip_longest(*ordered)
+                for t in group if t is not None]
+        backend = getattr(txn._db, "exec_backend", None)
+        if _should_inline(flat, total_rows):
+            backend = None
+        stream = zip(flat, _backend_stream(backend, run_scan_chunk, flat))
+        return self._merged(stream, sorted(shard_tasks))
+
+    def _merged(self, stream: Iterator[tuple[ScanChunkTask, dict]],
+                live: list[int]) -> Iterator[dict[str, Any]]:
+        buffers: dict[int, deque] = {s: deque() for s in live}
+        started: set[int] = set()
+        shard_scan = self.shard_scan
+
+        def absorb(task: ScanChunkTask, result: dict[str, Any]) -> None:
+            new = task.shard not in started
+            started.add(task.shard)
+            shard_scan.absorb(result, new)
+            buffers[task.shard].append(result["rows"])
+
+        def shard_rows(shard: int) -> Iterator[dict[str, Any]]:
+            # Generators share the result stream: whichever the merge
+            # pulls next drains it into the per-shard buffers until its
+            # own chunk arrives.  Only shards WITH tasks get generators,
+            # so no generator can be forced to drain the whole stream.
+            with get_tracer().span("rdbms.shard_scan", table=self.table,
+                                   shard=shard):
+                buf = buffers[shard]
+                while True:
+                    if buf:
+                        yield from buf.popleft()
+                        continue
+                    try:
+                        task, result = next(stream)
+                    except StopIteration:
+                        return
+                    absorb(task, result)
+
+        return heapq.merge(*(shard_rows(s) for s in live),
+                           key=lambda r: r["__rid__"])
+
+    def children(self) -> list[_planner.PlanNode]:
+        return [self.shard_scan]
+
+    def label(self) -> str:
+        pred = _planner.render_predicate(_planner.conjoin(self.conjuncts)) \
+            if self.conjuncts else "TRUE"
+        return (f"ParallelScan({self.table}, pred={pred}, "
+                f"shards={len(self.shards)}/{self.spec.count})")
+
+
+# ------------------------------------------------------- parallel aggregate
+
+
+@dataclass
+class AggShardTask:
+    """One shard's partial-aggregation work."""
+
+    stmt: SelectStatement
+    table: str
+    shard: int
+    units: list[tuple[str, Any]]
+    conjuncts: list[Any]
+    vector: list[Any]
+    fallback: list[Any]
+
+
+def run_agg_shard(task: AggShardTask) -> dict[str, Any]:
+    """Worker: fold one shard into a partial accumulator state."""
+    t0 = perf_counter()
+    registry = metrics.get_registry()
+    surrogate = _planner.SegmentScan(task.table, task.conjuncts,
+                                     task.vector, task.fallback)
+    agg = _planner.VectorizedAggregate(task.stmt, surrogate)
+    prof = _planner.OperatorProfile()
+    agg.profile = prof
+    state: dict[tuple, list[list[Any]]] = {}
+    rows = 0
+    for kind, unit in task.units:
+        if kind == "rows":
+            pred = surrogate._full
+            for rid, values in unit:
+                r = dict(values)
+                r["__rid__"] = rid
+                if pred is None or eval_predicate(pred, r):
+                    agg._accumulate_row(state, r)
+                    rows += 1
+            continue
+        rows += agg.accumulate_segment(state, unit, registry)
+    return {"shard": task.shard, "state": state, "rows": rows,
+            "seconds": perf_counter() - t0,
+            "scanned": prof.segments_scanned,
+            "skipped": prof.segments_skipped}
+
+
+class ParallelAggregate:
+    """Partial per-shard aggregation merged coordinator-side.
+
+    Duck-types :class:`~repro.storage.rdbms.planner.VectorizedAggregate`
+    for ``SelectPlan`` (``execute(txn)``, ``profile``, ``render_name``).
+    Each live shard folds its rows into a partial accumulator state with
+    the exact VectorizedAggregate kernels; the coordinator merges states
+    in ascending shard order and finalizes with the shared ``_finalize``
+    (same output ordering).  :func:`plan_parallel_aggregate` type-gates
+    the statement so merged folds are exact — see there.
+    """
+
+    render_name = "ParallelAggregate"
+
+    #: set per-instance by ``SelectPlan.enable_profiling``
+    profile: _planner.OperatorProfile | None = None
+
+    def __init__(self, stmt: SelectStatement, source: ParallelScan,
+                 inner: "_planner.VectorizedAggregate") -> None:
+        self.stmt = stmt
+        self.source = source
+        self.inner = inner  # accumulation/finalize kernels + item specs
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        source = self.source
+        registry = metrics.get_registry()
+        pruned = source.spec.count - len(source.shards)
+        registry.inc("parallel.shards.scanned", len(source.shards))
+        registry.inc("parallel.shards.pruned", pruned)
+        if self.profile is not None:
+            self.profile.shards_total += source.spec.count
+            self.profile.shards_pruned += pruned
+        merged: dict[tuple, list[list[Any]]] = {}
+        if source.shards:
+            units_by_shard = txn.sharded_scan_units(source.table)
+            shard_scan = source.shard_scan
+            tasks = []
+            total_rows = 0
+            for shard in source.shards:
+                units, skipped = _preprune_units(units_by_shard[shard],
+                                                 source._vector, registry)
+                shard_scan.absorb_prepruned(skipped)
+                total_rows += sum(u.count if kind == "segment" else len(u)
+                                  for kind, u in units)
+                if units:
+                    tasks.append(AggShardTask(
+                        self.stmt, source.table, shard, units,
+                        source.conjuncts, source._vector,
+                        source._fallback))
+            backend = getattr(txn._db, "exec_backend", None)
+            if _should_inline(tasks, total_rows):
+                backend = None
+            for result in _backend_stream(backend, run_agg_shard, tasks):
+                shard_scan.absorb(result, new_shard=True, rows_key="rows")
+                self._merge_states(merged, result["state"])
+        return self.inner._finalize(merged)
+
+    def _merge_states(self, merged: dict, partial: dict) -> None:
+        agg_items = self.inner._agg_items
+        for key, accs in partial.items():
+            dst = merged.get(key)
+            if dst is None:
+                merged[key] = accs
+                continue
+            for dacc, sacc, (_, func, _) in zip(dst, accs, agg_items):
+                if func == "count":
+                    dacc[0] += sacc[0]
+                elif func in ("sum", "avg"):
+                    dacc[0] += sacc[0]
+                    dacc[1] += sacc[1]
+                elif sacc[0]:  # min / max, source has a value
+                    if not dacc[0]:
+                        dacc[0], dacc[1] = True, sacc[1]
+                    elif func == "min":
+                        if sacc[1] < dacc[1]:
+                            dacc[1] = sacc[1]
+                    elif sacc[1] > dacc[1]:
+                        dacc[1] = sacc[1]
+
+
+def plan_parallel_aggregate(stmt: SelectStatement, schema: Any,
+                            node: ParallelScan) -> ParallelAggregate | None:
+    """A :class:`ParallelAggregate` when partial→final merging is exact.
+
+    On top of the vectorized-aggregate gating, the parallel form requires
+    order-insensitive folds: FLOAT group keys are out (``-0.0``/NaN key
+    objects depend on which shard inserts first), FLOAT SUM/AVG are out
+    (float addition is non-associative; the serial fold order is the
+    oracle), and FLOAT MIN/MAX are out (NaN comparisons make first-value
+    -wins order-dependent).  COUNT takes anything; SUM/AVG over INT/BOOL
+    are exact integer arithmetic; MIN/MAX over INT/BOOL/TEXT are total
+    orders.  Gated statements return None — the caller keeps the
+    ParallelScan as a row source and the serial aggregate replays the
+    naive fold over globally rid-ordered rows.
+    """
+    surrogate = _planner.SegmentScan(node.table, node.conjuncts,
+                                     node._vector, node._fallback)
+    inner = _planner.plan_vector_aggregate(stmt, schema, surrogate)
+    if inner is None:
+        return None
+    for g in stmt.group_by:
+        if schema.column(g.name).col_type == ColumnType.FLOAT:
+            return None
+    for item in stmt.items:
+        expr = item.expr
+        if not isinstance(expr, Aggregate) or expr.column is None:
+            continue
+        if expr.func == "count":
+            continue
+        col_type = schema.column(expr.column.name).col_type
+        if expr.func in ("sum", "avg"):
+            if col_type not in (ColumnType.INT, ColumnType.BOOL):
+                return None
+        elif col_type == ColumnType.FLOAT:  # min / max
+            return None
+    return ParallelAggregate(stmt, node, inner)
+
+
+# ------------------------------------------------------------ parallel join
+
+
+@dataclass
+class JoinShardTask:
+    """One shard's join work.
+
+    Exactly one of ``left_units``/``left_rows`` is set per side: units
+    mean the side fans out (scan this shard's units under the side's
+    raw conjuncts), rows mean the side was broadcast (already planned
+    and executed coordinator-side).
+    """
+
+    left_table: str
+    right_table: str
+    left_col: str
+    right_col: str
+    shard: int
+    left_units: list[tuple[str, Any]] | None
+    left_rows: list[dict[str, Any]] | None
+    left_conjuncts: list[Any]
+    left_vector: list[Any]
+    left_fallback: list[Any]
+    right_units: list[tuple[str, Any]] | None
+    right_rows: list[dict[str, Any]] | None
+    right_conjuncts: list[Any]
+    right_vector: list[Any]
+    right_fallback: list[Any]
+
+
+def run_join_shard(task: JoinShardTask) -> dict[str, Any]:
+    """Worker: hash-join one shard, output sorted by (left rid, right rid)."""
+    t0 = perf_counter()
+    registry = metrics.get_registry()
+    scanned = skipped = 0
+    if task.left_units is not None:
+        left_rows, s, k = _scan_units(task.left_units, task.left_conjuncts,
+                                      task.left_vector, task.left_fallback,
+                                      registry)
+        scanned += s
+        skipped += k
+    else:
+        left_rows = task.left_rows or []
+    if task.right_units is not None:
+        right_rows, s, k = _scan_units(task.right_units,
+                                       task.right_conjuncts,
+                                       task.right_vector,
+                                       task.right_fallback, registry)
+        scanned += s
+        skipped += k
+    else:
+        right_rows = task.right_rows or []
+    buckets: dict[Any, list[dict[str, Any]]] = {}
+    for rrow in right_rows:
+        key = rrow.get(task.right_col)
+        if key is not None:
+            buckets.setdefault(key, []).append(rrow)
+    pairs: list[tuple[tuple[int, int], dict[str, Any]]] = []
+    for lrow in left_rows:
+        key = lrow.get(task.left_col)
+        if key is None:
+            continue
+        for rrow in buckets.get(key, ()):
+            pairs.append(
+                ((lrow["__rid__"], rrow["__rid__"]),
+                 _planner._combine(task.left_table, lrow,
+                                   task.right_table, rrow))
+            )
+    pairs.sort(key=lambda p: p[0])
+    return {"shard": task.shard, "pairs": pairs, "rows": len(pairs),
+            "left_n": len(left_rows), "right_n": len(right_rows),
+            "seconds": perf_counter() - t0,
+            "scanned": scanned, "skipped": skipped}
+
+
+@dataclass
+class _JoinSide:
+    """Plan-time description of one join input."""
+
+    table: str
+    col: str
+    conjuncts: list[Any]
+    vector: list[Any]
+    fallback: list[Any]
+    fan: bool  # fans over its shards vs broadcast to every task
+    node: _planner.PlanNode | None  # planned node for the broadcast side
+
+
+class ParallelHashJoin(_planner.PlanNode):
+    """Equi-join fanned out per shard on the execution backend.
+
+    ``mode='co'``: both inputs are sharded on their join column with
+    equal shard counts, so matching keys are guaranteed to live in the
+    same shard index (the canonical key encoding folds ``1``/``1.0``/
+    ``True`` together exactly like SQL ``=``) and each shard joins
+    locally.  ``mode='broadcast'``: only the fan side is partitioned;
+    the other side's planned subtree executes once coordinator-side and
+    its rows ship to every shard task.  Worker output is sorted by
+    (left rid, right rid) and the coordinator heap-merges the per-shard
+    lists — byte-identical to :class:`HashJoin`, whose output is always
+    in that order regardless of build side.
+    """
+
+    def __init__(self, left: _JoinSide, right: _JoinSide, mode: str,
+                 spec_count: int, shards: list[int]) -> None:
+        self.left = left
+        self.right = right
+        self.mode = mode  # 'co' | 'broadcast'
+        self.spec_count = spec_count
+        self.shards = shards
+        self.shard_scans = [
+            ShardScan(side.table, spec_count, len(shards), side=name)
+            for name, side in (("left", left), ("right", right)) if side.fan
+        ]
+
+    def execute(self, txn: Transaction) -> list[dict[str, Any]]:
+        registry = metrics.get_registry()
+        pruned = self.spec_count - len(self.shards)
+        registry.inc("parallel.shards.scanned", len(self.shards))
+        registry.inc("parallel.shards.pruned", pruned)
+        prof = self.profile
+        if prof is not None:
+            prof.shards_total += self.spec_count
+            prof.shards_pruned += pruned
+        if not self.shards:
+            return []
+        left_units = txn.sharded_scan_units(self.left.table) \
+            if self.left.fan else None
+        right_units = txn.sharded_scan_units(self.right.table) \
+            if self.right.fan else None
+        left_rows = self.left.node.execute(txn) \
+            if not self.left.fan else None
+        right_rows = self.right.node.execute(txn) \
+            if not self.right.fan else None
+        fan_scans = iter(self.shard_scans)
+        left_scan = next(fan_scans) if self.left.fan else None
+        right_scan = next(fan_scans) if self.right.fan else None
+        tasks = []
+        for shard in self.shards:
+            lu = ru = None
+            if left_units is not None:
+                lu, skipped = _preprune_units(left_units[shard],
+                                              self.left.vector, registry)
+                left_scan.absorb_prepruned(skipped)
+            if right_units is not None:
+                ru, skipped = _preprune_units(right_units[shard],
+                                              self.right.vector, registry)
+                right_scan.absorb_prepruned(skipped)
+            if (lu is not None and not lu) or (ru is not None and not ru):
+                continue  # an empty fanned side joins to nothing
+            tasks.append(JoinShardTask(
+                self.left.table, self.right.table, self.left.col,
+                self.right.col, shard,
+                lu, left_rows, self.left.conjuncts, self.left.vector,
+                self.left.fallback,
+                ru, right_rows, self.right.conjuncts, self.right.vector,
+                self.right.fallback))
+        backend = getattr(txn._db, "exec_backend", None)
+        if len(tasks) == 1:  # one shard task: nothing to parallelize
+            backend = None
+        fan_keys = [key for key, side in (("left_n", self.left),
+                                          ("right_n", self.right))
+                    if side.fan]  # same order as self.shard_scans
+        shard_lists: list[list[tuple[tuple[int, int], dict[str, Any]]]] = []
+        for result in _backend_stream(backend, run_join_shard, tasks):
+            for scan, key in zip(self.shard_scans, fan_keys):
+                scan.absorb(result, new_shard=True, rows_key=key)
+            shard_lists.append(result["pairs"])
+        merged = heapq.merge(*shard_lists, key=lambda p: p[0])
+        return [row for _, row in merged]
+
+    def children(self) -> list[_planner.PlanNode]:
+        out: list[_planner.PlanNode] = list(self.shard_scans)
+        for side in (self.left, self.right):
+            if side.node is not None and not side.fan:
+                out.append(side.node)
+        return out
+
+    def label(self) -> str:
+        if self.mode == "co":
+            detail = "co-partitioned"
+        else:
+            fan = "left" if self.left.fan else "right"
+            detail = f"broadcast={'right' if fan == 'left' else 'left'}"
+        return (f"ParallelHashJoin({self.left.table}.{self.left.col} = "
+                f"{self.right.table}.{self.right.col}, {detail}, "
+                f"shards={len(self.shards)}/{self.spec_count})")
+
+
+def plan_parallel_join(planner: "_planner.Planner", stmt: SelectStatement,
+                       left_table: str, right_table: str,
+                       left_col: str, right_col: str,
+                       left_conjuncts: list[Any],
+                       right_conjuncts: list[Any],
+                       left_node: _planner.PlanNode,
+                       right_node: _planner.PlanNode,
+                       left_est: float, right_est: float,
+                       hash_join: _planner.PlanNode) \
+        -> ParallelHashJoin | None:
+    """A :class:`ParallelHashJoin` when at least one input is sharded and
+    the database carries a backend; None keeps the serial HashJoin."""
+    db = planner._db
+    if getattr(db, "exec_backend", None) is None:
+        return None
+    lspec = db._table(left_table).shard_spec
+    rspec = db._table(right_table).shard_spec
+    lschema = db._table(left_table).schema
+    rschema = db._table(right_table).schema
+
+    def side(table, col, conjuncts, schema, fan, node):
+        vector, fallback = _planner._split_vectorizable(
+            conjuncts, schema, table)
+        return _JoinSide(table, col, list(conjuncts), vector, fallback,
+                         fan, None if fan else node)
+
+    co = (lspec is not None and rspec is not None
+          and lspec.count == rspec.count and lspec.count > 1
+          and lspec.key == left_col and rspec.key == right_col)
+    if co:
+        shards = sorted(
+            set(allowed_shards(left_conjuncts, lspec, left_table))
+            & set(allowed_shards(right_conjuncts, rspec, right_table)))
+        node = ParallelHashJoin(
+            side(left_table, left_col, left_conjuncts, lschema, True, None),
+            side(right_table, right_col, right_conjuncts, rschema, True,
+                 None),
+            "co", lspec.count, shards)
+    else:
+        # Broadcast: fan over a sharded side; when both are sharded but
+        # not co-partitioned, broadcast the statistics-smaller side.
+        left_ok = lspec is not None and lspec.count > 1
+        right_ok = rspec is not None and rspec.count > 1
+        if left_ok and right_ok:
+            fan_left = left_est >= right_est
+        elif left_ok or right_ok:
+            fan_left = left_ok
+        else:
+            return None
+        if fan_left:
+            spec = lspec
+            shards = allowed_shards(left_conjuncts, lspec, left_table)
+        else:
+            spec = rspec
+            shards = allowed_shards(right_conjuncts, rspec, right_table)
+        node = ParallelHashJoin(
+            side(left_table, left_col, left_conjuncts, lschema,
+                 fan_left, left_node),
+            side(right_table, right_col, right_conjuncts, rschema,
+                 not fan_left, right_node),
+            "broadcast", spec.count, shards)
+    node.est_rows = hash_join.est_rows
+    node.cost = hash_join.cost
+    for scan in node.shard_scans:
+        scan.est_rows = node.est_rows
+    return node

@@ -371,7 +371,8 @@ class OperatorProfile:
     """
 
     __slots__ = ("rows", "loops", "seconds", "sample_seconds", "sample_rows",
-                 "segments_scanned", "segments_skipped", "index_probes")
+                 "segments_scanned", "segments_skipped", "index_probes",
+                 "shards_total", "shards_pruned")
 
     def __init__(self) -> None:
         self.rows = 0
@@ -382,6 +383,8 @@ class OperatorProfile:
         self.segments_scanned = 0
         self.segments_skipped = 0
         self.index_probes = 0
+        self.shards_total = 0
+        self.shards_pruned = 0
 
     def actual_seconds(self) -> float:
         """Wall time: exact when timed whole, scaled when sampled."""
@@ -401,6 +404,10 @@ class OperatorProfile:
         if self.segments_scanned or self.segments_skipped:
             parts.append(f"segments={self.segments_scanned} "
                          f"pruned={self.segments_skipped}")
+        if self.shards_total:
+            parts.append(
+                f"shards={self.shards_total - self.shards_pruned}"
+                f"/{self.shards_total} pruned={self.shards_pruned}")
         return " ".join(parts)
 
     def as_dict(self) -> dict[str, Any]:
@@ -411,6 +418,8 @@ class OperatorProfile:
             "segments_scanned": self.segments_scanned,
             "segments_skipped": self.segments_skipped,
             "index_probes": self.index_probes,
+            "shards_total": self.shards_total,
+            "shards_pruned": self.shards_pruned,
         }
 
 
@@ -469,7 +478,13 @@ def attach_profiles(node: "PlanNode") -> None:
     """
     prof = OperatorProfile()
     node.profile = prof
-    if isinstance(node, (FullScan, SegmentScan, Filter)):
+    if node.profiled_manual:
+        # The operator fills its own profile (e.g. ShardScan actuals are
+        # summed from per-shard worker stats by the coordinator): no
+        # wrapper — a fully pruned node keeps an untouched profile, which
+        # describe() renders as "never executed".
+        pass
+    elif node.profiled_streaming:
         node.rows = _profiled_rows(node.rows, prof)  # type: ignore[method-assign]
     else:
         node.execute = _profiled_execute(node.execute, prof)  # type: ignore[method-assign]
@@ -489,6 +504,13 @@ class PlanNode:
     cost: float = 0.0
     #: set per-instance by :func:`attach_profiles` under EXPLAIN ANALYZE
     profile: OperatorProfile | None = None
+    #: class flags steering :func:`attach_profiles`: streaming operators
+    #: wrap ``rows`` (sampled timing); manual operators fill their own
+    #: profile (per-shard worker actuals); everything else wraps
+    #: ``execute``.  Class attributes so operators defined in other
+    #: modules (parallel.py) opt in without an isinstance list here.
+    profiled_streaming: bool = False
+    profiled_manual: bool = False
 
     def execute(self, txn: Transaction) -> list[dict[str, Any]]:
         raise NotImplementedError
@@ -524,6 +546,8 @@ def _row_dict(row) -> dict[str, Any]:
 
 class FullScan(PlanNode):
     """Read every row of a heap table (rid order), streaming."""
+
+    profiled_streaming = True
 
     def __init__(self, table: str) -> None:
         self.table = table
@@ -605,6 +629,8 @@ class SegmentScan(PlanNode):
     conjuncts (NOT/OR, column-to-column) run row-at-a-time on survivors;
     tail rows run through the ordinary row evaluator.
     """
+
+    profiled_streaming = True
 
     def __init__(self, table: str, conjuncts: list[Any],
                  vector_conjuncts: list[Any],
@@ -696,6 +722,8 @@ def _segment_selection(segment: Segment,
 
 class Filter(PlanNode):
     """Apply a (residual or pushed) predicate to the child's rows."""
+
+    profiled_streaming = True
 
     def __init__(self, predicate: Any, child: PlanNode,
                  role: str = "filter") -> None:
@@ -894,7 +922,6 @@ class VectorizedAggregate:
         state: dict[tuple, list[list[Any]]] = {}
         source = self.source
         registry = metrics.get_registry()
-        prof = self.profile
         for kind, unit in txn.scan_units(source.table):
             if kind == "rows":
                 pred = source._full
@@ -903,37 +930,51 @@ class VectorizedAggregate:
                     if pred is None or eval_predicate(pred, r):
                         self._accumulate_row(state, r)
                 continue
-            segment = unit
-            if segment.count == 0:
-                continue
-            if any(_zone_map_prunes(segment, c) for c in source._vector):
-                registry.inc("segments.skipped")
-                if prof is not None:
-                    prof.segments_skipped += 1
-                continue
-            registry.inc("segments.scanned")
-            if prof is not None:
-                prof.segments_scanned += 1
-            selected = _segment_selection(segment, source._vector)
-            if selected is None:
-                for rid, values in segment.iter_rows():
-                    values["__rid__"] = rid
-                    if source._full is None \
-                            or eval_predicate(source._full, values):
-                        self._accumulate_row(state, values)
-                continue
-            if source._fallback is not None:
-                for pos in selected:
-                    values = segment.row_values(pos)
-                    values["__rid__"] = segment.rids[pos]
-                    if eval_predicate(source._fallback, values):
-                        self._accumulate_row(state, values)
-                continue
-            if self._group_names:
-                self._accumulate_grouped(state, segment, selected)
-            else:
-                self._accumulate_global(state, segment, selected)
+            self.accumulate_segment(state, unit, registry)
         return self._finalize(state)
+
+    def accumulate_segment(self, state: dict, segment: Segment,
+                           registry) -> int:
+        """Fold one segment into ``state`` (prune → bitmaps → accumulate);
+        returns the number of rows accumulated.  Shared with the per-shard
+        parallel aggregation workers in
+        :mod:`repro.storage.rdbms.parallel`."""
+        source = self.source
+        prof = self.profile
+        if segment.count == 0:
+            return 0
+        if any(_zone_map_prunes(segment, c) for c in source._vector):
+            registry.inc("segments.skipped")
+            if prof is not None:
+                prof.segments_skipped += 1
+            return 0
+        registry.inc("segments.scanned")
+        if prof is not None:
+            prof.segments_scanned += 1
+        selected = _segment_selection(segment, source._vector)
+        if selected is None:
+            n = 0
+            for rid, values in segment.iter_rows():
+                values["__rid__"] = rid
+                if source._full is None \
+                        or eval_predicate(source._full, values):
+                    self._accumulate_row(state, values)
+                    n += 1
+            return n
+        if source._fallback is not None:
+            n = 0
+            for pos in selected:
+                values = segment.row_values(pos)
+                values["__rid__"] = segment.rids[pos]
+                if eval_predicate(source._fallback, values):
+                    self._accumulate_row(state, values)
+                    n += 1
+            return n
+        if self._group_names:
+            self._accumulate_grouped(state, segment, selected)
+        else:
+            self._accumulate_global(state, segment, selected)
+        return len(selected)
 
     # ----------------------------------------------------- accumulation
 
@@ -1267,7 +1308,9 @@ class SelectPlan:
             keys = ", ".join(g.key() for g in stmt.group_by) or "()"
             items = ", ".join(i.key() for i in stmt.items) or "*"
             if self.vector is not None:
-                push(f"VectorizedAggregate(group_by=[{keys}], "
+                label = getattr(self.vector, "render_name",
+                                "VectorizedAggregate")
+                push(f"{label}(group_by=[{keys}], "
                      f"items=[{items}])", self.vector.profile)
             else:
                 push(f"Aggregate(group_by=[{keys}], items=[{items}])",
@@ -1397,6 +1440,10 @@ class Planner:
         best = min(choices, key=lambda c: (c.cost, c.rank))
         best.node.est_rows = best.est_rows
         best.node.cost = best.cost
+        parallel = self._maybe_parallel_access(table, conjuncts, best.node)
+        if parallel is not None:
+            registry.inc("planner.plans.parallel_scan")
+            return parallel, []
         if isinstance(best.node, FullScan):
             registry.inc("planner.plans.full_scan")
         elif isinstance(best.node, IndexLookup):
@@ -1406,6 +1453,41 @@ class Planner:
         else:
             registry.inc("planner.plans.range_scan")
         return best.node, _remove(conjuncts, best.consumed)
+
+    def _maybe_parallel_access(self, table: str, conjuncts: list[Any],
+                               chosen: PlanNode) -> PlanNode | None:
+        """Replace a chosen scan with a :class:`~repro.storage.rdbms
+        .parallel.ParallelScan` when the table is sharded and the
+        database carries an execution backend.  Index point lookups are
+        kept — the PR 5 fast path beats fan-out for tiny row counts.
+        The parallel node consumes ALL conjuncts (workers apply the full
+        predicate), so callers get an empty residual."""
+        backend = getattr(self._db, "exec_backend", None)
+        if backend is None:
+            return None
+        heap = self._db._table(table)
+        spec = heap.shard_spec
+        if spec is None or spec.count <= 1:
+            return None
+        if isinstance(chosen, IndexLookup):
+            return None
+        from repro.storage.rdbms.parallel import ParallelScan, allowed_shards
+
+        schema = heap.schema
+        vector, fallback = _split_vectorizable(conjuncts, schema, table)
+        shards = allowed_shards(conjuncts, spec, table)
+        node = ParallelScan(table, list(conjuncts), vector, fallback,
+                            spec, shards)
+        node.est_rows = chosen.est_rows if not isinstance(chosen, FullScan) \
+            else self._filtered_estimate(table, chosen.est_rows, conjuncts)
+        # Fan-out splits the chosen scan's work across shards; pruning
+        # drops the pinned-away fraction entirely.
+        node.cost = chosen.cost * (len(shards) / spec.count) \
+            / min(getattr(backend, "max_workers", 1) or 1, spec.count or 1) \
+            + _PROBE_COST
+        node.shard_scan.est_rows = node.est_rows
+        node.shard_scan.cost = node.cost
+        return node
 
     @staticmethod
     def _range_bounds(
@@ -1535,6 +1617,14 @@ class Planner:
             if candidate is not None and candidate.cost < best.cost:
                 best = candidate
         if isinstance(best, HashJoin):
+            from repro.storage.rdbms.parallel import plan_parallel_join
+            parallel = plan_parallel_join(
+                self, stmt, left_table, right_table, left_col, right_col,
+                left_conjuncts, right_conjuncts, left_node, right_node,
+                left_est, right_est, best)
+            if parallel is not None:
+                registry.inc("planner.plans.parallel_join")
+                return parallel, residual
             registry.inc("planner.plans.hash_join")
         else:
             registry.inc("planner.plans.index_nested_loop_join")
@@ -1599,6 +1689,16 @@ class Planner:
                 stmt, self._db._table(stmt.table).schema, node)
             if vector is not None:
                 registry.inc("planner.plans.vectorized_agg")
+        elif aggregate_stage and stmt.join_table is None:
+            from repro.storage.rdbms.parallel import (
+                ParallelScan,
+                plan_parallel_aggregate,
+            )
+            if isinstance(node, ParallelScan):
+                vector = plan_parallel_aggregate(
+                    stmt, self._db._table(stmt.table).schema, node)
+                if vector is not None:
+                    registry.inc("planner.plans.parallel_agg")
         use_topk = (
             stmt.order_by is not None and stmt.limit is not None
             and not stmt.group_by and not has_aggregates

@@ -180,21 +180,30 @@ class ColumnSegment:
 
 
 class Segment:
-    """An immutable, rid-sorted slice of a table in columnar layout."""
+    """An immutable, rid-sorted slice of a table in columnar layout.
 
-    __slots__ = ("schema", "rids", "columns", "count")
+    ``shard`` tags segments of sharded tables (DESIGN.md §14): a sharded
+    table's segments hold rows of exactly one shard, so parallel plans can
+    hand whole segments to per-shard worker tasks without re-routing rows.
+    ``None`` means the table was unsharded when the segment was frozen.
+    """
+
+    __slots__ = ("schema", "rids", "columns", "count", "shard")
 
     def __init__(self, schema: TableSchema, rids: array,
-                 columns: dict[str, ColumnSegment]) -> None:
+                 columns: dict[str, ColumnSegment],
+                 shard: int | None = None) -> None:
         self.schema = schema
         self.rids = rids  # array('q'), ascending
         self.columns = columns
         self.count = len(rids)
+        self.shard = shard
 
     @staticmethod
     def from_rows(schema: TableSchema,
                   items: list[tuple[int, dict[str, Any]]],
-                  dict_max: int = DICT_MAX_ENTRIES) -> "Segment":
+                  dict_max: int = DICT_MAX_ENTRIES,
+                  shard: int | None = None) -> "Segment":
         """Freeze ``(rid, values)`` pairs into a segment (rid-sorted)."""
         items = sorted(items, key=lambda kv: kv[0])
         rids = array("q", (rid for rid, _ in items))
@@ -203,7 +212,7 @@ class Segment:
             values = [values_dict.get(col.name) for _, values_dict in items]
             columns[col.name] = ColumnSegment.encode(
                 col.name, col.col_type, values, dict_max=dict_max)
-        return Segment(schema, rids, columns)
+        return Segment(schema, rids, columns, shard=shard)
 
     # -------------------------------------------------------------- access
 

@@ -1,0 +1,78 @@
+"""Seed-stable hash-shard routing for heap tables (DESIGN.md §14).
+
+A sharded table assigns every row to one of ``count`` shards by hashing
+the row's *shard key* column.  Two properties matter and both rule out
+the builtin ``hash()``:
+
+* **seed stability** — shard assignment must be identical across
+  processes and ``PYTHONHASHSEED`` values, because process-pool workers
+  and WAL replay after a restart must agree with the coordinator on
+  which rows live where.  ``zlib.crc32`` over canonically-encoded key
+  bytes is deterministic everywhere.
+* **SQL equality semantics** — routing must agree with predicate
+  evaluation: ``col = 1`` matches the stored values ``1``, ``1.0`` and
+  ``True`` (python ``==``), so all numerics that compare equal must
+  encode to the same bytes.  Integral floats collapse to their int
+  (which also folds ``-0.0`` into ``0``), bools collapse to 0/1, and
+  strings live in a separate namespace so ``1`` and ``'1'`` stay apart.
+
+Without this, shard *pruning* (skipping shards a point predicate cannot
+reach) would silently drop matching rows.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+
+def canonical_key_bytes(value: Any) -> bytes:
+    """Bytes whose equality matches SQL ``=`` on the underlying values."""
+    if value is None:
+        return b"\x00null"
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float):
+        if value != value:  # NaN never equals anything, any bucket works
+            return b"f:nan"
+        if value.is_integer():  # 1.0 == 1, -0.0 == 0
+            value = int(value)
+        else:
+            return b"f:" + repr(value).encode("ascii")
+    if isinstance(value, int):
+        return b"i:" + str(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8")
+    return b"r:" + repr(value).encode("utf-8", "backslashreplace")
+
+
+def shard_of_value(value: Any, shard_count: int) -> int:
+    """The shard a key value routes to: ``crc32(canonical bytes) % n``."""
+    if shard_count <= 1:
+        return 0
+    return zlib.crc32(canonical_key_bytes(value)) % shard_count
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A table's sharding declaration: hash of ``key`` into ``count``."""
+
+    key: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("shard key must be a column name")
+        if self.count < 1:
+            raise ValueError("shard count must be >= 1")
+
+    def shard_of(self, value: Any) -> int:
+        return shard_of_value(value, self.count)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"key": self.key, "count": self.count}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ShardSpec":
+        return ShardSpec(key=data["key"], count=int(data["count"]))

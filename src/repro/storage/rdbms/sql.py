@@ -67,6 +67,7 @@ _KEYWORDS = frozenset(
         "set", "delete", "create", "table", "primary", "key", "asc", "desc",
         "join", "on", "count", "sum", "avg", "min", "max", "true", "false",
         "distinct", "as", "having", "explain", "analyze", "alter", "compact",
+        "shard", "shards", "reshard",
     }
 )
 
@@ -245,9 +246,12 @@ class DeleteStatement:
 
 @dataclass
 class CreateTableStatement:
-    """A parsed CREATE TABLE carrying the schema."""
+    """A parsed CREATE TABLE carrying the schema and optional
+    ``SHARD BY (col) SHARDS n`` partitioning clause."""
 
     schema: TableSchema
+    shard_key: str | None = None
+    shard_count: int = 1
 
 
 @dataclass
@@ -266,6 +270,16 @@ class CompactStatement:
     into columnar segments (runs in its own transaction, like DDL)."""
 
     table: str
+
+
+@dataclass
+class ReshardStatement:
+    """A parsed ``ALTER TABLE <t> RESHARD BY (col) SHARDS n``: change
+    the table's hash-partitioning layout (runs like DDL, WAL-covered)."""
+
+    table: str
+    shard_key: str
+    shard_count: int
 
 
 # -------------------------------------------------------------------- parser
@@ -357,14 +371,36 @@ class _Parser:
             raise SqlError("EXPLAIN supports SELECT statements only")
         return ExplainStatement(self._parse_select(), analyze=analyze)
 
-    def _parse_alter(self) -> CompactStatement:
+    def _parse_alter(self) -> "CompactStatement | ReshardStatement":
         self._expect_keyword("alter")
         self._expect_keyword("table")
         table = self._identifier()
+        if self._at_keyword("reshard"):
+            self._next()
+            key, count = self._parse_shard_clause(by_consumed=False)
+            if self._peek().kind != "eof":
+                raise SqlError(f"trailing input: {self._peek().text!r}")
+            return ReshardStatement(table, key, count)
         self._expect_keyword("compact")
         if self._peek().kind != "eof":
             raise SqlError(f"trailing input: {self._peek().text!r}")
         return CompactStatement(table)
+
+    def _parse_shard_clause(self, by_consumed: bool) -> tuple[str, int]:
+        """``BY ( col ) SHARDS n`` (the SHARD/RESHARD word is consumed
+        by the caller)."""
+        if not by_consumed:
+            self._expect_keyword("by")
+        self._expect_op("(")
+        key = self._identifier()
+        self._expect_op(")")
+        self._expect_keyword("shards")
+        token = self._next()
+        if token.kind != "number" or not isinstance(token.value, int) \
+                or token.value < 1:
+            raise SqlError(f"SHARDS expects a positive integer, "
+                           f"got {token.text!r}")
+        return key, token.value
 
     def _parse_select(self) -> SelectStatement:
         self._expect_keyword("select")
@@ -534,7 +570,15 @@ class _Parser:
                 continue
             break
         self._expect_op(")")
-        return CreateTableStatement(TableSchema(name, tuple(columns), primary_key))
+        shard_key: str | None = None
+        shard_count = 1
+        if self._at_keyword("shard"):
+            self._next()
+            shard_key, shard_count = self._parse_shard_clause(
+                by_consumed=False)
+        return CreateTableStatement(
+            TableSchema(name, tuple(columns), primary_key),
+            shard_key=shard_key, shard_count=shard_count)
 
     # -- predicates
 
@@ -831,7 +875,8 @@ class _Executor:
                 self._txn.delete(stmt.table, row["__rid__"])
             return [{"deleted": len(rows)}]
         if isinstance(stmt, CreateTableStatement):
-            self._db.create_table(stmt.schema)
+            self._db.create_table(stmt.schema, shard_key=stmt.shard_key,
+                                  shard_count=stmt.shard_count)
             return [{"created": stmt.schema.name}]
         raise SqlError(f"cannot execute {stmt!r}")
 
@@ -995,6 +1040,14 @@ class _Executor:
                 if keys:
                     mgr.record_predicate_feedback(
                         node.table, keys, node.est_rows, prof.rows)
+            else:
+                from repro.storage.rdbms.parallel import ParallelScan
+                if isinstance(node, ParallelScan) and node.conjuncts:
+                    keys = [key for c in node.conjuncts
+                            for key in _feedback_keys(c)]
+                    if keys:
+                        mgr.record_predicate_feedback(
+                            node.table, keys, node.est_rows, prof.rows)
         for child in node.children():
             self._record_operator_feedback(child)
 
@@ -1153,7 +1206,8 @@ def execute_statement(db: Database, stmt, txn: Transaction | None = None,
                       use_planner: bool = True) -> list[dict[str, Any]]:
     """Execute one already-parsed statement (see :func:`execute_sql`)."""
     if isinstance(stmt, CreateTableStatement):
-        db.create_table(stmt.schema)
+        db.create_table(stmt.schema, shard_key=stmt.shard_key,
+                        shard_count=stmt.shard_count)
         return [{"created": stmt.schema.name}]
     if isinstance(stmt, CompactStatement):
         try:
@@ -1164,6 +1218,18 @@ def execute_statement(db: Database, stmt, txn: Transaction | None = None,
             "compacted": stmt.table,
             "segments_created": summary["segments_created"],
             "rows_frozen": summary["rows_frozen"],
+        }]
+    if isinstance(stmt, ReshardStatement):
+        try:
+            summary = db.reshard(stmt.table, stmt.shard_key,
+                                 stmt.shard_count)
+        except KeyError:
+            raise SqlError(f"unknown table {stmt.table!r}") from None
+        return [{
+            "resharded": stmt.table,
+            "shard_key": summary["shard_key"],
+            "shard_count": summary["shard_count"],
+            "rows": summary["rows"],
         }]
     if isinstance(stmt, ExplainStatement):
         if not stmt.analyze:

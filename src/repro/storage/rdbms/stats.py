@@ -297,7 +297,16 @@ class StatisticsManager:
 
         pos_index = 0
         base = 0
-        for kind, unit in heap.scan_units():
+        # Enumerate segments + tail directly rather than via scan_units():
+        # sampling needs a deterministic enumeration of every row, not
+        # global rid order, and scan_units() collapses sharded tables
+        # (whose per-shard rid ranges interleave) into one merged
+        # decoded-rows unit — losing the zone-map fast path entirely.
+        units: list[tuple[str, Any]] = [
+            ("segment", s) for s in heap._segments if s.count]
+        if heap._rows:
+            units.append(("rows", heap._tail_rows()))
+        for kind, unit in units:
             if kind == "segment":
                 for name in names:
                     col = unit.columns[name]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.storage.rdbms.segments import SEGMENT_TARGET_ROWS, Segment
+from repro.storage.rdbms.sharding import ShardSpec
 from repro.storage.rdbms.types import SchemaError, TableSchema
 from repro.telemetry import metrics
 
@@ -44,16 +45,55 @@ class HeapTable:
     itself only enforces the schema and primary-key uniqueness.
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema,
+                 shard_spec: ShardSpec | None = None) -> None:
         self._schema = schema
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_rid = 0
         self._pk_index: dict[Any, int] = {}
         self._segments: list[Segment] = []
+        # Shard membership covers *all* rids (tail + frozen); compaction
+        # and melting move rows between regions without changing shards.
+        self._shard_spec: ShardSpec | None = None
+        self._shard_rids: list[set[int]] = []
+        if shard_spec is not None:
+            self.set_shard_spec(shard_spec)
 
     @property
     def schema(self) -> TableSchema:
         return self._schema
+
+    # ------------------------------------------------------------- sharding
+
+    @property
+    def shard_spec(self) -> ShardSpec | None:
+        return self._shard_spec
+
+    def set_shard_spec(self, spec: ShardSpec | None) -> None:
+        """Adopt (or drop) a sharding layout, re-routing every row.
+
+        Existing segments are melted first: a sharded table's segments
+        always hold rows of exactly one shard, and the old layout may
+        straddle the new shard boundaries.  Callers wanting frozen
+        per-shard segments re-compact afterwards.
+        """
+        if spec is not None and not self._schema.has_column(spec.key):
+            raise SchemaError(
+                f"shard key {spec.key!r} is not a column of {self.name!r}")
+        self.melt_all()
+        self._shard_spec = spec
+        if spec is None:
+            self._shard_rids = []
+            return
+        sets: list[set[int]] = [set() for _ in range(spec.count)]
+        for rid, values in self._rows.items():
+            sets[spec.shard_of(values.get(spec.key))].add(rid)
+        self._shard_rids = sets
+
+    def _shard_of_values(self, values: dict[str, Any]) -> int:
+        spec = self._shard_spec
+        assert spec is not None
+        return spec.shard_of(values.get(spec.key))
 
     @property
     def name(self) -> str:
@@ -100,6 +140,8 @@ class HeapTable:
         self._rows[rid] = row_values
         if pk is not None:
             self._pk_index[row_values[pk]] = rid
+        if self._shard_spec is not None:
+            self._shard_rids[self._shard_of_values(row_values)].add(rid)
         return Row(rid=rid, values=dict(row_values))
 
     def insert_many(self, values_list: list[dict[str, Any]]) -> list[Row]:
@@ -130,6 +172,8 @@ class HeapTable:
             self._rows[rid] = row_values
             if pk is not None:
                 self._pk_index[row_values[pk]] = rid
+            if self._shard_spec is not None:
+                self._shard_rids[self._shard_of_values(row_values)].add(rid)
             rows.append(Row(rid=rid, values=dict(row_values)))
         return rows
 
@@ -159,6 +203,12 @@ class HeapTable:
             del self._pk_index[old_values[pk]]
             self._pk_index[new_values[pk]] = rid
         self._rows[rid] = new_values
+        if self._shard_spec is not None:
+            old_shard = self._shard_of_values(old_values)
+            new_shard = self._shard_of_values(new_values)
+            if old_shard != new_shard:
+                self._shard_rids[old_shard].discard(rid)
+                self._shard_rids[new_shard].add(rid)
         return Row(rid, old_values), Row(rid, dict(new_values))
 
     def delete(self, rid: int) -> Row:
@@ -175,6 +225,8 @@ class HeapTable:
         pk = self._schema.primary_key
         if pk is not None:
             self._pk_index.pop(values[pk], None)
+        if self._shard_spec is not None:
+            self._shard_rids[self._shard_of_values(values)].discard(rid)
         return Row(rid, values)
 
     def replace_schema(self, schema: TableSchema,
@@ -199,6 +251,12 @@ class HeapTable:
         self._schema = schema
         self._rows = new_rows
         self._pk_index = new_pk
+        spec = self._shard_spec
+        if spec is not None:
+            # Values may have been rewritten (or the key column dropped):
+            # re-route every row; dropping the key unshards the table.
+            self._shard_spec = None
+            self.set_shard_spec(spec if schema.has_column(spec.key) else None)
 
     # ------------------------------------------------------------ segments
 
@@ -217,14 +275,34 @@ class HeapTable:
             max_rid = self._next_rid - 1
         eligible = sorted(r for r in self._rows if r <= max_rid)
         created = 0
-        for start in range(0, len(eligible), target_rows):
-            chunk = eligible[start:start + target_rows]
-            segment = Segment.from_rows(
-                self._schema, [(rid, self._rows[rid]) for rid in chunk])
-            self._segments.append(segment)
-            for rid in chunk:
-                del self._rows[rid]
-            created += 1
+        if self._shard_spec is not None:
+            # Deterministic per-shard chunking: a sharded table's segments
+            # hold rows of exactly one shard, so parallel plans can hand
+            # whole segments to worker tasks.  Routing is seed-stable
+            # (sharding.py), so WAL replay reproduces the same layout.
+            groups: list[list[int]] = [[] for _ in range(self._shard_spec.count)]
+            for rid in eligible:
+                groups[self._shard_of_values(self._rows[rid])].append(rid)
+            for shard, shard_rids in enumerate(groups):
+                for start in range(0, len(shard_rids), target_rows):
+                    chunk = shard_rids[start:start + target_rows]
+                    segment = Segment.from_rows(
+                        self._schema,
+                        [(rid, self._rows[rid]) for rid in chunk],
+                        shard=shard)
+                    self._segments.append(segment)
+                    for rid in chunk:
+                        del self._rows[rid]
+                    created += 1
+        else:
+            for start in range(0, len(eligible), target_rows):
+                chunk = eligible[start:start + target_rows]
+                segment = Segment.from_rows(
+                    self._schema, [(rid, self._rows[rid]) for rid in chunk])
+                self._segments.append(segment)
+                for rid in chunk:
+                    del self._rows[rid]
+                created += 1
         if eligible:
             registry = metrics.get_registry()
             registry.inc("segments.created", created)
@@ -260,8 +338,19 @@ class HeapTable:
 
     def segment_layout(self) -> list[list[int]]:
         """``[[min_rid, max_rid, count], ...]`` — checkpointed so reopen
-        can re-freeze the same layout (and detect drift)."""
-        return [[s.min_rid, s.max_rid, s.count] for s in self._segments]
+        can re-freeze the same layout (and detect drift).
+
+        Segments of sharded tables emit a fourth ``shard`` element:
+        per-shard rid ranges interleave, so restore must know which shard
+        each frozen range belonged to (a bare range would scoop up other
+        shards' rows).  Unsharded segments keep the 3-entry form so old
+        checkpoints stay readable.
+        """
+        return [
+            [s.min_rid, s.max_rid, s.count] if s.shard is None
+            else [s.min_rid, s.max_rid, s.count, s.shard]
+            for s in self._segments
+        ]
 
     def restore_segments(self, layout: list[list[int]]) -> bool:
         """Re-freeze a checkpointed layout after the rows were reloaded.
@@ -272,14 +361,29 @@ class HeapTable:
         longer matches the live rows — the snapshot drifted — the restore
         stops and remaining rows stay in the (always correct) tail;
         returns False in that case so callers can count the invalidation.
+
+        The shard spec must already be applied (recovery order): 4-entry
+        layouts select rows by rid range *and* shard membership.
         """
         for entry in layout:
-            min_rid, max_rid, count = entry
-            chunk = sorted(r for r in self._rows if min_rid <= r <= max_rid)
+            if len(entry) == 4:
+                min_rid, max_rid, count, shard = entry
+                if (self._shard_spec is None
+                        or shard >= self._shard_spec.count):
+                    return False
+                members = self._shard_rids[shard]
+                chunk = sorted(r for r in self._rows
+                               if min_rid <= r <= max_rid and r in members)
+            else:
+                min_rid, max_rid, count = entry
+                shard = None
+                chunk = sorted(r for r in self._rows
+                               if min_rid <= r <= max_rid)
             if len(chunk) != count:
                 return False
             segment = Segment.from_rows(
-                self._schema, [(rid, self._rows[rid]) for rid in chunk])
+                self._schema, [(rid, self._rows[rid]) for rid in chunk],
+                shard=shard)
             self._segments.append(segment)
             for rid in chunk:
                 del self._rows[rid]
@@ -377,6 +481,66 @@ class HeapTable:
     def _tail_rows(self) -> Iterator[Row]:
         for rid in sorted(self._rows):
             yield Row(rid, dict(self._rows[rid]))
+
+    def sharded_scan_units(self) -> list[list[tuple[str, Any]]]:
+        """Per-shard vectorizable units for parallel plans (DESIGN.md §14).
+
+        Returns one unit list per shard; each list enumerates that
+        shard's rows in rid order as ``("segment", Segment)`` and
+        ``("rows", [(rid, values), ...])`` entries.  Rows units are
+        materialized value-dict copies so the whole structure is
+        picklable for process-pool workers.  Concatenating matching rows
+        of all shards through a rid merge reproduces :meth:`scan` order
+        exactly — the byte-identity invariant parallel plans rely on.
+        """
+        spec = self._shard_spec
+        if spec is None:
+            raise SchemaError(f"table {self.name!r} is not sharded")
+        out: list[list[tuple[str, Any]]] = []
+        # One pass over the (usually small) tail instead of filtering
+        # every shard's full rid set: point queries hit this per
+        # execution, so it must not scale with frozen-row count.
+        tails: list[list[int]] = [[] for _ in range(spec.count)]
+        for rid in sorted(self._rows):
+            shard = spec.shard_of(self._rows[rid].get(spec.key))
+            if rid in self._shard_rids[shard]:
+                tails[shard].append(rid)
+        segs_by_shard: list[list[Segment]] = [[] for _ in range(spec.count)]
+        for s in self._segments:
+            if s.count and s.shard is not None:
+                segs_by_shard[s.shard].append(s)
+        for shard in range(spec.count):
+            segs = sorted(segs_by_shard[shard], key=lambda s: s.min_rid)
+            tail = tails[shard]
+            units: list[tuple[str, Any]] = []
+            ranges: list[tuple[int, int]] = []
+            for s in segs:
+                units.append(("segment", s))
+                ranges.append((s.min_rid, s.max_rid))
+            if tail:
+                units.append(
+                    ("rows", [(r, dict(self._rows[r])) for r in tail]))
+                ranges.append((tail[0], tail[-1]))
+            order = sorted(range(len(units)), key=lambda i: ranges[i][0])
+            prev_max: int | None = None
+            interleaved = False
+            for i in order:
+                lo, hi = ranges[i]
+                if prev_max is not None and lo <= prev_max:
+                    interleaved = True
+                    break
+                prev_max = hi
+            if interleaved:
+                # Rare (undo re-inserted a low rid after compaction):
+                # collapse the shard to one merged, decoded rows unit.
+                merged = heapq.merge(
+                    *(s.iter_rows() for s in segs),
+                    iter((r, dict(self._rows[r])) for r in tail),
+                    key=lambda kv: kv[0])
+                out.append([("rows", list(merged))])
+            else:
+                out.append([units[i] for i in order])
+        return out
 
     def scan_where(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[Row]:
         """Filtered scan."""

@@ -12,6 +12,9 @@ a transaction id, and a type:
 * ``compact`` — a columnar freeze of a table's committed tail rows
   (txn 0, DDL-style: replay re-runs the deterministic freeze at the same
   log position, reproducing the segment layout),
+* ``reshard`` — a shard-layout change (txn 0, DDL-style like ``compact``:
+  routing is seed-stable, so replaying the spec at the same log position
+  reproduces the identical shard membership),
 * ``checkpoint`` — marker written after a consistent snapshot of all tables
   has been dumped to the checkpoint file.
 
@@ -101,9 +104,11 @@ class WriteAheadLog:
         a crash mid-append or a partially synced page leaves behind — is
         tolerated: the bad tail is dropped (it cannot contain a committed
         transaction's commit record followed by valid data) and counted
-        in the ``recovery.truncated_records`` telemetry counter.
-        Corruption *followed by* valid records indicates real damage and
-        raises.
+        in the ``recovery.truncated_records`` telemetry counter.  (Reopen
+        already truncates such a tail from the file — see
+        :meth:`_recover_next_lsn` — so this path is a second line of
+        defense for logs read without reopening.)  Corruption *followed
+        by* valid records indicates real damage and raises.
 
         Raises:
             ValueError: corrupted record in the middle of the log.
@@ -171,15 +176,44 @@ class WriteAheadLog:
     # ------------------------------------------------------------ internals
 
     def _recover_next_lsn(self) -> int:
+        """Next LSN — and truncate a torn/corrupt *suffix* on reopen.
+
+        A crash mid-append leaves unparseable trailing lines.  They must
+        be physically removed before this handle appends again: leaving
+        them in place would strand the new (valid) records *behind*
+        corruption, which the next recovery correctly treats as mid-log
+        damage and refuses to replay.  A bad line with valid records
+        after it really is mid-log damage, so the file is left untouched
+        for :meth:`records` to report.
+        """
         last = -1
-        if os.path.exists(self._path):
-            with open(self._path, "r", encoding="utf-8") as f:
-                for line in f:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        last = json.loads(line)["lsn"]
-                    except (json.JSONDecodeError, KeyError):
-                        break  # torn tail; records() validates the rest
+        if not os.path.exists(self._path):
+            return 0
+        with open(self._path, "rb") as f:
+            data = f.read()
+        good_end = 0  # byte offset just past the last parseable record
+        offset = 0
+        bad = 0
+        midlog = False
+        for raw in data.splitlines(keepends=True):
+            offset += len(raw)
+            line = raw.decode("utf-8", "replace").strip()
+            if not line:
+                if not bad:
+                    good_end = offset
+                continue
+            try:
+                lsn = json.loads(line)["lsn"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                bad += 1
+                continue
+            if bad:
+                midlog = True  # valid data after corruption: real damage
+                break
+            last = lsn
+            good_end = offset
+        if bad and not midlog and good_end < len(data):
+            with open(self._path, "r+b") as f:
+                f.truncate(good_end)
+            metrics.get_registry().inc("recovery.truncated_records", bad)
         return last + 1
