@@ -1,4 +1,4 @@
-"""One-shot gate: smoke-run E15, run the E16–E22 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E23 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
@@ -27,7 +27,12 @@ sharded-execution bench (E22: fails unless parallel scans/aggregates
 over a hash-sharded table beat naive execution by >= 3x with 4 process
 workers at 150k rows, every query is byte-identical to the unsharded
 oracle, a shard-key point predicate prunes >= 50% of the shards, and
-the pruned point query is <= 1.2x the index path), re-validates every
+the pruned point query is <= 1.2x the index path), runs the full
+concurrent-serving bench (E23: fails unless MVCC snapshot readers stay
+consistent and row-identical to a serialized oracle under writer +
+compaction + reshard churn with zero reader lock waits and <= 2x idle
+p99 tail latency, and graceful shutdown drains in-flight queries with a
+consistent post-drain reopen), re-validates every
 ``results/BENCH_*.json`` against its declared gates in one place
 (``check_gates.py``), and then confirms the whole repo is still
 green::
@@ -85,6 +90,8 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
          _bench("bench_e21_observability.py", *flag)),
         ("E22", "E22 sharded-execution bench (speedup + pruning gates)",
          _bench("bench_e22_sharded_parallel.py", *flag)),
+        ("E23", "E23 concurrent-serving bench (MVCC + admission gates)",
+         _bench("bench_e23_concurrent_serving.py", *flag)),
         ("gates", "declared-gate re-validation (check_gates.py)",
          _bench("check_gates.py")),
         ("tests", "tier-1 tests",
@@ -95,7 +102,7 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", metavar="STEP", default=None,
-                        help="run one step by key: E15..E22, 'gates', "
+                        help="run one step by key: E15..E23, 'gates', "
                              "or 'tests'")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads everywhere, no timing gates")

@@ -43,6 +43,8 @@ from repro.cluster.backends import BackendError
 from repro.cluster.simulator import TaskFailedError
 from repro.core.system import FACTS_TABLE, StructureManagementSystem
 from repro.docmodel.corpus import DirectoryCorpus
+from repro.errors import QueryTimeoutError, ReproError
+from repro.storage.rdbms.sql import SqlError
 from repro.extraction.infobox import InfoboxExtractor
 from repro.extraction.links import LinkExtractor
 from repro.telemetry.report import load_telemetry, render_prometheus, \
@@ -53,6 +55,11 @@ from repro.userlayer.visualize import table
 #: Exit code for execution failures (dead backend, exhausted retries, a
 #: failed simulated task) — distinct from argparse's 2 and success's 0.
 EXIT_EXECUTION_FAILURE = 3
+
+#: Exit code for queries that ran out of time (deadline, lock-wait
+#: timeout, shutdown cancellation) — distinct from execution failure so
+#: callers can retry timeouts without re-examining the statement.
+EXIT_QUERY_TIMEOUT = 4
 
 
 def _build_system(workspace: str, builtin: bool,
@@ -517,10 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    Execution failures (:class:`BackendError`, :class:`TaskFailedError`)
-    print a one-line message and exit :data:`EXIT_EXECUTION_FAILURE`
-    instead of dumping a traceback — with ``--fail-fast`` this is the
-    normal way a poisoned run ends.
+    Execution failures (:class:`BackendError`, :class:`TaskFailedError`,
+    SQL errors, deadlock-retry exhaustion) print a one-line message and
+    exit :data:`EXIT_EXECUTION_FAILURE` instead of dumping a traceback —
+    with ``--fail-fast`` this is the normal way a poisoned run ends.
+    Query timeouts (deadline, lock-wait timeout, shutdown cancellation)
+    exit :data:`EXIT_QUERY_TIMEOUT` so scripts can retry them blindly.
     """
     args = build_parser().parse_args(argv)
     try:
@@ -533,6 +542,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             session.finish()
             telemetry.disable()
             print(f"telemetry written to {args.telemetry}", file=sys.stderr)
+    except QueryTimeoutError as exc:
+        print(f"repro: query timed out: {exc}", file=sys.stderr)
+        return EXIT_QUERY_TIMEOUT
+    except (SqlError, ReproError) as exc:
+        print(f"repro: query failed: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION_FAILURE
     except (BackendError, TaskFailedError) as exc:
         print(f"repro: execution failed: {exc}", file=sys.stderr)
         return EXIT_EXECUTION_FAILURE

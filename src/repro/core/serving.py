@@ -1,0 +1,154 @@
+"""Admission control and graceful drain for the query serving path.
+
+The system is pitched as an always-on service (Impliance's
+"information appliance"); under overload it must degrade *predictably*
+— bounded concurrency, bounded queueing, typed load-shedding — instead
+of piling every caller onto the lock manager and letting timeouts sort
+them out.  :class:`ServingGate` implements the standard bounded-
+semaphore-plus-overflow-queue pattern:
+
+* up to ``max_concurrent`` queries execute at once;
+* up to ``max_queue`` more wait (FIFO via the condition variable) for at
+  most ``queue_timeout`` seconds;
+* everything beyond that is shed immediately with a typed
+  :class:`~repro.errors.AdmissionRejected` (``reason="saturated"``).
+
+Shutdown is a two-state machine: ``drain()`` flips the gate to
+*draining* (new arrivals are rejected with ``reason="draining"``), then
+waits up to its timeout for in-flight queries to finish.  Queries that
+outlive the drain window are cancelled cooperatively by the caller
+(the serving layer sets a shutdown event their guards poll).
+
+Counters: ``serving.admitted`` / ``serving.rejected`` /
+``serving.timed_out`` (bumped by the serving layer) / ``serving.drained``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import AdmissionRejected
+from repro.telemetry import metrics
+
+
+class ServingGate:
+    """Bounded admission for concurrent queries, with graceful drain.
+
+    Use as a context manager per query::
+
+        with gate.admit(sql):
+            ... execute ...
+
+    Args:
+        max_concurrent: queries allowed to execute simultaneously.
+        max_queue: arrivals allowed to wait for a slot; beyond this the
+            gate sheds load immediately.
+        queue_timeout: seconds a queued arrival waits before giving up
+            (``reason="queue-timeout"``).
+    """
+
+    def __init__(self, max_concurrent: int = 8, max_queue: int = 16,
+                 queue_timeout: float = 5.0) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max(0, max_queue)
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._draining = False
+
+    # ----------------------------------------------------------- admission
+
+    def admit(self, sql: str | None = None) -> "_Admission":
+        """Block until a slot is free; raise when shed. Returns a context
+        manager whose exit releases the slot.
+
+        Raises:
+            AdmissionRejected: the gate is draining, the overflow queue
+                is full, or the queue wait timed out.
+        """
+        registry = metrics.get_registry()
+        with self._cond:
+            if self._draining:
+                registry.inc("serving.rejected")
+                raise AdmissionRejected(
+                    "server is draining", reason="draining", sql=sql)
+            if (self._active >= self.max_concurrent
+                    and self._waiting >= self.max_queue):
+                registry.inc("serving.rejected")
+                raise AdmissionRejected(
+                    f"server saturated ({self._active} active, "
+                    f"{self._waiting} queued)", reason="saturated", sql=sql)
+            deadline = time.monotonic() + self.queue_timeout
+            self._waiting += 1
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._draining:
+                        registry.inc("serving.rejected")
+                        if self._draining:
+                            raise AdmissionRejected(
+                                "server is draining", reason="draining",
+                                sql=sql)
+                        raise AdmissionRejected(
+                            f"queued {self.queue_timeout:.1f}s without a "
+                            f"free slot", reason="queue-timeout", sql=sql)
+                    self._cond.wait(timeout=remaining)
+            finally:
+                self._waiting -= 1
+            self._active += 1
+        registry.inc("serving.admitted")
+        return _Admission(self)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    # --------------------------------------------------------------- drain
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting and wait for in-flight queries to finish.
+
+        Idempotent.  Returns True when the gate emptied within
+        ``timeout`` seconds; False when queries were still running (the
+        caller should cancel them cooperatively and proceed).
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()  # wake queued waiters to reject them
+            while self._active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {"active": self._active, "waiting": self._waiting,
+                    "draining": int(self._draining)}
+
+
+class _Admission:
+    """Context manager releasing one admitted slot on exit."""
+
+    __slots__ = ("_gate",)
+
+    def __init__(self, gate: ServingGate) -> None:
+        self._gate = gate
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._gate._release()

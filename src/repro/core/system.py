@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import os
+import signal
+import threading
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Sequence
 
 from repro.cache.store import ExtractionCache, make_cache
+from repro.core.serving import ServingGate
+from repro.errors import CancellationToken, QueryTimeoutError
 from repro.cluster.backends import ExecutionBackend, make_backend
 from repro.cluster.simulator import ClusterConfig, SimulatedCluster
 from repro.debugger.semantic import SemanticDebugger, SystemMonitor
@@ -128,6 +132,18 @@ class StructureManagementSystem:
             log — persisted to ``<workspace>/slowlog.jsonl`` when a
             workspace is configured, in memory otherwise.  None disables
             slow-query logging entirely (no timing on the query path).
+        max_concurrent_queries: queries allowed to execute at once
+            through :meth:`query`; excess arrivals queue.
+        max_queued_queries: arrivals allowed to wait for a slot; beyond
+            this :meth:`query` sheds load with
+            :class:`~repro.errors.AdmissionRejected`.
+        admission_timeout_seconds: longest a queued query waits for a
+            slot before being rejected.
+        query_deadline_seconds: default per-query deadline (cooperative
+            cancellation, :class:`~repro.errors.QueryTimeoutError`).
+            None disables; :meth:`query` accepts a per-call override.
+        drain_timeout_seconds: how long :meth:`close` waits for
+            in-flight queries before cancelling the stragglers.
     """
 
     workspace: str | None = None
@@ -141,8 +157,22 @@ class StructureManagementSystem:
     fail_fast: bool = False
     auto_compact_rows: int | None = None
     slow_query_seconds: float | None = 1.0
+    max_concurrent_queries: int = 8
+    max_queued_queries: int = 16
+    admission_timeout_seconds: float = 5.0
+    query_deadline_seconds: float | None = None
+    drain_timeout_seconds: float = 10.0
 
     def __post_init__(self) -> None:
+        # Serving state first: the reopened-workspace path below issues a
+        # query, which must pass through the admission gate.
+        self.gate = ServingGate(
+            max_concurrent=self.max_concurrent_queries,
+            max_queue=self.max_queued_queries,
+            queue_timeout=self.admission_timeout_seconds,
+        )
+        self._shutdown = threading.Event()
+        self._closed = False
         if self.workspace is not None:
             self.storage = StorageManager(self.workspace)
             self.db: Database = self.storage.final
@@ -439,15 +469,36 @@ class StructureManagementSystem:
 
     # ------------------------------------------------------------- queries
 
-    def query(self, sql: str) -> list[dict[str, Any]]:
+    def query(self, sql: str,
+              deadline_seconds: float | None = None) -> list[dict[str, Any]]:
         """Structured querying (sophisticated-user path).
 
-        SELECTs are served through the commit-invalidated result cache;
-        everything else executes directly (and, by committing, evicts
-        whatever it invalidates).
+        SELECTs run lock-free on an MVCC snapshot and are served through
+        the snapshot-coherent result cache; everything else executes
+        directly (and, by committing, invalidates whatever it touched).
+        Every call passes the admission gate (bounded concurrency +
+        overflow queue) and runs under a cooperative deadline.
+
+        Args:
+            deadline_seconds: per-call deadline override; defaults to
+                ``query_deadline_seconds`` (None = no deadline).
+
+        Raises:
+            AdmissionRejected: the server is saturated or draining.
+            QueryTimeoutError: the deadline passed (or shutdown cancelled
+                the query) mid-execution.
         """
+        if deadline_seconds is None:
+            deadline_seconds = self.query_deadline_seconds
         with get_tracer().span("system.query") as span:
-            rows = self.query_cache.execute(sql)
+            with self.gate.admit(sql):
+                guard = CancellationToken.after(
+                    deadline_seconds, event=self._shutdown, sql=sql)
+                try:
+                    rows = self.query_cache.execute(sql, guard=guard)
+                except QueryTimeoutError:
+                    metrics.get_registry().inc("serving.timed_out")
+                    raise
             metrics.get_registry().inc("system.queries")
             span.set_attribute("rows", len(rows))
             return rows
@@ -538,6 +589,8 @@ class StructureManagementSystem:
         return ExplorationSession(
             search=self.search, translator=self.translator(), db=self.db,
             user=user, cache=self.query_cache,
+            deadline_seconds=self.query_deadline_seconds,
+            shutdown=self._shutdown,
         )
 
     def explain(self, entity: str, attribute: str) -> str:
@@ -668,6 +721,25 @@ class StructureManagementSystem:
         return self._cache
 
     def close(self) -> None:
+        """Graceful shutdown: drain, cancel stragglers, flush, close.
+
+        Idempotent.  State machine (DESIGN.md §15): (1) the gate stops
+        admitting — new queries get ``AdmissionRejected(reason=
+        "draining")``; (2) in-flight queries get ``drain_timeout_seconds``
+        to finish; (3) stragglers are cancelled cooperatively via the
+        shared shutdown event their guards poll; (4) telemetry flushes
+        and stores close (the WAL is already durable per commit).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self.gate.drain(timeout=self.drain_timeout_seconds):
+            # Stragglers outlived the drain window: flip the shutdown
+            # event their cancellation guards poll and wait once more.
+            self._shutdown.set()
+            self.gate.drain(timeout=self.drain_timeout_seconds)
+        self._shutdown.set()
+        metrics.get_registry().inc("serving.drained")
         if self._backend is not None:
             self._backend.close()
         if self._cache is not None:
@@ -682,6 +754,20 @@ class StructureManagementSystem:
             self.storage.close()
         else:
             self.db.close()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM to a graceful drain (call from the main thread).
+
+        The handler runs :meth:`close` — stop admitting, drain or cancel
+        in-flight queries, flush telemetry — then re-raises the default
+        exit via :class:`SystemExit`.
+        """
+
+        def _terminate(signum: int, _frame: Any) -> None:
+            self.close()
+            raise SystemExit(128 + signum)
+
+        signal.signal(signal.SIGTERM, _terminate)
 
     def _provenance_path(self) -> str:
         assert self.workspace is not None

@@ -12,8 +12,11 @@ this.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from typing import Any, Callable, Iterator
 
+from repro.errors import CancellationToken
+from repro.faults.retry import RetryPolicy
 from repro.storage.rdbms.index import HashIndex, Index, SortedIndex
 from repro.telemetry import metrics
 from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS
@@ -24,6 +27,13 @@ from repro.storage.rdbms.sharding import ShardSpec
 from repro.storage.rdbms.table import HeapTable, Row
 from repro.storage.rdbms.types import SchemaError, TableSchema
 from repro.storage.rdbms.wal import WriteAheadLog
+
+#: Default transaction retry policy: deadlock/lock-timeout victims retry
+#: with exponential backoff and full deterministic jitter (decorrelated
+#: sleeps, so two victims of the same conflict don't re-collide in
+#: lockstep).  Replaces the bespoke immediate-retry loop.
+TXN_RETRY = RetryPolicy(max_attempts=25, base_delay=0.002, max_delay=0.05,
+                        multiplier=2.0, jitter=1.0)
 
 
 class TransactionAborted(Exception):
@@ -43,6 +53,10 @@ class Transaction:
         self._undo: list[tuple[str, ...]] = []
         self._tables_written: set[str] = set()
         self.finished = False
+        #: Optional cooperative-cancellation token checked at every
+        #: operation boundary (and at commit, so a post-deadline
+        #: transaction aborts instead of committing late).
+        self.guard: CancellationToken | None = None
 
     # ----------------------------------------------------------- lifecycle
 
@@ -60,12 +74,22 @@ class Transaction:
     def commit(self) -> None:
         """Make all changes durable and release locks.
 
+        The MVCC visibility flip (deregistering this transaction's undo
+        from the active-write set and bumping the committed version of
+        every table it wrote) happens atomically under the mutate lock,
+        so a snapshot built at any instant sees either the full
+        pre-commit state (undo applied) or the full post-commit state —
+        never a mix.
+
         Commit listeners registered on the database fire after locks are
         released (so a listener's own queries cannot self-deadlock) and
         only when the transaction actually wrote rows.
         """
-        self._check_active()
+        self._check_finished()
+        if self.guard is not None:
+            self.guard.check()
         self._db._log(self.txn_id, "commit")
+        self._db._mvcc_commit(self)
         self.finished = True
         self._db._end_txn(self)
         metrics.get_registry().inc("rdbms.txn.commits")
@@ -74,13 +98,24 @@ class Transaction:
             self._db._maybe_auto_compact(self._tables_written)
 
     def abort(self) -> None:
-        """Undo all changes (in reverse order) and release locks."""
-        self._check_active()
-        for entry in reversed(self._undo):
-            self._db._apply_undo(entry)
-        self._db._log(self.txn_id, "abort")
+        """Undo all changes (in reverse order) and release locks.
+
+        The whole rollback runs under one mutate-lock hold, together
+        with the MVCC deregistration: a snapshot builder can never
+        observe a half-undone transaction.  The guard is deliberately
+        NOT checked here — abort is the cleanup path for an
+        already-expired deadline and must always run.
+        """
+        self._check_finished()
+        db = self._db
+        with db._mutate_lock:
+            for entry in reversed(self._undo):
+                db._apply_undo(entry)
+            self._undo.clear()
+            db._mvcc_forget(self)
+        db._log(self.txn_id, "abort")
         self.finished = True
-        self._db._end_txn(self)
+        db._end_txn(self)
         metrics.get_registry().inc("rdbms.txn.aborts")
 
     # ------------------------------------------------------------- writes
@@ -289,6 +324,11 @@ class Transaction:
     # ---------------------------------------------------------- internals
 
     def _check_active(self) -> None:
+        self._check_finished()
+        if self.guard is not None:
+            self.guard.check()
+
+    def _check_finished(self) -> None:
         if self.finished:
             raise TransactionAborted(f"txn {self.txn_id} already finished")
 
@@ -314,6 +354,21 @@ class Database:
         self._txn_lock = threading.Lock()
         self._commit_listeners: list[Callable[[frozenset[str]], None]] = []
         self._stats_manager = None
+        # --- MVCC state (all guarded by _mutate_lock) ---
+        #: Active write transactions whose undo logs roll snapshots back
+        #: to committed state.
+        self._active_txns: dict[int, Transaction] = {}
+        #: Per-table committed version: bumped at every commit/DDL that
+        #: touches the table.  Monotonic across the whole database (one
+        #: shared sequence), so a dropped-and-recreated table can never
+        #: reuse a version number.
+        self._table_versions: dict[str, int] = {}
+        self._version_seq = 0
+        #: Per-table snapshot cache keyed by committed version: only the
+        #: first reader after a commit pays the O(tail) copy.
+        self._snapshot_cache: dict[str, Any] = {}
+        #: Retry policy for :meth:`run` (deadlock / lock-timeout victims).
+        self.txn_retry: RetryPolicy = TXN_RETRY
         #: When set, any commit that leaves a table's row-store tail at or
         #: above this many rows triggers :meth:`compact` on that table.
         self.auto_compact_rows: int | None = None
@@ -367,6 +422,7 @@ class Database:
             if schema.name in self._tables:
                 raise SchemaError(f"table {schema.name!r} already exists")
             self._tables[schema.name] = HeapTable(schema, shard_spec=spec)
+            self._bump_versions({schema.name})
             payload: dict[str, Any] = {"schema": schema.to_dict()}
             if spec is not None:
                 payload["shard_key"] = spec.key
@@ -380,6 +436,8 @@ class Database:
             if name not in self._tables:
                 raise SchemaError(f"no table {name!r}")
             del self._tables[name]
+            self._table_versions.pop(name, None)
+            self._snapshot_cache.pop(name, None)
             for key in [k for k in self._indexes if k[0] == name]:
                 del self._indexes[key]
             self._log(0, "drop_table", table=name)
@@ -410,6 +468,7 @@ class Database:
                     self._rebuild_index(name, column)
                 else:
                     del self._indexes[key]
+            self._bump_versions({name})
         self._notify_commit(frozenset({name}))
 
     def table_names(self) -> list[str]:
@@ -489,6 +548,10 @@ class Database:
                     if frozen:
                         self._log(0, "compact", table=table, max_rid=max_rid,
                                   target_rows=target_rows)
+                        # Layout-only change: data is identical, but the
+                        # cached snapshot's unit structure is stale, so
+                        # version it out (readers rebuild, rows unchanged).
+                        self._bump_versions({table})
                     segment_count = heap.segment_count()
                 span.set_attribute("table", table)
                 span.set_attribute("segments_created", created)
@@ -531,6 +594,9 @@ class Database:
                     heap.set_shard_spec(spec)
                     self._log(0, "reshard", table=table, shard_key=shard_key,
                               shard_count=spec.count if spec else 1)
+                    # Layout-only: invalidate cached snapshots so readers
+                    # never serve per-shard units of the old routing.
+                    self._bump_versions({table})
                     rows = len(heap)
                 span.set_attribute("table", table)
                 span.set_attribute("shard_count", spec.count if spec else 1)
@@ -582,40 +648,100 @@ class Database:
             self._txn_counter += 1
             txn_id = self._txn_counter
         self._log(txn_id, "begin")
-        return Transaction(self, txn_id)
+        txn = Transaction(self, txn_id)
+        # Registration is guarded by the mutate lock so a snapshot
+        # builder iterating the active set never races a dict resize.
+        with self._mutate_lock:
+            self._active_txns[txn_id] = txn
+        return txn
 
-    def run(self, work: Callable[[Transaction], Any], retries: int = 25) -> Any:
-        """Run ``work`` in a transaction, retrying on deadlock.
+    def begin_snapshot(self, guard: CancellationToken | None = None):
+        """Start a lock-free read-only transaction at the current commit
+        point (DESIGN.md §15).
+
+        All tables are resolved under one mutate-lock hold, so the
+        returned :class:`~repro.storage.rdbms.mvcc.SnapshotTransaction`
+        is cross-table consistent: it sees every transaction that
+        committed before this call and none that commit after (or are
+        still in flight).  Readers on this handle take no locks, cannot
+        deadlock, and never enter the waits-for graph.
+        """
+        from repro.storage.rdbms.mvcc import (
+            SnapshotTransaction,
+            build_table_snapshot,
+        )
+
+        registry = metrics.get_registry()
+        with self._mutate_lock:
+            undo: list[tuple] = []
+            for txn in self._active_txns.values():
+                undo.extend(txn._undo)
+            snapshots: dict[str, Any] = {}
+            for name, heap in self._tables.items():
+                version = self._table_versions.get(name, 0)
+                cached = self._snapshot_cache.get(name)
+                if cached is None or cached.version != version:
+                    cached = build_table_snapshot(heap, undo, version)
+                    self._snapshot_cache[name] = cached
+                else:
+                    registry.inc("rdbms.mvcc.snapshot_reuses")
+                snapshots[name] = cached
+        registry.inc("rdbms.mvcc.read_txns")
+        return SnapshotTransaction(self, snapshots, guard=guard)
+
+    def run(self, work: Callable[[Transaction], Any],
+            retries: int | None = None,
+            guard: CancellationToken | None = None) -> Any:
+        """Run ``work`` in a transaction, retrying deadlocks and lock
+        timeouts under :attr:`txn_retry` (a
+        :class:`~repro.faults.retry.RetryPolicy`: exponential backoff,
+        deterministic decorrelated jitter, optional deadline).
+
+        Args:
+            work: callable receiving the transaction.
+            retries: override the policy's ``max_attempts`` for this call.
+            guard: optional cancellation token installed on each attempt's
+                transaction (checked at every operation and at commit).
 
         Returns whatever ``work`` returns; commits on success.
         """
-        from repro.storage.rdbms.lockmgr import DeadlockError
+        from repro.storage.rdbms.lockmgr import DeadlockError, LockTimeoutError
 
-        last_error: Exception | None = None
+        policy = self.txn_retry
+        if retries is not None and retries != policy.max_attempts:
+            policy = replace(policy, max_attempts=retries)
+        registry = metrics.get_registry()
+        attempts = 0
+
+        def attempt() -> tuple[Any, int]:
+            nonlocal attempts
+            attempts += 1
+            if attempts > 1:
+                registry.inc("rdbms.txn.retries")
+            txn = self.begin()
+            txn.guard = guard
+            try:
+                result = work(txn)
+                txn.commit()
+                return result, txn.txn_id
+            except BaseException:
+                if not txn.finished:
+                    txn.abort()
+                raise
+
         with get_tracer().span("rdbms.txn") as span:
-            for attempt in range(retries):
-                txn = self.begin()
-                try:
-                    result = work(txn)
-                    txn.commit()
-                    span.set_attribute("txn_id", txn.txn_id)
-                    span.set_attribute("attempts", attempt + 1)
-                    return result
-                except DeadlockError as exc:
-                    last_error = exc
-                    if not txn.finished:
-                        txn.abort()
-                except Exception:
-                    if not txn.finished:
-                        txn.abort()
-                    raise
-            raise last_error if last_error \
-                else RuntimeError("transaction retry failed")
+            result, txn_id = policy.run(
+                attempt, salt=f"txn-{threading.get_ident()}",
+                retry_on=(DeadlockError, LockTimeoutError))
+            span.set_attribute("txn_id", txn_id)
+            span.set_attribute("attempts", attempts)
+            return result
 
     def run_batch(self, works: "list[Callable[[Transaction], Any]]",
-                  retries: int = 25) -> list[Any]:
+                  retries: int | None = None) -> list[Any]:
         """Run several work items inside ONE transaction (one begin/commit
-        pair, one lock scope), retrying the whole batch on deadlock.
+        pair, one lock scope), retrying the whole batch on deadlock or
+        lock timeout under the same :class:`RetryPolicy` as :meth:`run`.
 
         Returns the per-item results in order.  Use with
         :meth:`Transaction.insert_many` for bulk loads: a 5,000-fact
@@ -709,6 +835,33 @@ class Database:
 
     def _end_txn(self, txn: Transaction) -> None:
         self._locks.release_all(txn.txn_id)
+
+    # --------------------------------------------------------------- MVCC
+
+    def _bump_versions(self, tables: "set[str] | frozenset[str]") -> None:
+        """Advance the committed version of each table (mutate lock held).
+
+        Versions come from one database-wide monotonic sequence, so no
+        two distinct committed states of any table — even across a
+        drop/recreate — ever share a version number.
+        """
+        for table in tables:
+            self._version_seq += 1
+            self._table_versions[table] = self._version_seq
+            self._snapshot_cache.pop(table, None)
+
+    def _mvcc_commit(self, txn: Transaction) -> None:
+        """Atomically make ``txn``'s writes visible to new snapshots."""
+        with self._mutate_lock:
+            self._active_txns.pop(txn.txn_id, None)
+            if txn._tables_written:
+                self._bump_versions(txn._tables_written)
+
+    def _mvcc_forget(self, txn: Transaction) -> None:
+        """Deregister an aborting transaction (mutate lock held: the
+        caller pairs this with applying the undo log in one critical
+        section)."""
+        self._active_txns.pop(txn.txn_id, None)
 
     def _apply_undo(self, entry: tuple) -> None:
         kind = entry[0]

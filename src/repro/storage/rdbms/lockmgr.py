@@ -25,11 +25,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from repro.errors import ReproError
 from repro.telemetry import metrics
 
 
-class DeadlockError(Exception):
+class DeadlockError(ReproError):
     """Raised to the victim transaction when a deadlock is detected."""
+
+
+class LockTimeoutError(ReproError, TimeoutError):
+    """A lock wait exceeded the manager's timeout.
+
+    Subclasses builtin :class:`TimeoutError` for backward compatibility
+    (callers that caught ``TimeoutError`` keep working) while joining the
+    typed :class:`~repro.errors.ReproError` hierarchy so the retry policy
+    and the serving layer can target it precisely.
+    """
 
 
 class LockMode(enum.Enum):
@@ -93,7 +104,7 @@ class LockManager:
 
         Raises:
             DeadlockError: this transaction was chosen as deadlock victim.
-            TimeoutError: the wait exceeded the configured timeout.
+            LockTimeoutError: the wait exceeded the configured timeout.
         """
         with self._cond:
             state = self._locks.setdefault(key, _LockState())
@@ -120,7 +131,7 @@ class LockManager:
                 self._waits_for.pop(txn_id, None)
                 if not granted:
                     metrics.get_registry().inc("rdbms.lock.timeouts")
-                    raise TimeoutError(
+                    raise LockTimeoutError(
                         f"txn {txn_id} timed out waiting for {mode.value} on {key}"
                     )
             if wait_started is not None:

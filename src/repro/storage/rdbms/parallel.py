@@ -31,6 +31,7 @@ from itertools import zip_longest
 from time import perf_counter
 from typing import Any, Iterator
 
+from repro.errors import StaleSnapshotError
 from repro.storage.rdbms import planner as _planner
 from repro.storage.rdbms.engine import Transaction
 from repro.storage.rdbms.sharding import ShardSpec
@@ -280,6 +281,30 @@ def _backend_stream(backend: Any, fn, tasks: list) -> Iterator[Any]:
     return map(fn, tasks)
 
 
+def _checked_shard_units(txn: Transaction, table: str,
+                         spec: ShardSpec) -> list[list[tuple[str, Any]]]:
+    """The transaction's per-shard units, verified against the planned spec.
+
+    Snapshot readers take no locks, so a reshard can commit between
+    snapshot acquisition and planning; executing a plan pruned under the
+    new routing over units partitioned under the old one would drop rows
+    silently.  Any disagreement (different key, count, or the table
+    unsharded entirely) raises :class:`StaleSnapshotError`, which the
+    statement executor answers with a fresh snapshot + fresh plan.
+    """
+    snapshots = getattr(txn, "_snapshots", None)
+    if snapshots is not None:
+        snap = snapshots.get(table)
+        live_spec = snap.table.shard_spec if snap is not None else None
+    else:
+        live_spec = txn._db._table(table).shard_spec
+    if live_spec != spec:
+        metrics.get_registry().inc("parallel.stale_layouts")
+        raise StaleSnapshotError(
+            f"shard layout of {table!r} changed between snapshot and plan")
+    return txn.sharded_scan_units(table)
+
+
 def _should_inline(tasks: list, total_rows: int) -> bool:
     """Tiny fan-outs run inline at the coordinator.
 
@@ -333,7 +358,7 @@ class ParallelScan(_planner.PlanNode):
             prof.shards_pruned += pruned
         if not self.shards:
             return iter(())
-        units_by_shard = txn.sharded_scan_units(self.table)
+        units_by_shard = _checked_shard_units(txn, self.table, self.spec)
         shard_tasks: dict[int, list[ScanChunkTask]] = {}
         total_rows = 0
         for shard in self.shards:
@@ -483,7 +508,8 @@ class ParallelAggregate:
             self.profile.shards_pruned += pruned
         merged: dict[tuple, list[list[Any]]] = {}
         if source.shards:
-            units_by_shard = txn.sharded_scan_units(source.table)
+            units_by_shard = _checked_shard_units(txn, source.table,
+                                                  source.spec)
             shard_scan = source.shard_scan
             tasks = []
             total_rows = 0
@@ -653,6 +679,7 @@ class _JoinSide:
     fallback: list[Any]
     fan: bool  # fans over its shards vs broadcast to every task
     node: _planner.PlanNode | None  # planned node for the broadcast side
+    spec: Any = None  # ShardSpec the plan assumed, for fan sides
 
 
 class ParallelHashJoin(_planner.PlanNode):
@@ -693,10 +720,10 @@ class ParallelHashJoin(_planner.PlanNode):
             prof.shards_pruned += pruned
         if not self.shards:
             return []
-        left_units = txn.sharded_scan_units(self.left.table) \
-            if self.left.fan else None
-        right_units = txn.sharded_scan_units(self.right.table) \
-            if self.right.fan else None
+        left_units = _checked_shard_units(
+            txn, self.left.table, self.left.spec) if self.left.fan else None
+        right_units = _checked_shard_units(
+            txn, self.right.table, self.right.spec) if self.right.fan else None
         left_rows = self.left.node.execute(txn) \
             if not self.left.fan else None
         right_rows = self.right.node.execute(txn) \
@@ -776,11 +803,12 @@ def plan_parallel_join(planner: "_planner.Planner", stmt: SelectStatement,
     lschema = db._table(left_table).schema
     rschema = db._table(right_table).schema
 
-    def side(table, col, conjuncts, schema, fan, node):
+    def side(table, col, conjuncts, schema, fan, node, spec):
         vector, fallback = _planner._split_vectorizable(
             conjuncts, schema, table)
         return _JoinSide(table, col, list(conjuncts), vector, fallback,
-                         fan, None if fan else node)
+                         fan, None if fan else node,
+                         spec if fan else None)
 
     co = (lspec is not None and rspec is not None
           and lspec.count == rspec.count and lspec.count > 1
@@ -790,9 +818,10 @@ def plan_parallel_join(planner: "_planner.Planner", stmt: SelectStatement,
             set(allowed_shards(left_conjuncts, lspec, left_table))
             & set(allowed_shards(right_conjuncts, rspec, right_table)))
         node = ParallelHashJoin(
-            side(left_table, left_col, left_conjuncts, lschema, True, None),
+            side(left_table, left_col, left_conjuncts, lschema, True, None,
+                 lspec),
             side(right_table, right_col, right_conjuncts, rschema, True,
-                 None),
+                 None, rspec),
             "co", lspec.count, shards)
     else:
         # Broadcast: fan over a sharded side; when both are sharded but
@@ -813,9 +842,9 @@ def plan_parallel_join(planner: "_planner.Planner", stmt: SelectStatement,
             shards = allowed_shards(right_conjuncts, rspec, right_table)
         node = ParallelHashJoin(
             side(left_table, left_col, left_conjuncts, lschema,
-                 fan_left, left_node),
+                 fan_left, left_node, lspec),
             side(right_table, right_col, right_conjuncts, rschema,
-                 not fan_left, right_node),
+                 not fan_left, right_node, rspec),
             "broadcast", spec.count, shards)
     node.est_rows = hash_join.est_rows
     node.cost = hash_join.cost

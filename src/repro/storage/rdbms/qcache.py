@@ -1,13 +1,19 @@
-"""Commit-invalidated query-result cache for the SQL serving path.
+"""Snapshot-coherent query-result cache for the SQL serving path.
 
 Serving traffic (form submissions, the query translator, dashboards)
 re-runs a small set of SELECT statements far more often than the facts
 table changes.  :class:`QueryResultCache` memoizes SELECT results keyed
-by the *normalized* statement text plus the version of every table the
-statement reads; versions come from the same commit-listener stream that
-drives statistics maintenance (:mod:`repro.storage.rdbms.stats`), so any
-committed write or schema change to a referenced table makes the cached
-entry unreachable and a listener evicts it eagerly.
+by the *normalized* statement text plus the MVCC snapshot version of
+every table the statement reads (DESIGN.md §15).
+
+Coherence does not depend on eviction timing: a lookup first pins a
+commit-point snapshot, then accepts a cached entry only when the entry's
+recorded versions are *equal* to that snapshot's versions.  Because a
+miss executes against the very snapshot whose versions it stores, a
+cached entry always describes exactly the committed state named by its
+key — a commit racing an in-flight lookup can therefore never produce a
+stale hit; at worst it turns a would-be hit into an extra miss.  The
+commit listener still evicts eagerly, but purely as memory hygiene.
 
 Only SELECTs are cached; every other statement (DML, DDL, EXPLAIN)
 passes straight through to the executor.  Rows are defensively copied in
@@ -27,15 +33,16 @@ from collections import OrderedDict
 from time import perf_counter
 from typing import Any
 
+from repro.errors import CancellationToken, StaleSnapshotError
 from repro.storage.rdbms.engine import Database
 from repro.telemetry import metrics
 
 
 class QueryResultCache:
-    """An LRU of SELECT results, invalidated by table version.
+    """An LRU of SELECT results, keyed by snapshot version.
 
     Args:
-        db: the database whose commit stream versions the entries.
+        db: the database whose snapshots version the entries.
         capacity: maximum number of cached statements (LRU eviction).
         slowlog: optional slow-query log observing every statement's
             wall time; None keeps the pre-observability fast path.
@@ -47,7 +54,7 @@ class QueryResultCache:
         self._capacity = capacity
         self.slowlog = slowlog
         self._lock = threading.Lock()
-        # normalized sql -> (tables, {table: version}, rows)
+        # normalized sql -> (tables, {table: snapshot version}, rows)
         self._entries: OrderedDict[
             str, tuple[tuple[str, ...], dict[str, int], list[dict[str, Any]]]
         ] = OrderedDict()
@@ -58,55 +65,71 @@ class QueryResultCache:
 
     # ------------------------------------------------------------- serving
 
-    def execute(self, sql: str) -> list[dict[str, Any]]:
+    def execute(self, sql: str,
+                guard: CancellationToken | None = None,
+                ) -> list[dict[str, Any]]:
         """Run one statement, serving SELECTs from cache when fresh.
+
+        ``guard`` is an optional cooperative-cancellation token checked
+        throughout execution (query deadlines, shutdown).
 
         Raises:
             SqlError: on parse or execution errors.
         """
         if self.slowlog is None:
-            return self._execute(sql)
+            return self._execute(sql, guard)
         t0 = perf_counter()
-        rows = self._execute(sql)
+        rows = self._execute(sql, guard)
         self.slowlog.observe(self._db, sql, perf_counter() - t0, len(rows))
         return rows
 
-    def _execute(self, sql: str) -> list[dict[str, Any]]:
+    def _execute(self, sql: str,
+                 guard: CancellationToken | None = None,
+                 ) -> list[dict[str, Any]]:
         from repro.storage.rdbms import sql as sqlmod
 
         stmt = sqlmod.parse_sql(sql)
         if not isinstance(stmt, sqlmod.SelectStatement):
-            return sqlmod.execute_statement(self._db, stmt)
+            return sqlmod.execute_statement(self._db, stmt, guard=guard)
         registry = metrics.get_registry()
         key = sqlmod.normalize_sql(sql)
         tables = tuple(
             t for t in (stmt.table, stmt.join_table) if t is not None)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                _, versions, rows = entry
-                if all(self._stats.version(t) == v
-                       for t, v in versions.items()):
+        last: StaleSnapshotError | None = None
+        for _ in range(sqlmod._STALE_PLAN_ATTEMPTS):
+            snap = self._db.begin_snapshot(guard=guard)
+            try:
+                versions = {t: snap.version_of(t) for t in tables}
+                with self._lock:
+                    entry = self._entries.get(key)
+                    if entry is not None and entry[1] == versions:
+                        self._entries.move_to_end(key)
+                        registry.inc("planner.cache.hits")
+                        return [dict(r) for r in entry[2]]
+                registry.inc("planner.cache.misses")
+                # Executing against the pinned snapshot makes the stored
+                # rows correspond exactly to the stored versions; a
+                # commit racing this statement bumps versions and simply
+                # makes the entry miss for post-commit readers.
+                rows = sqlmod.execute_statement(self._db, stmt, txn=snap)
+                with self._lock:
+                    self._entries[key] = (
+                        tables, versions, [dict(r) for r in rows])
                     self._entries.move_to_end(key)
-                    registry.inc("planner.cache.hits")
-                    return [dict(r) for r in rows]
-                del self._entries[key]
-        registry.inc("planner.cache.misses")
-        # Snapshot versions *before* executing: a commit racing with the
-        # query makes the stored entry immediately stale (extra miss),
-        # never silently wrong.
-        versions = {t: self._stats.version(t) for t in tables}
-        rows = sqlmod.execute_statement(self._db, stmt)
-        with self._lock:
-            self._entries[key] = (tables, versions, [dict(r) for r in rows])
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-        return [dict(r) for r in rows]
+                    while len(self._entries) > self._capacity:
+                        self._entries.popitem(last=False)
+                return [dict(r) for r in rows]
+            except StaleSnapshotError as exc:
+                last = exc
+            finally:
+                snap.commit()
+        raise last
 
     # -------------------------------------------------------- invalidation
 
     def _on_commit(self, changed: frozenset[str]) -> None:
+        # Memory hygiene only: correctness never depends on this running
+        # (hits are validated against the reader's own snapshot).
         evicted = 0
         with self._lock:
             stale = [key for key, (tables, _, _) in self._entries.items()

@@ -37,7 +37,10 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Iterable
 
+from repro.errors import (CancellationToken, QueryDeadlockError, QueryError,
+                          QueryLockTimeoutError, StaleSnapshotError)
 from repro.storage.rdbms.engine import Database, Transaction
+from repro.storage.rdbms.lockmgr import DeadlockError, LockTimeoutError
 from repro.storage.rdbms.types import Column, ColumnType, TableSchema
 from repro.telemetry.tracing import get_tracer
 
@@ -1202,9 +1205,40 @@ def _analyze_rows(db: Database, stmt: ExplainStatement,
     return [{"plan": line} for line in lines]
 
 
+#: Attempts for a read whose plan went stale mid-flight (a reshard raced
+#: between snapshot acquisition and planning; readers take no locks, so
+#: nothing serializes the two).
+_STALE_PLAN_ATTEMPTS = 3
+
+
+def _run_snapshot_read(db: Database, guard: CancellationToken | None,
+                       runner) -> list[dict[str, Any]]:
+    """Run a read-only statement against a fresh commit-point snapshot.
+
+    On :class:`~repro.errors.StaleSnapshotError` (shard layout changed
+    under the plan) the statement retries with a fresh snapshot *and* a
+    fresh plan; the error escapes only if the layout keeps churning
+    faster than the retries.
+    """
+    last: StaleSnapshotError | None = None
+    for _ in range(_STALE_PLAN_ATTEMPTS):
+        snap = db.begin_snapshot(guard=guard)
+        try:
+            return runner(snap)
+        except StaleSnapshotError as exc:
+            last = exc
+        finally:
+            snap.commit()
+    raise last
+
+
 def execute_statement(db: Database, stmt, txn: Transaction | None = None,
-                      use_planner: bool = True) -> list[dict[str, Any]]:
+                      use_planner: bool = True,
+                      guard: CancellationToken | None = None,
+                      ) -> list[dict[str, Any]]:
     """Execute one already-parsed statement (see :func:`execute_sql`)."""
+    if guard is not None:
+        guard.check()
     if isinstance(stmt, CreateTableStatement):
         db.create_table(stmt.schema, shard_key=stmt.shard_key,
                         shard_count=stmt.shard_count)
@@ -1236,26 +1270,51 @@ def execute_statement(db: Database, stmt, txn: Transaction | None = None,
             return _explain_rows(db, stmt)
         if txn is not None:
             return _analyze_rows(db, stmt, txn)
-        return db.run(lambda t: _analyze_rows(db, stmt, t))
+        return _run_snapshot_read(
+            db, guard, lambda snap: _analyze_rows(db, stmt, snap))
     if txn is not None:
         return _Executor(db, txn, use_planner).execute(stmt)
-    return db.run(lambda t: _Executor(db, t, use_planner).execute(stmt))
+    if isinstance(stmt, SelectStatement):
+        # Auto-transaction SELECTs run lock-free on a committed snapshot:
+        # they cannot block behind writers, deadlock, or enter the
+        # waits-for graph (DESIGN.md §15).
+        return _run_snapshot_read(
+            db, guard,
+            lambda snap: _Executor(db, snap, use_planner).execute(stmt))
+    return db.run(lambda t: _Executor(db, t, use_planner).execute(stmt),
+                  guard=guard)
 
 
 def execute_sql(db: Database, sql: str, txn: Transaction | None = None,
-                use_planner: bool = True) -> list[dict[str, Any]]:
+                use_planner: bool = True,
+                guard: CancellationToken | None = None,
+                ) -> list[dict[str, Any]]:
     """Parse and execute one SQL statement.
 
-    If ``txn`` is None, the statement runs in its own transaction (with
-    deadlock retry).  Returns result rows as a list of dicts; DML returns a
+    If ``txn`` is None, SELECTs run lock-free on a commit-point snapshot
+    and writes run in their own transaction (with deadlock/lock-timeout
+    retry).  Returns result rows as a list of dicts; DML returns a
     one-row summary (e.g. ``[{"updated": 3}]``), ``EXPLAIN <select>`` one
     ``{"plan": line}`` row per plan-tree line.
 
     ``use_planner=False`` bypasses the cost-based planner and runs the
     naive interpreter — the reference semantics the planner is tested
-    against.
+    against.  ``guard`` is an optional cooperative-cancellation token
+    (query deadline / shutdown) checked throughout execution.
 
     Raises:
         SqlError: on parse or execution errors.
+        QueryDeadlockError: retries exhausted on a persistent deadlock.
+        QueryLockTimeoutError: retries exhausted on lock-wait timeouts.
+        QueryTimeoutError: the guard's deadline passed mid-execution.
     """
-    return execute_statement(db, parse_sql(sql), txn, use_planner)
+    try:
+        return execute_statement(db, parse_sql(sql), txn, use_planner, guard)
+    except QueryError as exc:
+        if exc.sql is None:
+            exc.sql = sql
+        raise
+    except DeadlockError as exc:
+        raise QueryDeadlockError(str(exc), sql=sql) from exc
+    except LockTimeoutError as exc:
+        raise QueryLockTimeoutError(str(exc), sql=sql) from exc

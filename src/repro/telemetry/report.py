@@ -152,6 +152,30 @@ def render_report(summary: dict[str, Any],
                 f"{all_counters.get('planner.cache.invalidations', 0.0):.0f} "
                 f"({rate})",
             ]
+        if family_present("rdbms.mvcc"):
+            builds = all_counters.get("rdbms.mvcc.snapshot_builds", 0.0)
+            reuses = all_counters.get("rdbms.mvcc.snapshot_reuses", 0.0)
+            takes = builds + reuses
+            rate = (f"{100.0 * reuses / takes:.1f}% reuse rate"
+                    if takes else "reuse rate n/a")
+            lines += [
+                "",
+                f"mvcc snapshots: read_txns="
+                f"{all_counters.get('rdbms.mvcc.read_txns', 0.0):.0f} "
+                f"builds={builds:.0f} reuses={reuses:.0f} ({rate})",
+            ]
+        if family_present("serving"):
+            lines += [
+                "",
+                f"serving: admitted="
+                f"{all_counters.get('serving.admitted', 0.0):.0f} "
+                f"rejected={all_counters.get('serving.rejected', 0.0):.0f} "
+                f"timed_out="
+                f"{all_counters.get('serving.timed_out', 0.0):.0f} "
+                f"drained={all_counters.get('serving.drained', 0.0):.0f} "
+                f"txn_retries="
+                f"{all_counters.get('rdbms.txn.retries', 0.0):.0f}",
+            ]
         if family_present("segments"):
             seg_scanned = all_counters.get("segments.scanned", 0.0)
             seg_skipped = all_counters.get("segments.skipped", 0.0)
@@ -271,6 +295,20 @@ def render_top(previous: dict[str, Any] | None, current: dict[str, Any],
                  f"({delta('rdbms.wal.records'):.0f} records)")
     lines.append(f"  {'lock waits':<18} {delta('rdbms.lock.waits'):10.0f}  "
                  f"({delta('rdbms.lock.wait_seconds'):.3f}s waited)")
+    snap_builds = delta("rdbms.mvcc.snapshot_builds")
+    snap_reuses = delta("rdbms.mvcc.snapshot_reuses")
+    if snap_builds or snap_reuses or delta("rdbms.mvcc.read_txns"):
+        lines.append(f"  {'mvcc snapshots':<18} "
+                     f"{rate(delta('rdbms.mvcc.read_txns'))} reads  "
+                     f"(builds {snap_builds:.0f} / reuses {snap_reuses:.0f})")
+    admitted = delta("serving.admitted")
+    rejected = delta("serving.rejected")
+    timed_out = delta("serving.timed_out")
+    if admitted or rejected or timed_out:
+        lines.append(f"  {'admission':<18} {rate(admitted)} admitted  "
+                     f"(rejected {rejected:.0f} / "
+                     f"timed out {timed_out:.0f} / "
+                     f"txn retries {delta('rdbms.txn.retries'):.0f})")
     seg_scanned = delta("segments.scanned")
     seg_skipped = delta("segments.skipped")
     if seg_scanned or seg_skipped:

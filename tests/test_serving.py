@@ -1,0 +1,289 @@
+"""Serving-layer tests: MVCC snapshots, admission, deadlines, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.serving import ServingGate
+from repro.core.system import StructureManagementSystem
+from repro.errors import (AdmissionRejected, CancellationToken,
+                          QueryTimeoutError, ReadOnlyTransactionError)
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.lockmgr import LockManager
+from repro.storage.rdbms.qcache import QueryResultCache
+from repro.storage.rdbms.sql import SqlError, execute_sql
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.telemetry import metrics
+
+
+def _accounts_db(n=4, balance=10):
+    db = Database()
+    db.create_table(TableSchema(
+        "accounts",
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("balance", ColumnType.INT)),
+        primary_key="id",
+    ))
+    db.run(lambda t: t.insert_many(
+        "accounts",
+        [{"id": i, "balance": balance} for i in range(n)]))
+    return db
+
+
+# -------------------------------------------------------------- snapshots
+
+
+def test_snapshot_ignores_uncommitted_writes():
+    db = _accounts_db()
+    txn = db.begin()
+    row = txn.get_by_pk("accounts", 0)
+    txn.update("accounts", row.rid, {"balance": 999})
+    try:
+        with db.begin_snapshot() as snap:
+            assert snap.get_by_pk("accounts", 0).values["balance"] == 10
+    finally:
+        txn.abort()
+
+
+def test_snapshot_reads_do_not_block_on_writer_locks():
+    """A snapshot read returns immediately even while a writer holds the
+    X lock on the row being read (readers never touch the lock manager)."""
+    db = _accounts_db()
+    db._locks = LockManager(timeout=0.2)  # a lock wait would time out fast
+    txn = db.begin()
+    row = txn.get_by_pk("accounts", 1)
+    txn.update("accounts", row.rid, {"balance": 123})
+    try:
+        t0 = time.perf_counter()
+        rows = execute_sql(db, "SELECT balance FROM accounts WHERE id = 1")
+        elapsed = time.perf_counter() - t0
+        assert rows == [{"balance": 10}]
+        assert elapsed < 0.2  # did not sit in the lock queue
+    finally:
+        txn.abort()
+
+
+def test_snapshot_transactions_are_read_only():
+    db = _accounts_db()
+    with db.begin_snapshot() as snap:
+        with pytest.raises(ReadOnlyTransactionError):
+            snap.insert("accounts", {"id": 99, "balance": 1})
+        with pytest.raises(ReadOnlyTransactionError):
+            snap.update("accounts", 0, {"balance": 1})
+        with pytest.raises(ReadOnlyTransactionError):
+            snap.delete("accounts", 0)
+
+
+def test_snapshot_index_lookups_match_scans():
+    db = _accounts_db(n=8)
+    db.create_index("accounts", "balance")
+    db.run(lambda t: t.update(
+        "accounts", t.get_by_pk("accounts", 3).rid, {"balance": 77}))
+    with db.begin_snapshot() as snap:
+        by_index = {r.values["id"] for r in snap.lookup(
+            "accounts", "balance", 77)}
+        by_scan = {r.values["id"] for r in snap.scan("accounts")
+                   if r.values["balance"] == 77}
+        assert by_index == by_scan == {3}
+
+
+def test_snapshot_versions_never_reused_across_drop_recreate():
+    db = _accounts_db()
+    v1 = db.begin_snapshot().version_of("accounts")
+    db.drop_table("accounts")
+    db.create_table(TableSchema(
+        "accounts",
+        (Column("id", ColumnType.INT, nullable=False),
+         Column("balance", ColumnType.INT)),
+        primary_key="id",
+    ))
+    v2 = db.begin_snapshot().version_of("accounts")
+    assert v2 > v1  # a recreated table can never alias an old version
+
+
+def test_snapshot_reuse_between_commits():
+    db = _accounts_db()
+    registry = metrics.get_registry()
+    db.begin_snapshot()
+    before = registry.get("rdbms.mvcc.snapshot_reuses")
+    db.begin_snapshot()  # no commit in between: cached clone is reused
+    assert registry.get("rdbms.mvcc.snapshot_reuses") > before
+
+
+# ------------------------------------------------------ cancellation token
+
+
+def test_expired_guard_cancels_select():
+    db = _accounts_db()
+    guard = CancellationToken.after(0.0, sql="SELECT 1")
+    time.sleep(0.001)
+    with pytest.raises(QueryTimeoutError):
+        execute_sql(db, "SELECT * FROM accounts", guard=guard)
+
+
+def test_shutdown_event_cancels_select():
+    db = _accounts_db()
+    event = threading.Event()
+    event.set()
+    guard = CancellationToken(event=event)
+    with pytest.raises(QueryTimeoutError, match="shutdown"):
+        execute_sql(db, "SELECT * FROM accounts", guard=guard)
+
+
+def test_typed_errors_carry_sql_text():
+    db = _accounts_db()
+    guard = CancellationToken.after(0.0)
+    time.sleep(0.001)
+    with pytest.raises(QueryTimeoutError) as info:
+        execute_sql(db, "SELECT id FROM accounts", guard=guard)
+    assert "SELECT id FROM accounts" in str(info.value)
+
+
+# ----------------------------------------------------------- result cache
+
+
+def test_qcache_never_serves_stale_hit_after_commit():
+    """Regression: a read that starts after a commit must see it, even
+    while other threads keep the same statement hot in the cache."""
+    db = _accounts_db(n=1, balance=0)
+    cache = QueryResultCache(db)
+    sql = "SELECT balance FROM accounts WHERE id = 0"
+    stop = threading.Event()
+    errors = []
+
+    def hammer():
+        try:
+            while not stop.is_set():
+                cache.execute(sql)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for n in range(1, 60):
+            db.run(lambda t, n=n: t.update(
+                "accounts", t.get_by_pk("accounts", 0).rid, {"balance": n}))
+            # Commit happened-before this lookup: a stale hit here would
+            # be the coherence bug this PR fixes.
+            assert cache.execute(sql) == [{"balance": n}]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors
+
+
+def test_qcache_hits_between_commits():
+    db = _accounts_db()
+    cache = QueryResultCache(db)
+    registry = metrics.get_registry()
+    sql = "SELECT COUNT(*) AS n FROM accounts"
+    assert cache.execute(sql) == [{"n": 4}]
+    before = registry.get("planner.cache.hits")
+    assert cache.execute(sql) == [{"n": 4}]
+    assert registry.get("planner.cache.hits") > before
+
+
+# -------------------------------------------------------------- admission
+
+
+def test_gate_sheds_load_when_saturated():
+    gate = ServingGate(max_concurrent=1, max_queue=0)
+    slot = gate.admit("q1")
+    with pytest.raises(AdmissionRejected) as info:
+        gate.admit("q2")
+    assert info.value.reason == "saturated"
+    with slot:
+        pass
+    with gate.admit("q3"):  # slot freed: admission works again
+        pass
+
+
+def test_gate_queue_timeout():
+    gate = ServingGate(max_concurrent=1, max_queue=4, queue_timeout=0.05)
+    slot = gate.admit("q1")
+    t0 = time.perf_counter()
+    with pytest.raises(AdmissionRejected) as info:
+        gate.admit("q2")
+    assert info.value.reason == "queue-timeout"
+    assert time.perf_counter() - t0 < 2.0
+    with slot:
+        pass
+
+
+def test_gate_drain_rejects_and_waits():
+    gate = ServingGate(max_concurrent=2, max_queue=2)
+    slot = gate.admit("q1")
+    assert gate.drain(timeout=0.05) is False  # q1 still running
+    with pytest.raises(AdmissionRejected) as info:
+        gate.admit("q2")
+    assert info.value.reason == "draining"
+    with slot:
+        pass
+    assert gate.drain(timeout=1.0) is True  # idempotent, now empty
+
+
+def test_system_query_deadline_and_admission():
+    system = StructureManagementSystem(max_concurrent_queries=1,
+                                       max_queued_queries=0,
+                                       admission_timeout_seconds=0.1)
+    try:
+        assert system.query("SELECT COUNT(*) AS n FROM facts") == [{"n": 0}]
+        with pytest.raises(QueryTimeoutError):
+            system.query("SELECT * FROM facts", deadline_seconds=0.0)
+        slot = system.gate.admit("held")
+        with pytest.raises(AdmissionRejected):
+            system.query("SELECT * FROM facts")
+        with slot:
+            pass
+    finally:
+        system.close()
+
+
+def test_system_close_drains_and_is_idempotent():
+    system = StructureManagementSystem()
+    system.query("SELECT COUNT(*) AS n FROM facts")
+    system.close()
+    system.close()  # second close is a no-op
+    with pytest.raises(AdmissionRejected) as info:
+        system.query("SELECT COUNT(*) AS n FROM facts")
+    assert info.value.reason == "draining"
+
+
+def test_session_statements_respect_deadline():
+    system = StructureManagementSystem()
+    try:
+        session = system.session("alice")
+        session.deadline_seconds = 0.0
+        time.sleep(0.001)
+        with pytest.raises(QueryTimeoutError):
+            session.structured("SELECT * FROM facts")
+    finally:
+        system.close()
+
+
+# ------------------------------------------------------------- CLI codes
+
+
+def test_cli_exit_codes_distinguish_timeout_from_failure(tmp_path,
+                                                         monkeypatch):
+    from repro import cli
+
+    ws = str(tmp_path / "ws")
+    assert cli.main(["--workspace", ws, "sql", "SELECT FROM"]) == 3
+
+    def boom(args):
+        raise QueryTimeoutError("query exceeded its deadline",
+                                sql=args.query)
+
+    monkeypatch.setattr(cli, "cmd_sql", boom)
+    assert cli.main(["--workspace", ws, "sql", "SELECT 1"]) == 4
+
+
+def test_sql_error_still_raised_for_bad_statements():
+    db = _accounts_db()
+    with pytest.raises(SqlError):
+        execute_sql(db, "SELEC balance FROM accounts")
