@@ -1,4 +1,4 @@
-"""One-shot gate: smoke-run E15, run the E16–E23 benches, then tier-1 tests.
+"""One-shot gate: smoke-run E15, run the E16–E24 benches, then tier-1 tests.
 
 Intended as the pre-merge check — it exercises the real-parallelism path
 end to end (small workload, equality invariants enforced, no timing
@@ -32,7 +32,13 @@ concurrent-serving bench (E23: fails unless MVCC snapshot readers stay
 consistent and row-identical to a serialized oracle under writer +
 compaction + reshard churn with zero reader lock waits and <= 2x idle
 p99 tail latency, and graceful shutdown drains in-flight queries with a
-consistent post-drain reopen), re-validates every
+consistent post-drain reopen), runs the full streaming-DGE bench (E24:
+fails unless a 1% churn batch over 10k documents re-scores >= 10x fewer
+pairs than a full re-resolution while clusters, fused values, and
+standing-query notifications stay byte-identical to a full recompute
+after every batch, and a producer 5x faster than the consumer is
+throttled by the bounded queues without dropping a delta), re-validates
+every
 ``results/BENCH_*.json`` against its declared gates in one place
 (``check_gates.py``), and then confirms the whole repo is still
 green::
@@ -92,6 +98,8 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
          _bench("bench_e22_sharded_parallel.py", *flag)),
         ("E23", "E23 concurrent-serving bench (MVCC + admission gates)",
          _bench("bench_e23_concurrent_serving.py", *flag)),
+        ("E24", "E24 streaming-DGE bench (O(delta) + identity gates)",
+         _bench("bench_e24_streaming.py", *flag)),
         ("gates", "declared-gate re-validation (check_gates.py)",
          _bench("check_gates.py")),
         ("tests", "tier-1 tests",
@@ -102,7 +110,7 @@ def build_steps(smoke: bool) -> list[tuple[str, str, list[str]]]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", metavar="STEP", default=None,
-                        help="run one step by key: E15..E23, 'gates', "
+                        help="run one step by key: E15..E24, 'gates', "
                              "or 'tests'")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads everywhere, no timing gates")

@@ -1,0 +1,560 @@
+"""Streaming DGE: the connected incremental loop as a long-running pipeline.
+
+Corpus delta (snapshot-store / corpus diffs) -> incremental extraction
+(content-addressed cache) -> incremental entity resolution
+(:class:`~repro.integration.entity_resolution.IncrementalEntityResolver`)
+-> fusion under retraction
+(:class:`~repro.integration.fusion.FusionState`) -> delta-driven
+continuous-query push (fused rows are upserted into an RDBMS table, whose
+commit delta stream drives the
+:class:`~repro.userlayer.monitoring.ContinuousQueryManager`).
+
+Every stage's cost follows the *delta*, not the corpus: a changed document
+re-extracts one document, re-scores only pairs in its blocking-key
+neighborhoods, re-fuses only the (entity, attribute) groups its mentions
+touch, and re-evaluates standing queries against the changed fused rows
+only.  :meth:`StreamingPipeline.process` runs the stages synchronously;
+:meth:`StreamingPipeline.start` wires them over bounded queues with
+backpressure (a producer faster than the consumer blocks in
+:meth:`~StreamingPipeline.submit` — deltas are never dropped and memory
+stays bounded), cooperative cancellation via
+:class:`~repro.errors.CancellationToken`, and dead-letter capture for
+poison documents.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
+
+from repro.cache.fingerprint import extractor_fingerprint
+from repro.cache.store import ExtractionCache, document_key
+from repro.docmodel.document import Document
+from repro.errors import CancellationToken
+from repro.extraction.base import Extraction, Extractor
+from repro.faults.deadletter import DeadLetterEntry, DeadLetterStore
+from repro.integration.entity_resolution import (
+    EntityCluster,
+    EntityResolver,
+    IncrementalEntityResolver,
+    MatchConstraints,
+    Mention,
+)
+from repro.integration.fusion import (
+    FusedValue,
+    FusionState,
+    canonical_extraction_sort_key,
+    fuse_extractions,
+)
+from repro.lang.executor import extraction_to_tuple, tuple_to_extraction
+from repro.storage.rdbms.engine import Database
+from repro.storage.rdbms.types import Column, ColumnType, TableSchema
+from repro.storage.snapshots import SnapshotStore
+from repro.telemetry import metrics
+
+FUSED_TABLE = "fused_facts"
+
+#: Queue sentinel telling a stage thread to exit.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class DocDelta:
+    """One corpus delta batch: the unit of work flowing down the pipeline."""
+
+    added: tuple[Document, ...] = ()
+    changed: tuple[Document, ...] = ()
+    removed: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.changed) + len(self.removed)
+
+    def doc_ids(self) -> list[str]:
+        return ([d.doc_id for d in self.added]
+                + [d.doc_id for d in self.changed]
+                + list(self.removed))
+
+
+class CorpusDeltaSource:
+    """Turns successive corpus states into :class:`DocDelta` batches.
+
+    Tracks each document's *content hash* rather than its snapshot
+    version — the snapshot store commits a new version on every re-ingest
+    even when the text is unchanged, so version numbers overstate churn.
+    """
+
+    def __init__(self) -> None:
+        self._hashes: dict[str, str] = {}
+
+    def diff(self, docs: Iterable[Document]) -> DocDelta:
+        """Delta from the last observed state to ``docs`` (the full view)."""
+        added: list[Document] = []
+        changed: list[Document] = []
+        present: set[str] = set()
+        for doc in sorted(docs, key=lambda d: d.doc_id):
+            present.add(doc.doc_id)
+            digest = doc.content_hash()
+            old = self._hashes.get(doc.doc_id)
+            if old is None:
+                added.append(doc)
+            elif old != digest:
+                changed.append(doc)
+            self._hashes[doc.doc_id] = digest
+        removed = sorted(set(self._hashes) - present)
+        for doc_id in removed:
+            del self._hashes[doc_id]
+        return DocDelta(tuple(added), tuple(changed), tuple(removed))
+
+    def diff_store(self, store: SnapshotStore) -> DocDelta:
+        """Delta against the latest version of every document in ``store``."""
+        return self.diff(store.checkout(doc_id) for doc_id in store.doc_ids())
+
+    def state(self) -> dict[str, str]:
+        """Serializable tracked state (doc id -> content hash)."""
+        return dict(self._hashes)
+
+    def restore(self, state: dict[str, str]) -> None:
+        """Resume from a previously saved :meth:`state` snapshot."""
+        self._hashes = dict(state)
+
+
+@dataclass(frozen=True)
+class _ExtractedDelta:
+    """Stage-1 output: per-document extraction results for one delta."""
+
+    added: tuple[tuple[str, tuple[Extraction, ...]], ...] = ()
+    changed: tuple[tuple[str, tuple[Extraction, ...]], ...] = ()
+    removed: tuple[str, ...] = ()
+
+
+@dataclass
+class PipelineStats:
+    """Cumulative work counters (mirrored into ``dge.*`` metrics)."""
+
+    deltas_in: int = 0
+    docs_in: int = 0
+    pairs_scored: int = 0
+    clusters_split: int = 0
+    fused_rows_written: int = 0
+    docs_deadlettered: int = 0
+    max_queue_depth: int = 0
+
+
+class StreamingPipeline:
+    """The connected incremental DGE loop over one database.
+
+    Args:
+        db: database receiving fused rows (its delta stream feeds any
+            registered continuous queries).
+        extractors: named extractors run per document.
+        resolver: entity-resolver configuration (thresholds, blocking).
+        constraints: shared must/cannot-link state (HI feedback).
+        strategy: fusion strategy for conflicting values.
+        cache: optional content-addressed extraction cache; re-ingesting
+            an unchanged document costs a lookup, not a scan.
+        deadletter: where poison documents (extractor crashes) go.
+        token: cooperative cancellation for the stage threads.
+        queue_size: bound of each inter-stage queue (the backpressure
+            knob): a full queue blocks the upstream stage.
+        fused_table: table receiving one row per fused (entity, attribute).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        extractors: dict[str, Extractor],
+        *,
+        resolver: EntityResolver | None = None,
+        constraints: MatchConstraints | None = None,
+        strategy: str = "weighted_vote",
+        cache: ExtractionCache | None = None,
+        deadletter: DeadLetterStore | None = None,
+        token: CancellationToken | None = None,
+        queue_size: int = 64,
+        fused_table: str = FUSED_TABLE,
+    ) -> None:
+        self.db = db
+        self.extractors = dict(extractors)
+        self.resolver = IncrementalEntityResolver(
+            resolver if resolver is not None else EntityResolver(),
+            constraints)
+        self.fusion = FusionState(strategy)
+        self.cache = cache
+        self.deadletter = deadletter
+        self.token = token
+        self.queue_size = queue_size
+        self.fused_table = fused_table
+        self.stats = PipelineStats()
+        self._ensure_table()
+        #: doc_id -> mention ids currently live for that document.
+        self._doc_mentions: dict[str, tuple[int, ...]] = {}
+        #: mention id -> raw (untagged) extractions backing it.
+        self._raw: dict[int, tuple[Extraction, ...]] = {}
+        #: mention id -> canonical-entity-tagged extractions now in fusion.
+        self._tagged: dict[int, tuple[Extraction, ...]] = {}
+        #: mention id -> canonical entity last pushed to fusion.
+        self._canon: dict[int, str] = {}
+        #: (entity, attribute) -> rid of its fused row in ``fused_table``.
+        self._rids: dict[tuple[str, str], int] = {}
+        self._next_mention_id = 0
+        self._lock = threading.RLock()
+        self._threads: list[threading.Thread] = []
+        self._queues: list[queue.Queue] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    def _ensure_table(self) -> None:
+        if self.fused_table in self.db.table_names():
+            # A fresh pipeline owns the table's contents: its in-memory
+            # derived state starts empty, so stale rows from an earlier
+            # process would otherwise double up once deltas flow.
+            def clear(txn: Any) -> None:
+                for row in list(txn.scan(self.fused_table)):
+                    txn.delete(self.fused_table, row.rid)
+            self.db.run(clear)
+            return
+        self.db.create_table(TableSchema(self.fused_table, (
+            Column("entity", ColumnType.TEXT),
+            Column("attribute", ColumnType.TEXT),
+            Column("value_text", ColumnType.TEXT),
+            Column("value_num", ColumnType.FLOAT),
+            Column("confidence", ColumnType.FLOAT),
+            Column("support", ColumnType.INT),
+            Column("conflict", ColumnType.INT),
+        )))
+
+    def _check_cancelled(self) -> None:
+        if self.token is not None:
+            self.token.check()
+
+    def _dead_letter(self, doc_id: str, stage: str, exc: Exception) -> None:
+        self.stats.docs_deadlettered += 1
+        metrics.get_registry().inc("dge.docs_deadlettered")
+        if self.deadletter is not None:
+            self.deadletter.add(DeadLetterEntry(
+                doc_id=doc_id, extractor=stage, error=str(exc),
+                error_type=type(exc).__name__, attempts=1,
+            ))
+
+    # ------------------------------------------------------ stage 1: extract
+
+    def _extract_doc(self, doc: Document) -> tuple[Extraction, ...] | None:
+        """All extractors over one document, through the cache.
+
+        Returns None when every extractor failed outright (the document is
+        dead-lettered and drops out of the derived state).
+        """
+        out: list[Extraction] = []
+        produced = False
+        for name in sorted(self.extractors):
+            extractor = self.extractors[name]
+            rows = None
+            if self.cache is not None:
+                fingerprint = extractor_fingerprint(extractor)
+                rows = self.cache.get(document_key(doc), fingerprint)
+            if rows is not None:
+                out.extend(tuple_to_extraction(r) for r in rows)
+                produced = True
+                continue
+            try:
+                extractions = extractor.extract(doc)
+            except Exception as exc:
+                self._dead_letter(doc.doc_id, name, exc)
+                continue
+            produced = True
+            if self.cache is not None:
+                self.cache.put(document_key(doc), extractor_fingerprint(extractor),
+                               [extraction_to_tuple(e) for e in extractions])
+            out.extend(extractions)
+        if not produced and self.extractors:
+            return None
+        # Entity-less extractions belong to the document itself — the same
+        # fallback the xlog executor applies before resolution.
+        return tuple(
+            e if e.entity else replace(e, entity=e.span.doc_id) for e in out)
+
+    def _extract(self, delta: DocDelta) -> _ExtractedDelta:
+        self.stats.deltas_in += 1
+        registry = metrics.get_registry()
+        registry.inc("dge.deltas_in")
+        added: list[tuple[str, tuple[Extraction, ...]]] = []
+        changed: list[tuple[str, tuple[Extraction, ...]]] = []
+        removed = list(delta.removed)
+        for doc, bucket in [(d, added) for d in delta.added] \
+                + [(d, changed) for d in delta.changed]:
+            self._check_cancelled()
+            self.stats.docs_in += 1
+            registry.inc("dge.docs_in")
+            extractions = self._extract_doc(doc)
+            if extractions is None:
+                # Poison document: excise it from the derived state.
+                if doc.doc_id in self._doc_mentions:
+                    removed.append(doc.doc_id)
+                continue
+            bucket.append((doc.doc_id, extractions))
+        return _ExtractedDelta(tuple(added), tuple(changed), tuple(removed))
+
+    # --------------------------------------------- stage 2: resolve + fuse
+
+    def _build_mentions(
+        self, doc_id: str, extractions: tuple[Extraction, ...],
+    ) -> list[tuple[Mention, tuple[Extraction, ...]]]:
+        """Group one document's extractions into mentions.
+
+        One mention per distinct raw entity string; its attributes are the
+        first value per attribute in canonical extraction order (a
+        deterministic function of the extraction set, so an unchanged
+        document always rebuilds the same mention shape).
+        """
+        ordered = sorted(extractions, key=canonical_extraction_sort_key)
+        by_entity: dict[str, list[Extraction]] = {}
+        for extraction in ordered:
+            by_entity.setdefault(extraction.entity, []).append(extraction)
+        out: list[tuple[Mention, tuple[Extraction, ...]]] = []
+        for entity in sorted(by_entity):
+            members = by_entity[entity]
+            attrs: dict[str, Any] = {}
+            for extraction in members:
+                attrs.setdefault(extraction.attribute, extraction.value)
+            with self._lock:
+                mention_id = self._next_mention_id
+                self._next_mention_id += 1
+            mention = Mention(mention_id, entity,
+                              tuple(sorted(attrs.items())))
+            out.append((mention, tuple(members)))
+        return out
+
+    def _integrate(self, extracted: _ExtractedDelta) -> dict[
+            tuple[str, str], FusedValue | None]:
+        registry = metrics.get_registry()
+        # Retract mentions of departed/changed documents from ER + fusion.
+        gone_ids: list[int] = []
+        for doc_id in (*extracted.removed,
+                       *(d for d, _ in extracted.changed)):
+            for mention_id in self._doc_mentions.pop(doc_id, ()):
+                gone_ids.append(mention_id)
+        for mention_id in gone_ids:
+            tagged = self._tagged.pop(mention_id, ())
+            if tagged:
+                self.fusion.retract(tagged)
+            self._raw.pop(mention_id, None)
+            self._canon.pop(mention_id, None)
+        # Build mentions for incoming documents (fresh ids).
+        new_mentions: list[Mention] = []
+        for doc_id, extractions in (*extracted.added, *extracted.changed):
+            self._check_cancelled()
+            built = self._build_mentions(doc_id, extractions)
+            self._doc_mentions[doc_id] = tuple(m.mention_id for m, _ in built)
+            for mention, members in built:
+                self._raw[mention.mention_id] = members
+                new_mentions.append(mention)
+        # One incremental resolution for the whole batch.
+        stats = self.resolver.apply(added=new_mentions, removed=gone_ids)
+        self.stats.pairs_scored += stats.pairs_scored
+        self.stats.clusters_split += stats.clusters_split
+        registry.inc("dge.pairs_scored", stats.pairs_scored)
+        registry.inc("dge.clusters_split", stats.clusters_split)
+        # Re-tag extractions whose canonical entity moved, then re-fuse.
+        dirty = self.resolver.last_dirty | {m.mention_id for m in new_mentions}
+        for mention_id in sorted(dirty):
+            if mention_id not in self._raw:
+                continue
+            canonical = self.resolver.canonical_of(mention_id)
+            if self._canon.get(mention_id) == canonical:
+                continue
+            old_tagged = self._tagged.get(mention_id, ())
+            if old_tagged:
+                self.fusion.retract(old_tagged)
+            tagged = tuple(replace(e, entity=canonical)
+                           for e in self._raw[mention_id])
+            self.fusion.add(tagged)
+            self._tagged[mention_id] = tagged
+            self._canon[mention_id] = canonical
+        return self.fusion.refresh()
+
+    # --------------------------------------------------- stage 3: push
+
+    def _push(self, changed: dict[tuple[str, str], FusedValue | None]) -> int:
+        """Upsert changed fused values; one transaction per batch.
+
+        The commit's row delta is what drives registered continuous
+        queries — the pipeline never calls ``poke()``.
+        """
+        if not changed:
+            return 0
+        new_rids: dict[tuple[str, str], int] = {}
+
+        def write(txn: Any) -> None:
+            new_rids.clear()
+            for key in sorted(changed):
+                fused = changed[key]
+                rid = self._rids.get(key)
+                if rid is not None:
+                    txn.delete(self.fused_table, rid)
+                if fused is not None:
+                    value = fused.value
+                    numeric = (isinstance(value, (int, float))
+                               and not isinstance(value, bool))
+                    row = txn.insert(self.fused_table, {
+                        "entity": fused.entity,
+                        "attribute": fused.attribute,
+                        "value_text": None if numeric else str(value),
+                        "value_num": float(value) if numeric else None,
+                        "confidence": fused.confidence,
+                        "support": fused.support,
+                        "conflict": fused.conflict,
+                    })
+                    new_rids[key] = row.rid
+
+        self.db.run(write)
+        for key in changed:
+            self._rids.pop(key, None)
+        self._rids.update(new_rids)
+        written = len(changed)
+        self.stats.fused_rows_written += written
+        metrics.get_registry().inc("dge.fused_rows_written", written)
+        return written
+
+    # ------------------------------------------------------- synchronous API
+
+    def process(self, delta: DocDelta) -> int:
+        """Run one delta through all stages synchronously.
+
+        Returns the number of fused rows written.  This is the unit the
+        threaded mode pipelines; benches and tests drive it directly for
+        per-batch identity checks.
+        """
+        with self._lock:
+            return self._push(self._integrate(self._extract(delta)))
+
+    def add_must(self, a: int, b: int) -> int:
+        """HI feedback: must-link two mentions; propagates through fusion."""
+        return self._constraint(self.resolver.add_must, a, b)
+
+    def add_cannot(self, a: int, b: int) -> int:
+        """HI feedback: cannot-link two mentions; propagates through fusion."""
+        return self._constraint(self.resolver.add_cannot, a, b)
+
+    def _constraint(self, op: Any, a: int, b: int) -> int:
+        with self._lock:
+            stats = op(a, b)
+            self.stats.clusters_split += stats.clusters_split
+            for mention_id in sorted(self.resolver.last_dirty):
+                if mention_id not in self._raw:
+                    continue
+                canonical = self.resolver.canonical_of(mention_id)
+                if self._canon.get(mention_id) == canonical:
+                    continue
+                old_tagged = self._tagged.get(mention_id, ())
+                if old_tagged:
+                    self.fusion.retract(old_tagged)
+                tagged = tuple(replace(e, entity=canonical)
+                               for e in self._raw[mention_id])
+                self.fusion.add(tagged)
+                self._tagged[mention_id] = tagged
+                self._canon[mention_id] = canonical
+            return self._push(self.fusion.refresh())
+
+    # ---------------------------------------------------------- threaded API
+
+    def start(self) -> None:
+        """Start the stage threads (extract | integrate+push) over bounded
+        queues.  Submit work with :meth:`submit`; stop with :meth:`stop`."""
+        if self._threads:
+            raise RuntimeError("pipeline already started")
+        in_q: queue.Queue = queue.Queue(self.queue_size)
+        mid_q: queue.Queue = queue.Queue(self.queue_size)
+        self._queues = [in_q, mid_q]
+
+        def run_stage(source: queue.Queue, work: Any) -> None:
+            while True:
+                item = source.get()
+                try:
+                    if item is _STOP:
+                        return
+                    work(item)
+                except Exception:
+                    metrics.get_registry().inc("dge.stage_errors")
+                finally:
+                    source.task_done()
+
+        def extract_stage(delta: DocDelta) -> None:
+            extracted = self._extract(delta)
+            self._observe_depth(mid_q)
+            mid_q.put(extracted)
+
+        def integrate_stage(extracted: _ExtractedDelta) -> None:
+            with self._lock:
+                self._push(self._integrate(extracted))
+
+        self._threads = [
+            threading.Thread(target=run_stage, args=(in_q, extract_stage),
+                             name="dge-extract", daemon=True),
+            threading.Thread(target=run_stage, args=(mid_q, integrate_stage),
+                             name="dge-integrate", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, delta: DocDelta) -> None:
+        """Enqueue a delta; blocks when the pipeline is saturated
+        (backpressure — deltas are never dropped)."""
+        if not self._threads:
+            raise RuntimeError("pipeline not started")
+        self._observe_depth(self._queues[0])
+        self._queues[0].put(delta)
+
+    def drain(self) -> None:
+        """Block until every submitted delta has fully flowed through."""
+        for q in self._queues:
+            q.join()
+
+    def stop(self) -> None:
+        """Drain, then stop the stage threads."""
+        if not self._threads:
+            return
+        self.drain()
+        for q, thread in zip(self._queues, self._threads):
+            q.put(_STOP)
+            thread.join()
+        self._threads = []
+        self._queues = []
+
+    def _observe_depth(self, q: queue.Queue) -> None:
+        depth = q.qsize()
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        metrics.get_registry().set_gauge("dge.queue_depth", depth)
+
+    # ------------------------------------------------------------- oracles
+
+    def oracle_clusters(self) -> list[EntityCluster]:
+        """Batch re-resolution of the live mention set (identity gate)."""
+        batch = EntityResolver(
+            threshold=self.resolver.resolver.threshold,
+            blocking_key=self.resolver.resolver.blocking_key,
+            attribute_weight=self.resolver.resolver.attribute_weight,
+            scorer=self.resolver.resolver.scorer,
+        )
+        return batch.resolve(self.resolver.mentions(),
+                             self.resolver.constraints)
+
+    def oracle_fused(self) -> list[FusedValue]:
+        """From-scratch re-extraction-to-fusion over the live state."""
+        canonical: dict[int, str] = {}
+        for cluster in self.oracle_clusters():
+            for mention_id in cluster.mention_ids:
+                canonical[mention_id] = cluster.canonical_name
+        tagged: list[Extraction] = []
+        for mention_id, raw in self._raw.items():
+            tagged.extend(replace(e, entity=canonical[mention_id])
+                          for e in raw)
+        tagged.sort(key=canonical_extraction_sort_key)
+        return fuse_extractions(tagged, self.fusion.strategy)
+
+    def fused_values(self) -> list[FusedValue]:
+        """The incrementally-maintained fused values."""
+        with self._lock:
+            return self.fusion.fused()

@@ -203,10 +203,11 @@ class StructureManagementSystem:
         else:
             self.slowlog = None
         self.query_cache = QueryResultCache(self.db, slowlog=self.slowlog)
-        # Standing queries fire on *any* committed write to the facts
-        # table — including direct db.run(insert_many)/run_batch writes
-        # that never pass through generate()/contribute().
-        self.db.add_commit_listener(self._facts_committed)
+        # Standing queries fire on *any* committed write — the manager
+        # subscribes to the row-level commit delta stream on its first
+        # registration and evaluates changed rows only, so direct
+        # db.run(insert_many)/run_batch writes that never pass through
+        # generate()/contribute() notify too, without a full re-run.
         self._corpus = InMemoryCorpus()
         self._fact_counter = 0
         self._cluster = (
@@ -244,11 +245,6 @@ class StructureManagementSystem:
                 f"SELECT MAX(fact_id) AS m FROM {FACTS_TABLE}"
             )[0]["m"]
             self._fact_counter = (existing + 1) if existing is not None else 0
-
-    def _facts_committed(self, tables: frozenset[str]) -> None:
-        """Database commit listener: poke standing queries on facts writes."""
-        if FACTS_TABLE in tables:
-            self.monitoring.poke()
 
     # ------------------------------------------------------------ ingestion
 
@@ -350,8 +346,8 @@ class StructureManagementSystem:
                 )
             # Batched write path: one transaction, one insert_many WAL
             # record and one table-lock acquisition for the whole run (vs
-            # one transaction per fact on the old loop).  The commit
-            # listener pokes monitoring, so standing queries fire here too.
+            # one transaction per fact on the old loop).  The commit delta
+            # notifies monitoring, so standing queries fire here too.
             if staged:
                 batch = [values for _, values, _ in staged]
                 self.db.run(lambda t: t.insert_many(FACTS_TABLE, batch))
@@ -719,6 +715,31 @@ class StructureManagementSystem:
     def extraction_cache(self) -> ExtractionCache | None:
         """The resolved extraction cache (None when caching is off)."""
         return self._cache
+
+    def streaming_pipeline(self, extractor_names: Sequence[str] | None = None,
+                           strategy: str = "weighted_vote",
+                           queue_size: int = 64,
+                           token: "CancellationToken | None" = None):
+        """Build the streaming DGE loop over this system's components.
+
+        Uses the registered extractors (or the named subset), the shared
+        extraction cache, the dead-letter store, and this system's
+        database — so fused rows land where continuous queries watch.
+        """
+        from repro.core.streaming import StreamingPipeline
+        if extractor_names is None:
+            extractors = dict(self.registry.extractors)
+        else:
+            extractors = {name: self.registry.extractor(name)
+                          for name in extractor_names}
+        return StreamingPipeline(
+            self.db, extractors,
+            strategy=strategy,
+            cache=self._cache,
+            deadletter=self.deadletter,
+            token=token,
+            queue_size=queue_size,
+        )
 
     def close(self) -> None:
         """Graceful shutdown: drain, cancel stragglers, flush, close.

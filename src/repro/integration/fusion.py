@@ -15,11 +15,14 @@ Strategies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 from repro.docmodel.document import Span
 from repro.extraction.base import Extraction
+
+_STRATEGIES = ("max_confidence", "weighted_vote", "numeric_median")
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,61 @@ def _weighted_median(pairs: list[tuple[float, float]]) -> float:
     return ordered[-1][0]
 
 
+def canonical_extraction_sort_key(extraction: Extraction) -> tuple:
+    """A deterministic total order over extractions.
+
+    Fusion output depends on member order inside a group (max-confidence
+    ties, vote ties, span tuples), so incremental maintenance and its
+    from-scratch oracle must both feed members in one canonical order.
+    """
+    span = extraction.span
+    return (
+        extraction.entity,
+        extraction.attribute,
+        -extraction.confidence,
+        span.doc_id, span.start, span.end,
+        extraction.extractor,
+        repr(extraction.value),
+    )
+
+
+def _fuse_group(entity: str, attribute: str, members: Sequence[Extraction],
+                strategy: str) -> FusedValue:
+    """Fuse one (entity, attribute) group; member order is significant."""
+    if strategy == "max_confidence":
+        chosen_value = max(members, key=lambda e: e.confidence).value
+    elif strategy == "numeric_median" and all(
+        isinstance(m.value, (int, float)) and not isinstance(m.value, bool)
+        for m in members
+    ):
+        chosen_value = _weighted_median(
+            [(float(m.value), m.confidence) for m in members]
+        )
+    else:
+        votes: dict[Any, float] = {}
+        for member in members:
+            votes[member.value] = votes.get(member.value, 0.0) + member.confidence
+        chosen_value = max(votes.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+    supporters = [m for m in members if _agrees(m.value, chosen_value, strategy)]
+    conflicters = len(members) - len(supporters)
+    support_conf = sum(m.confidence for m in supporters)
+    total_conf = sum(m.confidence for m in members)
+    confidence = support_conf / total_conf if total_conf else 0.0
+    # Independent agreeing sources increase belief beyond any single one.
+    best_single = max((m.confidence for m in supporters), default=0.0)
+    confidence = max(confidence * best_single + (1 - best_single) * confidence,
+                     best_single * confidence)
+    return FusedValue(
+        entity=entity,
+        attribute=attribute,
+        value=chosen_value,
+        confidence=min(confidence, 1.0),
+        support=len(supporters),
+        conflict=conflicters,
+        spans=tuple(m.span for m in supporters),
+    )
+
+
 def fuse_extractions(extractions: Sequence[Extraction],
                      strategy: str = "weighted_vote") -> list[FusedValue]:
     """Fuse extractions into one value per (entity, attribute).
@@ -67,50 +125,17 @@ def fuse_extractions(extractions: Sequence[Extraction],
     Raises:
         ValueError: unknown strategy.
     """
-    if strategy not in ("max_confidence", "weighted_vote", "numeric_median"):
+    if strategy not in _STRATEGIES:
         raise ValueError(f"unknown fusion strategy {strategy!r}")
     groups: dict[tuple[str, str], list[Extraction]] = {}
     for extraction in extractions:
         groups.setdefault((extraction.entity, extraction.attribute), []).append(
             extraction
         )
-    fused: list[FusedValue] = []
-    for (entity, attribute), members in sorted(groups.items()):
-        if strategy == "max_confidence":
-            chosen_value = max(members, key=lambda e: e.confidence).value
-        elif strategy == "numeric_median" and all(
-            isinstance(m.value, (int, float)) and not isinstance(m.value, bool)
-            for m in members
-        ):
-            chosen_value = _weighted_median(
-                [(float(m.value), m.confidence) for m in members]
-            )
-        else:
-            votes: dict[Any, float] = {}
-            for member in members:
-                votes[member.value] = votes.get(member.value, 0.0) + member.confidence
-            chosen_value = max(votes.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
-        supporters = [m for m in members if _agrees(m.value, chosen_value, strategy)]
-        conflicters = len(members) - len(supporters)
-        support_conf = sum(m.confidence for m in supporters)
-        total_conf = sum(m.confidence for m in members)
-        confidence = support_conf / total_conf if total_conf else 0.0
-        # Independent agreeing sources increase belief beyond any single one.
-        best_single = max((m.confidence for m in supporters), default=0.0)
-        confidence = max(confidence * best_single + (1 - best_single) * confidence,
-                         best_single * confidence)
-        fused.append(
-            FusedValue(
-                entity=entity,
-                attribute=attribute,
-                value=chosen_value,
-                confidence=min(confidence, 1.0),
-                support=len(supporters),
-                conflict=conflicters,
-                spans=tuple(m.span for m in supporters),
-            )
-        )
-    return fused
+    return [
+        _fuse_group(entity, attribute, members, strategy)
+        for (entity, attribute), members in sorted(groups.items())
+    ]
 
 
 def _agrees(value: Any, chosen: Any, strategy: str) -> bool:
@@ -120,3 +145,144 @@ def _agrees(value: Any, chosen: Any, strategy: str) -> bool:
         scale = max(abs(float(chosen)), 1.0)
         return abs(float(value) - float(chosen)) <= 0.05 * scale
     return value == chosen
+
+
+@dataclass
+class _GroupState:
+    """Retractable per-group accumulators for one (entity, attribute).
+
+    The exactly-invertible folds — member count, per-value vote counts,
+    the confidence multiset backing max-confidence — update in place on
+    add *and* retract (integer arithmetic, no drift).  The float folds
+    (weighted vote sums, fused confidence) are **not** invertible under
+    floating-point subtraction: retracting a confidence can leave the
+    accumulator a few ULPs away from the value a fresh fold would
+    produce, breaking byte-identity with the from-scratch oracle.  Those
+    are rebuilt per dirty group from ``members`` in canonical order — the
+    per-entity rebuild fallback, O(group size), not O(corpus).
+    """
+
+    members: Counter = field(default_factory=Counter)
+    count: int = 0
+    value_votes: Counter = field(default_factory=Counter)
+    conf_multiset: Counter = field(default_factory=Counter)
+
+    def add(self, extraction: Extraction) -> None:
+        self.members[extraction] += 1
+        self.count += 1
+        self.value_votes[_value_key(extraction.value)] += 1
+        self.conf_multiset[extraction.confidence] += 1
+
+    def retract(self, extraction: Extraction) -> None:
+        have = self.members.get(extraction, 0)
+        if not have:
+            raise KeyError(f"cannot retract absent extraction {extraction!r}")
+        if have == 1:
+            del self.members[extraction]
+        else:
+            self.members[extraction] = have - 1
+        self.count -= 1
+        vkey = _value_key(extraction.value)
+        self.value_votes[vkey] -= 1
+        if not self.value_votes[vkey]:
+            del self.value_votes[vkey]
+        self.conf_multiset[extraction.confidence] -= 1
+        if not self.conf_multiset[extraction.confidence]:
+            del self.conf_multiset[extraction.confidence]
+
+    def max_confidence(self) -> float:
+        return max(self.conf_multiset) if self.conf_multiset else 0.0
+
+    def sorted_members(self) -> list[Extraction]:
+        out: list[Extraction] = []
+        for member, n in self.members.items():
+            out.extend([member] * n)
+        out.sort(key=canonical_extraction_sort_key)
+        return out
+
+
+def _value_key(value: Any) -> tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+class FusionState:
+    """Fusion under retraction: fused values maintained across deltas.
+
+    Holds the extraction multiset per (entity, attribute) group with
+    retractable accumulators (:class:`_GroupState`), marks a group dirty
+    on every add/retract, and on :meth:`refresh` re-fuses *only the dirty
+    groups* — O(changed mentions), never O(corpus).  :meth:`fused` is
+    byte-identical to ``fuse_extractions`` over the same live extractions
+    fed in canonical order (``canonical_extraction_sort_key``).
+    """
+
+    def __init__(self, strategy: str = "weighted_vote") -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown fusion strategy {strategy!r}")
+        self.strategy = strategy
+        self._groups: dict[tuple[str, str], _GroupState] = {}
+        self._fused: dict[tuple[str, str], FusedValue] = {}
+        self._dirty: set[tuple[str, str]] = set()
+        self.adds = 0
+        self.retracts = 0
+        self.groups_refreshed = 0
+
+    def __len__(self) -> int:
+        return sum(g.count for g in self._groups.values())
+
+    def add(self, extractions: Iterable[Extraction]) -> None:
+        """Fold new extractions in; their groups go dirty."""
+        for extraction in extractions:
+            key = (extraction.entity, extraction.attribute)
+            self._groups.setdefault(key, _GroupState()).add(extraction)
+            self._dirty.add(key)
+            self.adds += 1
+
+    def retract(self, extractions: Iterable[Extraction]) -> None:
+        """Remove previously-added extractions; their groups go dirty.
+
+        Raises:
+            KeyError: an extraction was never added (or already retracted).
+        """
+        for extraction in extractions:
+            key = (extraction.entity, extraction.attribute)
+            group = self._groups.get(key)
+            if group is None:
+                raise KeyError(f"cannot retract from absent group {key!r}")
+            group.retract(extraction)
+            self._dirty.add(key)
+            self.retracts += 1
+            if not group.count:
+                del self._groups[key]
+
+    def refresh(self) -> dict[tuple[str, str], FusedValue | None]:
+        """Re-fuse dirty groups; returns what changed.
+
+        The result maps each group whose fused value changed to the new
+        :class:`FusedValue`, or ``None`` when the group emptied out (its
+        fused value is retracted downstream).
+        """
+        changed: dict[tuple[str, str], FusedValue | None] = {}
+        for key in sorted(self._dirty):
+            group = self._groups.get(key)
+            if group is None or not group.count:
+                if key in self._fused:
+                    del self._fused[key]
+                    changed[key] = None
+                continue
+            fresh = _fuse_group(key[0], key[1], group.sorted_members(),
+                                self.strategy)
+            self.groups_refreshed += 1
+            if self._fused.get(key) != fresh:
+                self._fused[key] = fresh
+                changed[key] = fresh
+        self._dirty.clear()
+        return changed
+
+    def fused(self) -> list[FusedValue]:
+        """Current fused values, sorted by (entity, attribute).
+
+        Implicitly refreshes so the view is never stale.
+        """
+        self.refresh()
+        return [self._fused[key] for key in sorted(self._fused)]

@@ -12,7 +12,7 @@ this.
 from __future__ import annotations
 
 import threading
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterator
 
 from repro.errors import CancellationToken
@@ -40,6 +40,37 @@ class TransactionAborted(Exception):
     """Raised when operating on a finished (committed/aborted) transaction."""
 
 
+@dataclass(frozen=True)
+class TableDelta:
+    """Row-level changes one committed transaction made to one table.
+
+    Value dicts are the engine's own copies (the same objects handed back
+    from the write APIs); listeners must treat them as read-only.
+    """
+
+    inserted: tuple[dict[str, Any], ...] = ()
+    #: ``(before, after)`` value pairs, in write order.
+    updated: tuple[tuple[dict[str, Any], dict[str, Any]], ...] = ()
+    deleted: tuple[dict[str, Any], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.updated) + len(self.deleted)
+
+
+@dataclass(frozen=True)
+class CommitDelta:
+    """What one commit (or DDL event) changed, for delta listeners.
+
+    ``tables`` maps table name → :class:`TableDelta` for row-level
+    changes.  ``ddl`` names tables whose contents changed *wholesale*
+    (create/drop/alter): row-level deltas are not available for those,
+    so delta consumers must resynchronize their per-table state.
+    """
+
+    tables: dict[str, TableDelta] = field(default_factory=dict)
+    ddl: frozenset[str] = frozenset()
+
+
 class Transaction:
     """A unit of work with strict-2PL isolation and all-or-nothing effects.
 
@@ -52,6 +83,11 @@ class Transaction:
         self.txn_id = txn_id
         self._undo: list[tuple[str, ...]] = []
         self._tables_written: set[str] = set()
+        #: Row-level change records for delta listeners, in write order:
+        #: ``("insert", table, values)`` / ``("update", table, before,
+        #: after)`` / ``("delete", table, values)``.  Only populated when
+        #: the database has delta listeners (zero cost otherwise).
+        self._delta_rows: list[tuple] = []
         self.finished = False
         #: Optional cooperative-cancellation token checked at every
         #: operation boundary (and at commit, so a post-deadline
@@ -95,7 +131,33 @@ class Transaction:
         metrics.get_registry().inc("rdbms.txn.commits")
         if self._tables_written:
             self._db._notify_commit(frozenset(self._tables_written))
+            if self._delta_rows and self._db._delta_listeners:
+                self._db._notify_delta(self._build_delta())
             self._db._maybe_auto_compact(self._tables_written)
+
+    def _build_delta(self) -> CommitDelta:
+        """Fold this transaction's row-change records into a CommitDelta."""
+        inserted: dict[str, list] = {}
+        updated: dict[str, list] = {}
+        deleted: dict[str, list] = {}
+        for record in self._delta_rows:
+            kind, table = record[0], record[1]
+            if kind == "insert":
+                inserted.setdefault(table, []).append(record[2])
+            elif kind == "update":
+                updated.setdefault(table, []).append((record[2], record[3]))
+            else:
+                deleted.setdefault(table, []).append(record[2])
+        tables = {
+            name: TableDelta(
+                inserted=tuple(inserted.get(name, ())),
+                updated=tuple(updated.get(name, ())),
+                deleted=tuple(deleted.get(name, ())),
+            )
+            for name in self._tables_written
+            if name in inserted or name in updated or name in deleted
+        }
+        return CommitDelta(tables=tables)
 
     def abort(self) -> None:
         """Undo all changes (in reverse order) and release locks.
@@ -137,6 +199,8 @@ class Transaction:
             db._log(self.txn_id, "insert", table=table, rid=row.rid, values=row.values)
             self._undo.append(("insert", table, row.rid))
         self._tables_written.add(table)
+        if db._delta_listeners:
+            self._delta_rows.append(("insert", table, row.values))
         metrics.get_registry().inc("rdbms.rows.inserted")
         return row
 
@@ -170,6 +234,9 @@ class Transaction:
                 rows=[{"rid": r.rid, "values": r.values} for r in rows],
             )
         self._tables_written.add(table)
+        if db._delta_listeners:
+            self._delta_rows.extend(
+                ("insert", table, row.values) for row in rows)
         registry = metrics.get_registry()
         registry.inc("rdbms.rows.inserted", len(rows))
         registry.observe("rdbms.insert.batch_size", len(rows),
@@ -191,6 +258,8 @@ class Transaction:
             )
             self._undo.append(("update", table, rid, old.values))
         self._tables_written.add(table)
+        if db._delta_listeners:
+            self._delta_rows.append(("update", table, old.values, new.values))
         return new
 
     def delete(self, table: str, rid: int) -> Row:
@@ -205,6 +274,8 @@ class Transaction:
             db._log(self.txn_id, "delete", table=table, rid=rid, values=row.values)
             self._undo.append(("delete", table, rid, row.values))
         self._tables_written.add(table)
+        if db._delta_listeners:
+            self._delta_rows.append(("delete", table, row.values))
         return row
 
     # -------------------------------------------------------------- reads
@@ -353,6 +424,7 @@ class Database:
         self._txn_counter = 0
         self._txn_lock = threading.Lock()
         self._commit_listeners: list[Callable[[frozenset[str]], None]] = []
+        self._delta_listeners: list[Callable[[CommitDelta], None]] = []
         self._stats_manager = None
         # --- MVCC state (all guarded by _mutate_lock) ---
         #: Active write transactions whose undo logs roll snapshots back
@@ -403,6 +475,27 @@ class Database:
         for listener in self._commit_listeners:
             listener(tables)
 
+    def add_delta_listener(
+            self, listener: Callable[[CommitDelta], None]) -> None:
+        """Call ``listener(delta)`` with the row-level changes of every
+        committed transaction, in commit order.
+
+        Unlike :meth:`add_commit_listener` (which reports only *which*
+        tables changed), delta listeners see the changed rows themselves —
+        the foundation for O(delta) standing-query evaluation.  Recording
+        per-row deltas costs one values-dict reference per written row, and
+        only while at least one listener is registered; a database with no
+        delta listeners pays nothing.  Schema changes arrive as a
+        :class:`CommitDelta` whose ``ddl`` set names the affected tables
+        (listeners should treat that as a wholesale resync signal).
+        Listeners run outside all engine locks and must not raise.
+        """
+        self._delta_listeners.append(listener)
+
+    def _notify_delta(self, delta: CommitDelta) -> None:
+        for listener in self._delta_listeners:
+            listener(delta)
+
     # -------------------------------------------------------------- schema
 
     def create_table(self, schema: TableSchema, shard_key: str | None = None,
@@ -429,6 +522,8 @@ class Database:
                 payload["shard_count"] = spec.count
             self._log(0, "create_table", **payload)
         self._notify_commit(frozenset({schema.name}))
+        if self._delta_listeners:
+            self._notify_delta(CommitDelta(ddl=frozenset({schema.name})))
 
     def drop_table(self, name: str) -> None:
         """Drop a table and its indexes."""
@@ -442,6 +537,8 @@ class Database:
                 del self._indexes[key]
             self._log(0, "drop_table", table=name)
         self._notify_commit(frozenset({name}))
+        if self._delta_listeners:
+            self._notify_delta(CommitDelta(ddl=frozenset({name})))
 
     def alter_table(self, name: str, new_schema: TableSchema,
                     migrate: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
@@ -470,6 +567,8 @@ class Database:
                     del self._indexes[key]
             self._bump_versions({name})
         self._notify_commit(frozenset({name}))
+        if self._delta_listeners:
+            self._notify_delta(CommitDelta(ddl=frozenset({name})))
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)

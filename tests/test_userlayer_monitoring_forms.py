@@ -35,13 +35,15 @@ def test_new_matches_are_delivered_once(db):
                "WHERE attribute = 'sep_temp' AND value_num > 90",
     ))
     assert manager.poke() == 0
+    # matches are delivered at commit time via the delta stream
     _insert(db, "Phoenix", "sep_temp", 95.0)
-    assert manager.poke() == 1
     assert manager.pending("hot")[0].row["entity"] == "Phoenix"
-    # same row does not notify twice
+    # same row does not notify twice, by poke or by further commits
     assert manager.poke() == 0
     _insert(db, "Tucson", "sep_temp", 93.0)
-    assert manager.poke() == 1
+    assert [n.row["entity"] for n in manager.pending("hot")] \
+        == ["Phoenix", "Tucson"]
+    assert manager.poke() == 0
 
 
 def test_existing_rows_absorbed_unless_requested(db):
@@ -70,8 +72,8 @@ def test_condition_and_callback(db):
     ))
     _insert(db, "Nome", "jan_temp", -15.0)
     _insert(db, "Miami", "jan_temp", 68.0)
-    assert manager.poke() == 1
     assert received == [("watch", "Nome")]
+    assert manager.poke() == 0  # both rows already handled at commit
     assert manager.pending() == []  # callback queries bypass the inbox
 
 
